@@ -1,0 +1,55 @@
+"""Shared fixtures and result recording for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and writes its
+paper-style output both to stdout and to ``benchmarks/results/<name>.txt``
+so EXPERIMENTS.md can reference the recorded numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.dnn.datasets import synthetic_digits, synthetic_shapes
+from repro.dnn.models import DarkNetSlim
+from repro.workloads.streams import trained_lenet_model
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write a bench's rendered table to benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def trained_lenet():
+    """LeNet trained on the synthetic digit task (cached per session)."""
+    return trained_lenet_model()
+
+
+@pytest.fixture(scope="session")
+def lenet_image():
+    return synthetic_digits(1, seed=5).images[0]
+
+
+@pytest.fixture(scope="session")
+def darknet_model():
+    return DarkNetSlim(rng=np.random.default_rng(21))
+
+
+@pytest.fixture(scope="session")
+def darknet_image():
+    return synthetic_shapes(1, seed=5).images[0]

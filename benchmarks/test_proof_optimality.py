@@ -1,0 +1,53 @@
+"""Sec. III-B — machine check of the ordering-optimality proof.
+
+Exhaustively verifies the local pairwise lemma and certifies the
+count-based interleaved ordering against brute-force matching search,
+and demonstrates convergence of the iterative local rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ordering.optimal import interleaved_assignment
+from repro.ordering.proofs import (
+    bubble_to_optimal,
+    verify_global_optimality,
+    verify_pairwise_lemma,
+)
+
+
+def test_proof_pairwise_lemma(benchmark, record_result):
+    result = benchmark.pedantic(
+        verify_pairwise_lemma, kwargs={"max_count": 12}, rounds=1
+    )
+    assert result
+    record_result(
+        "proof_pairwise_lemma",
+        "Sec III-B local pairwise lemma: verified exhaustively for all "
+        "4-count multisets with counts in [0, 12] "
+        "(C(13+3,4) = 1820 multisets x 24 placements).",
+    )
+
+
+def test_proof_global_optimality(benchmark, record_result):
+    def run():
+        for lanes in (2, 3, 4, 5, 6):
+            verify_global_optimality(n_lanes=lanes, trials=20)
+        return True
+
+    assert benchmark.pedantic(run, rounds=1)
+    # Convergence of the iterative rule to the closed-form optimum.
+    rng = np.random.default_rng(3)
+    for _ in range(20):
+        counts = rng.integers(0, 33, size=16).tolist()
+        assert bubble_to_optimal(list(counts)) == interleaved_assignment(
+            counts
+        ).objective
+    record_result(
+        "proof_global_optimality",
+        "Sec III-B global optimality: count-based interleaved ordering "
+        "matches exhaustive perfect-matching search for 100 random\n"
+        "instances (2-6 lanes), and the iterative pairwise rule "
+        "converges to the same objective for 20 random 16-count cases.",
+    )

@@ -1,0 +1,57 @@
+"""Sec. V-C — link power estimate.
+
+Reproduces the paper's arithmetic exactly: 0.173 pJ/bit (authors'
+Innovus extraction) and 0.532 pJ/bit (Banerjee et al.) over 112 links
+of an 8x8 NoC at 125 MHz with half the 128-bit wires toggling, then
+applies the headline 40.85 % BT reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.linkpower import (
+    BANERJEE_ENERGY_PJ,
+    PAPER_ENERGY_PJ,
+    LinkPowerModel,
+)
+
+HEADLINE_REDUCTION = 40.85
+
+
+def test_secVC_link_power(benchmark, record_result):
+    def run():
+        ours = LinkPowerModel.for_mesh(
+            8, 8, energy_per_transition_pj=PAPER_ENERGY_PJ
+        )
+        banerjee = LinkPowerModel.for_mesh(
+            8, 8, energy_per_transition_pj=BANERJEE_ENERGY_PJ
+        )
+        return {
+            "ours": (
+                ours.power_mw(),
+                ours.reduced_power_mw(HEADLINE_REDUCTION),
+            ),
+            "banerjee": (
+                banerjee.power_mw(),
+                banerjee.reduced_power_mw(HEADLINE_REDUCTION),
+            ),
+        }
+
+    powers = benchmark.pedantic(run, rounds=5)
+
+    assert powers["ours"][0] == pytest.approx(155.008, abs=0.001)
+    assert powers["ours"][1] == pytest.approx(91.688, abs=0.01)
+    assert powers["banerjee"][0] == pytest.approx(476.672, abs=0.001)
+    assert powers["banerjee"][1] == pytest.approx(281.951, abs=0.01)
+
+    lines = [
+        "Sec. V-C link power (8x8 NoC, 112 links, 128-bit, 125 MHz, "
+        "half the wires toggling):",
+        f"  ours (0.173 pJ/bit):     {powers['ours'][0]:8.3f} mW -> "
+        f"{powers['ours'][1]:8.3f} mW after {HEADLINE_REDUCTION}% BT "
+        "reduction (paper: 155.008 -> 91.688)",
+        f"  Banerjee (0.532 pJ/bit): {powers['banerjee'][0]:8.3f} mW -> "
+        f"{powers['banerjee'][1]:8.3f} mW (paper: 476.672 -> 281.951)",
+    ]
+    record_result("secVC_link_power", "\n".join(lines))

@@ -1,0 +1,47 @@
+"""Table II — synthesis results of the ordering unit vs the router.
+
+Regenerates the paper's area/power comparison from the calibrated
+component models (see DESIGN.md §5 for the substitution note: the
+structural estimator is anchored to the paper's Synopsys DC constants).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.ordering_unit import OrderingUnitDesign, RouterDesign
+from repro.hardware.synthesis import format_table2, model_table2, paper_table2
+
+
+def test_table2_synthesis(benchmark, record_result):
+    model = benchmark.pedantic(model_table2, rounds=5)
+    paper = paper_table2()
+
+    for key in ("ordering_unit", "router"):
+        assert model[key].area_kge == pytest.approx(
+            paper[key].area_kge, rel=0.01
+        )
+        assert model[key].power_one_mw == pytest.approx(
+            paper[key].power_one_mw, rel=0.01
+        )
+    # The headline overhead claim: 4 ordering units cost a small
+    # fraction of the 64-router NoC.
+    unit_total = model["ordering_unit"].power_many_mw
+    router_total = model["router"].power_many_mw
+    assert unit_total < router_total / 100
+
+    text = format_table2(paper, model)
+    unit = OrderingUnitDesign()
+    router = RouterDesign()
+    text += (
+        f"\n\nStructural breakdown (model):"
+        f"\n  unit: popcount {unit.popcount_gates():.0f} GE, "
+        f"registers {unit.register_gates():.0f} GE, "
+        f"sorter {unit.sorter_gates():.0f} GE"
+        f"\n  router: buffers {router.buffer_gates():.0f} GE, "
+        f"crossbar {router.crossbar_gates():.0f} GE, "
+        f"allocators {router.allocator_gates():.0f} GE"
+        f"\n  ordering cycles per 16-value flit batch: "
+        f"{unit.ordering_cycles()}"
+    )
+    record_result("table2_synthesis", text)

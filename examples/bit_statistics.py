@@ -1,0 +1,88 @@
+"""Bit-level statistics of DNN weights (the Fig. 9/10/11 analyses).
+
+Prints, for random and trained LeNet weights in both wire formats:
+
+* per-bit-position '1' probability (exposing the float-32
+  sign/exponent/mantissa structure),
+* per-position transition probability before vs after ordering,
+* the Fig. 9 '1'-count heat map of the first flits of the stream.
+
+Usage::
+
+    python examples/bit_statistics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import analyze_stream
+from repro.bits.popcount import popcount_array
+from repro.workloads import (
+    build_packets,
+    ones_count_grid,
+    random_weights,
+    trained_lenet_weights,
+    words_for_format,
+)
+
+
+def sparkline(values: np.ndarray) -> str:
+    blocks = " .:-=+*#%@"
+    scaled = np.clip((values * (len(blocks) - 1)).round(), 0, 9).astype(int)
+    return "".join(blocks[i] for i in scaled)
+
+
+def report(name: str, values: np.ndarray, fmt_name: str) -> None:
+    words, fmt = words_for_format(values, fmt_name)
+    words = np.asarray(words)
+    counts = popcount_array(words)
+    ordered = words[np.argsort(-counts.astype(np.int64), kind="stable")]
+    base = analyze_stream(words, fmt.width)
+    after = analyze_stream(ordered, fmt.width)
+    print(f"\n--- {name} / {fmt_name} ({fmt.width}-bit words) ---")
+    print(f"  P(bit=1) MSB->LSB : {sparkline(base.one_probability)}")
+    print(f"  P(flip) baseline  : {sparkline(base.transition_probability)}")
+    print(f"  P(flip) ordered   : {sparkline(after.transition_probability)}")
+    print(
+        f"  mean flip prob: {base.transition_probability.mean():.4f} -> "
+        f"{after.transition_probability.mean():.4f}"
+    )
+    if fmt.width == 32:
+        fields = base.describe_float32_fields()
+        print(
+            f"  IEEE-754 fields P(1): sign {fields['sign']:.2f}  "
+            f"exponent {fields['exponent']:.2f}  "
+            f"mantissa {fields['mantissa']:.2f}"
+        )
+
+
+def fig9_heatmap(values: np.ndarray) -> None:
+    words, fmt = words_for_format(values, "fixed8")
+    ordered = build_packets(
+        np.asarray(words), 500, 8, fmt.width, kernel_size=25, ordered=True
+    )
+    base = build_packets(
+        np.asarray(words), 500, 8, fmt.width, kernel_size=25
+    )
+    print("\n--- Fig. 9: '1'-counts per flit (left: before, right: after) ---")
+    gb, go = ones_count_grid(base), ones_count_grid(ordered)
+    for flit in range(12):
+        left = " ".join(f"{c}" for c in gb[flit])
+        right = " ".join(f"{c}" for c in go[flit])
+        print(f"  flit {flit:>2} | {left}   ->   {right}")
+
+
+def main() -> None:
+    pools = {
+        "random": random_weights(30_000, seed=3),
+        "trained LeNet": trained_lenet_weights(),
+    }
+    for name, values in pools.items():
+        for fmt_name in ("float32", "fixed8"):
+            report(name, values, fmt_name)
+    fig9_heatmap(pools["trained LeNet"])
+
+
+if __name__ == "__main__":
+    main()

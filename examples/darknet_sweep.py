@@ -1,0 +1,72 @@
+"""DarkNet-like model across NoC sizes — the Fig. 12 + 13 sweep.
+
+Runs the DarkNet-like model (64x64x3 input, Sec. V-B) through all three
+NoC configurations and orderings, for one data format, and prints the
+absolute BTs and reduction grid.
+
+Usage::
+
+    python examples/darknet_sweep.py [--tasks N] [--format fixed8|float32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.accelerator import AcceleratorConfig, run_model_on_noc
+from repro.analysis.summary import format_series, reduction_rate
+from repro.dnn import DarkNetSlim, synthetic_shapes
+from repro.ordering import OrderingMethod
+
+MESHES = [
+    ("4x4 MC2", dict(width=4, height=4, n_mcs=2)),
+    ("8x8 MC4", dict(width=8, height=8, n_mcs=4)),
+    ("8x8 MC8", dict(width=8, height=8, n_mcs=8)),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, default=16)
+    parser.add_argument("--format", default="fixed8",
+                        choices=("float32", "fixed8"))
+    args = parser.parse_args()
+
+    model = DarkNetSlim(rng=np.random.default_rng(21))
+    image = synthetic_shapes(1, seed=5).images[0]
+
+    series: dict[str, dict[str, float]] = {}
+    reductions: dict[str, dict[str, float]] = {}
+    for label, mesh in MESHES:
+        series[label] = {}
+        for method in OrderingMethod:
+            config = AcceleratorConfig(
+                data_format=args.format,
+                ordering=method,
+                max_tasks_per_layer=args.tasks,
+                **mesh,
+            )
+            result = run_model_on_noc(config, model, image)
+            assert result.all_verified
+            series[label][method.value] = float(result.total_bit_transitions)
+            print(
+                f"  {label} {method.value}: "
+                f"{result.total_bit_transitions:>10d} BTs "
+                f"({result.total_cycles} cycles)"
+            )
+        o0 = series[label]["O0"]
+        reductions[label] = {
+            m.value: reduction_rate(o0, series[label][m.value])
+            for m in (OrderingMethod.AFFILIATED, OrderingMethod.SEPARATED)
+        }
+
+    print()
+    print(format_series(series, f"DarkNet absolute BTs ({args.format})"))
+    print()
+    print(format_series(reductions, "Reductions vs O0 (%)"))
+
+
+if __name__ == "__main__":
+    main()

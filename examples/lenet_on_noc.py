@@ -1,0 +1,80 @@
+"""Full LeNet inference as NoC traffic, with per-layer BT accounting.
+
+Trains LeNet on the synthetic digit task (the paper's trained-weight
+configuration), then drives every layer's neuron tasks through the
+4x4/MC2 NoC under all three orderings and prints the per-layer traffic
+and BT breakdown, ending with the functional verification summary.
+
+Usage::
+
+    python examples/lenet_on_noc.py [--tasks N] [--format fixed8|float32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.accelerator import AcceleratorConfig, run_model_on_noc
+from repro.analysis.summary import reduction_rate
+from repro.dnn import evaluate_accuracy, synthetic_digits
+from repro.ordering import OrderingMethod
+from repro.workloads.streams import trained_lenet_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, default=32,
+                        help="neuron tasks sampled per layer")
+    parser.add_argument("--format", default="fixed8",
+                        choices=("float32", "fixed8"))
+    args = parser.parse_args()
+
+    print("Training LeNet on the synthetic digit task ...")
+    model = trained_lenet_model()
+    dataset = synthetic_digits(256, seed=8)
+    print(f"  accuracy on fresh samples: "
+          f"{evaluate_accuracy(model, dataset):.3f}")
+    image = dataset.images[0]
+
+    results = {}
+    for method in OrderingMethod:
+        config = AcceleratorConfig(
+            data_format=args.format,
+            ordering=method,
+            max_tasks_per_layer=args.tasks,
+        )
+        results[method] = run_model_on_noc(config, model, image)
+
+    base = results[OrderingMethod.BASELINE]
+    print(f"\nPer-layer breakdown ({args.format}, O0 baseline):")
+    header = (f"  {'layer':<8}{'tasks':>6}{'of':>8}{'packets':>9}"
+              f"{'flits':>8}{'BTs':>12}{'cycles':>8}")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for summary in base.layers:
+        print(
+            f"  {summary.layer_name:<8}{summary.n_tasks:>6}"
+            f"{summary.total_neurons:>8}{summary.packets:>9}"
+            f"{summary.flits:>8}{summary.bit_transitions:>12}"
+            f"{summary.cycles:>8}"
+        )
+
+    print("\nOrdering comparison:")
+    for method, result in results.items():
+        red = reduction_rate(
+            base.total_bit_transitions, result.total_bit_transitions
+        )
+        print(
+            f"  {method.value} {method.name.lower():<11} "
+            f"BTs {result.total_bit_transitions:>10d}  "
+            f"reduction {red:6.2f}%  "
+            f"latency {result.mean_packet_latency:7.1f} cycles/packet  "
+            f"verified {result.tasks_verified}/{result.tasks_total}"
+        )
+    assert all(r.all_verified for r in results.values())
+    print("\nAll NoC-computed MACs match the reference — ordering "
+          "preserved functional correctness.")
+
+
+if __name__ == "__main__":
+    main()

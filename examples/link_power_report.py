@@ -1,0 +1,98 @@
+"""Turn simulated BT counts into link energy and power (Sec. V-C).
+
+Runs a fixed-8 LeNet workload through the 8x8/MC4 NoC with and without
+separated-ordering, then feeds the measured BT counts and the measured
+reduction rate into the calibrated link-power models, alongside the
+paper's closed-form example, and reports the ordering-unit overhead
+from Table II for comparison.
+
+Usage::
+
+    python examples/link_power_report.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator import AcceleratorConfig, run_model_on_noc
+from repro.analysis.summary import reduction_rate
+from repro.dnn import LeNet5, synthetic_digits
+from repro.hardware import (
+    BANERJEE_ENERGY_PJ,
+    LinkPowerModel,
+    OrderingUnitDesign,
+    RouterDesign,
+)
+from repro.ordering import OrderingMethod
+
+
+def main() -> None:
+    model = LeNet5(rng=np.random.default_rng(1))
+    image = synthetic_digits(1, seed=5).images[0]
+
+    runs = {}
+    for method in (OrderingMethod.BASELINE, OrderingMethod.SEPARATED):
+        config = AcceleratorConfig(
+            width=8,
+            height=8,
+            n_mcs=4,
+            data_format="fixed8",
+            ordering=method,
+            max_tasks_per_layer=24,
+        )
+        runs[method] = run_model_on_noc(config, model, image)
+
+    base = runs[OrderingMethod.BASELINE]
+    ordered = runs[OrderingMethod.SEPARATED]
+    measured_reduction = reduction_rate(
+        base.total_bit_transitions, ordered.total_bit_transitions
+    )
+    print("Measured on the simulator (8x8 MC4, fixed-8 LeNet):")
+    print(f"  O0 bit transitions: {base.total_bit_transitions:>12d}")
+    print(f"  O2 bit transitions: {ordered.total_bit_transitions:>12d}")
+    print(f"  reduction:          {measured_reduction:>11.2f}%")
+
+    for name, energy in (
+        ("ours (Innovus, 0.173 pJ)", None),
+        ("Banerjee et al. (0.532 pJ)", BANERJEE_ENERGY_PJ),
+    ):
+        model_kwargs = {} if energy is None else {
+            "energy_per_transition_pj": energy
+        }
+        lp = LinkPowerModel.for_mesh(8, 8, **model_kwargs)
+        saved_energy = lp.energy_for_transitions(
+            base.total_bit_transitions - ordered.total_bit_transitions
+        )
+        print(f"\nLink model {name}:")
+        print(f"  nominal link power:    {lp.power_mw():9.3f} mW")
+        print(
+            f"  after measured red.:   "
+            f"{lp.reduced_power_mw(measured_reduction):9.3f} mW"
+        )
+        print(
+            f"  energy saved this run: {saved_energy * 1e9:9.3f} nJ "
+            f"({base.total_bit_transitions - ordered.total_bit_transitions} "
+            "transitions avoided)"
+        )
+
+    unit = OrderingUnitDesign()
+    router = RouterDesign()
+    print("\nOverhead context (Table II):")
+    print(
+        f"  4 ordering units: {4 * unit.power_mw():8.3f} mW, "
+        f"{4 * unit.area_kge():8.2f} kGE"
+    )
+    print(
+        f"  64 routers:       {64 * router.power_mw():8.2f} mW, "
+        f"{64 * router.area_kge():8.2f} kGE"
+    )
+    print(
+        "  -> the ordering units cost "
+        f"{100 * 4 * unit.power_mw() / (64 * router.power_mw()):.2f}% of "
+        "router power while saving tens of percent of link power."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "Bit Transition Reduction by Data Transmission
+Ordering in NoC-based DNN Accelerator" (Chen, Li, Zhu, Lu; SOCC 2025).
+
+Subpackages:
+
+* :mod:`repro.bits` — popcount, BT counting, wire formats, packing.
+* :mod:`repro.analysis` — the Eq. (1)-(4) expectation model and the
+  per-bit-position statistics of Fig. 10/11.
+* :mod:`repro.ordering` — the contribution: '1'-bit count-based
+  ordering (baseline / affiliated / separated) with optimality proofs.
+* :mod:`repro.dnn` — numpy mini DNN framework, LeNet / DarkNet-like
+  models, synthetic datasets, SGD training, fixed-8 quantisation.
+* :mod:`repro.noc` — cycle-accurate 2-D mesh wormhole NoC with VCs and
+  per-link BT recording (Fig. 8).
+* :mod:`repro.accelerator` — the NOC-DNA: neuron tasks, half-half
+  flitisation (Fig. 2), MC-side ordering units, full-DNN runs.
+* :mod:`repro.hardware` — calibrated Table II / link-power models.
+* :mod:`repro.workloads` — weight streams and the no-NoC experiments.
+"""
+
+__version__ = "1.0.0"
+
+from repro.accelerator import AcceleratorConfig, run_model_on_noc
+from repro.noc import Network, NoCConfig
+from repro.ordering import OrderingMethod
+
+__all__ = [
+    "__version__",
+    "AcceleratorConfig",
+    "run_model_on_noc",
+    "Network",
+    "NoCConfig",
+    "OrderingMethod",
+]

@@ -1,0 +1,322 @@
+"""Half-half flitisation of neuron tasks (Fig. 2) and its inverse.
+
+Each flit carries ``values_per_flit`` lanes: the left half holds
+inputs, the right half the corresponding weights.  A task of N pairs
+plus its bias occupies ``ceil((N + 1) / h)`` flits (h = pairs per
+flit): LeNet's 25-pair tasks become exactly the 4-flit packet of
+Fig. 2, with "1 input + 1 weight + 1 bias + 13 zeros" in the tail.
+
+Padding zero-pairs are part of the transmitted sequence, and —
+crucially — they participate in the ordering: under the '1'-count
+descending sort they sink below the real values, and the column-major
+deal (Fig. 3) then aligns them into the same lanes of consecutive
+flits, where they cause zero transitions.  The baseline keeps the
+original order, which concentrates the padding in the last flit
+(exactly Fig. 2's layout).  The bias is pinned to the final sequence
+slot, which both fill orders place in the last flit's last weight lane.
+
+Decoding reverses the placement and — for separated-ordering —
+re-pairs values through the minimal-width permutation indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.packing import pack_words, unpack_words
+from repro.ordering.strategies import (
+    FillOrder,
+    OrderingMethod,
+    apply_method,
+    deal_into_rows,
+    index_bits_required,
+    undeal_rows,
+)
+
+__all__ = ["EncodedTask", "DecodedTask", "EncodedInputs", "TaskCodec"]
+
+
+@dataclass(frozen=True)
+class EncodedTask:
+    """A task after ordering + flitisation, ready to become a packet.
+
+    Attributes:
+        payloads: per-flit payload ints (data flits first, then any
+            in-band index flits).
+        n_pairs: number of real (input, weight) pairs in the task.
+        n_data_flits: flits carrying lanes (excludes index flits).
+        method: ordering applied.
+        fill: flit placement used.
+        input_perm / weight_perm: ordering permutations over the
+            padded pair sequence (``ordered[i] == padded[perm[i]]``);
+            side-band metadata unless the codec ships indices in-band.
+    """
+
+    payloads: tuple[int, ...]
+    n_pairs: int
+    n_data_flits: int
+    method: OrderingMethod
+    fill: FillOrder
+    input_perm: tuple[int, ...]
+    weight_perm: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DecodedTask:
+    """Lane contents recovered from delivered payloads.
+
+    ``inputs``/``weights`` are the real pairs (padding stripped) in
+    *transmitted* order; :meth:`original_pairs` undoes the ordering.
+    """
+
+    inputs: tuple[int, ...]
+    weights: tuple[int, ...]
+    bias: int
+    n_pairs: int
+    method: OrderingMethod
+    input_perm: tuple[int, ...]
+    weight_perm: tuple[int, ...]
+
+    def original_pairs(self) -> list[tuple[int, int]]:
+        """Real (input, weight) word pairs in the original task order."""
+        n_padded = len(self.input_perm)
+        inputs: list[int | None] = [None] * n_padded
+        weights: list[int | None] = [None] * n_padded
+        for pos, src in enumerate(self.input_perm):
+            inputs[src] = self.inputs[pos]
+        for pos, src in enumerate(self.weight_perm):
+            weights[src] = self.weights[pos]
+        if any(v is None for v in inputs + weights):
+            raise ValueError("invalid permutation metadata")
+        return list(zip(inputs[: self.n_pairs], weights[: self.n_pairs]))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class EncodedInputs:
+    """An input-only packet for weight-stationary PEs.
+
+    When a PE already caches a chunk's weights (weight-stationary
+    dataflow: conv filters are reused across every spatial position),
+    the MC ships only the inputs — every lane of every flit is an
+    input value.
+
+    Attributes:
+        payloads: per-flit payload ints.
+        n_values: real input count (padding excluded).
+        n_data_flits: flit count.
+        method: ordering applied (baseline/affiliated keep original
+            order — there are no weight counts to follow; separated
+            sorts by the inputs' own counts).
+        fill: flit placement.
+        input_perm: ordering permutation over the padded sequence.
+    """
+
+    payloads: tuple[int, ...]
+    n_values: int
+    n_data_flits: int
+    method: OrderingMethod
+    fill: FillOrder
+    input_perm: tuple[int, ...]
+
+
+class TaskCodec:
+    """Orders, flitises and decodes neuron tasks.
+
+    Args:
+        values_per_flit: lanes per flit (16 in the paper's setups).
+        word_width: per-lane width in bits (32 or 8).
+        include_index_payload: append separated-ordering recovery
+            indices as extra in-band flits (overhead ablation).
+    """
+
+    def __init__(
+        self,
+        values_per_flit: int,
+        word_width: int,
+        include_index_payload: bool = False,
+    ) -> None:
+        if values_per_flit % 2:
+            raise ValueError("values_per_flit must be even")
+        self.values_per_flit = values_per_flit
+        self.word_width = word_width
+        self.pairs_per_flit = values_per_flit // 2
+        self.link_width = values_per_flit * word_width
+        self.include_index_payload = include_index_payload
+
+    def data_flit_count(self, n_pairs: int) -> int:
+        """Flits for ``n_pairs`` pairs plus the bias slot."""
+        if n_pairs <= 0:
+            raise ValueError("a task needs at least one pair")
+        return -(-(n_pairs + 1) // self.pairs_per_flit)
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(
+        self,
+        input_words: list[int],
+        weight_words: list[int],
+        bias_word: int,
+        method: OrderingMethod,
+        fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL,
+    ) -> EncodedTask:
+        """Order and flitise one task."""
+        if len(input_words) != len(weight_words):
+            raise ValueError("inputs and weights must pair up")
+        n_pairs = len(input_words)
+        n_flits = self.data_flit_count(n_pairs)
+        h = self.pairs_per_flit
+        n_padded = n_flits * h - 1  # one slot reserved for the bias
+        pad = n_padded - n_pairs
+        padded_inputs = list(input_words) + [0] * pad
+        padded_weights = list(weight_words) + [0] * pad
+        ordered = apply_method(method, padded_inputs, padded_weights)
+        # Bias rides the final sequence slot: both fill orders place it
+        # in the last flit's last weight lane.
+        seq_inputs = list(ordered.inputs) + [0]
+        seq_weights = list(ordered.weights) + [bias_word]
+        input_rows = deal_into_rows(seq_inputs, n_flits, fill)
+        weight_rows = deal_into_rows(seq_weights, n_flits, fill)
+        payloads = []
+        for row_idx in range(n_flits):
+            lanes = input_rows[row_idx] + weight_rows[row_idx]
+            if len(lanes) != self.values_per_flit:
+                raise AssertionError("non-uniform flit row")
+            payloads.append(pack_words(lanes, self.word_width))
+        if self.include_index_payload and not ordered.paired:
+            payloads.extend(
+                self._index_flits(ordered.weight_perm, ordered.input_perm)
+            )
+        return EncodedTask(
+            payloads=tuple(payloads),
+            n_pairs=n_pairs,
+            n_data_flits=n_flits,
+            method=method,
+            fill=fill,
+            input_perm=ordered.input_perm,
+            weight_perm=ordered.weight_perm,
+        )
+
+    def _index_flits(
+        self, weight_perm: tuple[int, ...], input_perm: tuple[int, ...]
+    ) -> list[int]:
+        """Pack re-pairing indices into whole flits (in-band ablation).
+
+        For ordered weight position ``i`` the index stored is the
+        position of its original partner in the ordered input sequence.
+        """
+        n = len(weight_perm)
+        bits = index_bits_required(n)
+        if bits == 0:
+            return []
+        input_pos_of_original = [0] * n
+        for pos, src in enumerate(input_perm):
+            input_pos_of_original[src] = pos
+        rel = [input_pos_of_original[src] for src in weight_perm]
+        per_flit = max(1, self.link_width // bits)
+        flits = []
+        for start in range(0, n, per_flit):
+            chunk = rel[start : start + per_flit]
+            payload = 0
+            for j, idx in enumerate(chunk):
+                payload |= idx << (j * bits)
+            flits.append(payload)
+        return flits
+
+    # -- input-only packets (weight-stationary dataflow) -------------------
+
+    def input_flit_count(self, n_values: int) -> int:
+        """Flits for an input-only packet (all lanes carry inputs)."""
+        if n_values <= 0:
+            raise ValueError("need at least one input value")
+        return -(-n_values // self.values_per_flit)
+
+    def encode_inputs_only(
+        self,
+        input_words: list[int],
+        method: OrderingMethod,
+        fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL,
+    ) -> EncodedInputs:
+        """Flitise inputs for a PE that already caches the weights.
+
+        Baseline and affiliated ordering transmit original order (no
+        weight counts exist to affiliate with, and O1's contract is
+        zero recovery metadata); separated-ordering sorts the inputs by
+        their own '1' counts with the usual side-band permutation.
+        """
+        n_values = len(input_words)
+        n_flits = self.input_flit_count(n_values)
+        padded_len = n_flits * self.values_per_flit
+        padded = list(input_words) + [0] * (padded_len - n_values)
+        if method is OrderingMethod.SEPARATED:
+            from repro.ordering.strategies import sort_by_popcount
+
+            ordered, perm = sort_by_popcount(padded)
+            use_fill = fill
+        else:
+            ordered, perm = padded, list(range(padded_len))
+            use_fill = FillOrder.ROW_MAJOR
+        rows = deal_into_rows(ordered, n_flits, use_fill)
+        payloads = tuple(
+            pack_words(row, self.word_width) for row in rows
+        )
+        return EncodedInputs(
+            payloads=payloads,
+            n_values=n_values,
+            n_data_flits=n_flits,
+            method=method,
+            fill=use_fill,
+            input_perm=tuple(perm),
+        )
+
+    def decode_inputs_only(self, encoded: EncodedInputs) -> list[int]:
+        """Recover input words in original order (padding stripped)."""
+        rows = [
+            unpack_words(p, self.word_width, self.values_per_flit)
+            for p in encoded.payloads
+        ]
+        seq = undeal_rows(rows, encoded.fill)
+        padded_len = len(encoded.input_perm)
+        original: list[int | None] = [None] * padded_len
+        for pos, src in enumerate(encoded.input_perm):
+            original[src] = seq[pos]
+        if any(v is None for v in original):
+            raise ValueError("invalid permutation metadata")
+        return original[: encoded.n_values]  # type: ignore[return-value]
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, encoded: EncodedTask) -> DecodedTask:
+        """Recover lane contents from the transmitted payloads.
+
+        Uses only what crossed the link (the payload ints) plus the
+        side-band metadata a real packet header would carry: pair
+        count, method, fill order and — for separated-ordering — the
+        minimal-width permutation indices.
+        """
+        n_pairs = encoded.n_pairs
+        n_flits = encoded.n_data_flits
+        if self.data_flit_count(n_pairs) != n_flits:
+            raise ValueError("inconsistent flit count metadata")
+        h = self.pairs_per_flit
+        input_rows: list[list[int]] = []
+        weight_rows: list[list[int]] = []
+        for row_idx in range(n_flits):
+            lanes = unpack_words(
+                encoded.payloads[row_idx],
+                self.word_width,
+                self.values_per_flit,
+            )
+            input_rows.append(lanes[:h])
+            weight_rows.append(lanes[h:])
+        seq_inputs = undeal_rows(input_rows, encoded.fill)
+        seq_weights = undeal_rows(weight_rows, encoded.fill)
+        bias = seq_weights[-1]
+        return DecodedTask(
+            inputs=tuple(seq_inputs[:-1]),
+            weights=tuple(seq_weights[:-1]),
+            bias=bias,
+            n_pairs=n_pairs,
+            method=encoded.method,
+            input_perm=encoded.input_perm,
+            weight_perm=encoded.weight_perm,
+        )

@@ -1,0 +1,108 @@
+"""The ordering unit placed next to each memory controller (Fig. 6).
+
+Functionally it applies the configured ordering method while a task is
+flitised (delegating to :class:`repro.accelerator.flitize.TaskCodec`);
+its timing model mirrors the paper's hardware design (Fig. 14): a SWAR
+pop-count stage followed by a bubble sort.  The paper argues this
+latency is hidden by the layer-level interval (Sec. IV-C-3); the
+simulator therefore treats it as an injection offset that can be
+switched on for latency studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.flitize import EncodedTask, TaskCodec
+from repro.ordering.strategies import FillOrder, OrderingMethod
+
+__all__ = ["OrderingLatencyModel", "OrderingUnit"]
+
+
+@dataclass(frozen=True)
+class OrderingLatencyModel:
+    """Cycle cost of ordering one task's values.
+
+    The Fig. 14 unit pop-counts all values in parallel SWAR stages and
+    sorts with a bubble-sort network.  We model:
+
+    * pop-count: ``log2(word_width)`` adder stages, one cycle each;
+    * bubble sort: ``n`` odd-even transposition passes, one cycle each
+      (``n`` = values sorted);
+    * separated-ordering runs the unit twice (paper: "double time
+      consumption") — once for weights, once for inputs.
+    """
+
+    word_width: int
+
+    def popcount_cycles(self) -> int:
+        width = self.word_width
+        if width <= 0:
+            raise ValueError("word width must be positive")
+        return max(1, (width - 1).bit_length())
+
+    def sort_cycles(self, n_values: int) -> int:
+        if n_values < 0:
+            raise ValueError("cannot sort a negative count")
+        return n_values
+
+    def task_cycles(self, n_pairs: int, method: OrderingMethod) -> int:
+        """Ordering latency for one task of ``n_pairs`` pairs."""
+        if method is OrderingMethod.BASELINE:
+            return 0
+        single = self.popcount_cycles() + self.sort_cycles(n_pairs)
+        if method is OrderingMethod.SEPARATED:
+            return 2 * single
+        return single
+
+
+class OrderingUnit:
+    """Functional + timing wrapper used by the MC model.
+
+    Args:
+        codec: the task codec (carries lane geometry and word width).
+        method: ordering configuration under test.
+        fill: flit placement (paper default: column-major deal).
+        model_latency: when True, :meth:`encode` also reports the
+            ordering delay so the MC can stagger injections.
+    """
+
+    def __init__(
+        self,
+        codec: TaskCodec,
+        method: OrderingMethod,
+        fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL,
+        model_latency: bool = False,
+    ) -> None:
+        self.codec = codec
+        self.method = method
+        # The baseline transmits the Fig. 2 layout: values in arrival
+        # order, padding concentrated in the tail flit (row-major).
+        # The column-major deal is part of the ordering transformation
+        # (Fig. 3), so it only applies to O1/O2.
+        if method is OrderingMethod.BASELINE:
+            fill = FillOrder.ROW_MAJOR
+        self.fill = fill
+        self.model_latency = model_latency
+        self.latency_model = OrderingLatencyModel(codec.word_width)
+        self.tasks_ordered = 0
+        self.total_latency_cycles = 0
+
+    def encode(
+        self,
+        input_words: list[int],
+        weight_words: list[int],
+        bias_word: int,
+    ) -> tuple[EncodedTask, int]:
+        """Order + flitise a task; returns (encoded, delay_cycles)."""
+        encoded = self.codec.encode(
+            input_words, weight_words, bias_word, self.method, self.fill
+        )
+        delay = 0
+        if self.model_latency:
+            delay = self.latency_model.task_cycles(
+                encoded.n_pairs, self.method
+            )
+        self.tasks_ordered += 1
+        self.total_latency_cycles += delay
+        return encoded, delay

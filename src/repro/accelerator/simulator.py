@@ -1,0 +1,589 @@
+"""Full NOC-DNA simulation: DNN inference as real NoC traffic (Fig. 7).
+
+For every weighted layer, the memory controllers ship each sampled
+neuron task to its PE as one packet per k*k-sized chunk (half-half
+flitised, ordered by the MC's ordering unit); the PE decodes the
+delivered payload bits, accumulates the partial MACs, and returns a
+single-flit response to its serving MC once the final chunk has
+arrived.  Layers run back-to-back with a barrier in between — the
+paper's layer-level interval (Sec. IV-C-3).
+
+The run verifies functional correctness end-to-end: every MAC computed
+from *transmitted bits* must equal the reference computed from the
+originally encoded words, which proves affiliated-ordering needs no
+recovery and separated-ordering's index recovery works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.flitize import EncodedInputs, EncodedTask, TaskCodec
+from repro.accelerator.mapping import Placement, make_placement
+from repro.accelerator.orderer import OrderingUnit
+from repro.accelerator.tasks import (
+    LayerTasks,
+    NeuronTask,
+    extract_tasks,
+    split_task,
+)
+from repro.bits.formats import DataFormat, Float32Format
+from repro.dnn.models import ModelSpec
+from repro.dnn.quantize import tensor_format
+from repro.noc.flit import Packet, make_packet
+from repro.noc.network import Network, SimulationTimeout
+
+__all__ = ["LayerSummary", "RunResult", "AcceleratorSimulator", "run_model_on_noc"]
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """Per-layer traffic and BT accounting.
+
+    Attributes:
+        layer_name: e.g. "conv1".
+        n_tasks: neuron tasks simulated (after sampling).
+        total_neurons: tasks the full layer would have.
+        packets: packets carried (request chunks + responses).
+        flits: flits injected for this layer.
+        bit_transitions: NoC-wide BT delta attributed to this layer.
+        cycles: cycles the layer's barrier window took.
+    """
+
+    layer_name: str
+    n_tasks: int
+    total_neurons: int
+    packets: int
+    flits: int
+    bit_transitions: int
+    cycles: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of one accelerator simulation.
+
+    Attributes:
+        config: the experiment configuration.
+        total_bit_transitions: Fig. 8 NoC-wide sum over the whole run.
+        total_cycles: inference latency in cycles.
+        flit_hops: total link traversals.
+        layers: per-layer summaries.
+        tasks_verified: tasks whose NoC-computed MAC matched reference.
+        tasks_total: tasks simulated.
+        mean_packet_latency: average packet latency in cycles.
+        ordering_latency_cycles: total cycles spent in ordering units
+            (informational; hidden from the critical path by default).
+    """
+
+    config: AcceleratorConfig
+    total_bit_transitions: int
+    total_cycles: int
+    flit_hops: int
+    layers: list[LayerSummary]
+    tasks_verified: int
+    tasks_total: int
+    mean_packet_latency: float
+    ordering_latency_cycles: int
+
+    @property
+    def all_verified(self) -> bool:
+        return self.tasks_verified == self.tasks_total
+
+    @property
+    def transitions_per_flit_hop(self) -> float:
+        if self.flit_hops == 0:
+            return 0.0
+        return self.total_bit_transitions / self.flit_hops
+
+
+@dataclass
+class _PendingPacket:
+    """A packet waiting for its release cycle (ordering/compute delay)."""
+
+    release_cycle: int
+    packet: Packet
+
+
+@dataclass
+class _TaskRecord:
+    """Simulator-side bookkeeping for one in-flight neuron task."""
+
+    task: NeuronTask
+    reference: float
+    pe: int
+    mc: int
+    n_chunks: int
+    encoded: dict[int, EncodedTask | EncodedInputs] = field(
+        default_factory=dict
+    )
+    partials: dict[int, float] = field(default_factory=dict)
+    computed: float | None = None
+    response_received: bool = False
+
+
+class AcceleratorSimulator:
+    """Drives one model + configuration through the NoC."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        model: ModelSpec,
+        sample_image: np.ndarray,
+    ) -> None:
+        self.config = config
+        self.model = model
+        self.placement: Placement = make_placement(
+            config.width, config.height, config.n_mcs
+        )
+        self.layer_tasks: list[LayerTasks] = extract_tasks(
+            model,
+            sample_image,
+            max_tasks_per_layer=config.max_tasks_per_layer,
+            seed=config.seed,
+        )
+        self.codec = TaskCodec(
+            values_per_flit=config.values_per_flit,
+            word_width=config.word_width,
+            include_index_payload=config.include_index_payload,
+        )
+        self.orderers = {
+            mc: OrderingUnit(
+                self.codec,
+                config.ordering,
+                config.fill_order,
+                model_latency=bool(config.extra.get("model_ordering_latency")),
+            )
+            for mc in self.placement.mc_nodes
+        }
+        self._formats = self._build_formats()
+        # Weight blocks already shipped to each PE (MC-side knowledge
+        # used by the weight-stationary dataflow).
+        self._mc_sent_keys: dict[int, set[tuple]] = {
+            pe: set() for pe in self.placement.pe_nodes
+        }
+
+    def _build_formats(self) -> dict[int, tuple[DataFormat, DataFormat]]:
+        """Per-layer (input, weight) wire formats."""
+        formats: dict[int, tuple[DataFormat, DataFormat]] = {}
+        for lt in self.layer_tasks:
+            if self.config.data_format == "float32":
+                formats[lt.layer_index] = (Float32Format(), Float32Format())
+                continue
+            all_inputs = np.concatenate([t.inputs for t in lt.tasks])
+            all_weights = np.concatenate(
+                [t.weights for t in lt.tasks]
+                + [np.array([t.bias for t in lt.tasks])]
+            )
+            formats[lt.layer_index] = (
+                tensor_format(all_inputs),
+                tensor_format(all_weights),
+            )
+        return formats
+
+    # -- running ---------------------------------------------------------
+
+    def run(
+        self,
+        max_cycles_per_layer: int = 2_000_000,
+        trace_collector=None,
+    ) -> RunResult:
+        """Simulate every layer and return the run result.
+
+        Args:
+            max_cycles_per_layer: drain budget per barrier window.
+            trace_collector: optional
+                :class:`repro.workloads.traces.TraceCollector` that
+                receives every recorded wire image (Fig. 7's packet
+                traffic trace output).
+        """
+        network = Network(self.config.noc_config())
+        network.trace_collector = trace_collector
+        records: dict[int, _TaskRecord] = {}
+        pending: list[_PendingPacket] = []
+        response_fmt = Float32Format()
+        # Weight-stationary state: per-PE decoded weight blocks and
+        # input-only chunks that arrived before their weights.
+        pe_cache: dict[int, dict[tuple, tuple[list[int], int]]] = {}
+        parked: dict[tuple[int, tuple], list[tuple[_TaskRecord, int, list[int]]]] = {}
+
+        def finish_chunk(
+            record: _TaskRecord,
+            chunk_index: int,
+            input_words: list[int],
+            weight_words: list[int],
+            bias_word: int,
+            cycle: int,
+        ) -> None:
+            in_fmt, w_fmt = self._formats[record.task.layer_index]
+            record.partials[chunk_index] = _mac(
+                input_words, weight_words, bias_word, in_fmt, w_fmt
+            )
+            if len(record.partials) < record.n_chunks:
+                return
+            # All chunks arrived: sum partials in chunk order so the
+            # result is deterministic regardless of arrival order.
+            record.computed = sum(
+                record.partials[c] for c in range(record.n_chunks)
+            )
+            if not self.config.include_responses:
+                record.response_received = True
+                return
+            payload = int(
+                response_fmt.encode(
+                    np.array([record.computed], dtype=np.float32)
+                )[0]
+            )
+            response = make_packet(
+                src=record.pe,
+                dst=record.mc,
+                payloads=[payload],
+                width=self.config.link_width,
+                metadata={"kind": "response", "task_id": record.task.task_id},
+            )
+            pending.append(
+                _PendingPacket(cycle + self.config.compute_delay, response)
+            )
+
+        def pe_sink(packet: Packet, cycle: int) -> None:
+            meta = packet.metadata
+            kind = meta.get("kind")
+            if kind not in ("task", "task_inputs"):
+                return
+            record: _TaskRecord = records[meta["task_id"]]
+            chunk_index = meta["chunk_index"]
+            key = meta.get("cache_key")
+            if kind == "task":
+                encoded = record.encoded[chunk_index]
+                assert isinstance(encoded, EncodedTask)
+                decoded = self.codec.decode(encoded)
+                pairs = decoded.original_pairs()
+                input_words = [p[0] for p in pairs]
+                weight_words = [p[1] for p in pairs]
+                finish_chunk(
+                    record,
+                    chunk_index,
+                    input_words,
+                    weight_words,
+                    decoded.bias,
+                    cycle,
+                )
+                if self.config.weight_cache and key is not None:
+                    cache = pe_cache.setdefault(packet.dst, {})
+                    cache[key] = (weight_words, decoded.bias)
+                    for rec, ci, inputs in parked.pop((packet.dst, key), []):
+                        finish_chunk(
+                            rec, ci, inputs, weight_words, decoded.bias, cycle
+                        )
+                return
+            # Input-only chunk: needs the cached weight block.
+            encoded_in = record.encoded[chunk_index]
+            assert isinstance(encoded_in, EncodedInputs)
+            input_words = self.codec.decode_inputs_only(encoded_in)
+            cached = pe_cache.get(packet.dst, {}).get(key)
+            if cached is None:
+                parked.setdefault((packet.dst, key), []).append(
+                    (record, chunk_index, input_words)
+                )
+                return
+            weight_words, bias_word = cached
+            finish_chunk(
+                record, chunk_index, input_words, weight_words, bias_word,
+                cycle,
+            )
+
+        def mc_sink(packet: Packet, cycle: int) -> None:
+            meta = packet.metadata
+            if meta.get("kind") != "response":
+                return
+            records[meta["task_id"]].response_received = True
+
+        for pe in self.placement.pe_nodes:
+            network.attach_sink(pe, pe_sink)
+        for mc in self.placement.mc_nodes:
+            network.attach_sink(mc, mc_sink)
+
+        summaries: list[LayerSummary] = []
+        if self.config.layer_barrier:
+            for lt in self.layer_tasks:
+                bt_before = network.stats.total_bit_transitions
+                packets_before = network.stats.packets_injected
+                cycles_before = network.cycle
+                for task in lt.tasks:
+                    record = self._encode_task(task, network.cycle, pending)
+                    records[task.task_id] = record
+                self._schedule_pending(pending)
+                layer_flits = self._drain(
+                    network, pending, records, lt.tasks, max_cycles_per_layer
+                )
+                summaries.append(
+                    LayerSummary(
+                        layer_name=lt.layer_name,
+                        n_tasks=len(lt.tasks),
+                        total_neurons=lt.total_neurons,
+                        packets=network.stats.packets_injected
+                        - packets_before,
+                        flits=layer_flits,
+                        bit_transitions=network.stats.total_bit_transitions
+                        - bt_before,
+                        cycles=network.cycle - cycles_before,
+                    )
+                )
+        else:
+            # Pipelined mode: every layer's packets queue upfront and
+            # interleave freely; one aggregate summary is produced.
+            all_tasks = [t for lt in self.layer_tasks for t in lt.tasks]
+            for task in all_tasks:
+                records[task.task_id] = self._encode_task(
+                    task, network.cycle, pending
+                )
+            self._schedule_pending(pending)
+            total_flits = self._drain(
+                network, pending, records, all_tasks, max_cycles_per_layer
+            )
+            summaries.append(
+                LayerSummary(
+                    layer_name="(pipelined)",
+                    n_tasks=len(all_tasks),
+                    total_neurons=sum(
+                        lt.total_neurons for lt in self.layer_tasks
+                    ),
+                    packets=network.stats.packets_injected,
+                    flits=total_flits,
+                    bit_transitions=network.stats.total_bit_transitions,
+                    cycles=network.cycle,
+                )
+            )
+        total_ordering_latency = sum(
+            unit.total_latency_cycles for unit in self.orderers.values()
+        )
+
+        verified = 0
+        for record in records.values():
+            if record.computed is None:
+                continue
+            if abs(record.computed - record.reference) <= 1e-9 * max(
+                1.0, abs(record.reference)
+            ):
+                verified += 1
+        stats = network.stats
+        return RunResult(
+            config=self.config,
+            total_bit_transitions=stats.total_bit_transitions,
+            total_cycles=network.cycle,
+            flit_hops=stats.flit_hops,
+            layers=summaries,
+            tasks_verified=verified,
+            tasks_total=len(records),
+            mean_packet_latency=stats.mean_latency,
+            ordering_latency_cycles=total_ordering_latency,
+        )
+
+    def _encode_task(
+        self,
+        task: NeuronTask,
+        cycle: int,
+        pending: list[_PendingPacket],
+    ) -> _TaskRecord:
+        """Encode one task's chunks and queue their request packets."""
+        if self.config.mapping_policy == "group_affine":
+            pe = self.placement.pe_for_group(task.layer_index, task.group)
+        else:
+            pe = self.placement.pe_for_task(task.task_id)
+        mc = self.placement.serving_mc[pe]
+        in_fmt, w_fmt = self._formats[task.layer_index]
+        unit = self.orderers[mc]
+        chunks = split_task(task, self.config.chunk_pairs)
+        record = _TaskRecord(
+            task=task,
+            reference=0.0,
+            pe=pe,
+            mc=mc,
+            n_chunks=len(chunks),
+        )
+        reference = 0.0
+        release = cycle
+        for chunk in chunks:
+            input_words = [int(w) for w in in_fmt.encode(chunk.inputs)]
+            weight_words = [int(w) for w in w_fmt.encode(chunk.weights)]
+            bias_word = int(w_fmt.encode(np.array([chunk.bias]))[0])
+            key = (chunk.layer_index, chunk.group, chunk.chunk_index)
+            cached = (
+                self.config.weight_cache and key in self._mc_sent_keys[pe]
+            )
+            if cached:
+                encoded_in = self.codec.encode_inputs_only(
+                    input_words, self.config.ordering, self.config.fill_order
+                )
+                record.encoded[chunk.chunk_index] = encoded_in
+                payloads = list(encoded_in.payloads)
+                kind = "task_inputs"
+                delay = 0
+            else:
+                encoded, delay = unit.encode(
+                    input_words, weight_words, bias_word
+                )
+                record.encoded[chunk.chunk_index] = encoded
+                payloads = list(encoded.payloads)
+                kind = "task"
+                if self.config.weight_cache:
+                    self._mc_sent_keys[pe].add(key)
+            packet = make_packet(
+                src=mc,
+                dst=pe,
+                payloads=payloads,
+                width=self.config.link_width,
+                metadata={
+                    "kind": kind,
+                    "task_id": task.task_id,
+                    "chunk_index": chunk.chunk_index,
+                    "cache_key": key,
+                },
+            )
+            release += delay
+            pending.append(_PendingPacket(release, packet))
+            # The cached weight block is bit-identical to this chunk's
+            # own words (same filter, same per-layer scale), so the
+            # reference uses the chunk's words in both paths.
+            reference += _mac(
+                input_words, weight_words, bias_word, in_fmt, w_fmt
+            )
+        record.reference = reference
+        return record
+
+    def _schedule_pending(self, pending: list[_PendingPacket]) -> None:
+        """Apply the MC injection-order policy to queued packets.
+
+        "count_desc" extends the ordering idea across packet
+        boundaries: each MC streams its packets in descending order of
+        total payload '1' count, so consecutive packets on shared links
+        carry similar bit densities.  Release cycles keep priority so
+        modelled ordering latency is respected.
+        """
+        if self.config.packet_scheduling != "count_desc":
+            return
+        pending.sort(
+            key=lambda item: (
+                item.release_cycle,
+                -sum(p.bit_count() for p in
+                     (f.payload for f in item.packet.flits)),
+            )
+        )
+
+    def _drain(
+        self,
+        network: Network,
+        pending: list[_PendingPacket],
+        records: dict[int, _TaskRecord],
+        tasks: list[NeuronTask],
+        max_cycles: int,
+    ) -> int:
+        """Run the network until the given tasks complete."""
+        flits_before = network.stats.flits_injected
+        deadline = network.cycle + max_cycles
+        task_ids = [t.task_id for t in tasks]
+
+        while not all(records[tid].response_received for tid in task_ids):
+            if network.cycle >= deadline:
+                raise SimulationTimeout(
+                    f"{len(task_ids)} tasks did not complete within "
+                    f"{max_cycles} cycles"
+                )
+            # Release matured packets into their source NI.
+            if pending:
+                still_pending: list[_PendingPacket] = []
+                for item in pending:
+                    if item.release_cycle <= network.cycle:
+                        network.send_packet(item.packet)
+                    else:
+                        still_pending.append(item)
+                pending[:] = still_pending
+            network.step()
+        return network.stats.flits_injected - flits_before
+
+
+def _dtype(fmt: DataFormat) -> type:
+    """Numpy unsigned dtype matching a format's word width."""
+    return {8: np.uint8, 16: np.uint16, 32: np.uint32}[fmt.width]
+
+
+def _mac(
+    input_words: list[int],
+    weight_words: list[int],
+    bias_word: int,
+    in_fmt: DataFormat,
+    w_fmt: DataFormat,
+) -> float:
+    """Dot product + bias over decoded wire words (float64 accumulate).
+
+    Both the PE-side computation and the reference use this helper with
+    the pairs in *original* order, so a correct recovery yields
+    bit-identical results.
+    """
+    in_vals = in_fmt.decode(
+        np.array(input_words, dtype=_dtype(in_fmt))
+    ).astype(np.float64)
+    w_vals = w_fmt.decode(
+        np.array(weight_words, dtype=_dtype(w_fmt))
+    ).astype(np.float64)
+    bias = float(w_fmt.decode(np.array([bias_word], dtype=_dtype(w_fmt)))[0])
+    return float(in_vals @ w_vals) + bias
+
+
+def run_model_on_noc(
+    config: AcceleratorConfig,
+    model: ModelSpec,
+    sample_image: np.ndarray,
+    max_cycles_per_layer: int = 2_000_000,
+) -> RunResult:
+    """One-call convenience wrapper used by examples and benches."""
+    sim = AcceleratorSimulator(config, model, sample_image)
+    return sim.run(max_cycles_per_layer=max_cycles_per_layer)
+
+
+def run_batch_on_noc(
+    config: AcceleratorConfig,
+    model: ModelSpec,
+    images: np.ndarray,
+    max_cycles_per_layer: int = 2_000_000,
+) -> list[RunResult]:
+    """Run several inference passes (one per image) back to back.
+
+    Each image's activations produce different task payloads, so the
+    batch exercises the ordering method across input statistics.  The
+    images run as independent inferences on fresh networks; aggregate
+    with :func:`aggregate_results`.
+    """
+    if images.ndim != 4:
+        raise ValueError("images must be a (N, C, H, W) batch")
+    results = []
+    for image in images:
+        results.append(
+            run_model_on_noc(
+                config, model, image, max_cycles_per_layer
+            )
+        )
+    return results
+
+
+def aggregate_results(results: list[RunResult]) -> dict[str, float]:
+    """Batch-level totals and means over per-image run results."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    total_bt = sum(r.total_bit_transitions for r in results)
+    total_cycles = sum(r.total_cycles for r in results)
+    total_hops = sum(r.flit_hops for r in results)
+    return {
+        "images": float(len(results)),
+        "total_bit_transitions": float(total_bt),
+        "total_cycles": float(total_cycles),
+        "total_flit_hops": float(total_hops),
+        "mean_bt_per_image": total_bt / len(results),
+        "transitions_per_flit_hop": (
+            total_bt / total_hops if total_hops else 0.0
+        ),
+        "all_verified": float(all(r.all_verified for r in results)),
+    }

@@ -1,0 +1,44 @@
+"""Analytical BT models and bit-statistics analyses (Fig. 1, 10, 11)."""
+
+from repro.analysis.distribution import (
+    BitPositionStats,
+    analyze_stream,
+    bit_one_probability,
+)
+from repro.analysis.expectation import (
+    expectation_surface,
+    expected_flit_transitions,
+    expected_transitions,
+    monte_carlo_expected_transitions,
+    pair_product_objective,
+    random_word_with_popcount,
+    transition_probability,
+)
+from repro.analysis.summary import (
+    ReductionRow,
+    format_series,
+    format_table,
+    reduction_rate,
+)
+from repro.analysis.viz import bar_chart, count_grid, side_by_side, sparkline
+
+__all__ = [
+    "BitPositionStats",
+    "analyze_stream",
+    "bit_one_probability",
+    "expectation_surface",
+    "expected_flit_transitions",
+    "expected_transitions",
+    "monte_carlo_expected_transitions",
+    "pair_product_objective",
+    "random_word_with_popcount",
+    "transition_probability",
+    "ReductionRow",
+    "format_series",
+    "format_table",
+    "reduction_rate",
+    "bar_chart",
+    "count_grid",
+    "side_by_side",
+    "sparkline",
+]

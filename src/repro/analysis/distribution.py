@@ -1,0 +1,98 @@
+"""Bit-position statistics — the Fig. 10 / Fig. 11 analyses.
+
+Two per-position curves are studied for a stream of words crossing a
+link lane:
+
+* probability that bit position ``p`` is '1' (value statistics; the
+  float-32 curve exposes the sign / exponent / mantissa structure the
+  paper points out);
+* probability that bit position ``p`` *flips* between consecutive
+  words (transition statistics; ordering lowers this curve).
+
+Positions are reported MSB-first, matching the paper's x-axis where
+position 1 is the float-32 sign bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits.transitions import per_bit_transitions
+
+__all__ = ["BitPositionStats", "bit_one_probability", "analyze_stream"]
+
+
+def bit_one_probability(words: np.ndarray, width: int) -> np.ndarray:
+    """Per-bit-position '1' probability over a stream of words.
+
+    Args:
+        words: 1-D unsigned array of words.
+        width: word width in bits.
+
+    Returns:
+        shape ``(width,)`` float array, MSB first.
+    """
+    arr = np.asarray(words).reshape(-1)
+    if arr.dtype.kind != "u":
+        raise ValueError(f"expected unsigned dtype, got {arr.dtype}")
+    if arr.size == 0:
+        return np.zeros(width, dtype=np.float64)
+    probs = np.empty(width, dtype=np.float64)
+    for pos in range(width):
+        bit = (arr >> np.asarray(width - 1 - pos, dtype=arr.dtype)) & 1
+        probs[pos] = float(bit.mean())
+    return probs
+
+
+@dataclass(frozen=True)
+class BitPositionStats:
+    """Per-bit-position statistics of one word stream.
+
+    Attributes:
+        width: word width in bits.
+        one_probability: P(bit == 1) per position, MSB first.
+        transition_probability: P(bit flips between consecutive words)
+            per position, MSB first.
+        mean_popcount: average '1' count per word.
+    """
+
+    width: int
+    one_probability: np.ndarray
+    transition_probability: np.ndarray
+    mean_popcount: float
+
+    def describe_float32_fields(self) -> dict[str, float]:
+        """Summarise the IEEE-754 field structure (width 32 only).
+
+        Returns mean '1' probability for the sign bit, exponent bits
+        and mantissa bits — the three regimes visible in Fig. 10.
+        """
+        if self.width != 32:
+            raise ValueError("float32 field breakdown needs width == 32")
+        p = self.one_probability
+        return {
+            "sign": float(p[0]),
+            "exponent": float(p[1:9].mean()),
+            "mantissa": float(p[9:].mean()),
+        }
+
+
+def analyze_stream(words: np.ndarray, width: int) -> BitPositionStats:
+    """Compute the full Fig. 10/11-style statistics for a word stream.
+
+    Args:
+        words: 1-D unsigned array, in the order the words cross a lane.
+        width: word width in bits.
+    """
+    arr = np.asarray(words).reshape(-1)
+    one_p = bit_one_probability(arr, width)
+    trans_p = per_bit_transitions(arr, width)
+    mean_pop = float(one_p.sum())
+    return BitPositionStats(
+        width=width,
+        one_probability=one_p,
+        transition_probability=trans_p,
+        mean_popcount=mean_pop,
+    )

@@ -1,0 +1,139 @@
+"""Analytical BT expectation model — Eq. (1)-(4) and Fig. 1.
+
+Sec. III-A models two W-bit numbers crossing the same W single-bit
+links.  If the first number has ``x`` '1' bits and the second has
+``y``, and bit positions are i.i.d. given the counts, then:
+
+* per-link transition probability (Eq. 1)::
+
+      P(t) = 1 - (W - x)(W - y) / W^2 - x*y / W^2
+
+* expected BT over the whole word (Eq. 2)::
+
+      E = W * P(t) = x + y - x*y * 2 / W        (paper: W = 32 -> xy/16)
+
+* for flits carrying N numbers each (Eq. 3) the total expectation is
+  separable, and minimising it reduces to maximising
+  ``F = sum_i x_i * y_i`` (Eq. 4).
+
+The Monte-Carlo counterpart draws random words with fixed popcounts to
+validate the closed form (used by tests and the Fig. 1 bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.popcount import popcount
+
+__all__ = [
+    "transition_probability",
+    "expected_transitions",
+    "expectation_surface",
+    "expected_flit_transitions",
+    "pair_product_objective",
+    "monte_carlo_expected_transitions",
+    "random_word_with_popcount",
+]
+
+
+def transition_probability(x: int, y: int, width: int = 32) -> float:
+    """Eq. (1): per-link BT probability for counts ``x`` and ``y``.
+
+    Args:
+        x: '1'-bit count of the first word, in [0, width].
+        y: '1'-bit count of the second word, in [0, width].
+        width: word width W (32 in the paper's derivation).
+    """
+    _check_count(x, width)
+    _check_count(y, width)
+    w = float(width)
+    return 1.0 - (w - x) * (w - y) / (w * w) - (x * y) / (w * w)
+
+
+def expected_transitions(x: int, y: int, width: int = 32) -> float:
+    """Eq. (2): expected BT between two W-bit words.
+
+    ``E = W * P(t) = x + y - 2*x*y/W`` (paper writes ``xy/16`` for
+    W = 32).
+    """
+    return width * transition_probability(x, y, width)
+
+
+def expectation_surface(width: int = 32) -> np.ndarray:
+    """Fig. 1: the full (x, y) -> E surface for a W-bit word.
+
+    Returns:
+        shape ``(width + 1, width + 1)`` array with entry ``[x, y]``
+        equal to :func:`expected_transitions`.
+    """
+    counts = np.arange(width + 1, dtype=np.float64)
+    x = counts[:, None]
+    y = counts[None, :]
+    return x + y - 2.0 * x * y / float(width)
+
+
+def expected_flit_transitions(
+    xs: np.ndarray, ys: np.ndarray, width: int = 32
+) -> float:
+    """Eq. (3): total expected BT between two N-number flits.
+
+    Args:
+        xs: '1'-bit counts of the N numbers in flit 1.
+        ys: '1'-bit counts of the N numbers in flit 2 (same length).
+        width: per-number word width.
+    """
+    xs_a = np.asarray(xs, dtype=np.float64)
+    ys_a = np.asarray(ys, dtype=np.float64)
+    if xs_a.shape != ys_a.shape:
+        raise ValueError(f"count shapes differ: {xs_a.shape} vs {ys_a.shape}")
+    return float(xs_a.sum() + ys_a.sum() - 2.0 * (xs_a * ys_a).sum() / width)
+
+
+def pair_product_objective(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Eq. (4): the objective ``F = sum_i x_i * y_i`` to maximise."""
+    xs_a = np.asarray(xs, dtype=np.float64)
+    ys_a = np.asarray(ys, dtype=np.float64)
+    if xs_a.shape != ys_a.shape:
+        raise ValueError(f"count shapes differ: {xs_a.shape} vs {ys_a.shape}")
+    return float((xs_a * ys_a).sum())
+
+
+def random_word_with_popcount(
+    count: int, width: int, rng: np.random.Generator
+) -> int:
+    """Draw a uniform random ``width``-bit word with exactly ``count`` ones."""
+    _check_count(count, width)
+    positions = rng.choice(width, size=count, replace=False)
+    word = 0
+    for pos in positions:
+        word |= 1 << int(pos)
+    return word
+
+
+def monte_carlo_expected_transitions(
+    x: int,
+    y: int,
+    width: int = 32,
+    trials: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Empirical mean BT between random words of popcounts ``x``, ``y``.
+
+    Cross-checks Eq. (2); agreement is exact in expectation because the
+    closed form assumes uniform placement of the '1' bits, which is
+    exactly how the samples are drawn.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    total = 0
+    for _ in range(trials):
+        a = random_word_with_popcount(x, width, rng)
+        b = random_word_with_popcount(y, width, rng)
+        total += popcount(a ^ b)
+    return total / trials
+
+
+def _check_count(count: int, width: int) -> None:
+    if not 0 <= count <= width:
+        raise ValueError(f"'1'-bit count {count} outside [0, {width}]")

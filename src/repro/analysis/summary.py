@@ -1,0 +1,88 @@
+"""Result-summary helpers shared by benches and examples.
+
+The benchmark harness prints paper-style rows (Table I, Fig. 12/13
+series); these helpers keep the formatting in one place so every bench
+emits the same layout that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+__all__ = ["ReductionRow", "reduction_rate", "format_table", "format_series"]
+
+
+def reduction_rate(baseline: float, treated: float) -> float:
+    """BT reduction rate in percent: ``(baseline - treated)/baseline``.
+
+    Returns 0.0 for a zero baseline (no traffic means nothing to
+    reduce), keeping ratio reporting total.
+    """
+    if baseline < 0 or treated < 0:
+        raise ValueError("BT counts cannot be negative")
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - treated) / baseline
+
+
+@dataclass(frozen=True)
+class ReductionRow:
+    """One row of a Table-I-style summary.
+
+    Attributes:
+        label: configuration name (e.g. "Float-32 random").
+        flit_bits: link/flit width in bits.
+        baseline: BTs per flit without ordering.
+        ordered: BTs per flit with ordering.
+    """
+
+    label: str
+    flit_bits: int
+    baseline: float
+    ordered: float
+
+    @property
+    def reduction(self) -> float:
+        """Reduction rate in percent."""
+        return reduction_rate(self.baseline, self.ordered)
+
+
+def format_table(rows: Sequence[ReductionRow], title: str) -> str:
+    """Render reduction rows as an aligned text table."""
+    lines = [title]
+    header = (
+        f"{'Weights':<22}{'Flit bits':>10}{'Baseline':>12}"
+        f"{'Ordered':>12}{'Reduction':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.label:<22}{row.flit_bits:>10}{row.baseline:>12.2f}"
+            f"{row.ordered:>12.2f}{row.reduction:>11.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Mapping[str, float]], title: str) -> str:
+    """Render a {config -> {variant -> value}} mapping as a grid.
+
+    Used by the Fig. 12/13 benches where each NoC size / model reports
+    O0/O1/O2 values.
+    """
+    variants: list[str] = []
+    for values in series.values():
+        for key in values:
+            if key not in variants:
+                variants.append(key)
+    lines = [title]
+    header = f"{'Config':<24}" + "".join(f"{v:>14}" for v in variants)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for config, values in series.items():
+        cells = "".join(
+            f"{values.get(v, float('nan')):>14.2f}" for v in variants
+        )
+        lines.append(f"{config:<24}{cells}")
+    return "\n".join(lines)

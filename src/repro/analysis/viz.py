@@ -1,0 +1,86 @@
+"""Terminal-friendly visualisation helpers.
+
+The paper's figures are matplotlib plots; offline we render their
+information content as text: sparklines for per-bit-position curves
+(Fig. 10/11), horizontal bar charts for BT comparisons (Fig. 12/13),
+and count grids for the Fig. 9 heat map.  Examples and benches share
+these helpers so outputs stay uniform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "count_grid", "side_by_side"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], v_max: float | None = None) -> str:
+    """Render values in [0, v_max] as a density string.
+
+    Args:
+        values: the series (probabilities fit the default scale).
+        v_max: scale maximum; defaults to max(values) or 1.0.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if v_max is None:
+        v_max = float(arr.max()) if arr.max() > 0 else 1.0
+    if v_max <= 0:
+        raise ValueError("v_max must be positive")
+    scaled = np.clip(
+        (arr / v_max * (len(_BLOCKS) - 1)).round(), 0, len(_BLOCKS) - 1
+    ).astype(int)
+    return "".join(_BLOCKS[i] for i in scaled)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    title: str,
+    width: int = 50,
+    fmt: str = "{:,.0f}",
+) -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    if not data:
+        return title
+    peak = max(data.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in data)
+    lines = [title]
+    for name, value in data.items():
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            f"  {name:<{label_w}} | {bar:<{width}} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def count_grid(
+    grid: np.ndarray, title: str, max_rows: int = 24
+) -> str:
+    """Fig. 9-style integer grid, one flit per row."""
+    lines = [title]
+    for i, row in enumerate(np.asarray(grid)[:max_rows]):
+        cells = " ".join(f"{int(v):>2d}" for v in row)
+        lines.append(f"  {i:>4d} | {cells}")
+    if grid.shape[0] > max_rows:
+        lines.append(f"  ... ({grid.shape[0] - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two text blocks horizontally (Fig. 9 left/right layout)."""
+    l_lines = left.splitlines()
+    r_lines = right.splitlines()
+    l_width = max((len(l) for l in l_lines), default=0)
+    height = max(len(l_lines), len(r_lines))
+    l_lines += [""] * (height - len(l_lines))
+    r_lines += [""] * (height - len(r_lines))
+    return "\n".join(
+        f"{l:<{l_width}}{' ' * gap}{r}" for l, r in zip(l_lines, r_lines)
+    )

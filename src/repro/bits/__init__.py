@@ -1,0 +1,39 @@
+"""Bit-level substrate: popcount, BT counting, formats, payload packing."""
+
+from repro.bits.formats import (
+    DataFormat,
+    Fixed8Format,
+    Float32Format,
+    format_by_name,
+)
+from repro.bits.packing import (
+    array_from_words,
+    pack_words,
+    unpack_words,
+    words_from_array,
+)
+from repro.bits.popcount import popcount, popcount_array, popcount_swar
+from repro.bits.transitions import (
+    per_bit_transitions,
+    stream_transitions,
+    transition_matrix,
+    transitions_between,
+)
+
+__all__ = [
+    "DataFormat",
+    "Fixed8Format",
+    "Float32Format",
+    "format_by_name",
+    "array_from_words",
+    "pack_words",
+    "unpack_words",
+    "words_from_array",
+    "popcount",
+    "popcount_array",
+    "popcount_swar",
+    "per_bit_transitions",
+    "stream_transitions",
+    "transition_matrix",
+    "transitions_between",
+]

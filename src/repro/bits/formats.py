@@ -1,0 +1,115 @@
+"""Bit-level codecs for the two data formats the paper evaluates.
+
+The paper studies float-32 and fixed-point-8 payloads (Sec. V).  BT
+counting operates on raw bit patterns, so each format provides an
+encode (real value -> fixed-width unsigned word) and decode direction.
+
+* :class:`Float32Format` — IEEE-754 single precision, 32-bit words.
+* :class:`Fixed8Format` — signed two's-complement 8-bit fixed point
+  with a configurable scale (the accelerator uses symmetric per-tensor
+  quantisation from :mod:`repro.dnn.quantize` to pick the scale).
+
+Both codecs are exact round-trips on their representable sets and are
+vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DataFormat", "Float32Format", "Fixed8Format", "format_by_name"]
+
+
+@dataclass(frozen=True)
+class DataFormat:
+    """Base class describing a fixed-width transmission word format.
+
+    Attributes:
+        name: short identifier ("float32" / "fixed8").
+        width: word width in bits as transmitted on the link.
+    """
+
+    name: str
+    width: int
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Convert real values to unsigned words of ``width`` bits."""
+        raise NotImplementedError
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        """Convert unsigned words back to real values."""
+        raise NotImplementedError
+
+    @property
+    def mask(self) -> int:
+        """All-ones mask of ``width`` bits."""
+        return (1 << self.width) - 1
+
+
+@dataclass(frozen=True)
+class Float32Format(DataFormat):
+    """IEEE-754 binary32: sign(1) | exponent(8) | mantissa(23)."""
+
+    name: str = "float32"
+    width: int = 32
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float32)
+        return arr.view(np.uint32)
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        arr = np.asarray(words, dtype=np.uint32)
+        return arr.view(np.float32)
+
+
+@dataclass(frozen=True)
+class Fixed8Format(DataFormat):
+    """Signed 8-bit fixed point, two's complement on the wire.
+
+    A real value ``v`` maps to ``round(v / scale)`` clipped to
+    [-128, 127]; the wire word is the two's-complement byte.  The scale
+    is part of the format instance so that encode/decode stay a pure
+    function of the value.
+    """
+
+    name: str = "fixed8"
+    width: int = 8
+    scale: float = 1.0 / 64.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64)
+        q = np.clip(np.rint(arr / self.scale), -128, 127).astype(np.int8)
+        return q.view(np.uint8)
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        arr = np.asarray(words, dtype=np.uint8)
+        return arr.view(np.int8).astype(np.float32) * np.float32(self.scale)
+
+    def with_scale(self, scale: float) -> "Fixed8Format":
+        """Return a copy of this format using ``scale``."""
+        return Fixed8Format(scale=scale)
+
+
+def format_by_name(name: str, scale: float | None = None) -> DataFormat:
+    """Look up a :class:`DataFormat` by its short name.
+
+    Args:
+        name: "float32" or "fixed8".
+        scale: optional fixed-point scale (fixed8 only).
+
+    Returns:
+        A format instance ready for encode/decode.
+    """
+    if name == "float32":
+        if scale is not None:
+            raise ValueError("float32 takes no scale parameter")
+        return Float32Format()
+    if name == "fixed8":
+        return Fixed8Format() if scale is None else Fixed8Format(scale=scale)
+    raise ValueError(f"unknown data format {name!r}; use float32/fixed8")

@@ -1,0 +1,69 @@
+"""Packing fixed-width words into flit payloads and back.
+
+A flit payload is modelled as a single arbitrary-precision Python int
+(see DESIGN.md §4): XOR plus ``int.bit_count()`` gives exact per-link
+BT counts at C speed.  This module converts between word sequences and
+payload ints, with lane 0 occupying the least-significant bits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["pack_words", "unpack_words", "words_from_array", "array_from_words"]
+
+
+def pack_words(words: Sequence[int], width: int) -> int:
+    """Pack ``words`` (lane 0 first) into one payload integer.
+
+    Args:
+        words: unsigned words, each strictly below ``2**width``.
+        width: per-word bit width.
+
+    Returns:
+        Payload int with word ``i`` at bit offset ``i * width``.
+    """
+    payload = 0
+    for lane, word in enumerate(words):
+        w = int(word)
+        if not 0 <= w < (1 << width):
+            raise ValueError(
+                f"word {w:#x} in lane {lane} does not fit in {width} bits"
+            )
+        payload |= w << (lane * width)
+    return payload
+
+
+def unpack_words(payload: int, width: int, count: int) -> list[int]:
+    """Inverse of :func:`pack_words`.
+
+    Args:
+        payload: packed payload integer.
+        width: per-word bit width.
+        count: number of lanes to extract.
+
+    Returns:
+        List of ``count`` unsigned words, lane 0 first.
+    """
+    if payload < 0:
+        raise ValueError("payload must be non-negative")
+    mask = (1 << width) - 1
+    return [(payload >> (lane * width)) & mask for lane in range(count)]
+
+
+def words_from_array(arr: np.ndarray) -> list[int]:
+    """Convert an unsigned numpy array to a list of Python ints."""
+    a = np.asarray(arr)
+    if a.dtype.kind != "u":
+        raise ValueError(f"expected unsigned dtype, got {a.dtype}")
+    return [int(x) for x in a.reshape(-1)]
+
+
+def array_from_words(words: Iterable[int], width: int) -> np.ndarray:
+    """Convert unsigned words to the numpy dtype matching ``width``."""
+    dtype = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}.get(width)
+    if dtype is None:
+        raise ValueError(f"no numpy dtype for width {width}")
+    return np.array(list(words), dtype=dtype)

@@ -1,0 +1,116 @@
+"""Population-count ('1'-bit counting) primitives.
+
+The ordering method of the paper is driven entirely by the number of '1'
+bits in each transmitted value (Sec. III-B).  This module provides three
+interchangeable implementations:
+
+* :func:`popcount` — exact scalar count for arbitrary-precision ints,
+  the reference used throughout the simulator.
+* :func:`popcount_swar` — the SWAR (SIMD Within A Register) algorithm
+  that the paper's hardware ordering unit implements (Fig. 14).  It is
+  bit-exact with :func:`popcount` for fixed-width words and doubles as a
+  cycle/gate model input for :mod:`repro.hardware.ordering_unit`.
+* :func:`popcount_array` — vectorised numpy byte-LUT popcount for bulk
+  analysis over large weight tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "popcount",
+    "popcount_swar",
+    "popcount_array",
+    "POPCOUNT_LUT",
+]
+
+# Byte-indexed lookup table: POPCOUNT_LUT[b] == bin(b).count("1").
+POPCOUNT_LUT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+# SWAR masks for the classic parallel-bits algorithm, per word width.
+_SWAR_MASKS = {
+    8: (0x55, 0x33, 0x0F, 0xFF),
+    16: (0x5555, 0x3333, 0x0F0F, 0xFFFF),
+    32: (0x55555555, 0x33333333, 0x0F0F0F0F, 0xFFFFFFFF),
+    64: (
+        0x5555555555555555,
+        0x3333333333333333,
+        0x0F0F0F0F0F0F0F0F,
+        0xFFFFFFFFFFFFFFFF,
+    ),
+}
+
+
+def popcount(value: int) -> int:
+    """Count '1' bits in a non-negative arbitrary-precision integer.
+
+    This is the reference popcount used by the ordering strategies and
+    the link BT recorders.
+
+    Raises:
+        ValueError: if ``value`` is negative (bit patterns of negative
+            Python ints are conceptually infinite).
+    """
+    if value < 0:
+        raise ValueError(f"popcount requires a non-negative int, got {value}")
+    return value.bit_count()
+
+
+def popcount_swar(word: int, width: int = 32) -> int:
+    """SWAR popcount over a fixed-width word, as in the paper's Fig. 14.
+
+    The hardware ordering unit counts '1' bits with the classic
+    divide-and-conquer SWAR sequence (pairs, nibbles, bytes, fold).
+    This software model mirrors those steps so the hardware cost model
+    can account one stage per adder layer.
+
+    Args:
+        word: the value to count; must fit in ``width`` bits.
+        width: word width in bits; one of 8, 16, 32, 64.
+
+    Returns:
+        Number of '1' bits in ``word``.
+    """
+    if width not in _SWAR_MASKS:
+        raise ValueError(f"unsupported SWAR width {width}; use 8/16/32/64")
+    if not 0 <= word < (1 << width):
+        raise ValueError(f"word {word:#x} does not fit in {width} bits")
+    m1, m2, m4, full = _SWAR_MASKS[width]
+    x = word
+    x = x - ((x >> 1) & m1)
+    x = (x & m2) + ((x >> 2) & m2)
+    x = (x + (x >> 4)) & m4
+    # Fold byte sums together; for width 8 the single byte already holds
+    # the answer.
+    shift = 8
+    while shift < width:
+        x = (x + (x >> shift)) & full
+        shift *= 2
+    return x & 0xFF
+
+
+def popcount_array(words: np.ndarray) -> np.ndarray:
+    """Vectorised popcount over an unsigned-integer numpy array.
+
+    Views the array as raw bytes and sums a byte-wise lookup table, so
+    any unsigned dtype works.  Used by the bulk bit-statistics paths
+    (Fig. 10/11 analyses) where per-value Python ints would be too slow.
+
+    Args:
+        words: array of any unsigned integer dtype.
+
+    Returns:
+        ``uint32`` array of the same shape with per-element '1' counts.
+    """
+    arr = np.asarray(words)
+    if arr.dtype.kind != "u":
+        raise ValueError(
+            f"popcount_array requires an unsigned dtype, got {arr.dtype}"
+        )
+    nbytes = arr.dtype.itemsize
+    as_bytes = arr.reshape(-1).view(np.uint8).reshape(-1, nbytes)
+    counts = POPCOUNT_LUT[as_bytes].sum(axis=1, dtype=np.uint32)
+    return counts.reshape(arr.shape)

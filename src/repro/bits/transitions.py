@@ -1,0 +1,105 @@
+"""Bit-transition (BT) counting.
+
+A BT is a '0'->'1' or '1'->'0' change on one wire between two
+consecutive flits crossing the same link (Sec. III-A).  For two
+payloads ``a`` and ``b`` the BT count is ``popcount(a XOR b)``.
+
+Three granularities are provided:
+
+* word/payload pair — :func:`transitions_between`;
+* a stream of payloads crossing one link — :func:`stream_transitions`;
+* bulk word matrices for the statistical analyses —
+  :func:`transition_matrix` and :func:`per_bit_transitions`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.bits.popcount import POPCOUNT_LUT, popcount
+
+__all__ = [
+    "transitions_between",
+    "stream_transitions",
+    "transition_matrix",
+    "per_bit_transitions",
+]
+
+
+def transitions_between(a: int, b: int) -> int:
+    """BT count between two payload integers on the same link."""
+    if a < 0 or b < 0:
+        raise ValueError("payloads must be non-negative ints")
+    return popcount(a ^ b)
+
+
+def stream_transitions(payloads: Iterable[int]) -> int:
+    """Total BTs for a sequence of payloads crossing one link in order.
+
+    The first payload establishes the link state without being charged
+    any transitions (matching the Fig. 8 recorder, whose ``Flit_pre``
+    register starts empty).
+    """
+    total = 0
+    prev: int | None = None
+    for payload in payloads:
+        if prev is not None:
+            total += popcount(prev ^ payload)
+        prev = payload
+    return total
+
+
+def transition_matrix(words: np.ndarray) -> np.ndarray:
+    """Per-row BT counts between consecutive rows of a word matrix.
+
+    Args:
+        words: shape ``(n_flits, lanes)`` unsigned array; each row is
+            one flit's worth of words.
+
+    Returns:
+        shape ``(n_flits - 1,)`` array of BT counts between row ``i``
+        and row ``i + 1``.
+    """
+    arr = np.asarray(words)
+    if arr.dtype.kind != "u":
+        raise ValueError(f"expected unsigned dtype, got {arr.dtype}")
+    if arr.ndim != 2:
+        raise ValueError(f"expected 2-D (flits, lanes), got shape {arr.shape}")
+    if arr.shape[0] < 2:
+        return np.zeros(0, dtype=np.int64)
+    xored = arr[:-1] ^ arr[1:]
+    nbytes = arr.dtype.itemsize
+    as_bytes = xored.view(np.uint8).reshape(xored.shape[0], -1)
+    if as_bytes.shape[1] != xored.shape[1] * nbytes:
+        raise AssertionError("byte view shape mismatch")
+    return POPCOUNT_LUT[as_bytes].sum(axis=1, dtype=np.int64)
+
+
+def per_bit_transitions(words: np.ndarray, width: int) -> np.ndarray:
+    """Transition probability at each bit position of a word stream.
+
+    Used by the Fig. 10/11 analyses: for a 1-D stream of words, compute
+    the fraction of consecutive pairs in which bit position ``p``
+    flips.  Position 0 is the most-significant bit to match the paper's
+    left-to-right plotting (sign bit first for float-32).
+
+    Args:
+        words: 1-D unsigned array of the word stream, in link order.
+        width: word width in bits.
+
+    Returns:
+        shape ``(width,)`` float array of flip probabilities, MSB first.
+    """
+    arr = np.asarray(words).reshape(-1)
+    if arr.dtype.kind != "u":
+        raise ValueError(f"expected unsigned dtype, got {arr.dtype}")
+    if arr.size < 2:
+        return np.zeros(width, dtype=np.float64)
+    xored = arr[:-1] ^ arr[1:]
+    probs = np.empty(width, dtype=np.float64)
+    for pos in range(width):
+        bit = (xored >> np.asarray(width - 1 - pos, dtype=arr.dtype)) & 1
+        probs[pos] = float(bit.mean())
+    return probs

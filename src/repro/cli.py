@@ -1,0 +1,217 @@
+"""Command-line interface for the reproduction experiments.
+
+Subcommands::
+
+    repro run-noc    — run a DNN through the NoC and report BTs
+    repro no-noc     — the Table I flit-stream experiment
+    repro link-power — Sec. V-C link power arithmetic
+    repro table2     — Table II synthesis comparison
+    repro traffic    — synthetic traffic patterns through the NoC
+
+Installed as the ``repro`` console script, or run with
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.simulator import run_model_on_noc
+from repro.analysis.summary import reduction_rate
+from repro.dnn.datasets import synthetic_digits, synthetic_shapes
+from repro.dnn.models import build_model
+from repro.hardware.linkpower import (
+    BANERJEE_ENERGY_PJ,
+    PAPER_ENERGY_PJ,
+    LinkPowerModel,
+)
+from repro.hardware.synthesis import format_table2, model_table2, paper_table2
+from repro.noc.network import NoCConfig
+from repro.noc.traffic import (
+    SyntheticTrafficConfig,
+    TrafficPattern,
+    run_synthetic,
+)
+from repro.ordering.strategies import OrderingMethod
+from repro.workloads.packets import build_packets, measure_stream
+from repro.workloads.streams import (
+    random_weights,
+    trained_lenet_weights,
+    words_for_format,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI argument tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bit-transition-reduction reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_noc = sub.add_parser("run-noc", help="run a DNN through the NoC")
+    run_noc.add_argument("--model", default="lenet",
+                         choices=("lenet", "darknet"))
+    run_noc.add_argument("--format", default="fixed8",
+                         choices=("float32", "fixed8"))
+    run_noc.add_argument("--ordering", default="O2",
+                         choices=("O0", "O1", "O2"))
+    run_noc.add_argument("--mesh", default="4x4",
+                         help="mesh as WxH, e.g. 8x8")
+    run_noc.add_argument("--mcs", type=int, default=2)
+    run_noc.add_argument("--tasks", type=int, default=16,
+                         help="sampled tasks per layer")
+    run_noc.add_argument("--compare", action="store_true",
+                         help="also run O0 and report the reduction")
+
+    no_noc = sub.add_parser("no-noc", help="Table I flit-stream experiment")
+    no_noc.add_argument("--format", default="fixed8",
+                        choices=("float32", "fixed8"))
+    no_noc.add_argument("--weights", default="random",
+                        choices=("random", "trained"))
+    no_noc.add_argument("--packets", type=int, default=10_000)
+    no_noc.add_argument("--kernel", type=int, default=25)
+
+    power = sub.add_parser("link-power", help="Sec. V-C link power")
+    power.add_argument("--mesh", default="8x8")
+    power.add_argument("--reduction", type=float, default=40.85,
+                       help="BT reduction rate in percent")
+
+    sub.add_parser("table2", help="Table II synthesis comparison")
+
+    traffic = sub.add_parser("traffic", help="synthetic NoC traffic")
+    traffic.add_argument("--pattern", default="uniform",
+                         choices=[p.value for p in TrafficPattern])
+    traffic.add_argument("--mesh", default="4x4")
+    traffic.add_argument("--packets", type=int, default=200)
+    return parser
+
+
+def _parse_mesh(text: str) -> tuple[int, int]:
+    try:
+        w, h = text.lower().split("x")
+        return int(w), int(h)
+    except ValueError as exc:
+        raise SystemExit(f"bad mesh {text!r}; use WxH like 4x4") from exc
+
+
+def _cmd_run_noc(args: argparse.Namespace) -> int:
+    width, height = _parse_mesh(args.mesh)
+    model = build_model(args.model, rng=np.random.default_rng(1))
+    if args.model == "lenet":
+        image = synthetic_digits(1, seed=5).images[0]
+    else:
+        image = synthetic_shapes(1, seed=5).images[0]
+    methods = [OrderingMethod.from_name(args.ordering)]
+    if args.compare and methods[0] is not OrderingMethod.BASELINE:
+        methods.insert(0, OrderingMethod.BASELINE)
+    baseline_bt = None
+    for method in methods:
+        config = AcceleratorConfig(
+            width=width,
+            height=height,
+            n_mcs=args.mcs,
+            data_format=args.format,
+            ordering=method,
+            max_tasks_per_layer=args.tasks,
+        )
+        result = run_model_on_noc(config, model, image)
+        line = (
+            f"{config.label()}: {result.total_bit_transitions} BTs, "
+            f"{result.total_cycles} cycles, verified "
+            f"{result.tasks_verified}/{result.tasks_total}"
+        )
+        if baseline_bt is None:
+            baseline_bt = result.total_bit_transitions
+        else:
+            line += (
+                f", reduction "
+                f"{reduction_rate(baseline_bt, result.total_bit_transitions):.2f}%"
+            )
+        print(line)
+        if not result.all_verified:
+            return 1
+    return 0
+
+
+def _cmd_no_noc(args: argparse.Namespace) -> int:
+    if args.weights == "random":
+        values = random_weights(40_000, seed=3)
+    else:
+        values = trained_lenet_weights()
+    words, fmt = words_for_format(values, args.format)
+    base = build_packets(
+        words, args.packets, 8, fmt.width, kernel_size=args.kernel
+    )
+    ordered = build_packets(
+        words, args.packets, 8, fmt.width, kernel_size=args.kernel,
+        ordered=True,
+    )
+    bt_base = measure_stream(base).bt_per_flit
+    bt_ord = measure_stream(ordered).bt_per_flit
+    print(
+        f"{args.format} {args.weights} ({base.flit_bits}-bit flits, "
+        f"{args.packets} packets): {bt_base:.2f} -> {bt_ord:.2f} BT/flit "
+        f"({reduction_rate(bt_base, bt_ord):.2f}% reduction)"
+    )
+    return 0
+
+
+def _cmd_link_power(args: argparse.Namespace) -> int:
+    width, height = _parse_mesh(args.mesh)
+    for name, pj in (("ours", PAPER_ENERGY_PJ), ("banerjee", BANERJEE_ENERGY_PJ)):
+        model = LinkPowerModel.for_mesh(
+            width, height, energy_per_transition_pj=pj
+        )
+        print(
+            f"{name} ({pj} pJ/bit, {model.n_links} links): "
+            f"{model.power_mw():.3f} mW -> "
+            f"{model.reduced_power_mw(args.reduction):.3f} mW "
+            f"at {args.reduction}% BT reduction"
+        )
+    return 0
+
+
+def _cmd_table2(_: argparse.Namespace) -> int:
+    print(format_table2(paper_table2(), model_table2()))
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    width, height = _parse_mesh(args.mesh)
+    noc = NoCConfig(width=width, height=height, link_width=128)
+    config = SyntheticTrafficConfig(
+        pattern=TrafficPattern(args.pattern), n_packets=args.packets
+    )
+    stats = run_synthetic(config, noc)
+    print(
+        f"{args.pattern} on {args.mesh}: {stats.packets_delivered} packets, "
+        f"{stats.cycles} cycles, {stats.total_bit_transitions} BTs, "
+        f"mean latency {stats.mean_latency:.1f}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "run-noc": _cmd_run_noc,
+    "no-noc": _cmd_no_noc,
+    "link-power": _cmd_link_power,
+    "table2": _cmd_table2,
+    "traffic": _cmd_traffic,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Mini DNN framework: layers, models, datasets, training, quantisation."""
+
+from repro.dnn.datasets import LabeledDataset, synthetic_digits, synthetic_shapes
+from repro.dnn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Layer,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Tanh,
+)
+from repro.dnn.models import DarkNetSlim, LeNet5, ModelSpec, build_model
+from repro.dnn.quantize import QuantizedTensor, quantize_symmetric, tensor_format
+from repro.dnn.tensor import Parameter
+from repro.dnn.training import (
+    SGD,
+    TrainReport,
+    evaluate_accuracy,
+    train_classifier,
+)
+
+__all__ = [
+    "LabeledDataset",
+    "synthetic_digits",
+    "synthetic_shapes",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Flatten",
+    "Layer",
+    "LeakyReLU",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "Tanh",
+    "DarkNetSlim",
+    "LeNet5",
+    "ModelSpec",
+    "build_model",
+    "QuantizedTensor",
+    "quantize_symmetric",
+    "tensor_format",
+    "Parameter",
+    "SGD",
+    "TrainReport",
+    "evaluate_accuracy",
+    "train_classifier",
+]

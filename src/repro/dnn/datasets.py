@@ -1,0 +1,165 @@
+"""Procedurally generated datasets (the MNIST/ImageNet substitute).
+
+The paper trains LeNet on a real dataset to obtain *trained* weights;
+offline we synthesise equivalents (see DESIGN.md §5):
+
+* :func:`synthetic_digits` — 32x32x1 ten-class digit images rendered
+  from a 5x7 seven-segment-style glyph atlas with random shift, scale
+  noise and pixel noise.  Training LeNet on this task drives the weight
+  distribution into the small-magnitude, zero-heavy regime whose
+  bit-level statistics are what Table I / Fig. 10-11 measure.
+* :func:`synthetic_shapes` — 64x64x3 ten-class colour/shape images for
+  the DarkNet-like model.
+
+Both return float arrays in [0, 1] (images) and int labels, fully
+deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LabeledDataset", "synthetic_digits", "synthetic_shapes"]
+
+# 5x7 glyph rows per digit; '#' pixels are on.  A compact bitmap font is
+# enough: LeNet only needs a learnable, linearly non-trivial task.
+_DIGIT_GLYPHS = {
+    0: ("#####", "#...#", "#...#", "#...#", "#...#", "#...#", "#####"),
+    1: ("..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."),
+    2: ("#####", "....#", "....#", "#####", "#....", "#....", "#####"),
+    3: ("#####", "....#", "....#", "#####", "....#", "....#", "#####"),
+    4: ("#...#", "#...#", "#...#", "#####", "....#", "....#", "....#"),
+    5: ("#####", "#....", "#....", "#####", "....#", "....#", "#####"),
+    6: ("#####", "#....", "#....", "#####", "#...#", "#...#", "#####"),
+    7: ("#####", "....#", "...#.", "..#..", "..#..", "..#..", "..#.."),
+    8: ("#####", "#...#", "#...#", "#####", "#...#", "#...#", "#####"),
+    9: ("#####", "#...#", "#...#", "#####", "....#", "....#", "#####"),
+}
+
+
+@dataclass(frozen=True)
+class LabeledDataset:
+    """A dataset split: ``images`` (N, C, H, W) in [0, 1], ``labels`` (N,)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images and labels disagree on sample count")
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    def batches(
+        self, batch_size: int, rng: np.random.Generator | None = None
+    ):
+        """Yield (images, labels) minibatches, shuffled when rng given."""
+        order = np.arange(len(self))
+        if rng is not None:
+            rng.shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.images[idx], self.labels[idx]
+
+
+def _render_digit(
+    digit: int, size: int, scale: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Render one glyph at integer ``scale`` with a random placement."""
+    glyph = _DIGIT_GLYPHS[digit]
+    h, w = 7 * scale, 5 * scale
+    canvas = np.zeros((size, size), dtype=np.float64)
+    max_dy, max_dx = size - h, size - w
+    dy = int(rng.integers(0, max_dy + 1))
+    dx = int(rng.integers(0, max_dx + 1))
+    for r, row in enumerate(glyph):
+        for c, ch in enumerate(row):
+            if ch == "#":
+                y0, x0 = dy + r * scale, dx + c * scale
+                canvas[y0 : y0 + scale, x0 : x0 + scale] = 1.0
+    return canvas
+
+
+def synthetic_digits(
+    n_samples: int,
+    size: int = 32,
+    noise: float = 0.15,
+    seed: int = 7,
+) -> LabeledDataset:
+    """Ten-class digit images for LeNet training.
+
+    Args:
+        n_samples: total images (classes are drawn uniformly).
+        size: square image side (LeNet uses 32).
+        noise: std of additive Gaussian pixel noise.
+        seed: RNG seed; identical seeds give identical datasets.
+    """
+    if size < 21:
+        raise ValueError("size must be at least 21 to fit the glyphs")
+    rng = np.random.default_rng(seed)
+    images = np.empty((n_samples, 1, size, size), dtype=np.float64)
+    labels = rng.integers(0, 10, size=n_samples)
+    for i in range(n_samples):
+        scale = int(rng.integers(2, 4))  # glyphs at 10x14 or 15x21
+        canvas = _render_digit(int(labels[i]), size, scale, rng)
+        canvas += rng.normal(0.0, noise, size=canvas.shape)
+        images[i, 0] = np.clip(canvas, 0.0, 1.0)
+    return LabeledDataset(images=images, labels=labels.astype(np.int64))
+
+
+def _draw_shape(
+    kind: int, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Rasterise one of five shape masks with random geometry."""
+    yy, xx = np.mgrid[0:size, 0:size]
+    cy = float(rng.uniform(size * 0.3, size * 0.7))
+    cx = float(rng.uniform(size * 0.3, size * 0.7))
+    r = float(rng.uniform(size * 0.15, size * 0.3))
+    if kind == 0:  # disc
+        return ((yy - cy) ** 2 + (xx - cx) ** 2 <= r * r).astype(np.float64)
+    if kind == 1:  # square
+        return (
+            (np.abs(yy - cy) <= r) & (np.abs(xx - cx) <= r)
+        ).astype(np.float64)
+    if kind == 2:  # diamond
+        return (np.abs(yy - cy) + np.abs(xx - cx) <= r).astype(np.float64)
+    if kind == 3:  # horizontal bar
+        return (
+            (np.abs(yy - cy) <= r * 0.4) & (np.abs(xx - cx) <= r * 1.4)
+        ).astype(np.float64)
+    # vertical bar
+    return (
+        (np.abs(yy - cy) <= r * 1.4) & (np.abs(xx - cx) <= r * 0.4)
+    ).astype(np.float64)
+
+
+def synthetic_shapes(
+    n_samples: int,
+    size: int = 64,
+    noise: float = 0.1,
+    seed: int = 11,
+) -> LabeledDataset:
+    """Ten-class colour/shape images for the DarkNet-like model.
+
+    Classes combine 5 shapes x 2 colour schemes; each image is RGB with
+    background clutter so the conv stack has something to learn.
+    """
+    rng = np.random.default_rng(seed)
+    images = np.empty((n_samples, 3, size, size), dtype=np.float64)
+    labels = rng.integers(0, 10, size=n_samples)
+    for i in range(n_samples):
+        label = int(labels[i])
+        shape_kind, scheme = label % 5, label // 5
+        mask = _draw_shape(shape_kind, size, rng)
+        img = rng.uniform(0.0, 0.25, size=(3, size, size))
+        if scheme == 0:
+            color = np.array([0.9, 0.2, 0.15])
+        else:
+            color = np.array([0.15, 0.35, 0.9])
+        img += mask[None] * color[:, None, None]
+        img += rng.normal(0.0, noise, size=img.shape)
+        images[i] = np.clip(img, 0.0, 1.0)
+    return LabeledDataset(images=images, labels=labels.astype(np.int64))

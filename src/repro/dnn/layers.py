@@ -1,0 +1,478 @@
+"""Layers of the mini DNN framework (numpy, manual backprop).
+
+Implements the layer set needed by LeNet and the DarkNet-like model:
+``Conv2d`` (im2col), ``Linear``, ``MaxPool2d``, ``AvgPool2d``,
+``ReLU``, ``LeakyReLU``, ``Tanh``, ``BatchNorm2d``, ``Flatten`` and the
+``Sequential`` container, plus ``SoftmaxCrossEntropy`` for training.
+
+Every layer follows the same protocol: ``forward(x)`` caches what the
+backward pass needs, ``backward(grad_out)`` returns ``grad_in`` and
+fills the parameter ``grad`` fields.  Layout is NCHW throughout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.dnn.tensor import Parameter, kaiming_uniform, xavier_uniform, zeros
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "MaxPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "BatchNorm2d",
+    "Flatten",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "im2col",
+    "col2im",
+]
+
+
+class Layer:
+    """Base layer protocol."""
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield trainable parameters (default: none)."""
+        return iter(())
+
+    def train(self) -> None:
+        """Switch to training mode (affects BatchNorm)."""
+        self.training = True
+
+    def eval(self) -> None:
+        """Switch to inference mode."""
+        self.training = False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    """Unfold NCHW input into convolution columns.
+
+    Returns:
+        shape ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kh}x{kw} stride {stride} pad {pad} does not fit "
+            f"input {h}x{w}"
+        )
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = xp[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold convolution columns back onto the (padded) input grid.
+
+    Adjoint of :func:`im2col`; overlapping contributions accumulate.
+    """
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            xp[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j]
+    if pad == 0:
+        return xp
+    return xp[:, :, pad : pad + h, pad : pad + w]
+
+
+class Conv2d(Layer):
+    """2-D convolution with square stride/padding, im2col based."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        name: str = "conv",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            f"{name}.weight",
+            kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in,
+                rng,
+            ),
+        )
+        self.bias = Parameter(f"{name}.bias", zeros((out_channels,)))
+        self._cache: tuple[np.ndarray, tuple[int, int, int, int]] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols = im2col(x, k, k, s, p)
+        w2d = self.weight.value.reshape(self.out_channels, -1)
+        out = np.einsum("fk,nkp->nfp", w2d, cols) + self.bias.value[None, :, None]
+        n, _, h, w = x.shape
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        self._cache = (cols, x.shape)
+        return out.reshape(n, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, x_shape = self._cache
+        n = grad_out.shape[0]
+        g2d = grad_out.reshape(n, self.out_channels, -1)
+        w2d = self.weight.value.reshape(self.out_channels, -1)
+        self.weight.grad += np.einsum("nfp,nkp->fk", g2d, cols).reshape(
+            self.weight.value.shape
+        )
+        self.bias.grad += g2d.sum(axis=(0, 2))
+        grad_cols = np.einsum("fk,nfp->nkp", w2d, g2d)
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return col2im(grad_cols, x_shape, k, k, s, p)
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.weight
+        yield self.bias
+
+
+class Linear(Layer):
+    """Fully connected layer over flattened features."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        name: str = "fc",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            f"{name}.weight",
+            xavier_uniform(
+                (out_features, in_features), in_features, out_features, rng
+            ),
+        )
+        self.bias = Parameter(f"{name}.bias", zeros((out_features,)))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += grad_out.T @ self._x
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.weight
+        yield self.bias
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int) -> None:
+        self.kernel_size = kernel_size
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        if h % k or w % k:
+            raise ValueError(f"input {h}x{w} not divisible by pool {k}")
+        xr = x.reshape(n, c, h // k, k, w // k, k)
+        out = xr.max(axis=(3, 5))
+        mask = xr == out[:, :, :, None, :, None]
+        # Break ties so exactly one element routes the gradient.
+        mask_flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(
+            n, c, h // k, w // k, k * k
+        )
+        first = mask_flat & (np.cumsum(mask_flat, axis=-1) == 1)
+        self._cache = (first, np.asarray(x.shape))
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        first, x_shape = self._cache
+        n, c, h, w = (int(v) for v in x_shape)
+        k = self.kernel_size
+        grad = (
+            first * grad_out[:, :, :, :, None]
+        ).reshape(n, c, h // k, w // k, k, k)
+        return grad.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int) -> None:
+        self.kernel_size = kernel_size
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        if h % k or w % k:
+            raise ValueError(f"input {h}x{w} not divisible by pool {k}")
+        self._x_shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        k = self.kernel_size
+        g = grad_out[:, :, :, None, :, None] / (k * k)
+        return np.broadcast_to(
+            g, (n, c, h // k, k, w // k, k)
+        ).reshape(n, c, h, w)
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with DarkNet's default negative slope 0.1."""
+
+    def __init__(self, negative_slope: float = 0.1) -> None:
+        self.negative_slope = negative_slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, self.negative_slope * grad_out)
+
+
+class Tanh(Layer):
+    """Tanh activation (classic LeNet variants)."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._out**2)
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalisation with running statistics."""
+
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        name: str = "bn",
+    ) -> None:
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(f"{name}.gamma", np.ones(num_features))
+        self.beta = Parameter(f"{name}.beta", np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected (N, {self.num_features}, H, W), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std, np.asarray(x.shape))
+        return (
+            self.gamma.value[None, :, None, None] * x_hat
+            + self.beta.value[None, :, None, None]
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, x_shape = self._cache
+        n, _, h, w = (int(v) for v in x_shape)
+        m = n * h * w
+        self.gamma.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+        g = grad_out * self.gamma.value[None, :, None, None]
+        if not self.training:
+            return g * inv_std[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        return (
+            inv_std[None, :, None, None] / m * (m * g - sum_g - x_hat * sum_gx)
+        )
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.gamma
+        yield self.beta
+
+
+class Flatten(Layer):
+    """Flatten NCHW features into (N, C*H*W)."""
+
+    def __init__(self) -> None:
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._x_shape)
+
+
+class Sequential(Layer):
+    """Ordered layer container; the model type used by this library."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> Iterator[Parameter]:
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    def train(self) -> None:
+        self.training = True
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for layer in self.layers:
+            layer.eval()
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for p in self.parameters():
+            p.zero_grad()
+
+
+class SoftmaxCrossEntropy:
+    """Combined softmax + cross-entropy loss with integer labels."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of ``logits`` (N, K) against ``labels`` (N,)."""
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._labels = np.asarray(labels)
+        n = logits.shape[0]
+        picked = probs[np.arange(n), self._labels]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n

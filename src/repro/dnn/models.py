@@ -1,0 +1,150 @@
+"""The two evaluation models: LeNet-5 and a DarkNet-like network.
+
+The paper runs LeNet (32x32x1 input, Fig. 2) and "a DarkNet-like model"
+whose input it reduces to 64x64x3 "to speed up the simulation"
+(Sec. V-B).  :class:`LeNet5` follows the classic 6/16-filter 5x5
+topology; :class:`DarkNetSlim` follows DarkNet's conv3x3 + LeakyReLU +
+maxpool idiom at the reduced input size.
+
+Both are :class:`~repro.dnn.layers.Sequential` models extended with the
+metadata the accelerator needs: a name, the input shape, and a walk of
+the weighted layers (:meth:`ModelSpec.weighted_layers`) used by the
+task extractor in :mod:`repro.accelerator.tasks`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.dnn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    Layer,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["ModelSpec", "LeNet5", "DarkNetSlim", "build_model"]
+
+
+class ModelSpec(Sequential):
+    """A Sequential model plus the metadata the accelerator consumes.
+
+    Attributes:
+        name: model identifier ("lenet" / "darknet").
+        input_shape: (C, H, W) of a single sample.
+        num_classes: classifier output width.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: tuple[int, int, int],
+        num_classes: int,
+        layers: Sequence[Layer],
+    ) -> None:
+        super().__init__(layers)
+        self.name = name
+        self.input_shape = input_shape
+        self.num_classes = num_classes
+
+    def weighted_layers(self) -> Iterator[tuple[int, Layer]]:
+        """Yield (layer_index, layer) for Conv2d/Linear layers in order."""
+        for idx, layer in enumerate(self.layers):
+            if isinstance(layer, (Conv2d, Linear)):
+                yield idx, layer
+
+    def parameter_count(self) -> int:
+        """Total trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch (eval mode is not toggled)."""
+        return np.argmax(self.forward(x), axis=1)
+
+
+class LeNet5(ModelSpec):
+    """LeNet-5 for 32x32x1 inputs: the paper's Fig. 2 workload.
+
+    conv(6@5x5) -> ReLU -> pool2 -> conv(16@5x5) -> ReLU -> pool2 ->
+    flatten -> fc(120) -> ReLU -> fc(84) -> ReLU -> fc(10).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        pool: str = "avg",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        pool_layer = {"avg": AvgPool2d, "max": MaxPool2d}.get(pool)
+        if pool_layer is None:
+            raise ValueError(f"pool must be 'avg' or 'max', got {pool!r}")
+        layers: list[Layer] = [
+            Conv2d(1, 6, 5, name="conv1", rng=rng),
+            ReLU(),
+            pool_layer(2),
+            Conv2d(6, 16, 5, name="conv2", rng=rng),
+            ReLU(),
+            pool_layer(2),
+            Flatten(),
+            Linear(16 * 5 * 5, 120, name="fc1", rng=rng),
+            ReLU(),
+            Linear(120, 84, name="fc2", rng=rng),
+            ReLU(),
+            Linear(84, num_classes, name="fc3", rng=rng),
+        ]
+        super().__init__("lenet", (1, 32, 32), num_classes, layers)
+
+
+class DarkNetSlim(ModelSpec):
+    """DarkNet-like model at the paper's reduced 64x64x3 input.
+
+    Four conv3x3 stages (16/32/64/128 filters) with LeakyReLU(0.1) and
+    2x2 maxpools, a final global average pool and a linear classifier —
+    the standard tiny-DarkNet construction scaled to the reduced input.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        layers: list[Layer] = [
+            Conv2d(3, 16, 3, padding=1, name="conv1", rng=rng),
+            LeakyReLU(0.1),
+            MaxPool2d(2),  # 64 -> 32
+            Conv2d(16, 32, 3, padding=1, name="conv2", rng=rng),
+            LeakyReLU(0.1),
+            MaxPool2d(2),  # 32 -> 16
+            Conv2d(32, 64, 3, padding=1, name="conv3", rng=rng),
+            LeakyReLU(0.1),
+            MaxPool2d(2),  # 16 -> 8
+            Conv2d(64, 128, 3, padding=1, name="conv4", rng=rng),
+            LeakyReLU(0.1),
+            AvgPool2d(8),  # 8 -> 1 (global average pool)
+            Flatten(),
+            Linear(128, num_classes, name="fc", rng=rng),
+        ]
+        super().__init__("darknet", (3, 64, 64), num_classes, layers)
+
+
+def build_model(
+    name: str, rng: np.random.Generator | None = None
+) -> ModelSpec:
+    """Construct a model by its paper name ("lenet" / "darknet")."""
+    key = name.strip().lower()
+    if key == "lenet":
+        return LeNet5(rng=rng)
+    if key in ("darknet", "darknetslim", "darknet-slim"):
+        return DarkNetSlim(rng=rng)
+    raise ValueError(f"unknown model {name!r}; use 'lenet' or 'darknet'")

@@ -1,0 +1,69 @@
+"""Parameters and initialisers for the mini DNN framework.
+
+The accelerator experiments need real DNN models whose weights can be
+either randomly initialised or trained (Table I distinguishes the two).
+This module holds the :class:`Parameter` container and the seeded
+initialisers used by :mod:`repro.dnn.layers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Parameter", "kaiming_uniform", "xavier_uniform", "zeros"]
+
+
+@dataclass
+class Parameter:
+    """A trainable array with its accumulated gradient.
+
+    Attributes:
+        name: qualified name for reporting ("conv1.weight").
+        value: the parameter tensor (float64 during training for
+            gradient-check stability; cast on export).
+        grad: gradient of the current backward pass, same shape.
+    """
+
+    name: str
+    value: np.ndarray
+    grad: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.value = np.asarray(self.value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.value.size)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming uniform init, the default for conv/linear weights."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform init (used for the classifier head)."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """Zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)

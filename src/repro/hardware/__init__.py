@@ -1,0 +1,35 @@
+"""Hardware overhead models: ordering unit, router, link power."""
+
+from repro.hardware.energy import EnergyReport, compare_energy, energy_report
+from repro.hardware.linkpower import (
+    BANERJEE_ENERGY_PJ,
+    PAPER_ENERGY_PJ,
+    LinkPowerModel,
+)
+from repro.hardware.ordering_unit import (
+    OrderingUnitDesign,
+    RouterDesign,
+    TechnologyParams,
+)
+from repro.hardware.synthesis import (
+    SynthesisRow,
+    format_table2,
+    model_table2,
+    paper_table2,
+)
+
+__all__ = [
+    "EnergyReport",
+    "compare_energy",
+    "energy_report",
+    "BANERJEE_ENERGY_PJ",
+    "PAPER_ENERGY_PJ",
+    "LinkPowerModel",
+    "OrderingUnitDesign",
+    "RouterDesign",
+    "TechnologyParams",
+    "SynthesisRow",
+    "format_table2",
+    "model_table2",
+    "paper_table2",
+]

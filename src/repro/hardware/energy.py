@@ -1,0 +1,123 @@
+"""Whole-run energy accounting: links + routers + ordering units.
+
+Combines a simulation's :class:`~repro.accelerator.simulator.RunResult`
+with the calibrated hardware models to answer the system question the
+paper's Sec. V-C gestures at: after paying for the ordering units, how
+much net energy does ordering save per inference?
+
+* Link energy is *activity based*: measured BT count x pJ/transition.
+* Router and ordering-unit energy are *power x time*: the component
+  models' mW over the run's cycle count at the nominal frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.simulator import RunResult
+from repro.hardware.linkpower import PAPER_ENERGY_PJ, LinkPowerModel
+from repro.hardware.ordering_unit import OrderingUnitDesign, RouterDesign
+from repro.ordering.strategies import OrderingMethod
+
+__all__ = ["EnergyReport", "energy_report", "compare_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one accelerator run.
+
+    Attributes:
+        label: configuration label.
+        duration_s: wall-clock duration at the nominal frequency.
+        link_energy_j: transition energy on the recorded links.
+        router_energy_j: all routers' dynamic energy over the run.
+        ordering_energy_j: ordering units' energy (0 for O0).
+        bit_transitions: the measured BT count behind link_energy_j.
+    """
+
+    label: str
+    duration_s: float
+    link_energy_j: float
+    router_energy_j: float
+    ordering_energy_j: float
+    bit_transitions: int
+
+    @property
+    def total_j(self) -> float:
+        return self.link_energy_j + self.router_energy_j + self.ordering_energy_j
+
+    def format(self) -> str:
+        """One-block text rendering (nJ granularity)."""
+        return (
+            f"{self.label}\n"
+            f"  duration:        {self.duration_s * 1e6:10.3f} us\n"
+            f"  link energy:     {self.link_energy_j * 1e9:10.3f} nJ "
+            f"({self.bit_transitions} transitions)\n"
+            f"  router energy:   {self.router_energy_j * 1e9:10.3f} nJ\n"
+            f"  ordering energy: {self.ordering_energy_j * 1e9:10.3f} nJ\n"
+            f"  total:           {self.total_j * 1e9:10.3f} nJ"
+        )
+
+
+def energy_report(
+    result: RunResult,
+    energy_per_transition_pj: float = PAPER_ENERGY_PJ,
+    frequency_hz: float = 125e6,
+    unit: OrderingUnitDesign | None = None,
+    router: RouterDesign | None = None,
+) -> EnergyReport:
+    """Build the energy breakdown for one run."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    unit = unit or OrderingUnitDesign()
+    router = router or RouterDesign()
+    config = result.config
+    duration_s = result.total_cycles / frequency_hz
+    link_model = LinkPowerModel.for_mesh(
+        config.width,
+        config.height,
+        link_width=config.link_width,
+        energy_per_transition_pj=energy_per_transition_pj,
+        frequency_hz=frequency_hz,
+    )
+    link_j = link_model.energy_for_transitions(result.total_bit_transitions)
+    n_routers = config.width * config.height
+    router_j = n_routers * router.power_mw() * 1e-3 * duration_s
+    if config.ordering is OrderingMethod.BASELINE:
+        ordering_j = 0.0
+    else:
+        ordering_j = config.n_mcs * unit.power_mw() * 1e-3 * duration_s
+    return EnergyReport(
+        label=config.label(),
+        duration_s=duration_s,
+        link_energy_j=link_j,
+        router_energy_j=router_j,
+        ordering_energy_j=ordering_j,
+        bit_transitions=result.total_bit_transitions,
+    )
+
+
+def compare_energy(
+    baseline: EnergyReport, treated: EnergyReport
+) -> dict[str, float]:
+    """Net savings of ``treated`` vs ``baseline``.
+
+    Returns:
+        dict with ``link_saved_j``, ``ordering_cost_j``, ``net_saved_j``
+        and ``net_saved_percent`` (relative to the baseline's link
+        energy — the quantity the ordering method targets).
+    """
+    link_saved = baseline.link_energy_j - treated.link_energy_j
+    ordering_cost = treated.ordering_energy_j - baseline.ordering_energy_j
+    net = link_saved - ordering_cost
+    percent = (
+        100.0 * net / baseline.link_energy_j
+        if baseline.link_energy_j > 0
+        else 0.0
+    )
+    return {
+        "link_saved_j": link_saved,
+        "ordering_cost_j": ordering_cost,
+        "net_saved_j": net,
+        "net_saved_percent": percent,
+    }

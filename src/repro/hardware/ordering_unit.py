@@ -1,0 +1,163 @@
+"""Gate-level cost model of the ordering unit and the router (Table II).
+
+The paper synthesises the Fig. 14 ordering unit (SWAR pop-count +
+bubble sort) and a Constellation-generated router with Synopsys DC at
+TSMC 90 nm / 125 MHz / 1.0 V.  Offline we cannot synthesise, so this
+module provides a component-level estimator — registers, adders,
+comparators, muxes, buffers — whose technology constants are calibrated
+to reproduce the paper's published numbers (see DESIGN.md §5).  The
+*structure* (what scales with word width, lane count, VC count) is
+real; the absolute constants are anchored to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyParams", "OrderingUnitDesign", "RouterDesign"]
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Calibrated TSMC-90-like technology constants.
+
+    Attributes:
+        name: technology label.
+        ge_per_ff: gate equivalents per flip-flop bit.
+        ge_per_full_adder: GE per full-adder cell.
+        ge_per_mux_bit: GE per 2:1 mux bit.
+        ge_per_comparator_bit: GE per magnitude-comparator bit.
+        ge_per_control: fixed GE overhead per FSM/control block.
+        uw_per_kge: dynamic power (µW) per kGE at 125 MHz, 1.0 V,
+            for the ordering unit's activity profile.
+        router_uw_per_kge: same for a router's activity profile
+            (higher toggle rates in buffers/crossbar).
+    """
+
+    name: str = "tsmc90-calibrated"
+    ge_per_ff: float = 6.0
+    ge_per_full_adder: float = 5.0
+    ge_per_mux_bit: float = 2.5
+    ge_per_comparator_bit: float = 3.0
+    ge_per_control: float = 300.0
+    uw_per_kge: float = 171.4
+    router_uw_per_kge: float = 134.8
+
+    frequency_mhz: float = 125.0
+    voltage_v: float = 1.0
+
+
+@dataclass(frozen=True)
+class OrderingUnitDesign:
+    """The Fig. 14 affiliated-ordering unit.
+
+    Counts '1' bits of ``n_values`` words with SWAR pop-count trees and
+    bubble-sorts them with one compare-swap stage iterated in place.
+
+    Attributes:
+        n_values: values ordered per task batch (paper flit: 16).
+        word_width: value width in bits (8 for fixed-8 payloads).
+        tech: technology constants.
+        calibration: multiplicative anchor mapping the structural GE
+            estimate onto the paper's Synopsys DC result (the default
+            makes the default design hit Table II's 12.91 kGE).
+    """
+
+    n_values: int = 16
+    word_width: int = 8
+    tech: TechnologyParams = TechnologyParams()
+    calibration: float = 3.0419
+
+    def popcount_gates(self) -> float:
+        """SWAR pop-count trees: ~(W-1) full adders per value."""
+        return (
+            self.n_values
+            * (self.word_width - 1)
+            * self.tech.ge_per_full_adder
+        )
+
+    def register_gates(self) -> float:
+        """Value + count registers (double-buffered in/out)."""
+        count_width = max(1, self.word_width.bit_length())
+        bits_per_value = self.word_width + count_width
+        return 2 * self.n_values * bits_per_value * self.tech.ge_per_ff
+
+    def sorter_gates(self) -> float:
+        """Bubble-sort stage: comparators on counts, swap muxes on values."""
+        count_width = max(1, self.word_width.bit_length())
+        comparators = (self.n_values - 1) * count_width * (
+            self.tech.ge_per_comparator_bit
+        )
+        # A swap moves value+count pairs for both inputs and weights
+        # (affiliated ordering carries the paired input along).
+        swap_bits = 2 * (self.word_width + count_width)
+        muxes = (self.n_values - 1) * swap_bits * self.tech.ge_per_mux_bit
+        return comparators + muxes
+
+    def control_gates(self) -> float:
+        return self.tech.ge_per_control
+
+    def area_kge(self) -> float:
+        """Total area in thousand gate equivalents."""
+        total = (
+            self.popcount_gates()
+            + self.register_gates()
+            + self.sorter_gates()
+            + self.control_gates()
+        )
+        return total * self.calibration / 1000.0
+
+    def power_mw(self) -> float:
+        """Dynamic power at the technology's nominal operating point."""
+        return self.area_kge() * self.tech.uw_per_kge / 1000.0
+
+    def ordering_cycles(self, n_values: int | None = None) -> int:
+        """Cycles to order one batch (pop-count stages + sort passes)."""
+        n = self.n_values if n_values is None else n_values
+        popcount_stages = max(1, (self.word_width - 1).bit_length())
+        return popcount_stages + n
+
+
+@dataclass(frozen=True)
+class RouterDesign:
+    """A wormhole VC router of the paper's configuration.
+
+    Buffer storage dominates: ``ports * vcs * depth * link_width`` FF
+    bits, plus crossbar muxes and allocator logic.
+    """
+
+    n_ports: int = 5
+    n_vcs: int = 4
+    vc_depth: int = 4
+    link_width: int = 128
+    tech: TechnologyParams = TechnologyParams()
+    calibration: float = 1.9573
+
+    def buffer_gates(self) -> float:
+        bits = self.n_ports * self.n_vcs * self.vc_depth * self.link_width
+        return bits * self.tech.ge_per_ff
+
+    def crossbar_gates(self) -> float:
+        # Each output multiplexes n_ports-1 candidates of link_width bits.
+        return (
+            self.n_ports
+            * (self.n_ports - 1)
+            * self.link_width
+            * self.tech.ge_per_mux_bit
+        ) / 4.0  # 4:1 mux tree sharing
+
+    def allocator_gates(self) -> float:
+        requesters = self.n_ports * self.n_vcs
+        per_arbiter = requesters * 8.0  # matrix arbiter rows
+        return self.n_ports * per_arbiter + self.tech.ge_per_control
+
+    def area_kge(self) -> float:
+        total = (
+            self.buffer_gates()
+            + self.crossbar_gates()
+            + self.allocator_gates()
+        )
+        return total * self.calibration / 1000.0
+
+    def power_mw(self) -> float:
+        return self.area_kge() * self.tech.router_uw_per_kge / 1000.0

@@ -1,0 +1,130 @@
+"""Table II: synthesis results of the ordering unit vs the router.
+
+Combines the calibrated gate models into the exact rows the paper
+reports — area in kGE and power in mW for one/four ordering units and
+one/64 routers at TSMC 90 nm, 125 MHz, 1.0 V — alongside the paper's
+published values for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.ordering_unit import OrderingUnitDesign, RouterDesign
+
+__all__ = ["SynthesisRow", "paper_table2", "model_table2", "format_table2"]
+
+# Table II constants as printed in the paper.
+PAPER_UNIT_POWER_MW = 2.213
+PAPER_UNIT_AREA_KGE = 12.91
+PAPER_ROUTER_POWER_MW = 16.92
+PAPER_ROUTER_AREA_KGE = 125.54
+PAPER_N_UNITS = 4
+PAPER_N_ROUTERS = 64
+
+
+@dataclass(frozen=True)
+class SynthesisRow:
+    """One column pair of Table II.
+
+    Attributes:
+        component: "ordering_unit" or "router".
+        technology / frequency_mhz / voltage_v: operating point.
+        power_one_mw: power of a single instance.
+        power_many_mw: power of the deployed count (4 units / 64 routers).
+        count: instances deployed in the 8x8 reference design.
+        area_kge: area of a single instance, thousand gate equivalents.
+    """
+
+    component: str
+    technology: str
+    frequency_mhz: float
+    voltage_v: float
+    power_one_mw: float
+    power_many_mw: float
+    count: int
+    area_kge: float
+
+
+def paper_table2() -> dict[str, SynthesisRow]:
+    """Table II exactly as published."""
+    return {
+        "ordering_unit": SynthesisRow(
+            component="ordering_unit",
+            technology="TSMC 90nm",
+            frequency_mhz=125.0,
+            voltage_v=1.0,
+            power_one_mw=PAPER_UNIT_POWER_MW,
+            power_many_mw=8.852,
+            count=PAPER_N_UNITS,
+            area_kge=PAPER_UNIT_AREA_KGE,
+        ),
+        "router": SynthesisRow(
+            component="router",
+            technology="TSMC 90nm",
+            frequency_mhz=125.0,
+            voltage_v=1.0,
+            power_one_mw=PAPER_ROUTER_POWER_MW,
+            power_many_mw=1083.18,
+            count=PAPER_N_ROUTERS,
+            area_kge=PAPER_ROUTER_AREA_KGE,
+        ),
+    }
+
+
+def model_table2(
+    unit: OrderingUnitDesign | None = None,
+    router: RouterDesign | None = None,
+    n_units: int = PAPER_N_UNITS,
+    n_routers: int = PAPER_N_ROUTERS,
+) -> dict[str, SynthesisRow]:
+    """Table II regenerated from the calibrated component models."""
+    unit = unit or OrderingUnitDesign()
+    router = router or RouterDesign()
+    return {
+        "ordering_unit": SynthesisRow(
+            component="ordering_unit",
+            technology=unit.tech.name,
+            frequency_mhz=unit.tech.frequency_mhz,
+            voltage_v=unit.tech.voltage_v,
+            power_one_mw=unit.power_mw(),
+            power_many_mw=n_units * unit.power_mw(),
+            count=n_units,
+            area_kge=unit.area_kge(),
+        ),
+        "router": SynthesisRow(
+            component="router",
+            technology=router.tech.name,
+            frequency_mhz=router.tech.frequency_mhz,
+            voltage_v=router.tech.voltage_v,
+            power_one_mw=router.power_mw(),
+            power_many_mw=n_routers * router.power_mw(),
+            count=n_routers,
+            area_kge=router.area_kge(),
+        ),
+    }
+
+
+def format_table2(
+    paper: dict[str, SynthesisRow], model: dict[str, SynthesisRow]
+) -> str:
+    """Side-by-side text rendering used by the Table II bench."""
+    lines = ["Table II: Synthesis results (paper vs calibrated model)"]
+    header = (
+        f"{'Metric':<28}{'Unit(paper)':>14}{'Unit(model)':>14}"
+        f"{'Router(paper)':>16}{'Router(model)':>16}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    pu, mu = paper["ordering_unit"], model["ordering_unit"]
+    pr, mr = paper["router"], model["router"]
+    rows = [
+        ("Power one (mW)", pu.power_one_mw, mu.power_one_mw,
+         pr.power_one_mw, mr.power_one_mw),
+        (f"Power x{pu.count}/x{pr.count} (mW)", pu.power_many_mw,
+         mu.power_many_mw, pr.power_many_mw, mr.power_many_mw),
+        ("Area (kGE)", pu.area_kge, mu.area_kge, pr.area_kge, mr.area_kge),
+    ]
+    for label, a, b, c, d in rows:
+        lines.append(f"{label:<28}{a:>14.3f}{b:>14.3f}{c:>16.2f}{d:>16.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Round-robin arbitration, used for VC and switch allocation."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["RoundRobinArbiter"]
+
+
+class RoundRobinArbiter:
+    """Classic rotating-priority arbiter over ``n`` requesters.
+
+    The requester after the most recent winner has the highest
+    priority, guaranteeing starvation freedom — the discipline NoC
+    switch allocators conventionally use.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"arbiter needs at least one requester, got {n}")
+        self.n = n
+        self._last_winner = n - 1
+
+    def pick(self, requests: Sequence[bool]) -> int | None:
+        """Grant one of the asserted requests, or None if there are none.
+
+        Args:
+            requests: length-``n`` truthy flags, one per requester.
+
+        Returns:
+            Winning requester index, rotating fairly across calls.
+        """
+        if len(requests) != self.n:
+            raise ValueError(
+                f"expected {self.n} request flags, got {len(requests)}"
+            )
+        for offset in range(1, self.n + 1):
+            idx = (self._last_winner + offset) % self.n
+            if requests[idx]:
+                self._last_winner = idx
+                return idx
+        return None

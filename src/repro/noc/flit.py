@@ -1,0 +1,168 @@
+"""Flits and packets — the transmission units of the NoC.
+
+A packet is a sequence of flits created by the network interface; a
+flit's payload is carried as one arbitrary-precision int so the link BT
+recorders can XOR two payloads and popcount the result exactly
+(DESIGN.md §4).  Wormhole switching keeps a packet's flits contiguous
+per virtual channel; HEAD/BODY/TAIL types drive VC allocation and
+release in the routers.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["FlitType", "Flit", "Packet", "make_packet"]
+
+_packet_ids = itertools.count()
+
+
+class FlitType(enum.Enum):
+    """Position of a flit within its packet."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    HEAD_TAIL = "head_tail"  # single-flit packet
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+@dataclass
+class Flit:
+    """One link-width transmission unit.
+
+    Attributes:
+        packet_id: owning packet.
+        index: position within the packet (0 = head).
+        flit_type: HEAD/BODY/TAIL/HEAD_TAIL.
+        src: source node id.
+        dst: destination node id.
+        payload: payload bits as a non-negative int.
+        width: payload width in bits (= link width).
+    """
+
+    packet_id: int
+    index: int
+    flit_type: FlitType
+    src: int
+    dst: int
+    payload: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.payload < 0:
+            raise ValueError("flit payload must be non-negative")
+        if self.payload >> self.width:
+            raise ValueError(
+                f"payload needs more than {self.width} bits "
+                f"(packet {self.packet_id}, flit {self.index})"
+            )
+
+    def wire_bits(self, include_header: bool = False, header_width: int = 16) -> int:
+        """Bit image seen by a link.
+
+        By default only the payload is counted (the paper's recorders
+        compare flit contents, Fig. 8).  With ``include_header`` a
+        small side-band header word — destination and flit type — is
+        appended above the payload, for the header-overhead ablation.
+        """
+        if not include_header:
+            return self.payload
+        header = (self.dst & ((1 << (header_width - 2)) - 1)) << 2
+        header |= {FlitType.HEAD: 1, FlitType.BODY: 0, FlitType.TAIL: 2,
+                   FlitType.HEAD_TAIL: 3}[self.flit_type]
+        return self.payload | (header << self.width)
+
+
+@dataclass
+class Packet:
+    """A routed message: header info plus its flit sequence.
+
+    Attributes:
+        packet_id: unique id.
+        src: source node id.
+        dst: destination node id.
+        flits: the flit sequence (flit 0 is the head).
+        metadata: free-form tag (the accelerator stores task references
+            here; the NoC core never inspects it).
+        created_cycle: set at injection time by the NI.
+        delivered_cycle: set at ejection time by the NI.
+    """
+
+    packet_id: int
+    src: int
+    dst: int
+    flits: list[Flit]
+    metadata: dict[str, Any] = field(default_factory=dict)
+    created_cycle: int | None = None
+    delivered_cycle: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.flits)
+
+    @property
+    def latency(self) -> int:
+        """Injection-to-delivery latency in cycles."""
+        if self.created_cycle is None or self.delivered_cycle is None:
+            raise ValueError("packet has not completed its journey")
+        return self.delivered_cycle - self.created_cycle
+
+
+def make_packet(
+    src: int,
+    dst: int,
+    payloads: list[int],
+    width: int,
+    metadata: dict[str, Any] | None = None,
+) -> Packet:
+    """Build a packet from per-flit payload ints.
+
+    Args:
+        src: source node id.
+        dst: destination node id.
+        payloads: one int per flit, each below ``2**width``.
+        width: link width in bits.
+        metadata: optional free-form tag copied onto the packet.
+    """
+    if not payloads:
+        raise ValueError("a packet needs at least one flit")
+    packet_id = next(_packet_ids)
+    n = len(payloads)
+    flits = []
+    for i, payload in enumerate(payloads):
+        if n == 1:
+            ftype = FlitType.HEAD_TAIL
+        elif i == 0:
+            ftype = FlitType.HEAD
+        elif i == n - 1:
+            ftype = FlitType.TAIL
+        else:
+            ftype = FlitType.BODY
+        flits.append(
+            Flit(
+                packet_id=packet_id,
+                index=i,
+                flit_type=ftype,
+                src=src,
+                dst=dst,
+                payload=payload,
+                width=width,
+            )
+        )
+    return Packet(
+        packet_id=packet_id,
+        src=src,
+        dst=dst,
+        flits=flits,
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,283 @@
+"""The NoC: mesh of routers + NIs, the cycle loop, and statistics.
+
+The network advances in deterministic phases per cycle:
+
+1. every active router runs route computation / VC allocation,
+2. every active router runs switch allocation + link traversal
+   (BTs recorded here, arrivals and credits queued),
+3. NIs inject pending flits into their router's local port,
+4. queued arrivals and credits commit, becoming visible next cycle.
+
+This gives one-cycle link traversal and a one-cycle credit loop —
+the granularity at which the paper's BT phenomenon lives (consecutive
+flits on the same physical link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.noc.flit import Flit, Packet
+from repro.noc.interface import NetworkInterface
+from repro.noc.recorder import TransitionLedger
+from repro.noc.router import Router
+from repro.noc.routing import OPPOSITE, Port, routing_by_name
+from repro.noc.topology import mesh_neighbors
+
+__all__ = ["NoCConfig", "NoCStats", "Network", "SimulationTimeout"]
+
+
+class SimulationTimeout(RuntimeError):
+    """Raised when the network fails to drain within the cycle budget."""
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Structural and measurement parameters of the NoC.
+
+    Defaults mirror the paper's setup (Sec. V-B): X-Y routing, 4 VCs
+    with 4-flit buffers, 512-bit links (16 float-32 values).
+
+    Attributes:
+        width: mesh columns.
+        height: mesh rows.
+        n_vcs: virtual channels per input port.
+        vc_depth: buffer depth per VC, in flits.
+        link_width: link (= flit payload) width in bits.
+        routing: "xy" (paper) or "yx".
+        record_ejection: count BTs on router->NI ejection links too
+            (router outports, per Fig. 8's "Rx Outport y" naming).
+        record_injection: also count NI->router injection links.
+        include_header_bits: fold a side-band header word into the
+            recorded bit image (ablation).
+        injection_rate: flits each NI may inject per cycle.
+        link_latency: cycles a flit spends crossing a link (>= 1;
+            models deeper router/link pipelines).
+    """
+
+    width: int = 4
+    height: int = 4
+    n_vcs: int = 4
+    vc_depth: int = 4
+    link_width: int = 512
+    routing: str = "xy"
+    record_ejection: bool = True
+    record_injection: bool = False
+    include_header_bits: bool = False
+    injection_rate: int = 1
+    link_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        if self.n_vcs <= 0 or self.vc_depth <= 0:
+            raise ValueError("n_vcs and vc_depth must be positive")
+        if self.link_width <= 0:
+            raise ValueError("link_width must be positive")
+        if self.link_latency < 1:
+            raise ValueError("link_latency must be at least 1")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+
+@dataclass
+class NoCStats:
+    """Aggregated simulation statistics.
+
+    Attributes:
+        cycles: simulated cycles.
+        packets_injected / packets_delivered: packet counts.
+        flits_injected / flit_hops: flit counts (hops include every
+            link traversal, so one flit crossing 3 links counts 3).
+        total_bit_transitions: the Fig. 8 NoC-wide BT sum.
+        packet_latencies: per-delivered-packet latency in cycles.
+    """
+
+    cycles: int = 0
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    flits_injected: int = 0
+    flit_hops: int = 0
+    total_bit_transitions: int = 0
+    packet_latencies: list[int] = field(default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.packet_latencies:
+            return 0.0
+        return sum(self.packet_latencies) / len(self.packet_latencies)
+
+    @property
+    def transitions_per_flit_hop(self) -> float:
+        if self.flit_hops == 0:
+            return 0.0
+        return self.total_bit_transitions / self.flit_hops
+
+
+class Network:
+    """A complete NoC instance ready to carry packets."""
+
+    def __init__(self, config: NoCConfig) -> None:
+        self.config = config
+        route_fn = routing_by_name(config.routing)
+        self.routers = [
+            Router(
+                node_id=node,
+                mesh_width=config.width,
+                n_vcs=config.n_vcs,
+                vc_depth=config.vc_depth,
+                route_fn=route_fn,
+            )
+            for node in range(config.n_nodes)
+        ]
+        self.nis = [
+            NetworkInterface(
+                node_id=node,
+                router=self.routers[node],
+                flits_per_cycle=config.injection_rate,
+            )
+            for node in range(config.n_nodes)
+        ]
+        self._neighbors = mesh_neighbors(config.width, config.height)
+        self.ledger = TransitionLedger()
+        self.stats = NoCStats()
+        self.cycle = 0
+        self._in_flight: dict[int, Packet] = {}
+        self._arrivals: list[tuple[int, int, Port, int, Flit]] = []
+        self._ejections: list[tuple[int, Flit]] = []
+        self._credits: list[tuple[int, Port, int]] = []
+        # Optional per-link wire-image trace (see repro.workloads.traces);
+        # any object with record(link_name, bits, cycle) works.
+        self.trace_collector = None
+
+    # -- traffic interface ---------------------------------------------
+
+    def send_packet(self, packet: Packet) -> None:
+        """Queue a packet at its source NI for injection."""
+        if not 0 <= packet.src < self.config.n_nodes:
+            raise ValueError(f"source node {packet.src} outside the mesh")
+        if not 0 <= packet.dst < self.config.n_nodes:
+            raise ValueError(f"destination node {packet.dst} outside the mesh")
+        for flit in packet.flits:
+            if flit.width != self.config.link_width:
+                raise ValueError(
+                    f"flit width {flit.width} != link width "
+                    f"{self.config.link_width}"
+                )
+        self._in_flight[packet.packet_id] = packet
+        self.nis[packet.src].queue_packet(packet)
+        self.stats.packets_injected += 1
+        self.stats.flits_injected += len(packet.flits)
+
+    def attach_sink(self, node: int, sink: Any) -> None:
+        """Set the packet-delivery callback of a node's NI."""
+        self.nis[node].sink = sink
+
+    # -- router-facing hooks ---------------------------------------------
+
+    def transmit(
+        self, router: Router, out_port: Port, out_vc: int, flit: Flit
+    ) -> None:
+        """Carry one flit over ``router``'s ``out_port`` link."""
+        record = out_port is not Port.LOCAL or self.config.record_ejection
+        if record:
+            name = f"R{router.node_id}.{out_port.name}"
+            bits = flit.wire_bits(self.config.include_header_bits)
+            self.stats.total_bit_transitions += self.ledger.recorder_for(
+                name
+            ).record(bits)
+            if self.trace_collector is not None:
+                self.trace_collector.record(name, bits, self.cycle)
+        self.stats.flit_hops += 1
+        if out_port is Port.LOCAL:
+            self._ejections.append((router.node_id, flit))
+            return
+        neighbor = self._neighbors[router.node_id].get(out_port)
+        if neighbor is None:
+            raise ValueError(
+                f"router {router.node_id} has no {out_port.name} link"
+            )
+        due = self.cycle + self.config.link_latency - 1
+        self._arrivals.append(
+            (due, neighbor, OPPOSITE[out_port], out_vc, flit)
+        )
+
+    def queue_credit(self, router: Router, in_port: Port, vc_idx: int) -> None:
+        """Return a buffer credit to the upstream router."""
+        upstream = self._neighbors[router.node_id].get(in_port)
+        if upstream is None:
+            raise ValueError(
+                f"router {router.node_id} has no upstream on {in_port.name}"
+            )
+        self._credits.append((upstream, OPPOSITE[in_port], vc_idx))
+
+    # -- cycle loop --------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        active = [r for r in self.routers if r.is_active]
+        for router in active:
+            router.allocate()
+        for router in active:
+            router.switch_traversal(self)
+        for ni in self.nis:
+            if ni.has_pending_tx:
+                injected = ni.try_inject(self.cycle)
+                if self.config.record_injection and injected:
+                    recorder = self.ledger.recorder_for(
+                        f"NI{ni.node_id}.INJECT"
+                    )
+                    for flit in injected:
+                        self.stats.total_bit_transitions += recorder.record(
+                            flit.wire_bits(self.config.include_header_bits)
+                        )
+        still_in_flight: list[tuple[int, int, Port, int, Flit]] = []
+        for due, node, in_port, vc_idx, flit in self._arrivals:
+            if due <= self.cycle:
+                self.routers[node].accept_flit(in_port, vc_idx, flit)
+            else:
+                still_in_flight.append((due, node, in_port, vc_idx, flit))
+        self._arrivals[:] = still_in_flight
+        for node, flit in self._ejections:
+            packet = None
+            if flit.flit_type.is_tail:
+                packet = self._in_flight.pop(flit.packet_id, None)
+            self.nis[node].receive_flit(flit, packet, self.cycle)
+            if flit.flit_type.is_tail and packet is not None:
+                self.stats.packets_delivered += 1
+                self.stats.packet_latencies.append(packet.latency)
+        self._ejections.clear()
+        for node, out_port, vc_idx in self._credits:
+            credits = self.routers[node].credits[out_port]
+            credits[vc_idx] += 1
+            if credits[vc_idx] > self.config.vc_depth:
+                raise RuntimeError(
+                    f"credit overflow at router {node} port {out_port.name}"
+                )
+        self._credits.clear()
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    @property
+    def has_work(self) -> bool:
+        """True while any flit is buffered, queued, or in flight."""
+        if self._arrivals or self._ejections:
+            return True
+        if any(r.is_active for r in self.routers):
+            return True
+        return any(ni.has_pending_tx for ni in self.nis)
+
+    def run_until_drained(self, max_cycles: int = 1_000_000) -> NoCStats:
+        """Step until all traffic is delivered (or the budget runs out)."""
+        while self.has_work:
+            if self.cycle >= max_cycles:
+                raise SimulationTimeout(
+                    f"network not drained after {max_cycles} cycles "
+                    f"({self.stats.packets_delivered} of "
+                    f"{self.stats.packets_injected} packets delivered)"
+                )
+            self.step()
+        return self.stats

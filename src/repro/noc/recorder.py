@@ -1,0 +1,75 @@
+"""Per-outport BT recording, exactly the Fig. 8 scheme.
+
+Every recorded link keeps a ``Flit_pre`` register holding the bits of
+the previous flit that crossed it; each traversal XORs the new flit
+against the register and accumulates the popcount into the NoC-wide
+sum.  Recording is measurement-only — the paper stresses that the flit
+storage and summation are not part of the design overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bits.popcount import popcount
+
+__all__ = ["LinkRecorder", "TransitionLedger"]
+
+
+@dataclass
+class LinkRecorder:
+    """BT recorder for one physical link (one router outport).
+
+    Attributes:
+        name: link label, e.g. "R5.EAST" or "R3.LOCAL".
+        previous: bits of the last flit that crossed ("Flit_pre");
+            None before the first traversal.
+        transitions: accumulated BT count on this link.
+        flits: number of flits that crossed.
+    """
+
+    name: str
+    previous: int | None = None
+    transitions: int = 0
+    flits: int = 0
+
+    def record(self, bits: int) -> int:
+        """Account one flit traversal; returns the BTs it caused."""
+        caused = 0 if self.previous is None else popcount(self.previous ^ bits)
+        self.transitions += caused
+        self.flits += 1
+        self.previous = bits
+        return caused
+
+
+@dataclass
+class TransitionLedger:
+    """NoC-wide aggregation over all link recorders.
+
+    Attributes:
+        recorders: link-name -> recorder.
+    """
+
+    recorders: dict[str, LinkRecorder] = field(default_factory=dict)
+
+    def recorder_for(self, name: str) -> LinkRecorder:
+        """Get (or lazily create) the recorder for a link."""
+        rec = self.recorders.get(name)
+        if rec is None:
+            rec = LinkRecorder(name=name)
+            self.recorders[name] = rec
+        return rec
+
+    @property
+    def total_transitions(self) -> int:
+        """The "NoC Bit Transition Sum" of Fig. 8."""
+        return sum(r.transitions for r in self.recorders.values())
+
+    @property
+    def total_flit_traversals(self) -> int:
+        """Total flit-hops across all recorded links."""
+        return sum(r.flits for r in self.recorders.values())
+
+    def per_link(self) -> dict[str, int]:
+        """Snapshot of per-link BT counts."""
+        return {name: rec.transitions for name, rec in self.recorders.items()}

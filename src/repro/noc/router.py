@@ -1,0 +1,238 @@
+"""Wormhole router with virtual channels and credit-based flow control.
+
+Models the paper's NoC router configuration (Sec. V-B): X-Y routing,
+4 virtual channels per input port with a 4-flit buffer each.  Each
+cycle a router performs, in order:
+
+1. **route computation** for head flits that have none,
+2. **VC allocation** — head flits claim a free downstream VC through a
+   per-outport round-robin arbiter,
+3. **switch allocation + traversal** — each output port grants one
+   (input port, VC) requester with buffer space downstream; the winning
+   flit crosses the link (where the Fig. 8 recorder counts its BTs).
+
+Tail flits release their VC on departure; credits flow back one cycle
+later.  The allocation state (``out_port`` / ``out_vc``) always refers
+to the packet at the head of a VC FIFO, which makes back-to-back
+packets in one buffer safe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.flit import Flit
+from repro.noc.routing import Port, RouteFn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.noc.network import Network
+
+__all__ = ["VCState", "Router", "ProtocolError"]
+
+
+class ProtocolError(RuntimeError):
+    """Raised when the wormhole protocol invariants are violated."""
+
+
+@dataclass
+class VCState:
+    """One virtual-channel input buffer and its head-packet state.
+
+    Attributes:
+        capacity: buffer depth in flits (paper: 4).
+        fifo: buffered flits, head at index 0.
+        out_port: route of the packet currently at the head, if known.
+        out_vc: downstream VC allocated to that packet, if any.
+    """
+
+    capacity: int
+    fifo: deque[Flit] = field(default_factory=deque)
+    out_port: Port | None = None
+    out_vc: int | None = None
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.fifo)
+
+
+class Router:
+    """One mesh router: 5 ports x ``n_vcs`` input VCs."""
+
+    def __init__(
+        self,
+        node_id: int,
+        mesh_width: int,
+        n_vcs: int,
+        vc_depth: int,
+        route_fn: RouteFn,
+    ) -> None:
+        self.node_id = node_id
+        self.mesh_width = mesh_width
+        self.n_vcs = n_vcs
+        self.vc_depth = vc_depth
+        self.route_fn = route_fn
+        self.inputs: dict[Port, list[VCState]] = {
+            port: [VCState(vc_depth) for _ in range(n_vcs)] for port in Port
+        }
+        # Downstream VC bookkeeping per output port: which (in_port, vc)
+        # holds each VC, and how many free downstream buffer slots remain.
+        self.out_holder: dict[Port, list[tuple[Port, int] | None]] = {
+            port: [None] * n_vcs for port in Port
+        }
+        self.credits: dict[Port, list[int]] = {
+            port: [vc_depth] * n_vcs for port in Port if port is not Port.LOCAL
+        }
+        n_requesters = len(Port) * n_vcs
+        self._vc_arbiters = {
+            port: RoundRobinArbiter(n_requesters) for port in Port
+        }
+        self._sw_arbiters = {
+            port: RoundRobinArbiter(n_requesters) for port in Port
+        }
+        self.buffered_flits = 0
+
+    # -- cycle phases -------------------------------------------------
+
+    def allocate(self) -> None:
+        """Phase 1: route computation and VC allocation."""
+        requests: dict[Port, list[int]] = {}
+        for in_port, vcs in self.inputs.items():
+            for vc_idx, state in enumerate(vcs):
+                if not state.fifo:
+                    continue
+                head = state.fifo[0]
+                if state.out_port is None:
+                    if not head.flit_type.is_head:
+                        raise ProtocolError(
+                            f"router {self.node_id}: body/tail flit of packet "
+                            f"{head.packet_id} at VC head without a route"
+                        )
+                    state.out_port = self.route_fn(
+                        self.node_id, head.dst, self.mesh_width
+                    )
+                if state.out_vc is None:
+                    requests.setdefault(state.out_port, []).append(
+                        in_port.value * self.n_vcs + vc_idx
+                    )
+        for out_port, requesters in requests.items():
+            self._grant_vcs(out_port, requesters)
+
+    def _grant_vcs(self, out_port: Port, requesters: list[int]) -> None:
+        """Round-robin grant of free downstream VCs to head packets."""
+        if out_port is Port.LOCAL:
+            # Ejection: the NI sinks flits unconditionally, so every
+            # requester can proceed on a nominal VC 0.
+            for req in requesters:
+                in_port, vc_idx = Port(req // self.n_vcs), req % self.n_vcs
+                self.inputs[in_port][vc_idx].out_vc = 0
+            return
+        free = [
+            v
+            for v in range(self.n_vcs)
+            if self.out_holder[out_port][v] is None
+        ]
+        if not free:
+            return
+        n_requesters = len(Port) * self.n_vcs
+        flags = [False] * n_requesters
+        for req in requesters:
+            flags[req] = True
+        arbiter = self._vc_arbiters[out_port]
+        for out_vc in free:
+            winner = arbiter.pick(flags)
+            if winner is None:
+                break
+            flags[winner] = False
+            in_port, vc_idx = Port(winner // self.n_vcs), winner % self.n_vcs
+            state = self.inputs[in_port][vc_idx]
+            state.out_vc = out_vc
+            self.out_holder[out_port][out_vc] = (in_port, vc_idx)
+
+    def switch_traversal(self, network: "Network") -> None:
+        """Phase 2: switch allocation and link traversal."""
+        # Gather eligible (in_port, vc) requesters per output port once.
+        requests: dict[Port, list[int]] = {}
+        for in_port, vcs in self.inputs.items():
+            for vc_idx, state in enumerate(vcs):
+                if not state.fifo or state.out_vc is None:
+                    continue
+                out_port = state.out_port
+                if out_port is None:
+                    continue
+                if (
+                    out_port is not Port.LOCAL
+                    and self.credits[out_port][state.out_vc] <= 0
+                ):
+                    continue
+                requests.setdefault(out_port, []).append(
+                    in_port.value * self.n_vcs + vc_idx
+                )
+        consumed_inports: set[Port] = set()
+        n_requesters = len(Port) * self.n_vcs
+        for out_port, requesters in requests.items():
+            flags = [False] * n_requesters
+            any_request = False
+            for req in requesters:
+                if Port(req // self.n_vcs) in consumed_inports:
+                    continue
+                flags[req] = True
+                any_request = True
+            if not any_request:
+                continue
+            winner = self._sw_arbiters[out_port].pick(flags)
+            if winner is None:
+                continue
+            in_port, vc_idx = Port(winner // self.n_vcs), winner % self.n_vcs
+            self._traverse(network, in_port, vc_idx, out_port)
+            consumed_inports.add(in_port)
+
+    def _traverse(
+        self, network: "Network", in_port: Port, vc_idx: int, out_port: Port
+    ) -> None:
+        """Move the winning flit across ``out_port``'s link."""
+        state = self.inputs[in_port][vc_idx]
+        flit = state.fifo.popleft()
+        self.buffered_flits -= 1
+        out_vc = state.out_vc
+        if out_vc is None:
+            raise ProtocolError("traversal without an allocated VC")
+        if out_port is not Port.LOCAL:
+            self.credits[out_port][out_vc] -= 1
+            if self.credits[out_port][out_vc] < 0:
+                raise ProtocolError(
+                    f"router {self.node_id} port {out_port.name} "
+                    f"VC {out_vc}: credit underflow"
+                )
+        network.transmit(self, out_port, out_vc, flit)
+        if in_port is not Port.LOCAL:
+            network.queue_credit(self, in_port, vc_idx)
+        if flit.flit_type.is_tail:
+            if out_port is not Port.LOCAL:
+                self.out_holder[out_port][out_vc] = None
+            state.out_port = None
+            state.out_vc = None
+
+    # -- buffer interface (used by the network and the NIs) ------------
+
+    def accept_flit(self, in_port: Port, vc_idx: int, flit: Flit) -> None:
+        """Append an arriving flit to an input VC buffer."""
+        state = self.inputs[in_port][vc_idx]
+        if len(state.fifo) >= state.capacity:
+            raise ProtocolError(
+                f"router {self.node_id} port {in_port.name} VC {vc_idx}: "
+                "buffer overflow (credit protocol violated)"
+            )
+        state.fifo.append(flit)
+        self.buffered_flits += 1
+
+    def local_vc_space(self, vc_idx: int) -> int:
+        """Free slots in the local (injection) input VC buffer."""
+        return self.inputs[Port.LOCAL][vc_idx].free_slots
+
+    @property
+    def is_active(self) -> bool:
+        """True when any input VC holds flits."""
+        return self.buffered_flits > 0

@@ -1,0 +1,118 @@
+"""Routing functions for the 2-D mesh.
+
+The paper's NoC uses dimension-ordered X-Y routing (Sec. V-B), which is
+minimal and deadlock-free on a mesh.  A Y-X variant is provided for
+ablations.  Coordinates are ``(x, y)`` with x growing eastward and y
+growing southward; node ids are ``y * width + x``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+
+__all__ = [
+    "Port",
+    "OPPOSITE",
+    "xy_route",
+    "yx_route",
+    "west_first_route",
+    "routing_by_name",
+]
+
+
+class Port(enum.IntEnum):
+    """Router port directions (LOCAL is the NI port)."""
+
+    LOCAL = 0
+    NORTH = 1  # toward smaller y
+    EAST = 2  # toward larger x
+    SOUTH = 3  # toward larger y
+    WEST = 4  # toward smaller x
+
+
+OPPOSITE: dict[Port, Port] = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+}
+
+RouteFn = Callable[[int, int, int], Port]
+
+
+def xy_route(current: int, dst: int, width: int) -> Port:
+    """Dimension-ordered X-then-Y routing.
+
+    Args:
+        current: id of the router holding the flit.
+        dst: destination node id.
+        width: mesh width (columns).
+
+    Returns:
+        The output port to take; LOCAL when already at the destination.
+    """
+    cx, cy = current % width, current // width
+    dx, dy = dst % width, dst // width
+    if cx < dx:
+        return Port.EAST
+    if cx > dx:
+        return Port.WEST
+    if cy < dy:
+        return Port.SOUTH
+    if cy > dy:
+        return Port.NORTH
+    return Port.LOCAL
+
+
+def yx_route(current: int, dst: int, width: int) -> Port:
+    """Y-then-X variant (ablation; also deadlock-free on a mesh)."""
+    cx, cy = current % width, current // width
+    dx, dy = dst % width, dst // width
+    if cy < dy:
+        return Port.SOUTH
+    if cy > dy:
+        return Port.NORTH
+    if cx < dx:
+        return Port.EAST
+    if cx > dx:
+        return Port.WEST
+    return Port.LOCAL
+
+
+def west_first_route(current: int, dst: int, width: int) -> Port:
+    """West-first turn-model routing (deterministic variant).
+
+    All westward movement happens first; afterwards the packet never
+    turns back west, which breaks the cycles the turn model forbids
+    and keeps the mesh deadlock-free.  Among the remaining minimal
+    directions this variant prefers the Y dimension — giving a
+    different (still minimal) path diversity than X-Y for eastbound
+    traffic.
+    """
+    cx, cy = current % width, current // width
+    dx, dy = dst % width, dst // width
+    if cx > dx:
+        return Port.WEST
+    if cy < dy:
+        return Port.SOUTH
+    if cy > dy:
+        return Port.NORTH
+    if cx < dx:
+        return Port.EAST
+    return Port.LOCAL
+
+
+def routing_by_name(name: str) -> RouteFn:
+    """Look up a routing function ("xy", "yx" or "west_first")."""
+    table: dict[str, RouteFn] = {
+        "xy": xy_route,
+        "yx": yx_route,
+        "west_first": west_first_route,
+    }
+    key = name.strip().lower()
+    if key not in table:
+        raise ValueError(
+            f"unknown routing {name!r}; use 'xy', 'yx' or 'west_first'"
+        )
+    return table[key]

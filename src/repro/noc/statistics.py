@@ -1,0 +1,101 @@
+"""Post-run NoC analysis: per-link loads, BT heat maps, hop profiles.
+
+NocDAS (Fig. 7) emits bit transitions, inference latency and packet
+traffic traces; this module provides the analysis layer over our
+equivalents — turning a finished :class:`~repro.noc.network.Network`
+into per-link tables, per-router aggregates and text heat maps that
+examples and benches can render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.network import Network
+from repro.noc.routing import Port
+from repro.noc.topology import coordinates
+
+__all__ = ["LinkLoad", "link_loads", "router_heatmap", "render_heatmap"]
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Traffic and BT totals of one recorded link.
+
+    Attributes:
+        name: link label ("R5.EAST").
+        router: source router id.
+        port: output port.
+        flits: flit traversals.
+        transitions: accumulated BTs.
+    """
+
+    name: str
+    router: int
+    port: Port
+    flits: int
+    transitions: int
+
+    @property
+    def transitions_per_flit(self) -> float:
+        if self.flits == 0:
+            return 0.0
+        return self.transitions / self.flits
+
+
+def link_loads(network: Network) -> list[LinkLoad]:
+    """Per-link loads of a finished run, busiest first."""
+    loads = []
+    for name, recorder in network.ledger.recorders.items():
+        if not name.startswith("R"):
+            continue  # NI injection recorders are not router outports
+        router_str, port_str = name[1:].split(".")
+        loads.append(
+            LinkLoad(
+                name=name,
+                router=int(router_str),
+                port=Port[port_str],
+                flits=recorder.flits,
+                transitions=recorder.transitions,
+            )
+        )
+    loads.sort(key=lambda l: -l.transitions)
+    return loads
+
+
+def router_heatmap(network: Network, metric: str = "transitions") -> np.ndarray:
+    """Aggregate a per-link metric onto the router grid.
+
+    Args:
+        network: a (finished) network.
+        metric: "transitions" or "flits".
+
+    Returns:
+        shape ``(height, width)`` array: each router's outport totals.
+    """
+    if metric not in ("transitions", "flits"):
+        raise ValueError(f"unknown metric {metric!r}")
+    width = network.config.width
+    height = network.config.height
+    grid = np.zeros((height, width), dtype=np.int64)
+    for load in link_loads(network):
+        x, y = coordinates(load.router, width)
+        grid[y, x] += getattr(load, metric)
+    return grid
+
+
+def render_heatmap(grid: np.ndarray, title: str) -> str:
+    """Render a router-grid metric as an aligned text block."""
+    lines = [title]
+    peak = max(1, int(grid.max()))
+    for row in grid:
+        cells = " ".join(f"{int(v):>10d}" for v in row)
+        bars = " ".join(
+            "#" * max(0, round(9 * int(v) / peak)) + "." * 0
+            if v else "-"
+            for v in row
+        )
+        lines.append(cells + "    | " + bars)
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""2-D mesh topology helpers.
+
+Node ids are row-major: ``node = y * width + x`` with x growing east
+and y growing south, matching :mod:`repro.noc.routing`.
+"""
+
+from __future__ import annotations
+
+from repro.noc.routing import Port
+
+__all__ = [
+    "node_id",
+    "coordinates",
+    "mesh_neighbors",
+    "manhattan_distance",
+    "inter_router_link_count",
+]
+
+
+def node_id(x: int, y: int, width: int) -> int:
+    """Node id of mesh coordinate (x, y)."""
+    if x < 0 or x >= width or y < 0:
+        raise ValueError(f"coordinate ({x}, {y}) outside mesh of width {width}")
+    return y * width + x
+
+
+def coordinates(node: int, width: int) -> tuple[int, int]:
+    """(x, y) of a node id."""
+    if node < 0:
+        raise ValueError(f"negative node id {node}")
+    return node % width, node // width
+
+
+def mesh_neighbors(width: int, height: int) -> dict[int, dict[Port, int]]:
+    """Neighbour map of a width x height mesh.
+
+    Returns:
+        node -> {port -> neighbour node} for the ports that exist
+        (edge routers have fewer neighbours).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError(f"mesh dimensions must be positive, got {width}x{height}")
+    neighbors: dict[int, dict[Port, int]] = {}
+    for y in range(height):
+        for x in range(width):
+            node = node_id(x, y, width)
+            links: dict[Port, int] = {}
+            if y > 0:
+                links[Port.NORTH] = node_id(x, y - 1, width)
+            if y < height - 1:
+                links[Port.SOUTH] = node_id(x, y + 1, width)
+            if x > 0:
+                links[Port.WEST] = node_id(x - 1, y, width)
+            if x < width - 1:
+                links[Port.EAST] = node_id(x + 1, y, width)
+            neighbors[node] = links
+    return neighbors
+
+
+def manhattan_distance(a: int, b: int, width: int) -> int:
+    """Hop count of the minimal route between two nodes."""
+    ax, ay = coordinates(a, width)
+    bx, by = coordinates(b, width)
+    return abs(ax - bx) + abs(ay - by)
+
+
+def inter_router_link_count(width: int, height: int) -> int:
+    """Number of directed inter-router links in the mesh.
+
+    An 8x8 mesh has 112 bidirectional channels (the paper's link-power
+    estimate uses 112); each bidirectional channel is two directed
+    links, and this function counts directed ones over 2 to match the
+    paper's convention.
+    """
+    return (width - 1) * height + (height - 1) * width

@@ -1,0 +1,63 @@
+"""The paper's contribution: '1'-bit count-based transmission ordering."""
+
+from repro.ordering.encodings import (
+    EncodedLinkStream,
+    bus_invert_decode,
+    bus_invert_encode,
+    delta_decode,
+    delta_encode,
+    stream_transitions_with_invert_line,
+)
+from repro.ordering.optimal import (
+    FlitAssignment,
+    all_matchings,
+    exhaustive_best_assignment,
+    interleaved_assignment,
+    pair_product,
+)
+from repro.ordering.proofs import (
+    bubble_to_optimal,
+    verify_global_optimality,
+    verify_pairwise_lemma,
+)
+from repro.ordering.strategies import (
+    FillOrder,
+    OrderedPairs,
+    OrderingMethod,
+    apply_method,
+    deal_into_rows,
+    index_bits_required,
+    order_affiliated,
+    order_baseline,
+    order_separated,
+    sort_by_popcount,
+    undeal_rows,
+)
+
+__all__ = [
+    "EncodedLinkStream",
+    "bus_invert_decode",
+    "bus_invert_encode",
+    "delta_decode",
+    "delta_encode",
+    "stream_transitions_with_invert_line",
+    "FlitAssignment",
+    "all_matchings",
+    "exhaustive_best_assignment",
+    "interleaved_assignment",
+    "pair_product",
+    "bubble_to_optimal",
+    "verify_global_optimality",
+    "verify_pairwise_lemma",
+    "FillOrder",
+    "OrderedPairs",
+    "OrderingMethod",
+    "apply_method",
+    "deal_into_rows",
+    "index_bits_required",
+    "order_affiliated",
+    "order_baseline",
+    "order_separated",
+    "sort_by_popcount",
+    "undeal_rows",
+]

@@ -1,0 +1,142 @@
+"""Classic BT-reduction encodings from the paper's related work.
+
+The paper positions ordering against bus-encoding techniques
+(Sec. II) and names comparing with them as future work.  This module
+implements the two canonical ones so the benchmark suite can stage that
+comparison:
+
+* **Bus-invert coding** (Stan & Burleson [14]): per flit, if
+  transmitting the payload would flip more than half of the link wires,
+  transmit its complement instead and assert one extra *invert* line.
+  Guarantees ≤ W/2 transitions per W-bit link at the cost of one wire.
+* **Delta (XOR-difference) encoding** (Ghosh et al. [15] / Sarman et
+  al. [11] family): transmit ``current XOR previous`` so that
+  low-entropy differences produce few '1' wires; the receiver XORs to
+  recover.  Requires decoder state per link.
+
+Both are *link codings* — they transform the bits on the wire and need
+a decoder — whereas the paper's ordering keeps values intact.  The
+bench `benchmarks/test_future_encodings.py` compares all of them and
+their composition with ordering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.bits.popcount import popcount
+
+__all__ = [
+    "EncodedLinkStream",
+    "bus_invert_encode",
+    "bus_invert_decode",
+    "delta_encode",
+    "delta_decode",
+    "stream_transitions_with_invert_line",
+]
+
+
+@dataclass(frozen=True)
+class EncodedLinkStream:
+    """A payload stream after link encoding.
+
+    Attributes:
+        payloads: per-flit wire images after encoding.
+        invert_flags: bus-invert line per flit (None for codings
+            without an extra line).
+        width: payload width in bits (excluding any invert line).
+    """
+
+    payloads: tuple[int, ...]
+    invert_flags: tuple[bool, ...] | None
+    width: int
+
+
+def bus_invert_encode(
+    payloads: Sequence[int], width: int
+) -> EncodedLinkStream:
+    """Stan-Burleson bus-invert coding over a flit stream.
+
+    The decision compares the would-be transition count of the plain
+    payload against its complement, both measured against the wire
+    state actually transmitted for the previous flit.
+    """
+    mask = (1 << width) - 1
+    wire_prev = 0
+    out: list[int] = []
+    flags: list[bool] = []
+    for payload in payloads:
+        if payload >> width:
+            raise ValueError(f"payload wider than {width} bits")
+        plain_cost = popcount(wire_prev ^ payload)
+        inverted = payload ^ mask
+        invert_cost = popcount(wire_prev ^ inverted)
+        if invert_cost < plain_cost:
+            out.append(inverted)
+            flags.append(True)
+            wire_prev = inverted
+        else:
+            out.append(payload)
+            flags.append(False)
+            wire_prev = payload
+    return EncodedLinkStream(
+        payloads=tuple(out), invert_flags=tuple(flags), width=width
+    )
+
+
+def bus_invert_decode(stream: EncodedLinkStream) -> list[int]:
+    """Recover the original payloads from a bus-invert stream."""
+    if stream.invert_flags is None:
+        raise ValueError("stream carries no invert line")
+    mask = (1 << stream.width) - 1
+    return [
+        payload ^ mask if flag else payload
+        for payload, flag in zip(stream.payloads, stream.invert_flags)
+    ]
+
+
+def delta_encode(payloads: Sequence[int], width: int) -> EncodedLinkStream:
+    """XOR-difference encoding: wire image = current XOR previous."""
+    prev = 0
+    out: list[int] = []
+    for payload in payloads:
+        if payload >> width:
+            raise ValueError(f"payload wider than {width} bits")
+        out.append(payload ^ prev)
+        prev = payload
+    return EncodedLinkStream(
+        payloads=tuple(out), invert_flags=None, width=width
+    )
+
+
+def delta_decode(stream: EncodedLinkStream) -> list[int]:
+    """Recover the original payloads from a delta stream."""
+    prev = 0
+    out: list[int] = []
+    for wire in stream.payloads:
+        prev = prev ^ wire
+        out.append(prev)
+    return out
+
+
+def stream_transitions_with_invert_line(stream: EncodedLinkStream) -> int:
+    """BT count of an encoded stream, charging the invert line too.
+
+    For bus-invert, the extra wire's own transitions count toward the
+    total (the classic accounting of [14]); codings without an invert
+    line are charged on their payload wires only.
+    """
+    total = 0
+    prev_payload: int | None = None
+    prev_flag = False
+    for i, payload in enumerate(stream.payloads):
+        if prev_payload is not None:
+            total += popcount(prev_payload ^ payload)
+        if stream.invert_flags is not None:
+            flag = stream.invert_flags[i]
+            if i > 0 and flag != prev_flag:
+                total += 1
+            prev_flag = flag
+        prev_payload = payload
+    return total

@@ -1,0 +1,129 @@
+"""Machine checks of the paper's inductive proof (Sec. III-B-2).
+
+The proof has two steps:
+
+1. **Local pairwise optimisation** — for any four counts placed as two
+   lanes across two flits, enforcing ``x_i >= y_i >= x_j >= y_j``
+   maximises ``x_i*y_i + x_j*y_j``.  The paper says this "can be easily
+   verified through exhaustive enumeration"; :func:`verify_pairwise_lemma`
+   performs exactly that enumeration.
+2. **Global optimisation** — iterating the pairwise rule converges to
+   the fully interleaved descending ordering.
+   :func:`verify_global_optimality` certifies the claim against the
+   exhaustive matching search for random instances, and
+   :func:`bubble_to_optimal` demonstrates the convergence of repeated
+   local swaps.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement, permutations
+
+import numpy as np
+
+from repro.ordering.optimal import (
+    exhaustive_best_assignment,
+    interleaved_assignment,
+    pair_product,
+)
+
+__all__ = [
+    "verify_pairwise_lemma",
+    "verify_global_optimality",
+    "bubble_to_optimal",
+]
+
+
+def verify_pairwise_lemma(max_count: int = 8) -> bool:
+    """Enumerate all 4-count multisets up to ``max_count``.
+
+    For each multiset {a, b, c, d} and every way to place it as
+    ``(x_i, x_j)`` / ``(y_i, y_j)``, checks that the sorted-interleaved
+    placement achieves the maximal ``x_i*y_i + x_j*y_j``.
+
+    Returns:
+        True when the lemma holds over the whole enumeration (raises
+        AssertionError with a counterexample otherwise).
+    """
+    for multiset in combinations_with_replacement(range(max_count + 1), 4):
+        best_seen = max(
+            p[0] * p[1] + p[2] * p[3] for p in permutations(multiset)
+        )
+        ordered = sorted(multiset, reverse=True)
+        lemma_value = ordered[0] * ordered[1] + ordered[2] * ordered[3]
+        if lemma_value != best_seen:
+            raise AssertionError(
+                f"pairwise lemma fails for counts {multiset}: "
+                f"interleaved gives {lemma_value}, best is {best_seen}"
+            )
+    return True
+
+
+def verify_global_optimality(
+    n_lanes: int,
+    trials: int = 50,
+    max_count: int = 32,
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Compare the count-based ordering to exhaustive search.
+
+    Draws random '1'-count instances of ``2 * n_lanes`` values and
+    checks :func:`interleaved_assignment` attains the same Eq. (4)
+    objective as brute force over all perfect matchings.
+
+    Args:
+        n_lanes: lanes per flit (2N total values); keep <= 6.
+        trials: number of random instances.
+        max_count: counts drawn uniformly from [0, max_count].
+        rng: source of randomness (seeded default for reproducibility).
+    """
+    if rng is None:
+        rng = np.random.default_rng(2025)
+    for _ in range(trials):
+        counts = rng.integers(0, max_count + 1, size=2 * n_lanes).tolist()
+        greedy = interleaved_assignment(counts)
+        brute = exhaustive_best_assignment(counts)
+        if greedy.objective != brute.objective:
+            raise AssertionError(
+                f"global optimality fails for counts {counts}: "
+                f"interleaved {greedy.objective} != brute {brute.objective}"
+            )
+    return True
+
+
+def bubble_to_optimal(counts: list[int], max_rounds: int = 10_000) -> int:
+    """Apply the proof's local rule until convergence; return F.
+
+    Models the inductive step: repeatedly pick lane pairs (i, j) and
+    re-place their four counts in sorted-interleaved order; stop when a
+    full pass makes no improvement.  The fixed point must equal the
+    interleaved assignment's objective.
+
+    Args:
+        counts: even-length list of '1' counts (mutated copy is used).
+        max_rounds: safety bound on full passes.
+
+    Returns:
+        The converged Eq. (4) objective value.
+    """
+    if len(counts) % 2 != 0:
+        raise ValueError("need an even number of counts")
+    n = len(counts) // 2
+    flit1 = list(counts[:n])
+    flit2 = list(counts[n:])
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n):
+            for j in range(i + 1, n):
+                current = flit1[i] * flit2[i] + flit1[j] * flit2[j]
+                four = sorted(
+                    (flit1[i], flit2[i], flit1[j], flit2[j]), reverse=True
+                )
+                best = four[0] * four[1] + four[2] * four[3]
+                if best > current:
+                    flit1[i], flit2[i] = four[0], four[1]
+                    flit1[j], flit2[j] = four[2], four[3]
+                    improved = True
+        if not improved:
+            return pair_product(flit1, flit2)
+    raise RuntimeError("local optimisation did not converge")

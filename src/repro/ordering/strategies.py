@@ -1,0 +1,268 @@
+"""Data transmission ordering strategies (Sec. III-B and IV).
+
+The paper's contribution is a '1'-bit count-based descending ordering of
+the values inside a packet before flitisation.  Three configurations
+are evaluated:
+
+* ``O0`` baseline — values stay in their original order;
+* ``O1`` affiliated-ordering — (input, weight) pairs are permuted
+  together, sorted by the *weight* popcount (Fig. 3a); the pairing is
+  preserved so the MAC result needs no recovery step;
+* ``O2`` separated-ordering — inputs and weights are each sorted by
+  their own popcount (Fig. 3b); a minimal-width permutation index is
+  needed to re-pair them at the PE.
+
+Placement into flits uses the **column-major deal** of the descending
+sequence (Fig. 3): sorted values are dealt round-robin across the
+packet's flits so consecutive flits carry adjacent-popcount values in
+every lane — the generalisation of the proof's interleaved ordering
+``x1 > y1 > x2 > y2 > ...`` beyond two flits.  A row-major fill is kept
+as an ablation option.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.bits.popcount import popcount
+
+__all__ = [
+    "OrderingMethod",
+    "FillOrder",
+    "OrderedPairs",
+    "sort_by_popcount",
+    "order_affiliated",
+    "order_separated",
+    "deal_into_rows",
+    "undeal_rows",
+    "index_bits_required",
+]
+
+
+class OrderingMethod(enum.Enum):
+    """The three configurations of Sec. V-B."""
+
+    BASELINE = "O0"
+    AFFILIATED = "O1"
+    SEPARATED = "O2"
+
+    @classmethod
+    def from_name(cls, name: str) -> "OrderingMethod":
+        """Accept 'O0'/'O1'/'O2' or 'baseline'/'affiliated'/'separated'."""
+        by_value = {m.value: m for m in cls}
+        by_word = {m.name.lower(): m for m in cls}
+        key = name.strip()
+        if key in by_value:
+            return by_value[key]
+        if key.lower() in by_word:
+            return by_word[key.lower()]
+        raise ValueError(f"unknown ordering method {name!r}")
+
+
+class FillOrder(enum.Enum):
+    """How a sorted value sequence is placed into a packet's flits."""
+
+    COLUMN_MAJOR_DEAL = "deal"  # paper's Fig. 3 placement
+    ROW_MAJOR = "row"  # ablation: sequential refill
+
+
+@dataclass(frozen=True)
+class OrderedPairs:
+    """Result of ordering a task's (input, weight) pairs.
+
+    Attributes:
+        inputs: input words after ordering.
+        weights: weight words after ordering.
+        input_perm: ``inputs[i] == original_inputs[input_perm[i]]``.
+        weight_perm: ``weights[i] == original_weights[weight_perm[i]]``.
+        paired: True when position ``i`` of inputs and weights still
+            refers to the same original pair (holds for O0 and O1).
+    """
+
+    inputs: tuple[int, ...]
+    weights: tuple[int, ...]
+    input_perm: tuple[int, ...]
+    weight_perm: tuple[int, ...]
+    paired: bool = field(default=True)
+
+    def recover_pairs(self) -> list[tuple[int, int]]:
+        """Return (input, weight) pairs in the *original* pairing.
+
+        For O0/O1 this is a direct zip; for O2 the permutations are the
+        minimal-width index metadata the paper says the PE needs.
+        """
+        n = len(self.inputs)
+        if len(self.weights) != n:
+            raise ValueError("inputs and weights must have equal length")
+        original_inputs: list[int | None] = [None] * n
+        original_weights: list[int | None] = [None] * n
+        for pos, src in enumerate(self.input_perm):
+            original_inputs[src] = self.inputs[pos]
+        for pos, src in enumerate(self.weight_perm):
+            original_weights[src] = self.weights[pos]
+        if any(v is None for v in original_inputs + original_weights):
+            raise ValueError("permutations are not bijective")
+        return list(zip(original_inputs, original_weights))  # type: ignore[arg-type]
+
+
+def sort_by_popcount(
+    words: Sequence[int], descending: bool = True
+) -> tuple[list[int], list[int]]:
+    """Stable sort of words by '1'-bit count.
+
+    Args:
+        words: unsigned word values.
+        descending: paper default; ``False`` gives the ascending
+            ablation variant.
+
+    Returns:
+        ``(sorted_words, perm)`` with ``sorted_words[i] == words[perm[i]]``.
+    """
+    counts = [popcount(int(w)) for w in words]
+    sign = -1 if descending else 1
+    perm = sorted(range(len(words)), key=lambda i: (sign * counts[i], i))
+    return [int(words[i]) for i in perm], perm
+
+
+def order_affiliated(
+    inputs: Sequence[int], weights: Sequence[int]
+) -> OrderedPairs:
+    """Affiliated-ordering (O1): sort pairs by weight popcount.
+
+    The same permutation is applied to inputs and weights, so pairing is
+    preserved and no recovery metadata is needed (Fig. 5's order
+    invariance of convolution).
+    """
+    _check_equal_length(inputs, weights)
+    ordered_weights, perm = sort_by_popcount(weights)
+    ordered_inputs = [int(inputs[i]) for i in perm]
+    return OrderedPairs(
+        inputs=tuple(ordered_inputs),
+        weights=tuple(ordered_weights),
+        input_perm=tuple(perm),
+        weight_perm=tuple(perm),
+        paired=True,
+    )
+
+
+def order_separated(
+    inputs: Sequence[int], weights: Sequence[int]
+) -> OrderedPairs:
+    """Separated-ordering (O2): sort inputs and weights independently."""
+    _check_equal_length(inputs, weights)
+    ordered_weights, weight_perm = sort_by_popcount(weights)
+    ordered_inputs, input_perm = sort_by_popcount(inputs)
+    return OrderedPairs(
+        inputs=tuple(ordered_inputs),
+        weights=tuple(ordered_weights),
+        input_perm=tuple(input_perm),
+        weight_perm=tuple(weight_perm),
+        paired=False,
+    )
+
+
+def order_baseline(
+    inputs: Sequence[int], weights: Sequence[int]
+) -> OrderedPairs:
+    """O0: identity ordering (original arrival order)."""
+    _check_equal_length(inputs, weights)
+    n = len(inputs)
+    return OrderedPairs(
+        inputs=tuple(int(v) for v in inputs),
+        weights=tuple(int(v) for v in weights),
+        input_perm=tuple(range(n)),
+        weight_perm=tuple(range(n)),
+        paired=True,
+    )
+
+
+def apply_method(
+    method: OrderingMethod, inputs: Sequence[int], weights: Sequence[int]
+) -> OrderedPairs:
+    """Dispatch to the ordering implementation for ``method``."""
+    if method is OrderingMethod.BASELINE:
+        return order_baseline(inputs, weights)
+    if method is OrderingMethod.AFFILIATED:
+        return order_affiliated(inputs, weights)
+    if method is OrderingMethod.SEPARATED:
+        return order_separated(inputs, weights)
+    raise ValueError(f"unhandled ordering method {method}")
+
+
+def deal_into_rows(
+    values: Sequence[int],
+    n_rows: int,
+    fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL,
+) -> list[list[int]]:
+    """Place a value sequence into ``n_rows`` flit rows.
+
+    With the column-major deal (paper), element ``k`` of the sequence
+    lands in row ``k % n_rows``, lane ``k // n_rows``; consecutive rows
+    therefore hold adjacent elements of the sequence in each lane.  Row
+    lengths differ by at most one when the sequence does not divide
+    evenly.
+
+    Args:
+        values: the (typically popcount-sorted) value sequence.
+        n_rows: number of flits in the packet.
+        fill: deal (default) or row-major ablation.
+
+    Returns:
+        ``n_rows`` lists of values.
+    """
+    if n_rows <= 0:
+        raise ValueError(f"n_rows must be positive, got {n_rows}")
+    rows: list[list[int]] = [[] for _ in range(n_rows)]
+    if fill is FillOrder.COLUMN_MAJOR_DEAL:
+        for k, v in enumerate(values):
+            rows[k % n_rows].append(int(v))
+    elif fill is FillOrder.ROW_MAJOR:
+        per_row = -(-len(values) // n_rows)  # ceil division
+        for k, v in enumerate(values):
+            rows[k // per_row].append(int(v))
+    else:
+        raise ValueError(f"unhandled fill order {fill}")
+    return rows
+
+
+def undeal_rows(
+    rows: Sequence[Sequence[int]],
+    fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL,
+) -> list[int]:
+    """Inverse of :func:`deal_into_rows`: recover the flat sequence."""
+    if fill is FillOrder.ROW_MAJOR:
+        return [int(v) for row in rows for v in row]
+    if fill is not FillOrder.COLUMN_MAJOR_DEAL:
+        raise ValueError(f"unhandled fill order {fill}")
+    total = sum(len(row) for row in rows)
+    out: list[int | None] = [None] * total
+    n_rows = len(rows)
+    for r, row in enumerate(rows):
+        for lane, v in enumerate(row):
+            out[lane * n_rows + r] = int(v)
+    if any(v is None for v in out):
+        raise ValueError("rows are not a valid deal layout")
+    return out  # type: ignore[return-value]
+
+
+def index_bits_required(n_values: int) -> int:
+    """Minimal index width for separated-ordering recovery metadata.
+
+    The paper notes O2 needs "just a minimal-bit-width index"; for a
+    task of N pairs each index needs ``ceil(log2 N)`` bits.
+    """
+    if n_values <= 0:
+        raise ValueError(f"n_values must be positive, got {n_values}")
+    if n_values == 1:
+        return 0
+    return (n_values - 1).bit_length()
+
+
+def _check_equal_length(inputs: Sequence[int], weights: Sequence[int]) -> None:
+    if len(inputs) != len(weights):
+        raise ValueError(
+            f"inputs ({len(inputs)}) and weights ({len(weights)}) "
+            "must have equal length"
+        )

@@ -1,0 +1,41 @@
+"""Workload generation: weight streams and no-NoC packet experiments."""
+
+from repro.workloads.packets import (
+    ComparisonMode,
+    OrderingScope,
+    PacketStream,
+    StreamResult,
+    build_packets,
+    measure_stream,
+    ones_count_grid,
+)
+from repro.workloads.traces import (
+    TraceCollector,
+    TrafficTrace,
+    reencode_transitions,
+)
+from repro.workloads.streams import (
+    model_weight_values,
+    random_weights,
+    trained_lenet_model,
+    trained_lenet_weights,
+    words_for_format,
+)
+
+__all__ = [
+    "ComparisonMode",
+    "OrderingScope",
+    "PacketStream",
+    "StreamResult",
+    "build_packets",
+    "measure_stream",
+    "ones_count_grid",
+    "model_weight_values",
+    "random_weights",
+    "trained_lenet_model",
+    "trained_lenet_weights",
+    "words_for_format",
+    "TraceCollector",
+    "TrafficTrace",
+    "reencode_transitions",
+]

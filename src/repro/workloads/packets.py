@@ -1,0 +1,260 @@
+"""The no-NoC packet-stream experiment (Sec. V-A, Table I, Fig. 9).
+
+10 000 packets are generated from real weights.  Following Fig. 2, a
+packet carries one *kernel* worth of weights (25 for LeNet's 5x5
+kernels), zero-padded up to a whole number of flits ("zeros are padded
+when the weight's kernel size doesn't exactly match the flit size").
+BTs are measured between consecutive flits of the stream — wormhole
+switching keeps a packet's flits contiguous on a link.
+
+Ordering sorts values by '1'-bit count descending.  The *scope* of the
+sort matters (DESIGN.md §6):
+
+* ``STREAM`` — one global sort over the whole stream, producing the
+  monotone count descent of Fig. 9 (padded zeros gather into zero
+  flits at the tail).  This is the Table I configuration.
+* ``WINDOW`` — sort within fixed windows of packets, modelling a
+  finite ordering-unit buffer.
+* ``PACKET`` — sort each packet independently (the granularity the
+  with-NoC ordering units use).
+
+Alternative comparison modes quantify how much of the win depends on
+stream locality (random flit pairs erase it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits.popcount import popcount_array
+from repro.bits.transitions import transition_matrix
+
+__all__ = [
+    "ComparisonMode",
+    "OrderingScope",
+    "PacketStream",
+    "StreamResult",
+    "build_packets",
+    "measure_stream",
+    "ones_count_grid",
+]
+
+
+class ComparisonMode(enum.Enum):
+    """How flit pairs are chosen for BT measurement."""
+
+    STREAM = "stream"  # consecutive flits of the full stream (default)
+    RANDOM_PAIRS = "random_pairs"  # random flit pairs (ablation)
+    INTRA_PACKET = "intra_packet"  # consecutive flits within packets only
+
+
+class OrderingScope(enum.Enum):
+    """How far the '1'-count sort reaches."""
+
+    PACKET = "packet"
+    WINDOW = "window"
+    STREAM = "stream"
+
+
+@dataclass(frozen=True)
+class PacketStream:
+    """A generated flit stream.
+
+    Attributes:
+        flits: shape ``(n_flits, values_per_flit)`` unsigned word
+            matrix, in link order.
+        flits_per_packet: packet length in flits.
+        word_width: lane width in bits.
+    """
+
+    flits: np.ndarray
+    flits_per_packet: int
+    word_width: int
+
+    @property
+    def values_per_flit(self) -> int:
+        return int(self.flits.shape[1])
+
+    @property
+    def flit_bits(self) -> int:
+        return self.values_per_flit * self.word_width
+
+    @property
+    def n_flits(self) -> int:
+        return int(self.flits.shape[0])
+
+    @property
+    def n_packets(self) -> int:
+        return self.n_flits // self.flits_per_packet
+
+    def payload_ints(self) -> list[int]:
+        """Per-flit payload integers (lane 0 in the low bits)."""
+        out = []
+        for row in self.flits:
+            payload = 0
+            for lane, word in enumerate(row):
+                payload |= int(word) << (lane * self.word_width)
+            out.append(payload)
+        return out
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """BT measurement of one stream.
+
+    Attributes:
+        total_transitions: BTs summed over all compared pairs.
+        comparisons: number of flit pairs compared.
+    """
+
+    total_transitions: int
+    comparisons: int
+
+    @property
+    def bt_per_flit(self) -> float:
+        """Mean BTs per comparison — the Table I metric."""
+        if self.comparisons == 0:
+            return 0.0
+        return self.total_transitions / self.comparisons
+
+
+def build_packets(
+    words: np.ndarray,
+    n_packets: int,
+    values_per_flit: int,
+    word_width: int,
+    kernel_size: int | None = None,
+    flits_per_packet: int | None = None,
+    ordered: bool = False,
+    scope: OrderingScope = OrderingScope.STREAM,
+    window_packets: int = 32,
+    rng: np.random.Generator | None = None,
+) -> PacketStream:
+    """Assemble a packet stream from a weight-word pool.
+
+    Args:
+        words: wire-word pool (cycled when shorter than the demand).
+        n_packets: packets to build (paper: 10 000).
+        values_per_flit: lanes per flit (paper: 8).
+        word_width: lane width (32 or 8).
+        kernel_size: real weights per packet before zero padding
+            (paper/Fig. 2: 25).  Defaults to filling the packet.
+        flits_per_packet: packet length; defaults to the smallest
+            number of flits that holds ``kernel_size`` values.
+        ordered: apply the '1'-count descending ordering.
+        scope: sort reach (stream = Table I default).
+        window_packets: window size for ``OrderingScope.WINDOW``.
+        rng: when given, randomises each packet's starting offset in
+            the pool (otherwise packets tile the pool sequentially).
+    """
+    if n_packets <= 0 or values_per_flit <= 0:
+        raise ValueError("stream geometry must be positive")
+    pool = np.asarray(words).reshape(-1)
+    if pool.dtype.kind != "u":
+        raise ValueError(f"expected unsigned words, got {pool.dtype}")
+    if pool.size == 0:
+        raise ValueError("empty word pool")
+    if kernel_size is None:
+        if flits_per_packet is None:
+            flits_per_packet = 4
+        kernel_size = values_per_flit * flits_per_packet
+    if kernel_size <= 0:
+        raise ValueError("kernel_size must be positive")
+    if flits_per_packet is None:
+        flits_per_packet = -(-kernel_size // values_per_flit)
+    slots = flits_per_packet * values_per_flit
+    if kernel_size > slots:
+        raise ValueError(
+            f"kernel of {kernel_size} values does not fit "
+            f"{flits_per_packet} flits of {values_per_flit}"
+        )
+    # Draw kernel_size consecutive words per packet, zero-pad to slots.
+    data = np.zeros((n_packets, slots), dtype=pool.dtype)
+    if rng is None:
+        starts = (np.arange(n_packets) * kernel_size) % pool.size
+    else:
+        starts = rng.integers(0, pool.size, size=n_packets)
+    offsets = np.arange(kernel_size)
+    indices = (starts[:, None] + offsets[None, :]) % pool.size
+    data[:, :kernel_size] = pool[indices]
+
+    if ordered:
+        data = _apply_ordering(data, scope, window_packets)
+    flits = data.reshape(n_packets * flits_per_packet, values_per_flit)
+    return PacketStream(
+        flits=flits,
+        flits_per_packet=flits_per_packet,
+        word_width=word_width,
+    )
+
+
+def _apply_ordering(
+    data: np.ndarray, scope: OrderingScope, window_packets: int
+) -> np.ndarray:
+    """Sort slot values by popcount descending at the requested scope.
+
+    Sorting is stable so equal-count values keep their arrival order,
+    matching :func:`repro.ordering.strategies.sort_by_popcount`.
+    """
+    if scope is OrderingScope.PACKET:
+        counts = popcount_array(data)
+        order = np.argsort(-counts.astype(np.int64), axis=1, kind="stable")
+        return np.take_along_axis(data, order, axis=1)
+    if scope is OrderingScope.STREAM:
+        flat = data.reshape(-1)
+        counts = popcount_array(flat)
+        order = np.argsort(-counts.astype(np.int64), kind="stable")
+        return flat[order].reshape(data.shape)
+    if scope is OrderingScope.WINDOW:
+        if window_packets <= 0:
+            raise ValueError("window_packets must be positive")
+        out = data.copy()
+        for start in range(0, data.shape[0], window_packets):
+            chunk = out[start : start + window_packets].reshape(-1)
+            counts = popcount_array(chunk)
+            order = np.argsort(-counts.astype(np.int64), kind="stable")
+            out[start : start + window_packets] = chunk[order].reshape(
+                out[start : start + window_packets].shape
+            )
+        return out
+    raise ValueError(f"unhandled ordering scope {scope}")
+
+
+def measure_stream(
+    stream: PacketStream,
+    mode: ComparisonMode = ComparisonMode.STREAM,
+    rng: np.random.Generator | None = None,
+    n_random_pairs: int | None = None,
+) -> StreamResult:
+    """Measure BTs over a stream under a comparison mode."""
+    flits = stream.flits
+    if mode is ComparisonMode.STREAM:
+        bts = transition_matrix(flits)
+        return StreamResult(int(bts.sum()), int(bts.size))
+    if mode is ComparisonMode.INTRA_PACKET:
+        fpp = stream.flits_per_packet
+        total = 0
+        comparisons = 0
+        for start in range(0, stream.n_flits, fpp):
+            bts = transition_matrix(flits[start : start + fpp])
+            total += int(bts.sum())
+            comparisons += int(bts.size)
+        return StreamResult(total, comparisons)
+    if mode is ComparisonMode.RANDOM_PAIRS:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        n = n_random_pairs or stream.n_flits
+        idx_a = rng.integers(0, stream.n_flits, size=n)
+        idx_b = rng.integers(0, stream.n_flits, size=n)
+        xored = flits[idx_a] ^ flits[idx_b]
+        total = int(popcount_array(xored).sum())
+        return StreamResult(total, n)
+    raise ValueError(f"unhandled comparison mode {mode}")
+
+
+def ones_count_grid(stream: PacketStream) -> np.ndarray:
+    """Per-flit, per-lane '1'-bit counts — the Fig. 9 visualisation."""
+    return popcount_array(stream.flits).astype(np.int64)

@@ -1,0 +1,122 @@
+"""Weight/value streams for the no-NoC experiments (Sec. V-A).
+
+Table I distinguishes four payload sources: random vs trained weights,
+each in float-32 or fixed-8.  This module produces those value streams:
+
+* :func:`random_weights` — the "randomly initialised" configuration
+  (Kaiming-style uniform fan-in init, the stock initialisation of the
+  mini framework).
+* :func:`trained_lenet_weights` — trains LeNet on the synthetic digit
+  task (the documented MNIST substitute) and concatenates all conv /
+  linear weights.  Cached per (seed, epochs) because training is by
+  far the slowest step of the no-NoC benches.
+* :func:`words_for_format` — value stream -> wire words in either
+  format (fixed-8 uses symmetric per-tensor quantisation).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bits.formats import DataFormat, Float32Format
+from repro.dnn.datasets import synthetic_digits
+from repro.dnn.models import LeNet5, ModelSpec
+from repro.dnn.quantize import quantize_symmetric
+from repro.dnn.training import train_classifier
+
+__all__ = [
+    "random_weights",
+    "model_weight_values",
+    "trained_lenet_weights",
+    "words_for_format",
+]
+
+
+def random_weights(n: int, seed: int = 3, fan_in: int = 25) -> np.ndarray:
+    """Randomly initialised weights (uniform Kaiming bound for fan_in)."""
+    if n <= 0:
+        raise ValueError("need a positive number of weights")
+    rng = np.random.default_rng(seed)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=n)
+
+
+def model_weight_values(model: ModelSpec) -> np.ndarray:
+    """All conv/linear weight scalars of a model, concatenated."""
+    chunks = [
+        layer.weight.value.reshape(-1)
+        for _, layer in model.weighted_layers()
+    ]
+    if not chunks:
+        raise ValueError("model has no weighted layers")
+    return np.concatenate(chunks)
+
+
+@lru_cache(maxsize=4)
+def _trained_lenet_cached(
+    seed: int, epochs: int, n_samples: int, weight_decay: float
+) -> tuple[ModelSpec, float]:
+    """Train LeNet once per configuration; returns (model, final_loss)."""
+    rng = np.random.default_rng(seed)
+    model = LeNet5(rng=rng)
+    dataset = synthetic_digits(n_samples, seed=seed)
+    report = train_classifier(
+        model,
+        dataset,
+        epochs=epochs,
+        batch_size=32,
+        lr=0.05,
+        weight_decay=weight_decay,
+        seed=seed,
+    )
+    return model, report.final_loss
+
+
+def trained_lenet_weights(
+    seed: int = 3,
+    epochs: int = 4,
+    n_samples: int = 768,
+    weight_decay: float = 2e-3,
+) -> np.ndarray:
+    """Weights of a LeNet trained on the synthetic digit task.
+
+    The default regime (4 epochs, mild weight decay) drives the weight
+    distribution toward the small-magnitude profile of converged
+    training runs — the statistics Table I's "trained" rows measure.
+    """
+    model, _ = _trained_lenet_cached(seed, epochs, n_samples, weight_decay)
+    return model_weight_values(model)
+
+
+def trained_lenet_model(
+    seed: int = 3,
+    epochs: int = 4,
+    n_samples: int = 768,
+    weight_decay: float = 2e-3,
+) -> ModelSpec:
+    """The trained LeNet itself (for the with-NoC trained configs)."""
+    model, _ = _trained_lenet_cached(seed, epochs, n_samples, weight_decay)
+    return model
+
+
+def words_for_format(
+    values: np.ndarray, data_format: str
+) -> tuple[np.ndarray, DataFormat]:
+    """Convert real values to wire words in the requested format.
+
+    Returns:
+        (words, format): unsigned word array plus the codec that
+        produced it (fixed-8 carries its per-tensor scale).
+    """
+    if data_format == "float32":
+        fmt: DataFormat = Float32Format()
+        return fmt.encode(values), fmt
+    if data_format == "fixed8":
+        quant = quantize_symmetric(values)
+        from repro.bits.formats import Fixed8Format
+
+        fmt = Fixed8Format(scale=quant.scale)
+        return quant.words(), fmt
+    raise ValueError(f"unknown data format {data_format!r}")

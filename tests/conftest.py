@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.datasets import synthetic_digits
+from repro.dnn.models import LeNet5
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_lenet() -> LeNet5:
+    """An untrained LeNet with a fixed seed."""
+    return LeNet5(rng=np.random.default_rng(42))
+
+
+@pytest.fixture(scope="session")
+def digit_image() -> np.ndarray:
+    """One 32x32x1 sample image."""
+    return synthetic_digits(1, seed=9).images[0]

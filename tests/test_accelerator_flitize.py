@@ -1,0 +1,176 @@
+"""Tests for repro.accelerator.flitize (the Fig. 2 packet layout)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.flitize import TaskCodec
+from repro.bits.packing import unpack_words
+from repro.bits.popcount import popcount
+from repro.ordering.strategies import FillOrder, OrderingMethod
+
+
+def codec32() -> TaskCodec:
+    return TaskCodec(values_per_flit=16, word_width=32)
+
+
+def codec8() -> TaskCodec:
+    return TaskCodec(values_per_flit=16, word_width=8)
+
+
+words32 = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=60
+)
+
+
+class TestFlitCount:
+    def test_lenet_conv1_task_is_four_flits(self):
+        # Fig. 2: 25 inputs + 25 weights + bias -> 4 flits of 8+8.
+        assert codec32().data_flit_count(25) == 4
+
+    def test_exact_fill_needs_extra_flit_for_bias(self):
+        # 8 pairs fill one flit exactly; the bias forces a second.
+        assert codec32().data_flit_count(8) == 2
+
+    def test_seven_pairs_plus_bias_fit_one_flit(self):
+        assert codec32().data_flit_count(7) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            codec32().data_flit_count(0)
+
+
+class TestEncoding:
+    def test_payload_widths(self):
+        codec = codec32()
+        enc = codec.encode([1] * 25, [2] * 25, 3, OrderingMethod.BASELINE)
+        assert len(enc.payloads) == 4
+        for p in enc.payloads:
+            assert p < (1 << 512)
+
+    def test_baseline_rowmajor_matches_fig2(self):
+        # Row-major baseline: flit 0 = inputs 0-7 | weights 0-7 and the
+        # last flit holds the remaining pair, the bias and zeros.
+        codec = codec32()
+        inputs = list(range(100, 125))
+        weights = list(range(200, 225))
+        enc = codec.encode(
+            inputs, weights, 999, OrderingMethod.BASELINE, FillOrder.ROW_MAJOR
+        )
+        lanes0 = unpack_words(enc.payloads[0], 32, 16)
+        assert lanes0[:8] == inputs[:8]
+        assert lanes0[8:] == weights[:8]
+        lanes3 = unpack_words(enc.payloads[3], 32, 16)
+        assert lanes3[0] == inputs[24]
+        assert lanes3[8] == weights[24]
+        assert lanes3[15] == 999  # bias in the last weight lane
+        assert lanes3[1:8] == [0] * 7  # padded zeros
+
+    def test_bias_always_in_last_lane(self):
+        codec = codec32()
+        for method in OrderingMethod:
+            for fill in FillOrder:
+                enc = codec.encode([5] * 10, [6] * 10, 777, method, fill)
+                last = unpack_words(enc.payloads[-1], 32, 16)
+                assert last[15] == 777
+
+    def test_affiliated_weight_half_descending_with_deal(self):
+        codec = codec32()
+        rng = np.random.default_rng(0)
+        weights = [int(w) for w in rng.integers(0, 2**32, size=25)]
+        inputs = list(range(25))
+        enc = codec.encode(inputs, weights, 0, OrderingMethod.AFFILIATED)
+        # Under the column-major deal, reading lane-major across flits
+        # recovers the descending-count sequence.
+        per_flit = [unpack_words(p, 32, 16) for p in enc.payloads]
+        seq = []
+        for lane in range(8):
+            for flit in per_flit:
+                seq.append(flit[8 + lane])
+        seq = seq[:-1]  # drop the bias slot
+        counts = [popcount(w) for w in seq]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            codec32().encode([1], [1, 2], 0, OrderingMethod.BASELINE)
+
+
+class TestRoundTrip:
+    @settings(deadline=None)
+    @given(words32, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_all_methods_recover_original_pairs(self, weights, bias):
+        codec = codec32()
+        inputs = list(reversed(weights))
+        for method in OrderingMethod:
+            enc = codec.encode(inputs, weights, bias, method)
+            dec = codec.decode(enc)
+            assert dec.bias == bias
+            assert dec.original_pairs() == list(zip(inputs, weights))
+
+    @given(words32)
+    def test_row_major_round_trip(self, weights):
+        codec = codec32()
+        inputs = [w ^ 0xFFFF for w in weights]
+        for method in OrderingMethod:
+            enc = codec.encode(
+                inputs, weights, 42, method, FillOrder.ROW_MAJOR
+            )
+            dec = codec.decode(enc)
+            assert dec.original_pairs() == list(zip(inputs, weights))
+
+    def test_fixed8_round_trip(self):
+        codec = codec8()
+        inputs = [3, 0, 255, 17, 128]
+        weights = [255, 1, 0, 90, 45]
+        for method in OrderingMethod:
+            enc = codec.encode(inputs, weights, 77, method)
+            dec = codec.decode(enc)
+            assert dec.original_pairs() == list(zip(inputs, weights))
+            assert dec.bias == 77
+
+
+class TestPaddingBehaviour:
+    def test_ordered_padding_groups_at_tail_of_sequence(self):
+        # After O1 ordering, the padded zero-pairs sit at the end of
+        # the transmitted sequence (lowest '1' counts).
+        codec = codec32()
+        weights = [0xFFFFFFFF] * 5
+        inputs = [1] * 5
+        enc = codec.encode(inputs, weights, 0, OrderingMethod.AFFILIATED)
+        dec = codec.decode(enc)
+        # Transmitted weights: 5 real then padding zeros.
+        assert all(w == 0xFFFFFFFF for w in dec.weights[:5])
+        assert all(w == 0 for w in dec.weights[5:])
+
+    def test_baseline_padding_in_tail_flit(self):
+        codec = codec32()
+        enc = codec.encode(
+            [7] * 9, [9] * 9, 1, OrderingMethod.BASELINE, FillOrder.ROW_MAJOR
+        )
+        # 9 pairs + bias -> 2 flits; flit 1 holds pair 8, bias, zeros.
+        lanes1 = unpack_words(enc.payloads[1], 32, 16)
+        assert lanes1[0] == 7
+        assert lanes1[8] == 9
+        assert lanes1[1:8] == [0] * 7
+
+
+class TestIndexPayload:
+    def test_separated_adds_index_flits(self):
+        plain = TaskCodec(16, 32, include_index_payload=False)
+        banded = TaskCodec(16, 32, include_index_payload=True)
+        weights = list(np.random.default_rng(1).integers(0, 2**32, size=25))
+        weights = [int(w) for w in weights]
+        inputs = [int(w) for w in
+                  np.random.default_rng(2).integers(0, 2**32, size=25)]
+        enc_plain = plain.encode(inputs, weights, 0, OrderingMethod.SEPARATED)
+        enc_band = banded.encode(inputs, weights, 0, OrderingMethod.SEPARATED)
+        assert len(enc_band.payloads) > len(enc_plain.payloads)
+
+    def test_affiliated_needs_no_index_flits(self):
+        banded = TaskCodec(16, 32, include_index_payload=True)
+        enc = banded.encode([1] * 25, [2] * 25, 0, OrderingMethod.AFFILIATED)
+        assert len(enc.payloads) == enc.n_data_flits

@@ -1,0 +1,67 @@
+"""Tests for repro.accelerator.mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.mapping import make_placement
+from repro.noc.topology import coordinates
+
+
+class TestMakePlacement:
+    def test_paper_4x4_mc2_layout(self):
+        # Fig. 6: the two MCs sit at the row-2 edge routers (8 and 11).
+        placement = make_placement(4, 4, 2)
+        assert placement.mc_nodes == (8, 11)
+
+    def test_pe_mc_partition(self):
+        placement = make_placement(4, 4, 2)
+        assert len(placement.pe_nodes) == 14
+        assert set(placement.pe_nodes) & set(placement.mc_nodes) == set()
+        assert len(placement.pe_nodes) + len(placement.mc_nodes) == 16
+
+    def test_8x8_mc_counts(self):
+        for n_mcs in (4, 8):
+            placement = make_placement(8, 8, n_mcs)
+            assert len(placement.mc_nodes) == n_mcs
+            assert len(placement.pe_nodes) == 64 - n_mcs
+
+    def test_mcs_on_edge_columns(self):
+        for n_mcs in (2, 4, 8):
+            placement = make_placement(8, 8, n_mcs)
+            for mc in placement.mc_nodes:
+                x, _ = coordinates(mc, 8)
+                assert x in (0, 7)
+
+    def test_serving_mc_is_nearest(self):
+        from repro.noc.topology import manhattan_distance
+
+        placement = make_placement(4, 4, 2)
+        for pe in placement.pe_nodes:
+            serving = placement.serving_mc[pe]
+            best = min(
+                manhattan_distance(pe, mc, 4) for mc in placement.mc_nodes
+            )
+            assert manhattan_distance(pe, serving, 4) == best
+
+    def test_every_pe_served(self):
+        placement = make_placement(8, 8, 4)
+        assert set(placement.serving_mc) == set(placement.pe_nodes)
+
+    def test_round_robin_task_assignment(self):
+        placement = make_placement(4, 4, 2)
+        n = len(placement.pe_nodes)
+        assert placement.pe_for_task(0) == placement.pe_nodes[0]
+        assert placement.pe_for_task(n) == placement.pe_nodes[0]
+        assert placement.pe_for_task(n + 1) == placement.pe_nodes[1]
+
+    def test_too_many_mcs(self):
+        with pytest.raises(ValueError):
+            make_placement(2, 2, 4)
+
+    def test_distinct_mc_nodes(self):
+        placement = make_placement(4, 4, 8)
+        assert len(set(placement.mc_nodes)) == 8
+
+    def test_deterministic(self):
+        assert make_placement(8, 8, 4) == make_placement(8, 8, 4)

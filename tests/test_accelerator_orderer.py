@@ -1,0 +1,104 @@
+"""Tests for repro.accelerator.orderer and config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig, link_width_for
+from repro.accelerator.flitize import TaskCodec
+from repro.accelerator.orderer import OrderingLatencyModel, OrderingUnit
+from repro.ordering.strategies import FillOrder, OrderingMethod
+
+
+class TestLatencyModel:
+    def test_popcount_stages_log2(self):
+        assert OrderingLatencyModel(32).popcount_cycles() == 5
+        assert OrderingLatencyModel(8).popcount_cycles() == 3
+
+    def test_sort_is_linear_passes(self):
+        model = OrderingLatencyModel(8)
+        assert model.sort_cycles(16) == 16
+
+    def test_baseline_is_free(self):
+        model = OrderingLatencyModel(8)
+        assert model.task_cycles(25, OrderingMethod.BASELINE) == 0
+
+    def test_separated_doubles_affiliated(self):
+        # The paper: the unit serves separated-ordering "with double
+        # time consumption".
+        model = OrderingLatencyModel(8)
+        o1 = model.task_cycles(25, OrderingMethod.AFFILIATED)
+        o2 = model.task_cycles(25, OrderingMethod.SEPARATED)
+        assert o2 == 2 * o1
+
+
+class TestOrderingUnit:
+    def test_baseline_forces_row_major(self):
+        codec = TaskCodec(16, 32)
+        unit = OrderingUnit(codec, OrderingMethod.BASELINE)
+        assert unit.fill is FillOrder.ROW_MAJOR
+
+    def test_ordered_methods_keep_deal(self):
+        codec = TaskCodec(16, 32)
+        unit = OrderingUnit(codec, OrderingMethod.AFFILIATED)
+        assert unit.fill is FillOrder.COLUMN_MAJOR_DEAL
+
+    def test_latency_disabled_by_default(self):
+        codec = TaskCodec(16, 32)
+        unit = OrderingUnit(codec, OrderingMethod.SEPARATED)
+        _, delay = unit.encode([1] * 5, [2] * 5, 0)
+        assert delay == 0
+
+    def test_latency_reported_when_enabled(self):
+        codec = TaskCodec(16, 32)
+        unit = OrderingUnit(
+            codec, OrderingMethod.SEPARATED, model_latency=True
+        )
+        _, delay = unit.encode([1] * 5, [2] * 5, 0)
+        assert delay > 0
+        assert unit.total_latency_cycles == delay
+
+    def test_task_counter(self):
+        codec = TaskCodec(16, 32)
+        unit = OrderingUnit(codec, OrderingMethod.AFFILIATED)
+        for _ in range(3):
+            unit.encode([1], [2], 0)
+        assert unit.tasks_ordered == 3
+
+
+class TestAcceleratorConfig:
+    def test_link_width_for(self):
+        assert link_width_for("float32") == 512
+        assert link_width_for("fixed8") == 128
+        with pytest.raises(ValueError):
+            link_width_for("int4")
+
+    def test_derived_widths(self):
+        cfg = AcceleratorConfig(data_format="float32")
+        assert cfg.word_width == 32
+        assert cfg.link_width == 512
+        assert cfg.pairs_per_flit == 8
+        cfg8 = AcceleratorConfig(data_format="fixed8")
+        assert cfg8.link_width == 128
+
+    def test_noc_config_propagation(self):
+        cfg = AcceleratorConfig(width=8, height=8, n_mcs=4)
+        noc = cfg.noc_config()
+        assert noc.width == 8
+        assert noc.link_width == cfg.link_width
+        assert noc.n_vcs == 4
+        assert noc.vc_depth == 4
+
+    def test_label(self):
+        cfg = AcceleratorConfig(ordering=OrderingMethod.SEPARATED)
+        assert cfg.label() == "4x4 MC2 float32 O2"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(n_mcs=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(n_mcs=16, width=4, height=4)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(values_per_flit=15)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(data_format="int4")

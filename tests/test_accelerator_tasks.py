@@ -1,0 +1,139 @@
+"""Tests for repro.accelerator.tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator.tasks import extract_tasks, split_task
+from repro.dnn.models import LeNet5
+
+
+class TestExtractTasks:
+    def test_layer_names_in_order(self, small_lenet, digit_image):
+        layers = extract_tasks(small_lenet, digit_image, max_tasks_per_layer=4)
+        assert [lt.layer_name for lt in layers] == [
+            "conv1",
+            "conv2",
+            "fc1",
+            "fc2",
+            "fc3",
+        ]
+
+    def test_total_neuron_counts(self, small_lenet, digit_image):
+        layers = extract_tasks(small_lenet, digit_image, max_tasks_per_layer=4)
+        totals = {lt.layer_name: lt.total_neurons for lt in layers}
+        assert totals["conv1"] == 6 * 28 * 28
+        assert totals["conv2"] == 16 * 10 * 10
+        assert totals["fc1"] == 120
+        assert totals["fc3"] == 10
+
+    def test_sampling_cap(self, small_lenet, digit_image):
+        layers = extract_tasks(
+            small_lenet, digit_image, max_tasks_per_layer=7
+        )
+        for lt in layers:
+            assert len(lt.tasks) == min(7, lt.total_neurons)
+
+    def test_task_pair_counts(self, small_lenet, digit_image):
+        layers = extract_tasks(small_lenet, digit_image, max_tasks_per_layer=3)
+        by_name = {lt.layer_name: lt for lt in layers}
+        assert by_name["conv1"].tasks[0].n_pairs == 25
+        assert by_name["conv2"].tasks[0].n_pairs == 150
+        assert by_name["fc1"].tasks[0].n_pairs == 400
+
+    def test_expected_matches_direct_computation(
+        self, small_lenet, digit_image
+    ):
+        layers = extract_tasks(small_lenet, digit_image, max_tasks_per_layer=5)
+        for lt in layers:
+            for task in lt.tasks:
+                direct = float(task.inputs @ task.weights + task.bias)
+                assert task.expected == pytest.approx(direct)
+
+    def test_tasks_reconstruct_layer_output(self, small_lenet, digit_image):
+        # Full extraction of fc3 must reproduce the model's logits.
+        layers = extract_tasks(
+            small_lenet, digit_image, max_tasks_per_layer=None
+        )
+        fc3 = layers[-1]
+        small_lenet.eval()
+        logits = small_lenet.forward(digit_image[None])[0]
+        small_lenet.train()
+        outputs = np.zeros(10)
+        for task in fc3.tasks:
+            outputs[task.neuron_index] = task.expected
+        np.testing.assert_allclose(outputs, logits, rtol=1e-10)
+
+    def test_deterministic_sampling(self, small_lenet, digit_image):
+        a = extract_tasks(small_lenet, digit_image, 5, seed=3)
+        b = extract_tasks(small_lenet, digit_image, 5, seed=3)
+        for la, lb in zip(a, b):
+            assert [t.neuron_index for t in la.tasks] == [
+                t.neuron_index for t in lb.tasks
+            ]
+
+    def test_wrong_input_shape(self, small_lenet):
+        with pytest.raises(ValueError):
+            extract_tasks(small_lenet, np.zeros((3, 64, 64)))
+
+    def test_unique_task_ids(self, small_lenet, digit_image):
+        layers = extract_tasks(small_lenet, digit_image, max_tasks_per_layer=6)
+        ids = [t.task_id for lt in layers for t in lt.tasks]
+        assert len(ids) == len(set(ids))
+
+
+class TestSplitTask:
+    def _task(self, small_lenet, digit_image, layer="fc1"):
+        layers = extract_tasks(small_lenet, digit_image, max_tasks_per_layer=2)
+        return next(
+            lt.tasks[0] for lt in layers if lt.layer_name == layer
+        )
+
+    def test_small_task_single_chunk(self, small_lenet, digit_image):
+        task = self._task(small_lenet, digit_image, "conv1")
+        chunks = split_task(task, 25)
+        assert len(chunks) == 1
+        assert chunks[0].is_final
+        assert chunks[0].bias == task.bias
+
+    def test_fc1_splits_into_16_chunks(self, small_lenet, digit_image):
+        task = self._task(small_lenet, digit_image, "fc1")
+        chunks = split_task(task, 25)
+        assert len(chunks) == 16  # 400 / 25
+        assert all(c.n_pairs == 25 for c in chunks)
+
+    def test_bias_only_on_final_chunk(self, small_lenet, digit_image):
+        task = self._task(small_lenet, digit_image, "fc1")
+        chunks = split_task(task, 25)
+        assert all(c.bias == 0.0 for c in chunks[:-1])
+        assert chunks[-1].bias == task.bias
+
+    def test_chunks_partition_pairs(self, small_lenet, digit_image):
+        task = self._task(small_lenet, digit_image, "conv2")
+        chunks = split_task(task, 25)
+        rebuilt_inputs = np.concatenate([c.inputs for c in chunks])
+        rebuilt_weights = np.concatenate([c.weights for c in chunks])
+        np.testing.assert_array_equal(rebuilt_inputs, task.inputs)
+        np.testing.assert_array_equal(rebuilt_weights, task.weights)
+
+    def test_partial_sums_reconstruct_expected(
+        self, small_lenet, digit_image
+    ):
+        task = self._task(small_lenet, digit_image, "fc1")
+        chunks = split_task(task, 30)
+        total = sum(
+            float(c.inputs @ c.weights + c.bias) for c in chunks
+        )
+        assert total == pytest.approx(task.expected)
+
+    def test_none_keeps_whole(self, small_lenet, digit_image):
+        task = self._task(small_lenet, digit_image, "fc1")
+        chunks = split_task(task, None)
+        assert len(chunks) == 1
+        assert chunks[0].n_pairs == 400
+
+    def test_invalid_chunk_size(self, small_lenet, digit_image):
+        task = self._task(small_lenet, digit_image, "conv1")
+        with pytest.raises(ValueError):
+            split_task(task, 0)

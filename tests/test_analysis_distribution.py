@@ -1,0 +1,91 @@
+"""Tests for repro.analysis.distribution (Fig. 10/11 statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    BitPositionStats,
+    analyze_stream,
+    bit_one_probability,
+)
+from repro.bits.formats import Float32Format
+
+
+class TestBitOneProbability:
+    def test_all_zero(self):
+        words = np.zeros(10, dtype=np.uint8)
+        np.testing.assert_array_equal(bit_one_probability(words, 8), 0.0)
+
+    def test_all_ones(self):
+        words = np.full(10, 0xFF, dtype=np.uint8)
+        np.testing.assert_array_equal(bit_one_probability(words, 8), 1.0)
+
+    def test_msb_first(self):
+        words = np.array([0x80], dtype=np.uint8)
+        probs = bit_one_probability(words, 8)
+        assert probs[0] == 1.0
+        assert probs[1:].sum() == 0.0
+
+    def test_empty_stream(self):
+        probs = bit_one_probability(np.array([], dtype=np.uint8), 8)
+        np.testing.assert_array_equal(probs, 0.0)
+
+    def test_uniform_random_near_half(self, rng):
+        words = rng.integers(0, 2**16, size=5000).astype(np.uint16)
+        probs = bit_one_probability(words, 16)
+        assert np.all(np.abs(probs - 0.5) < 0.05)
+
+
+class TestAnalyzeStream:
+    def test_mean_popcount_consistency(self, rng):
+        words = rng.integers(0, 2**8, size=500).astype(np.uint8)
+        stats = analyze_stream(words, 8)
+        from repro.bits.popcount import popcount_array
+
+        assert stats.mean_popcount == pytest.approx(
+            popcount_array(words).mean()
+        )
+
+    def test_float32_field_structure(self, rng):
+        # Weights in (-0.5, 0.5): sign ~0.5, exponent top bits biased.
+        values = rng.uniform(-0.5, 0.5, 20000).astype(np.float32)
+        words = Float32Format().encode(values)
+        stats = analyze_stream(words, 32)
+        fields = stats.describe_float32_fields()
+        assert abs(fields["sign"] - 0.5) < 0.02
+        # Exponent of values < 1.0 starts 0 111 111x -> high '1' density.
+        assert fields["exponent"] > 0.6
+        # Mantissa is near uniform for generic reals.
+        assert abs(fields["mantissa"] - 0.5) < 0.05
+
+    def test_field_breakdown_requires_width_32(self):
+        stats = analyze_stream(np.zeros(4, dtype=np.uint8), 8)
+        with pytest.raises(ValueError):
+            stats.describe_float32_fields()
+
+    def test_transition_probability_lower_after_sorting(self, rng):
+        # Ordering reduces the per-position transition curve (Fig. 10
+        # bottom: orange below blue).
+        from repro.bits.popcount import popcount_array
+
+        values = np.where(
+            rng.random(20000) < 0.3, 0.0, rng.normal(0, 0.1, 20000)
+        ).astype(np.float32)
+        words = Float32Format().encode(values)
+        base = analyze_stream(words, 32)
+        counts = popcount_array(words)
+        ordered_words = words[np.argsort(-counts.astype(np.int64))]
+        ordered = analyze_stream(ordered_words, 32)
+        assert (
+            ordered.transition_probability.sum()
+            < base.transition_probability.sum()
+        )
+
+    def test_is_dataclass_with_width(self):
+        stats = analyze_stream(np.zeros(4, dtype=np.uint8), 8)
+        assert isinstance(stats, BitPositionStats)
+        assert stats.width == 8
+        assert stats.one_probability.shape == (8,)
+        assert stats.transition_probability.shape == (8,)

@@ -1,0 +1,141 @@
+"""Tests for repro.analysis.expectation (Eq. 1-4, Fig. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.expectation import (
+    expectation_surface,
+    expected_flit_transitions,
+    expected_transitions,
+    monte_carlo_expected_transitions,
+    pair_product_objective,
+    random_word_with_popcount,
+    transition_probability,
+)
+
+count32 = st.integers(min_value=0, max_value=32)
+
+
+class TestTransitionProbability:
+    def test_both_zero(self):
+        assert transition_probability(0, 0) == 0.0
+
+    def test_both_full(self):
+        assert transition_probability(32, 32) == 0.0
+
+    def test_opposite_extremes(self):
+        assert transition_probability(32, 0) == pytest.approx(1.0)
+
+    def test_paper_equation_form(self):
+        # Eq. (1): 1 - (32-x)(32-y)/1024 - xy/1024
+        for x, y in [(10, 20), (5, 5), (16, 16)]:
+            expected = 1 - (32 - x) * (32 - y) / 1024 - x * y / 1024
+            assert transition_probability(x, y) == pytest.approx(expected)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            transition_probability(33, 0)
+
+    @given(count32, count32)
+    def test_is_probability(self, x, y):
+        p = transition_probability(x, y)
+        assert 0.0 <= p <= 1.0
+
+
+class TestExpectedTransitions:
+    def test_paper_equation_two(self):
+        # Eq. (2): E = x + y - xy/16 for W=32.
+        for x, y in [(8, 24), (32, 32), (0, 17)]:
+            assert expected_transitions(x, y) == pytest.approx(
+                x + y - x * y / 16
+            )
+
+    @given(count32, count32)
+    def test_symmetry(self, x, y):
+        assert expected_transitions(x, y) == pytest.approx(
+            expected_transitions(y, x)
+        )
+
+    @given(st.integers(min_value=2, max_value=31))
+    def test_equal_counts_minimise_given_sum(self, x):
+        # For fixed x + y, E decreases in the product xy, so the
+        # balanced split always has the smaller expectation.
+        e_balanced = expected_transitions(x, x)
+        e_spread = expected_transitions(x - 1, x + 1)
+        assert e_balanced <= e_spread + 1e-12
+
+
+class TestExpectationSurface:
+    def test_shape(self):
+        assert expectation_surface(32).shape == (33, 33)
+
+    def test_corners(self):
+        surf = expectation_surface(32)
+        assert surf[0, 0] == 0.0
+        assert surf[32, 32] == 0.0
+        assert surf[0, 32] == 32.0
+        assert surf[32, 0] == 32.0
+
+    def test_matches_scalar(self):
+        surf = expectation_surface(32)
+        for x in (3, 17, 29):
+            for y in (0, 11, 32):
+                assert surf[x, y] == pytest.approx(expected_transitions(x, y))
+
+    def test_maximum_location(self):
+        # E = x + y - xy/16 peaks at opposite extremes.
+        surf = expectation_surface(32)
+        assert surf.max() == pytest.approx(32.0)
+
+
+class TestFlitExpectation:
+    def test_equation_three(self):
+        xs = np.array([4, 8, 12])
+        ys = np.array([2, 6, 10])
+        expected = xs.sum() + ys.sum() - (xs * ys).sum() / 16
+        assert expected_flit_transitions(xs, ys) == pytest.approx(expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_flit_transitions(np.array([1]), np.array([1, 2]))
+
+    def test_pair_product(self):
+        assert pair_product_objective([1, 2], [3, 4]) == 11
+
+    def test_maximising_f_minimises_e(self, rng):
+        xs = rng.integers(0, 33, size=8)
+        ys = rng.integers(0, 33, size=8)
+        ys_sorted = np.sort(ys)[::-1][np.argsort(np.argsort(-xs))]
+        # Aligning sorted orders maximises F, hence minimises E.
+        assert expected_flit_transitions(
+            xs, ys_sorted
+        ) <= expected_flit_transitions(xs, ys) + 1e-9
+
+
+class TestMonteCarlo:
+    def test_random_word_has_exact_popcount(self, rng):
+        for count in (0, 1, 16, 32):
+            word = random_word_with_popcount(count, 32, rng)
+            assert bin(word).count("1") == count
+
+    def test_word_fits_width(self, rng):
+        word = random_word_with_popcount(8, 16, rng)
+        assert word < 2**16
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        st.integers(min_value=0, max_value=32),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_monte_carlo_matches_closed_form(self, x, y):
+        rng = np.random.default_rng(x * 33 + y)
+        empirical = monte_carlo_expected_transitions(
+            x, y, trials=1500, rng=rng
+        )
+        analytic = expected_transitions(x, y)
+        # Empirical std of the mean is at most ~sqrt(32)/sqrt(1500).
+        assert abs(empirical - analytic) < 0.6

@@ -1,0 +1,59 @@
+"""Tests for repro.analysis.summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.summary import (
+    ReductionRow,
+    format_series,
+    format_table,
+    reduction_rate,
+)
+
+
+class TestReductionRate:
+    def test_paper_table1_row(self):
+        # Float-32 random: 113.27 -> 90.18 should be 20.38 %.
+        assert reduction_rate(113.27, 90.18) == pytest.approx(20.38, abs=0.01)
+
+    def test_no_change(self):
+        assert reduction_rate(100.0, 100.0) == 0.0
+
+    def test_zero_baseline(self):
+        assert reduction_rate(0.0, 0.0) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_rate(-1.0, 0.0)
+
+    def test_increase_is_negative(self):
+        assert reduction_rate(100.0, 110.0) == pytest.approx(-10.0)
+
+
+class TestFormatting:
+    def test_table_contains_rows(self):
+        rows = [
+            ReductionRow("Float-32 random", 256, 113.27, 90.18),
+            ReductionRow("Fixed-8 trained", 64, 30.55, 13.73),
+        ]
+        text = format_table(rows, "Table I")
+        assert "Table I" in text
+        assert "Float-32 random" in text
+        assert "20.38%" in text
+        assert "55.06%" in text or "55.0" in text  # 30.55 -> 13.73
+
+    def test_reduction_property(self):
+        row = ReductionRow("x", 64, 30.55, 13.73)
+        assert row.reduction == pytest.approx(55.06, abs=0.01)
+
+    def test_series_grid(self):
+        series = {
+            "4x4 MC2": {"O0": 100.0, "O1": 85.0, "O2": 70.0},
+            "8x8 MC4": {"O0": 200.0, "O1": 170.0},
+        }
+        text = format_series(series, "Fig. 12")
+        assert "Fig. 12" in text
+        assert "4x4 MC2" in text
+        assert "O2" in text
+        assert "nan" in text  # missing O2 for the second config

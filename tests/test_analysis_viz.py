@@ -1,0 +1,71 @@
+"""Tests for repro.analysis.viz."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.viz import bar_chart, count_grid, side_by_side, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([0.1, 0.5, 0.9])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_density(self):
+        line = sparkline([0.0, 0.5, 1.0], v_max=1.0)
+        blocks = " .:-=+*#%@"
+        assert blocks.index(line[0]) < blocks.index(line[1]) < blocks.index(
+            line[2]
+        )
+
+    def test_zero_series(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_bad_vmax(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], v_max=0.0)
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart({"O0": 100.0, "O2": 60.0}, "BTs")
+        assert "BTs" in text
+        assert "O0" in text
+        assert "100" in text
+
+    def test_bar_lengths_proportional(self):
+        text = bar_chart({"a": 100.0, "b": 50.0}, "t", width=20)
+        lines = text.splitlines()[1:]
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_empty(self):
+        assert bar_chart({}, "empty") == "empty"
+
+
+class TestCountGrid:
+    def test_rows_rendered(self):
+        grid = np.arange(12).reshape(3, 4)
+        text = count_grid(grid, "grid")
+        assert "grid" in text
+        assert text.count("|") == 3
+
+    def test_truncation_notice(self):
+        grid = np.zeros((30, 2), dtype=int)
+        text = count_grid(grid, "g", max_rows=5)
+        assert "more rows" in text
+
+
+class TestSideBySide:
+    def test_line_alignment(self):
+        left = "aa\nb"
+        right = "XX\nYY\nZZ"
+        combined = side_by_side(left, right, gap=2)
+        lines = combined.splitlines()
+        assert len(lines) == 3
+        assert lines[0] == "aa  XX"
+        assert lines[2].endswith("ZZ")

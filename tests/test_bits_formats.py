@@ -1,0 +1,107 @@
+"""Tests for repro.bits.formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.formats import Fixed8Format, Float32Format, format_by_name
+
+
+class TestFloat32Format:
+    def test_width(self):
+        assert Float32Format().width == 32
+
+    def test_zero_encodes_to_zero_word(self):
+        fmt = Float32Format()
+        assert fmt.encode(np.array([0.0]))[0] == 0
+
+    def test_sign_bit_is_msb(self):
+        fmt = Float32Format()
+        word = int(fmt.encode(np.array([-1.0]))[0])
+        assert word >> 31 == 1
+
+    def test_one_has_known_pattern(self):
+        fmt = Float32Format()
+        assert int(fmt.encode(np.array([1.0]))[0]) == 0x3F800000
+
+    @given(
+        st.floats(
+            min_value=-1e6,
+            max_value=1e6,
+            allow_nan=False,
+            width=32,
+        )
+    )
+    def test_round_trip(self, value):
+        fmt = Float32Format()
+        arr = np.array([value], dtype=np.float32)
+        decoded = fmt.decode(fmt.encode(arr))
+        np.testing.assert_array_equal(decoded, arr)
+
+    def test_batch_round_trip(self, rng):
+        fmt = Float32Format()
+        values = rng.normal(0, 1, 100).astype(np.float32)
+        np.testing.assert_array_equal(fmt.decode(fmt.encode(values)), values)
+
+
+class TestFixed8Format:
+    def test_width(self):
+        assert Fixed8Format().width == 8
+
+    def test_zero(self):
+        fmt = Fixed8Format(scale=0.01)
+        assert fmt.encode(np.array([0.0]))[0] == 0
+
+    def test_negative_is_twos_complement(self):
+        fmt = Fixed8Format(scale=1.0)
+        assert int(fmt.encode(np.array([-1.0]))[0]) == 0xFF
+
+    def test_clipping_at_bounds(self):
+        fmt = Fixed8Format(scale=1.0)
+        words = fmt.encode(np.array([1000.0, -1000.0]))
+        codes = words.view(np.int8)
+        assert codes[0] == 127
+        assert codes[1] == -128
+
+    def test_round_trip_representable(self):
+        fmt = Fixed8Format(scale=0.5)
+        values = np.array([-64.0, -0.5, 0.0, 0.5, 63.5])
+        decoded = fmt.decode(fmt.encode(values))
+        np.testing.assert_allclose(decoded, values)
+
+    def test_quantisation_error_bounded(self, rng):
+        fmt = Fixed8Format(scale=0.01)
+        values = rng.uniform(-1.2, 1.2, 200)
+        decoded = fmt.decode(fmt.encode(values))
+        in_range = np.abs(values) <= 127 * 0.01
+        err = np.abs(decoded[in_range] - values[in_range])
+        assert err.max() <= 0.005 + 1e-9  # half a step
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            Fixed8Format(scale=0.0)
+
+    def test_with_scale(self):
+        fmt = Fixed8Format().with_scale(0.25)
+        assert fmt.scale == 0.25
+
+
+class TestFormatByName:
+    def test_float32(self):
+        assert format_by_name("float32").name == "float32"
+
+    def test_fixed8_with_scale(self):
+        fmt = format_by_name("fixed8", scale=0.125)
+        assert isinstance(fmt, Fixed8Format)
+        assert fmt.scale == 0.125
+
+    def test_float32_rejects_scale(self):
+        with pytest.raises(ValueError):
+            format_by_name("float32", scale=1.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            format_by_name("bfloat16")

@@ -1,0 +1,89 @@
+"""Tests for repro.bits.packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.packing import (
+    array_from_words,
+    pack_words,
+    unpack_words,
+    words_from_array,
+)
+
+
+class TestPackWords:
+    def test_single_word(self):
+        assert pack_words([0xAB], 8) == 0xAB
+
+    def test_lane_zero_in_low_bits(self):
+        payload = pack_words([0x01, 0x02], 8)
+        assert payload == 0x0201
+
+    def test_empty(self):
+        assert pack_words([], 8) == 0
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            pack_words([256], 8)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pack_words([-1], 8)
+
+    def test_512_bit_payload(self):
+        words = list(range(16))
+        payload = pack_words(words, 32)
+        assert payload.bit_length() <= 512
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=0, max_size=32
+        )
+    )
+    def test_pack_unpack_8(self, words):
+        payload = pack_words(words, 8)
+        assert unpack_words(payload, 8, len(words)) == words
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_pack_unpack_32(self, words):
+        payload = pack_words(words, 32)
+        assert unpack_words(payload, 32, len(words)) == words
+
+    def test_unpack_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            unpack_words(-5, 8, 1)
+
+
+class TestArrayConversions:
+    def test_words_from_array(self):
+        arr = np.array([1, 2, 3], dtype=np.uint32)
+        assert words_from_array(arr) == [1, 2, 3]
+
+    def test_words_from_array_rejects_signed(self):
+        with pytest.raises(ValueError):
+            words_from_array(np.array([1], dtype=np.int8))
+
+    def test_array_from_words(self):
+        arr = array_from_words([255, 0], 8)
+        assert arr.dtype == np.uint8
+        np.testing.assert_array_equal(arr, [255, 0])
+
+    def test_array_from_words_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            array_from_words([1], 12)
+
+    def test_inverse(self):
+        arr = np.array([7, 11, 13], dtype=np.uint16)
+        assert (array_from_words(words_from_array(arr), 16) == arr).all()

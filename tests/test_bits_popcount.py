@@ -1,0 +1,95 @@
+"""Tests for repro.bits.popcount."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.popcount import (
+    POPCOUNT_LUT,
+    popcount,
+    popcount_array,
+    popcount_swar,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones_byte(self):
+        assert popcount(0xFF) == 8
+
+    def test_known_pattern(self):
+        assert popcount(0b1011_0010) == 4
+
+    def test_large_int(self):
+        # 512-bit payload with alternating bits.
+        word = int("10" * 256, 2)
+        assert popcount(word) == 256
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestPopcountSwar:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_matches_reference_32(self, word):
+        assert popcount_swar(word, 32) == popcount(word)
+
+    @given(st.integers(min_value=0, max_value=2**8 - 1))
+    def test_matches_reference_8(self, word):
+        assert popcount_swar(word, 8) == popcount(word)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_matches_reference_64(self, word):
+        assert popcount_swar(word, 64) == popcount(word)
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            popcount_swar(1 << 32, 32)
+
+    def test_rejects_unsupported_width(self):
+        with pytest.raises(ValueError):
+            popcount_swar(1, 12)
+
+
+class TestPopcountArray:
+    def test_lut_is_correct(self):
+        for i in (0, 1, 3, 127, 128, 255):
+            assert POPCOUNT_LUT[i] == bin(i).count("1")
+
+    def test_uint8(self):
+        arr = np.array([0, 1, 255, 170], dtype=np.uint8)
+        np.testing.assert_array_equal(popcount_array(arr), [0, 1, 8, 4])
+
+    def test_uint32(self):
+        arr = np.array([0, 0xFFFFFFFF, 0x0F0F0F0F], dtype=np.uint32)
+        np.testing.assert_array_equal(popcount_array(arr), [0, 32, 16])
+
+    def test_preserves_shape(self):
+        arr = np.arange(12, dtype=np.uint16).reshape(3, 4)
+        assert popcount_array(arr).shape == (3, 4)
+
+    def test_rejects_signed(self):
+        with pytest.raises(ValueError):
+            popcount_array(np.array([1, 2], dtype=np.int32))
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_matches_scalar(self, values):
+        arr = np.array(values, dtype=np.uint32)
+        expected = [popcount(v) for v in values]
+        np.testing.assert_array_equal(popcount_array(arr), expected)

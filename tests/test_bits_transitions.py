@@ -1,0 +1,117 @@
+"""Tests for repro.bits.transitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.popcount import popcount
+from repro.bits.transitions import (
+    per_bit_transitions,
+    stream_transitions,
+    transition_matrix,
+    transitions_between,
+)
+
+payload = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestTransitionsBetween:
+    def test_identical_payloads(self):
+        assert transitions_between(0xDEADBEEF, 0xDEADBEEF) == 0
+
+    def test_complement(self):
+        assert transitions_between(0x00, 0xFF) == 8
+
+    def test_single_bit(self):
+        assert transitions_between(0b1000, 0b0000) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            transitions_between(-1, 0)
+
+    @given(payload, payload)
+    def test_symmetry(self, a, b):
+        assert transitions_between(a, b) == transitions_between(b, a)
+
+    @given(payload, payload, payload)
+    def test_triangle_inequality(self, a, b, c):
+        # Hamming distance is a metric.
+        assert transitions_between(a, c) <= (
+            transitions_between(a, b) + transitions_between(b, c)
+        )
+
+
+class TestStreamTransitions:
+    def test_empty(self):
+        assert stream_transitions([]) == 0
+
+    def test_single_flit_free(self):
+        # First flit establishes link state without transitions.
+        assert stream_transitions([0xFFFF]) == 0
+
+    def test_known_sequence(self):
+        assert stream_transitions([0b00, 0b11, 0b01]) == 3
+
+    @given(st.lists(payload, min_size=2, max_size=20))
+    def test_matches_pairwise_sum(self, payloads):
+        expected = sum(
+            popcount(a ^ b) for a, b in zip(payloads, payloads[1:])
+        )
+        assert stream_transitions(payloads) == expected
+
+
+class TestTransitionMatrix:
+    def test_matches_scalar_counts(self, rng):
+        words = rng.integers(0, 2**32, size=(10, 4)).astype(np.uint32)
+        bts = transition_matrix(words)
+        for i in range(9):
+            expected = sum(
+                popcount(int(a) ^ int(b))
+                for a, b in zip(words[i], words[i + 1])
+            )
+            assert bts[i] == expected
+
+    def test_single_row(self):
+        words = np.zeros((1, 4), dtype=np.uint8)
+        assert transition_matrix(words).size == 0
+
+    def test_rejects_signed(self):
+        with pytest.raises(ValueError):
+            transition_matrix(np.zeros((2, 2), dtype=np.int32))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            transition_matrix(np.zeros(4, dtype=np.uint8))
+
+
+class TestPerBitTransitions:
+    def test_constant_stream_never_flips(self):
+        words = np.full(50, 0xAB, dtype=np.uint8)
+        np.testing.assert_array_equal(per_bit_transitions(words, 8), 0.0)
+
+    def test_alternating_lsb(self):
+        words = np.array([0, 1] * 25, dtype=np.uint8)
+        probs = per_bit_transitions(words, 8)
+        assert probs[-1] == 1.0  # LSB flips every step (MSB-first order)
+        np.testing.assert_array_equal(probs[:-1], 0.0)
+
+    def test_short_stream(self):
+        assert per_bit_transitions(np.array([1], dtype=np.uint8), 8).sum() == 0
+
+    def test_msb_first_ordering(self):
+        # Only the MSB differs between the two words.
+        words = np.array([0x80, 0x00], dtype=np.uint8)
+        probs = per_bit_transitions(words, 8)
+        assert probs[0] == 1.0
+        assert probs[1:].sum() == 0.0
+
+    def test_sums_to_mean_bt(self, rng):
+        words = rng.integers(0, 2**8, size=200).astype(np.uint8)
+        probs = per_bit_transitions(words, 8)
+        mean_bt = np.mean(
+            [popcount(int(a) ^ int(b)) for a, b in zip(words, words[1:])]
+        )
+        assert probs.sum() == pytest.approx(mean_bt)

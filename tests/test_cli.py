@@ -1,0 +1,69 @@
+"""Tests for the repro CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_noc_defaults(self):
+        args = build_parser().parse_args(["run-noc"])
+        assert args.model == "lenet"
+        assert args.ordering == "O2"
+        assert args.mesh == "4x4"
+
+    def test_bad_mesh_string(self):
+        with pytest.raises(SystemExit):
+            main(["run-noc", "--mesh", "four-by-four", "--tasks", "1"])
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "12.910" in out
+        assert "Router" in out
+
+    def test_link_power(self, capsys):
+        assert main(["link-power"]) == 0
+        out = capsys.readouterr().out
+        assert "155.008" in out
+        assert "476.672" in out
+
+    def test_no_noc_small(self, capsys):
+        code = main(
+            ["no-noc", "--format", "fixed8", "--packets", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+        assert "fixed8" in out
+
+    def test_traffic(self, capsys):
+        code = main(
+            ["traffic", "--pattern", "complement", "--packets", "30"]
+        )
+        assert code == 0
+        assert "30 packets" in capsys.readouterr().out
+
+    def test_run_noc_compare(self, capsys):
+        code = main(
+            [
+                "run-noc",
+                "--tasks",
+                "2",
+                "--ordering",
+                "O1",
+                "--compare",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "O0" in out
+        assert "reduction" in out

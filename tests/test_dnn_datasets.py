@@ -1,0 +1,101 @@
+"""Tests for repro.dnn.datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.datasets import LabeledDataset, synthetic_digits, synthetic_shapes
+
+
+class TestSyntheticDigits:
+    def test_shapes(self):
+        ds = synthetic_digits(20, seed=1)
+        assert ds.images.shape == (20, 1, 32, 32)
+        assert ds.labels.shape == (20,)
+
+    def test_value_range(self):
+        ds = synthetic_digits(20, seed=1)
+        assert ds.images.min() >= 0.0
+        assert ds.images.max() <= 1.0
+
+    def test_all_classes_present(self):
+        ds = synthetic_digits(300, seed=1)
+        assert set(ds.labels.tolist()) == set(range(10))
+
+    def test_deterministic(self):
+        a = synthetic_digits(10, seed=7)
+        b = synthetic_digits(10, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_digits(10, seed=7)
+        b = synthetic_digits(10, seed=8)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_glyph_visible_over_noise(self):
+        ds = synthetic_digits(10, seed=1, noise=0.05)
+        # Digit pixels should push the mean clearly above the noise floor.
+        assert ds.images.mean() > 0.05
+
+    def test_size_too_small(self):
+        with pytest.raises(ValueError):
+            synthetic_digits(5, size=16)
+
+    def test_classes_are_distinguishable(self):
+        # Mean images of different digits should differ substantially —
+        # otherwise the training substrate would be meaningless.
+        ds = synthetic_digits(400, seed=2, noise=0.05)
+        means = {
+            d: ds.images[ds.labels == d].mean(axis=0)
+            for d in (0, 1)
+        }
+        diff = np.abs(means[0] - means[1]).mean()
+        assert diff > 0.02
+
+
+class TestSyntheticShapes:
+    def test_shapes(self):
+        ds = synthetic_shapes(8, seed=1)
+        assert ds.images.shape == (8, 3, 64, 64)
+
+    def test_value_range(self):
+        ds = synthetic_shapes(8, seed=1)
+        assert ds.images.min() >= 0.0
+        assert ds.images.max() <= 1.0
+
+    def test_colour_schemes_differ(self):
+        ds = synthetic_shapes(500, seed=3)
+        red_classes = ds.images[ds.labels < 5]
+        blue_classes = ds.images[ds.labels >= 5]
+        # Red scheme has more energy in channel 0, blue in channel 2.
+        assert red_classes[:, 0].mean() > red_classes[:, 2].mean()
+        assert blue_classes[:, 2].mean() > blue_classes[:, 0].mean()
+
+
+class TestLabeledDataset:
+    def test_len(self):
+        ds = synthetic_digits(15, seed=0)
+        assert len(ds) == 15
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LabeledDataset(
+                images=np.zeros((3, 1, 8, 8)), labels=np.zeros(4, dtype=int)
+            )
+
+    def test_batches_cover_everything(self):
+        ds = synthetic_digits(25, seed=0)
+        seen = 0
+        for images, labels in ds.batches(8):
+            assert images.shape[0] == labels.shape[0]
+            seen += images.shape[0]
+        assert seen == 25
+
+    def test_shuffled_batches(self):
+        ds = synthetic_digits(64, seed=0)
+        rng = np.random.default_rng(1)
+        first_plain = next(iter(ds.batches(16)))[1]
+        first_shuffled = next(iter(ds.batches(16, rng=rng)))[1]
+        assert not np.array_equal(first_plain, first_shuffled)

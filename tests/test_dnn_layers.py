@@ -1,0 +1,294 @@
+"""Tests for repro.dnn.layers, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Tanh,
+    col2im,
+    im2col,
+)
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        plus = fn()
+        flat[i] = old - eps
+        minus = fn()
+        flat[i] = old
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, tol=1e-6):
+    """Backward grad wrt input must match numerical differentiation."""
+    out = layer.forward(x)
+    upstream = np.random.default_rng(0).normal(size=out.shape)
+
+    def loss():
+        return float((layer.forward(x) * upstream).sum())
+
+    analytic = layer.backward(upstream)
+    numeric = numerical_grad(loss, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=tol)
+
+
+def check_param_gradient(layer, x, tol=1e-6):
+    out = layer.forward(x)
+    upstream = np.random.default_rng(1).normal(size=out.shape)
+    for p in layer.parameters():
+        p.zero_grad()
+    layer.forward(x)
+    layer.backward(upstream)
+    for p in layer.parameters():
+        def loss():
+            return float((layer.forward(x) * upstream).sum())
+
+        numeric = numerical_grad(loss, p.value)
+        np.testing.assert_allclose(p.grad, numeric, rtol=1e-4, atol=tol)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 8 * 8, dtype=np.float64).reshape(2, 3, 8, 8)
+        cols = im2col(x, 3, 3, 1, 0)
+        assert cols.shape == (2, 27, 36)
+
+    def test_identity_kernel(self):
+        x = np.random.default_rng(0).normal(size=(1, 1, 4, 4))
+        cols = im2col(x, 1, 1, 1, 0)
+        np.testing.assert_array_equal(cols[0, 0], x.reshape(-1))
+
+    def test_kernel_too_large(self):
+        x = np.zeros((1, 1, 2, 2))
+        with pytest.raises(ValueError):
+            im2col(x, 5, 5, 1, 0)
+
+    def test_col2im_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> — the adjoint property that
+        # makes the conv backward pass correct.
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = im2col(x, 3, 3, 1, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(3, 8, 5, rng=np.random.default_rng(0))
+        out = conv.forward(np.zeros((2, 3, 32, 32)))
+        assert out.shape == (2, 8, 28, 28)
+
+    def test_padding_preserves_size(self):
+        conv = Conv2d(1, 4, 3, padding=1, rng=np.random.default_rng(0))
+        out = conv.forward(np.zeros((1, 1, 16, 16)))
+        assert out.shape == (1, 4, 16, 16)
+
+    def test_manual_convolution(self):
+        conv = Conv2d(1, 1, 2, rng=np.random.default_rng(0))
+        conv.weight.value[...] = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        conv.bias.value[...] = 0.5
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = conv.forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx(1 + 4 + 9 + 16 + 0.5)
+
+    def test_input_gradient(self):
+        conv = Conv2d(2, 3, 3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(2).normal(size=(2, 2, 6, 6))
+        check_input_gradient(conv, x)
+
+    def test_param_gradient(self):
+        conv = Conv2d(1, 2, 3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(2).normal(size=(1, 1, 5, 5))
+        check_param_gradient(conv, x)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        fc = Linear(10, 4, rng=np.random.default_rng(0))
+        assert fc.forward(np.zeros((3, 10))).shape == (3, 4)
+
+    def test_wrong_input(self):
+        fc = Linear(10, 4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            fc.forward(np.zeros((3, 7)))
+
+    def test_input_gradient(self):
+        fc = Linear(6, 3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(2).normal(size=(4, 6))
+        check_input_gradient(fc, x)
+
+    def test_param_gradient(self):
+        fc = Linear(5, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(2).normal(size=(3, 5))
+        check_param_gradient(fc, x)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert pool.forward(x)[0, 0, 0, 0] == 4.0
+
+    def test_maxpool_indivisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(2).forward(np.zeros((1, 1, 5, 4)))
+
+    def test_maxpool_gradient(self):
+        pool = MaxPool2d(2)
+        x = np.random.default_rng(2).normal(size=(2, 3, 6, 6))
+        check_input_gradient(pool, x)
+
+    def test_maxpool_tie_routes_once(self):
+        pool = MaxPool2d(2)
+        x = np.ones((1, 1, 2, 2))
+        pool.forward(x)
+        grad = pool.backward(np.array([[[[1.0]]]]))
+        assert grad.sum() == pytest.approx(1.0)
+
+    def test_avgpool_values(self):
+        pool = AvgPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert pool.forward(x)[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_avgpool_gradient(self):
+        pool = AvgPool2d(2)
+        x = np.random.default_rng(2).normal(size=(2, 2, 4, 4))
+        check_input_gradient(pool, x)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        relu = ReLU()
+        out = relu.forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self):
+        relu = ReLU()
+        x = np.random.default_rng(2).normal(size=(3, 4)) + 0.1
+        check_input_gradient(relu, x)
+
+    def test_leaky_relu_slope(self):
+        act = LeakyReLU(0.1)
+        out = act.forward(np.array([-10.0, 10.0]))
+        np.testing.assert_allclose(out, [-1.0, 10.0])
+
+    def test_leaky_relu_gradient(self):
+        act = LeakyReLU(0.1)
+        x = np.random.default_rng(2).normal(size=(3, 4)) + 0.1
+        check_input_gradient(act, x)
+
+    def test_tanh_gradient(self):
+        act = Tanh()
+        x = np.random.default_rng(2).normal(size=(3, 4))
+        check_input_gradient(act, x)
+
+
+class TestBatchNorm:
+    def test_normalises_in_training(self):
+        bn = BatchNorm2d(3)
+        x = np.random.default_rng(2).normal(3.0, 2.0, size=(8, 3, 4, 4))
+        out = bn.forward(x)
+        assert abs(out.mean()) < 1e-7
+        assert abs(out.var() - 1.0) < 0.01
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        x = np.random.default_rng(2).normal(1.0, 2.0, size=(16, 2, 4, 4))
+        for _ in range(50):
+            bn.forward(x)
+        bn.eval()
+        out = bn.forward(x)
+        assert abs(out.mean()) < 0.2
+
+    def test_input_gradient_training(self):
+        bn = BatchNorm2d(2)
+        x = np.random.default_rng(2).normal(size=(4, 2, 3, 3))
+        check_input_gradient(bn, x, tol=1e-5)
+
+    def test_param_gradient(self):
+        bn = BatchNorm2d(2)
+        x = np.random.default_rng(2).normal(size=(4, 2, 3, 3))
+        check_param_gradient(bn, x, tol=1e-5)
+
+    def test_wrong_channels(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3).forward(np.zeros((1, 2, 4, 4)))
+
+
+class TestSequentialAndLoss:
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4))
+        out = flat.forward(x)
+        assert out.shape == (2, 48)
+        assert flat.backward(out).shape == x.shape
+
+    def test_sequential_forward_backward(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            [Linear(8, 6, rng=rng), ReLU(), Linear(6, 3, rng=rng)]
+        )
+        x = np.random.default_rng(2).normal(size=(5, 8))
+        out = model.forward(x)
+        assert out.shape == (5, 3)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_zero_grad(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([Linear(4, 2, rng=rng)])
+        x = np.ones((1, 4))
+        model.backward_ready = model.forward(x)
+        model.backward(np.ones((1, 2)))
+        model.zero_grad()
+        for p in model.parameters():
+            assert (p.grad == 0).all()
+
+    def test_softmax_ce_uniform(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 3, 5, 9])
+        loss = loss_fn.forward(logits, labels)
+        assert loss == pytest.approx(np.log(10))
+
+    def test_softmax_ce_gradient(self):
+        loss_fn = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([1, 0, 4])
+
+        def loss():
+            return loss_fn.forward(logits, labels)
+
+        loss()
+        analytic = loss_fn.backward()
+        numeric = numerical_grad(loss, logits)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_perfect_prediction_low_loss(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert loss_fn.forward(logits, labels) < 1e-6

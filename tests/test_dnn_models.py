@@ -1,0 +1,86 @@
+"""Tests for repro.dnn.models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.layers import Conv2d, Linear
+from repro.dnn.models import DarkNetSlim, LeNet5, build_model
+
+
+class TestLeNet5:
+    def test_forward_shape(self, small_lenet):
+        x = np.zeros((2, 1, 32, 32))
+        assert small_lenet.forward(x).shape == (2, 10)
+
+    def test_input_shape_metadata(self, small_lenet):
+        assert small_lenet.input_shape == (1, 32, 32)
+        assert small_lenet.name == "lenet"
+
+    def test_weighted_layer_walk(self, small_lenet):
+        layers = list(small_lenet.weighted_layers())
+        assert len(layers) == 5  # conv1, conv2, fc1, fc2, fc3
+        assert isinstance(layers[0][1], Conv2d)
+        assert isinstance(layers[-1][1], Linear)
+
+    def test_parameter_count(self, small_lenet):
+        # Classic LeNet-5 has 61,706 parameters.
+        assert small_lenet.parameter_count() == 61706
+
+    def test_max_pool_variant(self):
+        model = LeNet5(pool="max", rng=np.random.default_rng(0))
+        assert model.forward(np.zeros((1, 1, 32, 32))).shape == (1, 10)
+
+    def test_invalid_pool(self):
+        with pytest.raises(ValueError):
+            LeNet5(pool="median")
+
+    def test_deterministic_given_seed(self):
+        a = LeNet5(rng=np.random.default_rng(5))
+        b = LeNet5(rng=np.random.default_rng(5))
+        x = np.random.default_rng(0).normal(size=(1, 1, 32, 32))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_predict(self, small_lenet, digit_image):
+        preds = small_lenet.predict(digit_image[None])
+        assert preds.shape == (1,)
+        assert 0 <= preds[0] < 10
+
+
+class TestDarkNetSlim:
+    def test_forward_shape(self):
+        model = DarkNetSlim(rng=np.random.default_rng(0))
+        x = np.zeros((2, 3, 64, 64))
+        assert model.forward(x).shape == (2, 10)
+
+    def test_reduced_input_size(self):
+        # The paper reduces DarkNet's input to 64x64x3 (Sec. V-B).
+        model = DarkNetSlim(rng=np.random.default_rng(0))
+        assert model.input_shape == (3, 64, 64)
+
+    def test_has_four_conv_stages(self):
+        model = DarkNetSlim(rng=np.random.default_rng(0))
+        convs = [
+            layer
+            for _, layer in model.weighted_layers()
+            if isinstance(layer, Conv2d)
+        ]
+        assert len(convs) == 4
+        assert [c.out_channels for c in convs] == [16, 32, 64, 128]
+
+    def test_deeper_than_lenet(self, small_lenet):
+        model = DarkNetSlim(rng=np.random.default_rng(0))
+        assert model.parameter_count() > small_lenet.parameter_count()
+
+
+class TestBuildModel:
+    def test_lenet(self):
+        assert build_model("lenet").name == "lenet"
+
+    def test_darknet(self):
+        assert build_model("DarkNet").name == "darknet"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            build_model("resnet")

@@ -1,0 +1,83 @@
+"""Tests for repro.dnn.quantize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dnn.quantize import QuantizedTensor, quantize_symmetric, tensor_format
+
+
+class TestQuantizeSymmetric:
+    def test_max_maps_to_127(self):
+        q = quantize_symmetric(np.array([-2.0, 1.0, 2.0]))
+        assert q.codes.max() == 127
+        assert q.scale == pytest.approx(2.0 / 127.0)
+
+    def test_zero_tensor(self):
+        q = quantize_symmetric(np.zeros(5))
+        assert (q.codes == 0).all()
+        assert q.scale == 1.0
+
+    def test_symmetry(self):
+        q = quantize_symmetric(np.array([-1.0, 1.0]))
+        assert q.codes[0] == -127
+        assert q.codes[1] == 127
+
+    def test_dequantize_error_bound(self, rng):
+        values = rng.normal(0, 0.3, 500)
+        q = quantize_symmetric(values)
+        err = np.abs(q.dequantize() - values)
+        assert err.max() <= q.scale / 2 + 1e-9
+
+    def test_words_are_twos_complement(self):
+        q = quantize_symmetric(np.array([-1.0, 1.0]))
+        words = q.words()
+        assert words.dtype == np.uint8
+        assert words[0] == (256 - 127)
+
+    def test_small_values_become_zero_codes(self):
+        # The zero-heavy regime behind the paper's trained fixed-8 win.
+        values = np.array([1.0] + [1e-5] * 9)
+        q = quantize_symmetric(values)
+        assert (q.codes[1:] == 0).all()
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=50),
+            elements=st.floats(
+                min_value=-100, max_value=100, allow_nan=False
+            ),
+        )
+    )
+    def test_codes_in_range(self, values):
+        q = quantize_symmetric(values)
+        assert q.codes.min() >= -128
+        assert q.codes.max() <= 127
+
+
+class TestQuantizedTensor:
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            QuantizedTensor(codes=np.zeros(3, dtype=np.int16), scale=1.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            QuantizedTensor(codes=np.zeros(3, dtype=np.int8), scale=0.0)
+
+
+class TestTensorFormat:
+    def test_scale_matches_quantizer(self):
+        values = np.array([-0.5, 0.25, 0.5])
+        fmt = tensor_format(values)
+        assert fmt.scale == pytest.approx(0.5 / 127.0)
+
+    def test_round_trip_via_format(self, rng):
+        values = rng.normal(0, 0.2, 100)
+        fmt = tensor_format(values)
+        decoded = fmt.decode(fmt.encode(values))
+        assert np.abs(decoded - values).max() <= fmt.scale / 2 + 1e-6

@@ -1,0 +1,133 @@
+"""Tests for repro.dnn.training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn.datasets import synthetic_digits
+from repro.dnn.layers import Linear, ReLU, Sequential
+from repro.dnn.models import LeNet5
+from repro.dnn.training import SGD, evaluate_accuracy, train_classifier
+
+
+def tiny_mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Linear(32 * 32, 32, rng=rng), ReLU(), Linear(32, 10, rng=rng)]
+    )
+
+
+class FlattenedDigits:
+    """Adapter feeding flattened digit images to an MLP."""
+
+    def __init__(self, n, seed):
+        self.ds = synthetic_digits(n, seed=seed)
+
+    def batches(self, batch_size, rng=None):
+        for images, labels in self.ds.batches(batch_size, rng=rng):
+            yield images.reshape(images.shape[0], -1), labels
+
+    def __len__(self):
+        return len(self.ds)
+
+
+class TestSGD:
+    def test_step_moves_parameters(self):
+        model = tiny_mlp()
+        opt = SGD(model, lr=0.1, momentum=0.0)
+        x = np.random.default_rng(0).normal(size=(4, 1024))
+        before = [p.value.copy() for p in model.parameters()]
+        out = model.forward(x)
+        model.backward(np.ones_like(out))
+        opt.step()
+        after = [p.value for p in model.parameters()]
+        assert any(
+            not np.array_equal(b, a) for b, a in zip(before, after)
+        )
+
+    def test_momentum_accumulates(self):
+        model = tiny_mlp()
+        opt = SGD(model, lr=0.1, momentum=0.9)
+        x = np.ones((1, 1024))
+        deltas = []
+        prev = None
+        for _ in range(3):
+            model.zero_grad()
+            out = model.forward(x)
+            model.backward(np.ones_like(out))
+            before = next(model.parameters()).value.copy()
+            opt.step()
+            delta = np.abs(next(model.parameters()).value - before).sum()
+            deltas.append(delta)
+        # Constant gradient + momentum -> growing step sizes.
+        assert deltas[1] > deltas[0]
+
+    def test_weight_decay_shrinks_unused(self):
+        model = tiny_mlp()
+        opt = SGD(model, lr=0.1, momentum=0.0, weight_decay=0.1)
+        norm_before = sum(
+            float(np.abs(p.value).sum()) for p in model.parameters()
+        )
+        # Zero gradients: only decay acts.
+        model.zero_grad()
+        opt.step()
+        norm_after = sum(
+            float(np.abs(p.value).sum()) for p in model.parameters()
+        )
+        assert norm_after < norm_before
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD(tiny_mlp(), lr=0.0)
+
+
+class TestTrainClassifier:
+    def test_loss_decreases_mlp(self):
+        model = tiny_mlp(seed=1)
+        data = FlattenedDigits(256, seed=4)
+        report = train_classifier(
+            model, data, epochs=4, batch_size=32, lr=0.1, seed=1
+        )
+        assert report.losses[-1] < report.losses[0]
+
+    def test_loss_decreases_lenet(self):
+        model = LeNet5(rng=np.random.default_rng(2))
+        ds = synthetic_digits(160, seed=5)
+        report = train_classifier(
+            model, ds, epochs=2, batch_size=32, lr=0.05, seed=2
+        )
+        assert report.losses[-1] < report.losses[0]
+
+    def test_accuracy_tracking(self):
+        model = tiny_mlp(seed=1)
+        data = FlattenedDigits(128, seed=4)
+        report = train_classifier(
+            model, data, epochs=2, batch_size=32, track_accuracy=True
+        )
+        assert len(report.accuracies) == 2
+        assert all(0.0 <= a <= 1.0 for a in report.accuracies)
+
+    def test_final_loss_property(self):
+        model = tiny_mlp(seed=1)
+        data = FlattenedDigits(64, seed=4)
+        report = train_classifier(model, data, epochs=1, batch_size=32)
+        assert report.final_loss == report.losses[-1]
+
+    def test_beats_chance_after_training(self):
+        model = tiny_mlp(seed=1)
+        data = FlattenedDigits(512, seed=4)
+        train_classifier(model, data, epochs=6, batch_size=32, lr=0.1, seed=1)
+        acc = evaluate_accuracy(model, data)
+        assert acc > 0.3  # chance is 0.1
+
+    def test_deterministic(self):
+        losses = []
+        for _ in range(2):
+            model = tiny_mlp(seed=1)
+            data = FlattenedDigits(64, seed=4)
+            report = train_classifier(
+                model, data, epochs=1, batch_size=16, seed=9
+            )
+            losses.append(report.final_loss)
+        assert losses[0] == losses[1]

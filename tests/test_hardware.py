@@ -1,0 +1,132 @@
+"""Tests for repro.hardware (Table II and Sec. V-C models)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.linkpower import (
+    BANERJEE_ENERGY_PJ,
+    PAPER_ENERGY_PJ,
+    LinkPowerModel,
+)
+from repro.hardware.ordering_unit import (
+    OrderingUnitDesign,
+    RouterDesign,
+    TechnologyParams,
+)
+from repro.hardware.synthesis import format_table2, model_table2, paper_table2
+
+
+class TestOrderingUnitDesign:
+    def test_default_matches_paper_area(self):
+        assert OrderingUnitDesign().area_kge() == pytest.approx(12.91, abs=0.01)
+
+    def test_default_matches_paper_power(self):
+        assert OrderingUnitDesign().power_mw() == pytest.approx(2.213, abs=0.005)
+
+    def test_area_scales_with_values(self):
+        small = OrderingUnitDesign(n_values=8)
+        large = OrderingUnitDesign(n_values=32)
+        assert large.area_kge() > small.area_kge()
+
+    def test_area_scales_with_word_width(self):
+        assert (
+            OrderingUnitDesign(word_width=32).area_kge()
+            > OrderingUnitDesign(word_width=8).area_kge()
+        )
+
+    def test_ordering_cycles(self):
+        unit = OrderingUnitDesign(n_values=16, word_width=8)
+        # 3 SWAR stages + 16 sort passes.
+        assert unit.ordering_cycles() == 19
+
+
+class TestRouterDesign:
+    def test_default_matches_paper_area(self):
+        assert RouterDesign().area_kge() == pytest.approx(125.54, abs=0.05)
+
+    def test_default_matches_paper_power(self):
+        assert RouterDesign().power_mw() == pytest.approx(16.92, abs=0.02)
+
+    def test_buffers_dominate(self):
+        router = RouterDesign()
+        assert router.buffer_gates() > router.crossbar_gates()
+        assert router.buffer_gates() > router.allocator_gates()
+
+    def test_unit_much_cheaper_than_router(self):
+        # The paper's headline overhead claim.
+        assert OrderingUnitDesign().area_kge() < RouterDesign().area_kge() / 5
+        assert OrderingUnitDesign().power_mw() < RouterDesign().power_mw() / 5
+
+
+class TestTable2:
+    def test_paper_values(self):
+        table = paper_table2()
+        assert table["ordering_unit"].area_kge == 12.91
+        assert table["router"].power_many_mw == 1083.18
+        assert table["router"].count == 64
+
+    def test_model_close_to_paper(self):
+        paper = paper_table2()
+        model = model_table2()
+        for key in ("ordering_unit", "router"):
+            assert model[key].area_kge == pytest.approx(
+                paper[key].area_kge, rel=0.01
+            )
+            assert model[key].power_one_mw == pytest.approx(
+                paper[key].power_one_mw, rel=0.01
+            )
+
+    def test_format_renders(self):
+        text = format_table2(paper_table2(), model_table2())
+        assert "12.910" in text
+        assert "Router" in text
+
+
+class TestLinkPower:
+    def test_paper_power_number(self):
+        # Sec. V-C: 0.173 pJ * 64 * 112 * 125 MHz = 155.008 mW.
+        model = LinkPowerModel()
+        assert model.power_mw() == pytest.approx(155.008, abs=0.001)
+
+    def test_banerjee_power_number(self):
+        model = LinkPowerModel(energy_per_transition_pj=BANERJEE_ENERGY_PJ)
+        assert model.power_mw() == pytest.approx(476.672, abs=0.001)
+
+    def test_reduced_power_numbers(self):
+        model = LinkPowerModel()
+        assert model.reduced_power_mw(40.85) == pytest.approx(91.687, abs=0.01)
+        banerjee = LinkPowerModel(
+            energy_per_transition_pj=BANERJEE_ENERGY_PJ
+        )
+        assert banerjee.reduced_power_mw(40.85) == pytest.approx(
+            281.95, abs=0.01
+        )
+
+    def test_for_mesh_link_count(self):
+        assert LinkPowerModel.for_mesh(8, 8).n_links == 112
+        assert LinkPowerModel.for_mesh(4, 4).n_links == 24
+
+    def test_energy_for_transitions(self):
+        model = LinkPowerModel()
+        assert model.energy_for_transitions(0) == 0.0
+        assert model.energy_for_transitions(1000) == pytest.approx(
+            1000 * PAPER_ENERGY_PJ * 1e-12
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkPowerModel(energy_per_transition_pj=0.0)
+        with pytest.raises(ValueError):
+            LinkPowerModel().power_mw(switching_fraction=1.5)
+        with pytest.raises(ValueError):
+            LinkPowerModel().reduced_power_mw(120.0)
+        with pytest.raises(ValueError):
+            LinkPowerModel().energy_for_transitions(-1)
+
+
+class TestTechnologyParams:
+    def test_defaults(self):
+        tech = TechnologyParams()
+        assert tech.frequency_mhz == 125.0
+        assert tech.voltage_v == 1.0

@@ -1,0 +1,85 @@
+"""Tests for repro.hardware.energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.simulator import run_model_on_noc
+from repro.hardware.energy import compare_energy, energy_report
+from repro.ordering.strategies import OrderingMethod
+
+
+@pytest.fixture(scope="module")
+def run_pair(small_lenet, digit_image):
+    results = {}
+    for method in (OrderingMethod.BASELINE, OrderingMethod.SEPARATED):
+        cfg = AcceleratorConfig(
+            data_format="fixed8",
+            ordering=method,
+            max_tasks_per_layer=5,
+            seed=2,
+        )
+        results[method] = run_model_on_noc(cfg, small_lenet, digit_image)
+    return results
+
+
+class TestEnergyReport:
+    def test_components_positive(self, run_pair):
+        report = energy_report(run_pair[OrderingMethod.SEPARATED])
+        assert report.link_energy_j > 0
+        assert report.router_energy_j > 0
+        assert report.ordering_energy_j > 0
+        assert report.total_j == pytest.approx(
+            report.link_energy_j
+            + report.router_energy_j
+            + report.ordering_energy_j
+        )
+
+    def test_baseline_pays_no_ordering_energy(self, run_pair):
+        report = energy_report(run_pair[OrderingMethod.BASELINE])
+        assert report.ordering_energy_j == 0.0
+
+    def test_link_energy_tracks_transitions(self, run_pair):
+        base = energy_report(run_pair[OrderingMethod.BASELINE])
+        treated = energy_report(run_pair[OrderingMethod.SEPARATED])
+        assert treated.bit_transitions < base.bit_transitions
+        assert treated.link_energy_j < base.link_energy_j
+
+    def test_duration_from_cycles(self, run_pair):
+        result = run_pair[OrderingMethod.BASELINE]
+        report = energy_report(result, frequency_hz=125e6)
+        assert report.duration_s == pytest.approx(
+            result.total_cycles / 125e6
+        )
+
+    def test_format_renders(self, run_pair):
+        text = energy_report(run_pair[OrderingMethod.SEPARATED]).format()
+        assert "link energy" in text
+        assert "nJ" in text
+
+    def test_invalid_frequency(self, run_pair):
+        with pytest.raises(ValueError):
+            energy_report(
+                run_pair[OrderingMethod.BASELINE], frequency_hz=0.0
+            )
+
+
+class TestCompareEnergy:
+    def test_net_savings_structure(self, run_pair):
+        base = energy_report(run_pair[OrderingMethod.BASELINE])
+        treated = energy_report(run_pair[OrderingMethod.SEPARATED])
+        delta = compare_energy(base, treated)
+        assert delta["link_saved_j"] > 0
+        assert delta["ordering_cost_j"] >= 0
+        assert delta["net_saved_j"] == pytest.approx(
+            delta["link_saved_j"] - delta["ordering_cost_j"]
+        )
+
+    def test_percent_relative_to_link_energy(self, run_pair):
+        base = energy_report(run_pair[OrderingMethod.BASELINE])
+        treated = energy_report(run_pair[OrderingMethod.SEPARATED])
+        delta = compare_energy(base, treated)
+        assert delta["net_saved_percent"] == pytest.approx(
+            100 * delta["net_saved_j"] / base.link_energy_j
+        )

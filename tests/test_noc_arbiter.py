@@ -1,0 +1,47 @@
+"""Tests for repro.noc.arbiter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.arbiter import RoundRobinArbiter
+
+
+class TestRoundRobinArbiter:
+    def test_single_requester(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.pick([False, True, False, False]) == 1
+
+    def test_no_requests(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.pick([False] * 4) is None
+
+    def test_rotates_after_win(self):
+        arb = RoundRobinArbiter(3)
+        all_on = [True, True, True]
+        winners = [arb.pick(all_on) for _ in range(6)]
+        assert winners == [0, 1, 2, 0, 1, 2]
+
+    def test_starvation_freedom(self):
+        # Requester 2 must win within n rounds even with competition.
+        arb = RoundRobinArbiter(4)
+        wins = set()
+        for _ in range(4):
+            winner = arb.pick([True, True, True, True])
+            wins.add(winner)
+        assert wins == {0, 1, 2, 3}
+
+    def test_priority_follows_last_winner(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.pick([True, False, False, True]) == 0
+        # After 0 wins, 3 has priority over 0.
+        assert arb.pick([True, False, False, True]) == 3
+
+    def test_wrong_length_rejected(self):
+        arb = RoundRobinArbiter(3)
+        with pytest.raises(ValueError):
+            arb.pick([True])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)

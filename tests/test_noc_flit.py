@@ -1,0 +1,90 @@
+"""Tests for repro.noc.flit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.flit import FlitType, make_packet
+
+
+class TestFlitType:
+    def test_head_properties(self):
+        assert FlitType.HEAD.is_head
+        assert not FlitType.HEAD.is_tail
+
+    def test_head_tail_is_both(self):
+        assert FlitType.HEAD_TAIL.is_head
+        assert FlitType.HEAD_TAIL.is_tail
+
+    def test_body_is_neither(self):
+        assert not FlitType.BODY.is_head
+        assert not FlitType.BODY.is_tail
+
+
+class TestMakePacket:
+    def test_single_flit(self):
+        pkt = make_packet(0, 5, [0xAB], 64)
+        assert len(pkt) == 1
+        assert pkt.flits[0].flit_type is FlitType.HEAD_TAIL
+
+    def test_multi_flit_types(self):
+        pkt = make_packet(0, 5, [1, 2, 3, 4], 64)
+        types = [f.flit_type for f in pkt.flits]
+        assert types == [
+            FlitType.HEAD,
+            FlitType.BODY,
+            FlitType.BODY,
+            FlitType.TAIL,
+        ]
+
+    def test_unique_ids(self):
+        a = make_packet(0, 1, [0], 8)
+        b = make_packet(0, 1, [0], 8)
+        assert a.packet_id != b.packet_id
+
+    def test_payload_too_wide(self):
+        with pytest.raises(ValueError):
+            make_packet(0, 1, [1 << 64], 64)
+
+    def test_negative_payload(self):
+        with pytest.raises(ValueError):
+            make_packet(0, 1, [-1], 64)
+
+    def test_empty_packet_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(0, 1, [], 64)
+
+    def test_metadata_copied(self):
+        meta = {"kind": "task"}
+        pkt = make_packet(0, 1, [0], 8, metadata=meta)
+        meta["kind"] = "mutated"
+        assert pkt.metadata["kind"] == "task"
+
+    def test_latency_requires_completion(self):
+        pkt = make_packet(0, 1, [0], 8)
+        with pytest.raises(ValueError):
+            _ = pkt.latency
+        pkt.created_cycle = 3
+        pkt.delivered_cycle = 10
+        assert pkt.latency == 7
+
+
+class TestWireBits:
+    def test_payload_only_by_default(self):
+        pkt = make_packet(0, 5, [0xAB], 16)
+        assert pkt.flits[0].wire_bits() == 0xAB
+
+    def test_header_adds_destination(self):
+        pkt = make_packet(0, 5, [0xAB], 16)
+        wired = pkt.flits[0].wire_bits(include_header=True)
+        header = wired >> 16
+        assert header >> 2 == 5  # destination field
+        assert header & 0b11 == 3  # HEAD_TAIL code
+
+    def test_header_flit_types_distinct(self):
+        pkt = make_packet(0, 5, [0, 0, 0], 16)
+        codes = {
+            f.wire_bits(include_header=True) & (0b11 << 16)
+            for f in pkt.flits
+        }
+        assert len(codes) == 3  # HEAD, BODY, TAIL all differ

@@ -1,0 +1,120 @@
+"""Tests for repro.noc.routing and repro.noc.topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.routing import OPPOSITE, Port, routing_by_name, xy_route, yx_route
+from repro.noc.topology import (
+    coordinates,
+    inter_router_link_count,
+    manhattan_distance,
+    mesh_neighbors,
+    node_id,
+)
+
+
+class TestXYRouting:
+    def test_at_destination(self):
+        assert xy_route(5, 5, 4) is Port.LOCAL
+
+    def test_x_first(self):
+        # Node 0 -> node 5 in a 4-wide mesh: east before south.
+        assert xy_route(0, 5, 4) is Port.EAST
+
+    def test_then_y(self):
+        # Same column: go south.
+        assert xy_route(1, 5, 4) is Port.SOUTH
+
+    def test_west_and_north(self):
+        assert xy_route(5, 4, 4) is Port.WEST
+        assert xy_route(5, 1, 4) is Port.NORTH
+
+    def test_full_route_walk(self):
+        # Follow the route hop by hop; it must terminate at dst with
+        # exactly the Manhattan distance number of hops.
+        width = 4
+        src, dst = 12, 3
+        node = src
+        hops = 0
+        while True:
+            port = xy_route(node, dst, width)
+            if port is Port.LOCAL:
+                break
+            x, y = coordinates(node, width)
+            if port is Port.EAST:
+                x += 1
+            elif port is Port.WEST:
+                x -= 1
+            elif port is Port.SOUTH:
+                y += 1
+            else:
+                y -= 1
+            node = node_id(x, y, width)
+            hops += 1
+            assert hops <= 10
+        assert node == dst
+        assert hops == manhattan_distance(src, dst, width)
+
+    def test_yx_differs_on_diagonal(self):
+        assert xy_route(0, 5, 4) is Port.EAST
+        assert yx_route(0, 5, 4) is Port.SOUTH
+
+    def test_routing_by_name(self):
+        assert routing_by_name("xy") is xy_route
+        assert routing_by_name("yx") is yx_route
+        with pytest.raises(ValueError):
+            routing_by_name("adaptive")
+
+
+class TestOpposite:
+    def test_involution(self):
+        for port, opp in OPPOSITE.items():
+            assert OPPOSITE[opp] is port
+
+
+class TestTopology:
+    def test_node_id_round_trip(self):
+        for node in range(12):
+            x, y = coordinates(node, 4)
+            assert node_id(x, y, 4) == node
+
+    def test_node_id_bounds(self):
+        with pytest.raises(ValueError):
+            node_id(4, 0, 4)
+
+    def test_mesh_neighbors_corner(self):
+        neigh = mesh_neighbors(4, 4)
+        assert set(neigh[0]) == {Port.EAST, Port.SOUTH}
+        assert neigh[0][Port.EAST] == 1
+        assert neigh[0][Port.SOUTH] == 4
+
+    def test_mesh_neighbors_center(self):
+        neigh = mesh_neighbors(4, 4)
+        assert set(neigh[5]) == {
+            Port.NORTH,
+            Port.EAST,
+            Port.SOUTH,
+            Port.WEST,
+        }
+
+    def test_neighbor_symmetry(self):
+        neigh = mesh_neighbors(5, 3)
+        for node, links in neigh.items():
+            for port, other in links.items():
+                assert neigh[other][OPPOSITE[port]] == node
+
+    def test_manhattan(self):
+        assert manhattan_distance(0, 15, 4) == 6
+        assert manhattan_distance(7, 7, 4) == 0
+
+    def test_link_count_8x8(self):
+        # The paper's Sec. V-C example: 112 links in an 8x8 NoC.
+        assert inter_router_link_count(8, 8) == 112
+
+    def test_link_count_4x4(self):
+        assert inter_router_link_count(4, 4) == 24
+
+    def test_invalid_mesh(self):
+        with pytest.raises(ValueError):
+            mesh_neighbors(0, 4)

@@ -1,0 +1,92 @@
+"""Tests for repro.ordering.optimal."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering.optimal import (
+    all_matchings,
+    exhaustive_best_assignment,
+    interleaved_assignment,
+    pair_product,
+)
+
+counts = st.lists(
+    st.integers(min_value=0, max_value=32), min_size=2, max_size=10
+).filter(lambda xs: len(xs) % 2 == 0)
+
+
+class TestPairProduct:
+    def test_basic(self):
+        assert pair_product([2, 3], [4, 5]) == 23
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pair_product([1], [1, 2])
+
+
+class TestInterleavedAssignment:
+    def test_two_values(self):
+        result = interleaved_assignment([3, 7])
+        assert result.flit1 == (7,)
+        assert result.flit2 == (3,)
+        assert result.objective == 21
+
+    def test_paper_interleaving(self):
+        # x1 >= y1 >= x2 >= y2 ...
+        result = interleaved_assignment([1, 8, 3, 6])
+        assert result.flit1 == (8, 3)
+        assert result.flit2 == (6, 1)
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ValueError):
+            interleaved_assignment([1, 2, 3])
+
+    @given(counts)
+    def test_multiset_preserved(self, values):
+        result = interleaved_assignment(values)
+        assert sorted(result.flit1 + result.flit2) == sorted(values)
+
+
+class TestAllMatchings:
+    def test_counts(self):
+        # (2N)! / (N! 2^N): N=2 -> 3, N=3 -> 15.
+        assert len(list(all_matchings([1, 2, 3, 4]))) == 3
+        assert len(list(all_matchings([1, 2, 3, 4, 5, 6]))) == 15
+
+    def test_empty(self):
+        assert list(all_matchings([])) == [[]]
+
+    def test_every_matching_is_perfect(self):
+        items = [1, 2, 3, 4]
+        for matching in all_matchings(items):
+            flat = sorted(v for pair in matching for v in pair)
+            assert flat == items
+
+
+class TestExhaustiveSearch:
+    def test_limit(self):
+        with pytest.raises(ValueError):
+            exhaustive_best_assignment(list(range(14)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exhaustive_best_assignment([])
+
+    @settings(deadline=None, max_examples=40)
+    @given(counts)
+    def test_interleaved_is_globally_optimal(self, values):
+        """The paper's Sec. III-B claim: count-based ordering maximises F."""
+        greedy = interleaved_assignment(values)
+        brute = exhaustive_best_assignment(values)
+        assert greedy.objective == brute.objective
+
+    @settings(deadline=None, max_examples=20)
+    @given(counts)
+    def test_no_matching_beats_interleaved(self, values):
+        greedy = interleaved_assignment(values)
+        for matching in all_matchings(values):
+            objective = sum(a * b for a, b in matching)
+            assert objective <= greedy.objective

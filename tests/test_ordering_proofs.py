@@ -1,0 +1,51 @@
+"""Tests for repro.ordering.proofs (the Sec. III-B machine checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ordering.optimal import interleaved_assignment
+from repro.ordering.proofs import (
+    bubble_to_optimal,
+    verify_global_optimality,
+    verify_pairwise_lemma,
+)
+
+
+class TestPairwiseLemma:
+    def test_holds_small(self):
+        assert verify_pairwise_lemma(max_count=6)
+
+    def test_holds_wider(self):
+        assert verify_pairwise_lemma(max_count=10)
+
+
+class TestGlobalOptimality:
+    def test_two_lanes(self):
+        assert verify_global_optimality(n_lanes=2, trials=40)
+
+    def test_four_lanes(self):
+        assert verify_global_optimality(n_lanes=4, trials=25)
+
+    def test_five_lanes(self):
+        assert verify_global_optimality(n_lanes=5, trials=10)
+
+
+class TestBubbleConvergence:
+    def test_reaches_interleaved_objective(self):
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            counts = rng.integers(0, 33, size=12).tolist()
+            converged = bubble_to_optimal(list(counts))
+            optimal = interleaved_assignment(counts).objective
+            assert converged == optimal
+
+    def test_already_optimal_fixed_point(self):
+        counts = [9, 7, 5, 3]  # flit1=(9,5), flit2=(7,3) after split
+        value = bubble_to_optimal(counts)
+        assert value == interleaved_assignment(counts).objective
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            bubble_to_optimal([1, 2, 3])

@@ -1,0 +1,159 @@
+"""Tests for repro.ordering.strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.popcount import popcount
+from repro.ordering.strategies import (
+    FillOrder,
+    OrderingMethod,
+    apply_method,
+    deal_into_rows,
+    index_bits_required,
+    order_affiliated,
+    order_baseline,
+    order_separated,
+    sort_by_popcount,
+    undeal_rows,
+)
+
+words8 = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=1, max_size=40
+)
+
+
+class TestSortByPopcount:
+    def test_descending(self):
+        values = [0x0F, 0xFF, 0x01, 0x00]
+        ordered, perm = sort_by_popcount(values)
+        counts = [popcount(v) for v in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_perm_is_correct(self):
+        values = [3, 255, 0]
+        ordered, perm = sort_by_popcount(values)
+        assert ordered == [values[i] for i in perm]
+
+    def test_stable_on_ties(self):
+        # Equal counts keep arrival order.
+        values = [0b0011, 0b0101, 0b1100]
+        ordered, perm = sort_by_popcount(values)
+        assert perm == [0, 1, 2]
+
+    def test_ascending_option(self):
+        values = [0xFF, 0x00, 0x0F]
+        ordered, _ = sort_by_popcount(values, descending=False)
+        counts = [popcount(v) for v in ordered]
+        assert counts == sorted(counts)
+
+    @given(words8)
+    def test_multiset_preserved(self, values):
+        ordered, _ = sort_by_popcount(values)
+        assert sorted(ordered) == sorted(values)
+
+
+class TestOrderingMethods:
+    def test_method_from_name(self):
+        assert OrderingMethod.from_name("O1") is OrderingMethod.AFFILIATED
+        assert OrderingMethod.from_name("separated") is OrderingMethod.SEPARATED
+        with pytest.raises(ValueError):
+            OrderingMethod.from_name("O9")
+
+    def test_baseline_is_identity(self):
+        inputs, weights = [1, 2, 3], [7, 0, 255]
+        result = order_baseline(inputs, weights)
+        assert list(result.inputs) == inputs
+        assert list(result.weights) == weights
+        assert result.paired
+
+    def test_affiliated_keeps_pairing(self):
+        inputs = [10, 20, 30, 40]
+        weights = [0x01, 0xFF, 0x00, 0x0F]
+        result = order_affiliated(inputs, weights)
+        original = dict(zip(weights, inputs))
+        for inp, w in zip(result.inputs, result.weights):
+            assert original[w] == inp
+        assert result.paired
+
+    def test_affiliated_weights_descending(self):
+        weights = [0x01, 0xFF, 0x00, 0x0F]
+        result = order_affiliated([0] * 4, weights)
+        counts = [popcount(w) for w in result.weights]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_separated_sorts_both(self):
+        inputs = [0x00, 0xFF, 0x03]
+        weights = [0x0F, 0x00, 0xFF]
+        result = order_separated(inputs, weights)
+        in_counts = [popcount(v) for v in result.inputs]
+        w_counts = [popcount(v) for v in result.weights]
+        assert in_counts == sorted(in_counts, reverse=True)
+        assert w_counts == sorted(w_counts, reverse=True)
+        assert not result.paired
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            order_affiliated([1], [1, 2])
+
+    @given(words8)
+    def test_recover_pairs_all_methods(self, weights):
+        inputs = list(reversed(weights))
+        for method in OrderingMethod:
+            result = apply_method(method, inputs, weights)
+            recovered = result.recover_pairs()
+            assert recovered == list(zip(inputs, weights))
+
+
+class TestDealing:
+    def test_deal_columns(self):
+        rows = deal_into_rows([1, 2, 3, 4, 5, 6], 3)
+        assert rows == [[1, 4], [2, 5], [3, 6]]
+
+    def test_deal_uneven(self):
+        rows = deal_into_rows([1, 2, 3, 4, 5], 3)
+        assert rows == [[1, 4], [2, 5], [3]]
+
+    def test_row_major(self):
+        rows = deal_into_rows([1, 2, 3, 4, 5], 3, FillOrder.ROW_MAJOR)
+        assert rows == [[1, 2], [3, 4], [5]]
+
+    def test_rejects_nonpositive_rows(self):
+        with pytest.raises(ValueError):
+            deal_into_rows([1], 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), max_size=40),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_undeal_inverts_deal(self, values, n_rows):
+        for fill in FillOrder:
+            rows = deal_into_rows(values, n_rows, fill)
+            assert undeal_rows(rows, fill) == values
+
+    def test_deal_adjacent_ranks_in_lanes(self):
+        # Column-major deal: consecutive rows hold rank-adjacent values
+        # in every lane (the proof's interleaving generalised).
+        values = list(range(100, 88, -1))  # descending
+        rows = deal_into_rows(values, 4)
+        for lane in range(3):
+            column = [rows[r][lane] for r in range(4)]
+            assert column == sorted(column, reverse=True)
+            assert column[0] - column[-1] == 3
+
+
+class TestIndexBits:
+    def test_single_value(self):
+        assert index_bits_required(1) == 0
+
+    def test_power_of_two(self):
+        assert index_bits_required(16) == 4
+
+    def test_non_power(self):
+        assert index_bits_required(25) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            index_bits_required(0)

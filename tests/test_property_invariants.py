@@ -1,0 +1,152 @@
+"""Cross-module property tests: the invariants that make the system sound.
+
+These tie layers together: ordering never changes transmitted value
+multisets, flitisation round-trips under arbitrary geometry, the
+Eq. (3) model agrees with bit-exact measurement, and the NoC conserves
+packets under randomized structural configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.flitize import TaskCodec
+from repro.analysis.expectation import expected_flit_transitions
+from repro.bits.popcount import popcount
+from repro.bits.transitions import transitions_between
+from repro.noc.flit import make_packet
+from repro.noc.network import Network, NoCConfig
+from repro.ordering.strategies import (
+    FillOrder,
+    OrderingMethod,
+    apply_method,
+)
+
+words = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=40
+)
+
+
+class TestOrderingInvariants:
+    @given(words, st.sampled_from(list(OrderingMethod)))
+    def test_value_multisets_preserved(self, weights, method):
+        """Ordering is a permutation: nothing is created or lost."""
+        inputs = [w ^ 0xA5A5A5A5 for w in weights]
+        ordered = apply_method(method, inputs, weights)
+        assert sorted(ordered.inputs) == sorted(inputs)
+        assert sorted(ordered.weights) == sorted(weights)
+
+    @given(words)
+    def test_ordering_is_idempotent(self, weights):
+        """Ordering an already-ordered sequence changes nothing."""
+        inputs = list(weights)
+        once = apply_method(OrderingMethod.SEPARATED, inputs, weights)
+        twice = apply_method(
+            OrderingMethod.SEPARATED, list(once.inputs), list(once.weights)
+        )
+        assert twice.inputs == once.inputs
+        assert twice.weights == once.weights
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**8 - 1),
+            min_size=2,
+            max_size=16,
+        ).filter(lambda xs: len(xs) % 2 == 0)
+    )
+    def test_interleaving_never_increases_expected_bt(self, counts_pool):
+        """Eq. (3): the count-based split beats any random split."""
+        counts = [popcount(v) for v in counts_pool]
+        n = len(counts) // 2
+        rng = np.random.default_rng(sum(counts))
+        perm = rng.permutation(len(counts))
+        random_x = np.array([counts[i] for i in perm[:n]])
+        random_y = np.array([counts[i] for i in perm[n:]])
+        ordered = sorted(counts, reverse=True)
+        best_x = np.array(ordered[0::2])
+        best_y = np.array(ordered[1::2])
+        assert expected_flit_transitions(
+            best_x, best_y, width=8
+        ) <= expected_flit_transitions(random_x, random_y, width=8) + 1e-9
+
+
+class TestCodecGeometryFuzz:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.sampled_from([4, 8, 16, 32]),
+        st.sampled_from([8, 16, 32]),
+        st.sampled_from(list(OrderingMethod)),
+        st.sampled_from(list(FillOrder)),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_round_trip_any_geometry(
+        self, n_pairs, values_per_flit, word_width, method, fill, seed
+    ):
+        """Encode/decode recovers original pairs for every geometry."""
+        rng = np.random.default_rng(seed)
+        mask = (1 << word_width) - 1
+        inputs = [int(v) & mask for v in rng.integers(0, 2**32, n_pairs)]
+        weights = [int(v) & mask for v in rng.integers(0, 2**32, n_pairs)]
+        bias = int(rng.integers(0, 2**word_width))
+        codec = TaskCodec(values_per_flit, word_width)
+        encoded = codec.encode(inputs, weights, bias, method, fill)
+        decoded = codec.decode(encoded)
+        assert decoded.bias == bias
+        assert decoded.original_pairs() == list(zip(inputs, weights))
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.sampled_from(list(OrderingMethod)),
+    )
+    def test_flit_count_independent_of_method(self, n_pairs, method):
+        """Ordering never changes the packet length (no hidden cost)."""
+        codec = TaskCodec(16, 8)
+        inputs = [1] * n_pairs
+        weights = [2] * n_pairs
+        enc = codec.encode(inputs, weights, 3, method)
+        assert enc.n_data_flits == codec.data_flit_count(n_pairs)
+
+
+class TestNoCConservation:
+    @settings(deadline=None, max_examples=10)
+    @given(
+        st.integers(min_value=1, max_value=4),  # n_vcs
+        st.integers(min_value=1, max_value=4),  # vc_depth
+        st.integers(min_value=1, max_value=3),  # link_latency
+        st.integers(min_value=0, max_value=1000),  # seed
+    )
+    def test_random_structure_delivers_everything(
+        self, n_vcs, vc_depth, link_latency, seed
+    ):
+        """Any structural configuration conserves and delivers packets."""
+        config = NoCConfig(
+            width=3,
+            height=3,
+            n_vcs=n_vcs,
+            vc_depth=vc_depth,
+            link_latency=link_latency,
+            link_width=32,
+        )
+        net = Network(config)
+        rng = np.random.default_rng(seed)
+        n_packets = int(rng.integers(1, 10))
+        for _ in range(n_packets):
+            src = int(rng.integers(0, 9))
+            dst = int(rng.integers(0, 9))
+            length = int(rng.integers(1, 6))
+            payloads = [int(v) for v in rng.integers(0, 2**31, length)]
+            net.send_packet(make_packet(src, dst, payloads, 32))
+        stats = net.run_until_drained(max_cycles=50_000)
+        assert stats.packets_delivered == n_packets
+
+    def test_bt_symmetric_in_payload_swap(self):
+        """BT(a, b) == BT(b, a) end to end through a link."""
+        for a, b in [(0x12, 0xFE), (0, 2**31), (7, 7)]:
+            forward = transitions_between(a, b)
+            backward = transitions_between(b, a)
+            assert forward == backward

@@ -1,0 +1,146 @@
+"""Tests for the weight-stationary dataflow extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.flitize import TaskCodec
+from repro.accelerator.mapping import make_placement
+from repro.accelerator.simulator import run_model_on_noc
+from repro.accelerator.tasks import extract_tasks
+from repro.ordering.strategies import FillOrder, OrderingMethod
+
+
+class TestInputOnlyCodec:
+    def test_flit_count(self):
+        codec = TaskCodec(16, 8)
+        assert codec.input_flit_count(25) == 2  # 16 lanes per flit
+        assert codec.input_flit_count(16) == 1
+        with pytest.raises(ValueError):
+            codec.input_flit_count(0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255),
+            min_size=1,
+            max_size=50,
+        ),
+        st.sampled_from(list(OrderingMethod)),
+    )
+    def test_round_trip(self, inputs, method):
+        codec = TaskCodec(16, 8)
+        encoded = codec.encode_inputs_only(inputs, method)
+        assert codec.decode_inputs_only(encoded) == inputs
+
+    def test_separated_sorts_by_count(self):
+        codec = TaskCodec(16, 8)
+        inputs = [0x01, 0xFF, 0x00, 0x0F]
+        encoded = codec.encode_inputs_only(
+            inputs, OrderingMethod.SEPARATED
+        )
+        from repro.bits.packing import unpack_words
+        from repro.bits.popcount import popcount
+        from repro.ordering.strategies import undeal_rows
+
+        rows = [unpack_words(p, 8, 16) for p in encoded.payloads]
+        seq = undeal_rows(rows, encoded.fill)
+        counts = [popcount(w) for w in seq]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_baseline_keeps_original_order(self):
+        codec = TaskCodec(16, 8)
+        inputs = [5, 9, 1]
+        encoded = codec.encode_inputs_only(
+            inputs, OrderingMethod.BASELINE
+        )
+        from repro.bits.packing import unpack_words
+
+        lanes = unpack_words(encoded.payloads[0], 8, 16)
+        assert lanes[:3] == inputs
+
+    def test_half_the_flits_of_a_full_packet(self):
+        codec = TaskCodec(16, 32)
+        full = codec.data_flit_count(25)  # 4 flits
+        inputs_only = codec.input_flit_count(25)  # 2 flits
+        assert inputs_only < full
+
+
+class TestGroupAffineMapping:
+    def test_same_group_same_pe(self):
+        placement = make_placement(4, 4, 2)
+        pes = {placement.pe_for_group(0, 3) for _ in range(5)}
+        assert len(pes) == 1
+
+    def test_groups_spread_over_pes(self):
+        placement = make_placement(4, 4, 2)
+        pes = {placement.pe_for_group(1, g) for g in range(20)}
+        assert len(pes) > 5
+
+    def test_task_groups_extracted(self, small_lenet, digit_image):
+        layers = extract_tasks(small_lenet, digit_image, None)
+        conv1 = layers[0]
+        # conv1: 6 output channels, 784 positions each.
+        groups = {t.group for t in conv1.tasks}
+        assert groups == set(range(6))
+        for t in conv1.tasks:
+            assert t.group == t.neuron_index // 784
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(weight_cache=True)  # needs group_affine
+        with pytest.raises(ValueError):
+            AcceleratorConfig(mapping_policy="random")
+
+
+class TestWeightStationaryRuns:
+    @pytest.mark.parametrize(
+        "method", [OrderingMethod.BASELINE, OrderingMethod.SEPARATED]
+    )
+    def test_cached_runs_verify(self, small_lenet, digit_image, method):
+        cfg = AcceleratorConfig(
+            data_format="fixed8",
+            ordering=method,
+            max_tasks_per_layer=12,
+            mapping_policy="group_affine",
+            weight_cache=True,
+            seed=3,
+        )
+        res = run_model_on_noc(cfg, small_lenet, digit_image)
+        assert res.all_verified
+
+    def test_cache_reduces_traffic(self, small_lenet, digit_image):
+        base_cfg = AcceleratorConfig(
+            data_format="fixed8",
+            max_tasks_per_layer=12,
+            mapping_policy="group_affine",
+            seed=3,
+        )
+        cache_cfg = AcceleratorConfig(
+            data_format="fixed8",
+            max_tasks_per_layer=12,
+            mapping_policy="group_affine",
+            weight_cache=True,
+            seed=3,
+        )
+        base = run_model_on_noc(base_cfg, small_lenet, digit_image)
+        cached = run_model_on_noc(cache_cfg, small_lenet, digit_image)
+        assert cached.flit_hops < base.flit_hops
+        assert cached.total_bit_transitions < base.total_bit_transitions
+        assert cached.all_verified
+
+    def test_float32_cached_verifies(self, small_lenet, digit_image):
+        cfg = AcceleratorConfig(
+            data_format="float32",
+            ordering=OrderingMethod.AFFILIATED,
+            max_tasks_per_layer=8,
+            mapping_policy="group_affine",
+            weight_cache=True,
+            seed=3,
+        )
+        res = run_model_on_noc(cfg, small_lenet, digit_image)
+        assert res.all_verified

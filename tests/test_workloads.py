@@ -1,0 +1,191 @@
+"""Tests for repro.workloads (no-NoC experiments and weight streams)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bits.popcount import popcount_array
+from repro.workloads.packets import (
+    ComparisonMode,
+    OrderingScope,
+    build_packets,
+    measure_stream,
+    ones_count_grid,
+)
+from repro.workloads.streams import (
+    model_weight_values,
+    random_weights,
+    words_for_format,
+)
+
+
+@pytest.fixture(scope="module")
+def float_words():
+    values = random_weights(4000, seed=3)
+    words, fmt = words_for_format(values, "float32")
+    return np.asarray(words), fmt
+
+
+@pytest.fixture(scope="module")
+def fixed_words():
+    values = random_weights(4000, seed=3)
+    words, fmt = words_for_format(values, "fixed8")
+    return np.asarray(words), fmt
+
+
+class TestBuildPackets:
+    def test_geometry(self, float_words):
+        words, fmt = float_words
+        stream = build_packets(words, 100, 8, fmt.width, kernel_size=25)
+        assert stream.flits_per_packet == 4  # ceil(25/8)
+        assert stream.n_flits == 400
+        assert stream.flit_bits == 256
+        assert stream.n_packets == 100
+
+    def test_zero_padding_present(self, float_words):
+        words, fmt = float_words
+        stream = build_packets(words, 10, 8, fmt.width, kernel_size=25)
+        # Each packet's last flit carries 25 % 8 = 1 value + 7 zeros.
+        last_flit = stream.flits[3]
+        assert (last_flit[1:] == 0).all()
+
+    def test_full_packets_have_no_padding(self, float_words):
+        words, fmt = float_words
+        stream = build_packets(words, 10, 8, fmt.width, kernel_size=32)
+        assert (stream.flits != 0).any(axis=1).all()
+
+    def test_ordered_stream_counts_descend(self, float_words):
+        words, fmt = float_words
+        stream = build_packets(
+            words, 50, 8, fmt.width, kernel_size=25,
+            ordered=True, scope=OrderingScope.STREAM,
+        )
+        counts = popcount_array(stream.flits.reshape(-1)).astype(int)
+        assert (np.diff(counts) <= 0).all()
+
+    def test_packet_scope_preserves_packet_contents(self, float_words):
+        words, fmt = float_words
+        base = build_packets(words, 20, 8, fmt.width, kernel_size=25)
+        ordered = build_packets(
+            words, 20, 8, fmt.width, kernel_size=25,
+            ordered=True, scope=OrderingScope.PACKET,
+        )
+        fpp = base.flits_per_packet
+        for p in range(20):
+            b = np.sort(base.flits[p * fpp : (p + 1) * fpp].reshape(-1))
+            o = np.sort(ordered.flits[p * fpp : (p + 1) * fpp].reshape(-1))
+            np.testing.assert_array_equal(b, o)
+
+    def test_window_scope_preserves_window_contents(self, fixed_words):
+        words, fmt = fixed_words
+        base = build_packets(words, 64, 8, fmt.width, kernel_size=25)
+        ordered = build_packets(
+            words, 64, 8, fmt.width, kernel_size=25,
+            ordered=True, scope=OrderingScope.WINDOW, window_packets=16,
+        )
+        slots = base.flits_per_packet * 8 * 16
+        flat_b = base.flits.reshape(-1)
+        flat_o = ordered.flits.reshape(-1)
+        for start in range(0, flat_b.size, slots):
+            np.testing.assert_array_equal(
+                np.sort(flat_b[start : start + slots]),
+                np.sort(flat_o[start : start + slots]),
+            )
+
+    def test_kernel_too_large(self, float_words):
+        words, fmt = float_words
+        with pytest.raises(ValueError):
+            build_packets(
+                words, 10, 8, fmt.width, kernel_size=40, flits_per_packet=2
+            )
+
+    def test_random_offsets(self, float_words):
+        words, fmt = float_words
+        rng = np.random.default_rng(0)
+        a = build_packets(words, 10, 8, fmt.width, rng=rng)
+        b = build_packets(words, 10, 8, fmt.width)
+        assert not np.array_equal(a.flits, b.flits)
+
+    def test_payload_ints_match_matrix(self, fixed_words):
+        words, fmt = fixed_words
+        stream = build_packets(words, 5, 8, fmt.width, kernel_size=25)
+        payloads = stream.payload_ints()
+        lane0 = stream.flits[0, 0]
+        assert payloads[0] & 0xFF == lane0
+
+
+class TestMeasureStream:
+    def test_ordering_reduces_stream_bt(self, fixed_words):
+        words, fmt = fixed_words
+        base = build_packets(words, 300, 8, fmt.width, kernel_size=25)
+        ordered = build_packets(
+            words, 300, 8, fmt.width, kernel_size=25, ordered=True
+        )
+        assert (
+            measure_stream(ordered).bt_per_flit
+            < measure_stream(base).bt_per_flit
+        )
+
+    def test_random_pairs_erase_the_win(self, fixed_words):
+        # The comparison-mode ablation: ordering only helps when flits
+        # traverse in stream order.
+        words, fmt = fixed_words
+        ordered = build_packets(
+            words, 300, 8, fmt.width, kernel_size=25, ordered=True
+        )
+        rng = np.random.default_rng(5)
+        stream_bt = measure_stream(ordered).bt_per_flit
+        random_bt = measure_stream(
+            ordered, ComparisonMode.RANDOM_PAIRS, rng=rng
+        ).bt_per_flit
+        assert random_bt > stream_bt
+
+    def test_intra_packet_mode_comparisons(self, fixed_words):
+        words, fmt = fixed_words
+        stream = build_packets(words, 50, 8, fmt.width, kernel_size=25)
+        result = measure_stream(stream, ComparisonMode.INTRA_PACKET)
+        assert result.comparisons == 50 * 3  # fpp-1 per packet
+
+    def test_empty_result_guard(self):
+        from repro.workloads.packets import StreamResult
+
+        assert StreamResult(0, 0).bt_per_flit == 0.0
+
+
+class TestOnesCountGrid:
+    def test_grid_shape_and_values(self, fixed_words):
+        words, fmt = fixed_words
+        stream = build_packets(words, 10, 8, fmt.width, kernel_size=25)
+        grid = ones_count_grid(stream)
+        assert grid.shape == (40, 8)
+        assert grid.max() <= 8
+        assert grid.min() >= 0
+
+
+class TestStreams:
+    def test_random_weights_deterministic(self):
+        a = random_weights(100, seed=1)
+        b = random_weights(100, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_random_weights_bounded(self):
+        w = random_weights(1000, seed=1, fan_in=25)
+        assert np.abs(w).max() <= np.sqrt(6 / 25)
+
+    def test_model_weight_values(self, small_lenet):
+        values = model_weight_values(small_lenet)
+        assert values.size == 61706 - (6 + 16 + 120 + 84 + 10)  # no biases
+
+    def test_words_for_format_float32(self):
+        words, fmt = words_for_format(np.array([0.0, 1.0]), "float32")
+        assert fmt.width == 32
+        assert int(np.asarray(words)[1]) == 0x3F800000
+
+    def test_words_for_format_fixed8_scale(self):
+        words, fmt = words_for_format(np.array([-2.0, 2.0]), "fixed8")
+        assert fmt.scale == pytest.approx(2.0 / 127)
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            words_for_format(np.zeros(4), "int4")

@@ -1,0 +1,105 @@
+"""Tests for repro.workloads.traces (capture, persistence, re-analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.noc.flit import make_packet
+from repro.noc.network import Network, NoCConfig
+from repro.ordering.strategies import OrderingMethod
+from repro.workloads.traces import (
+    TraceCollector,
+    TrafficTrace,
+    reencode_transitions,
+)
+
+
+def traced_network() -> tuple[Network, TrafficTrace]:
+    net = Network(NoCConfig(width=4, height=4, link_width=64))
+    net.trace_collector = TraceCollector()
+    for src in range(6):
+        net.send_packet(make_packet(src, 15, [src * 101, src ^ 0xFF], 64))
+    net.run_until_drained()
+    return net, net.trace_collector.finish(64)
+
+
+class TestCapture:
+    def test_trace_matches_live_recorders(self):
+        net, trace = traced_network()
+        assert trace.total_transitions() == net.stats.total_bit_transitions
+        assert trace.total_flit_traversals() == net.stats.flit_hops
+
+    def test_per_link_matches_ledger(self):
+        net, trace = traced_network()
+        assert trace.per_link_transitions() == net.ledger.per_link()
+
+    def test_cycles_recorded_monotone(self):
+        _, trace = traced_network()
+        for name, cycles in trace.cycles.items():
+            assert list(cycles) == sorted(cycles)
+            assert len(cycles) == len(trace.links[name])
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        _, trace = traced_network()
+        path = tmp_path / "run.trace.json"
+        trace.save(path)
+        loaded = TrafficTrace.load(path)
+        assert loaded.link_width == trace.link_width
+        assert loaded.links == trace.links
+        assert loaded.cycles == trace.cycles
+
+    def test_wide_payloads_survive(self, tmp_path):
+        trace = TrafficTrace(
+            link_width=512,
+            links={"R0.EAST": (2**511 | 1, 0, 2**300)},
+        )
+        path = tmp_path / "wide.json"
+        trace.save(path)
+        assert TrafficTrace.load(path).links["R0.EAST"] == (
+            2**511 | 1,
+            0,
+            2**300,
+        )
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "link_width": 8, "links": {}}')
+        with pytest.raises(ValueError):
+            TrafficTrace.load(path)
+
+
+class TestReencoding:
+    def test_none_is_identity(self):
+        _, trace = traced_network()
+        assert reencode_transitions(trace, "none") == (
+            trace.total_transitions()
+        )
+
+    def test_bus_invert_never_much_worse(self):
+        _, trace = traced_network()
+        plain = trace.total_transitions()
+        coded = reencode_transitions(trace, "bus_invert")
+        # Bus-invert bounds payload transitions and pays <= 1 line
+        # transition per flit.
+        assert coded <= plain + trace.total_flit_traversals()
+
+    def test_unknown_coding(self):
+        _, trace = traced_network()
+        with pytest.raises(ValueError):
+            reencode_transitions(trace, "gray")
+
+
+class TestAcceleratorIntegration:
+    def test_trace_through_accelerator(self, small_lenet, digit_image):
+        config = AcceleratorConfig(max_tasks_per_layer=3, seed=4)
+        sim = AcceleratorSimulator(config, small_lenet, digit_image)
+        collector = TraceCollector()
+        result = sim.run(trace_collector=collector)
+        trace = collector.finish(config.link_width)
+        assert trace.total_transitions() == result.total_bit_transitions
+        assert result.all_verified
