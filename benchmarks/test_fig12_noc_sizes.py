@@ -4,6 +4,12 @@ Runs trained LeNet through the full NoC simulator for the paper's three
 configurations (4x4/MC2, 8x8/MC4, 8x8/MC8), both data formats and all
 three orderings (O0/O1/O2), reporting absolute BTs and reduction rates.
 
+The grid executes through the campaign engine: a declarative
+:class:`SweepSpec` expands the mesh x ordering product, the runner
+persists every point into a content-addressed cache, and the reported
+series is the engine's :func:`pivot` over the records — the same path
+``repro sweep`` / ``repro report`` exercise from the CLI.
+
 Paper shape: O2 > O1 > O0 reductions everywhere; affiliated 12.09-18.58 %
 (f32) / 7.88-17.75 % (fx8); separated 23.30-32.01 % (f32) /
 16.95-35.93 % (fx8); the 8x8/MC4 configuration produces the most
@@ -14,57 +20,70 @@ from __future__ import annotations
 
 import pytest
 
-from repro.accelerator.config import AcceleratorConfig
-from repro.accelerator.simulator import run_model_on_noc
-from repro.analysis.summary import format_series, reduction_rate
-from repro.ordering.strategies import OrderingMethod
+from repro.analysis.summary import format_series
+from repro.experiments import (
+    CampaignRunner,
+    ResultCache,
+    ResultStore,
+    SweepSpec,
+    pivot,
+    reduction_series,
+)
 
-MESHES = [
-    ("4x4 MC2", dict(width=4, height=4, n_mcs=2)),
-    ("8x8 MC4", dict(width=8, height=8, n_mcs=4)),
-    ("8x8 MC8", dict(width=8, height=8, n_mcs=8)),
-]
+MESHES = ["4x4:2", "8x8:4", "8x8:8"]
 MAX_TASKS = 32
 
 
 @pytest.mark.parametrize("data_format", ["float32", "fixed8"])
 def test_fig12_noc_sizes(
-    benchmark, record_result, trained_lenet, lenet_image, data_format
+    benchmark, record_result, trained_lenet, tmp_path, data_format
 ):
-    def run():
-        series: dict[str, dict[str, float]] = {}
-        for label, mesh in MESHES:
-            series[label] = {}
-            for method in OrderingMethod:
-                cfg = AcceleratorConfig(
-                    data_format=data_format,
-                    ordering=method,
-                    max_tasks_per_layer=MAX_TASKS,
-                    **mesh,
-                )
-                result = run_model_on_noc(cfg, trained_lenet, lenet_image)
-                assert result.all_verified, cfg.label()
-                series[label][method.value] = float(
-                    result.total_bit_transitions
-                )
-        return series
+    spec = SweepSpec(
+        name=f"fig12_{data_format}",
+        model="trained_lenet",
+        model_seed=3,  # the conftest fixture's training seed
+        image_seed=5,
+        base={
+            "data_format": data_format,
+            "max_tasks_per_layer": MAX_TASKS,
+            "seed": 2025,  # AcceleratorConfig default, kept explicit
+        },
+        axes={"mesh": MESHES, "ordering": ["O0", "O1", "O2"]},
+    )
+    runner = CampaignRunner(
+        cache=ResultCache(tmp_path / "cache"),
+        store=ResultStore(tmp_path / "runs.jsonl"),
+        workers=1,  # inline: reuses the session-trained LeNet
+    )
 
-    series = benchmark.pedantic(run, rounds=1)
+    def run():
+        campaign = runner.run(spec)
+        assert not campaign.errors, campaign.summary()
+        for record in campaign.records:
+            result = record["result"]
+            assert result["tasks_verified"] == result["tasks_total"], (
+                record["job_id"]
+            )
+        return campaign
+
+    campaign = benchmark.pedantic(run, rounds=1)
+    series = pivot(campaign.records)
 
     # --- shape assertions ------------------------------------------------
-    reductions: dict[str, dict[str, float]] = {}
+    reductions = reduction_series(series)
     for label, values in series.items():
         o0, o1, o2 = values["O0"], values["O1"], values["O2"]
         assert o2 < o1 < o0, f"{label}: expected O2 < O1 < O0"
-        reductions[label] = {
-            "O1": reduction_rate(o0, o1),
-            "O2": reduction_rate(o0, o2),
-        }
         assert reductions[label]["O1"] > 5.0
         assert reductions[label]["O2"] > 15.0
     # 8x8/MC4 has the most routers per MC and thus the most hops/BTs.
     assert series["8x8 MC4"]["O0"] > series["4x4 MC2"]["O0"]
     assert series["8x8 MC4"]["O0"] > series["8x8 MC8"]["O0"]
+
+    # A re-run of the same campaign must be served entirely from cache.
+    replay = runner.run(spec)
+    assert replay.hits == campaign.n_jobs and replay.misses == 0
+    assert pivot(replay.records) == series
 
     lines = [
         format_series(

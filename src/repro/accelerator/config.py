@@ -8,7 +8,8 @@ link setups are captured by :func:`link_width_for`: 512-bit links carry
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Any
 
 from repro.noc.network import NoCConfig
 from repro.ordering.strategies import FillOrder, OrderingMethod
@@ -151,3 +152,46 @@ class AcceleratorConfig:
             f"{self.width}x{self.height} MC{self.n_mcs} "
             f"{self.data_format} {self.ordering.value}"
         )
+
+    # -- serialization ---------------------------------------------------
+    #
+    # The campaign engine hashes configs into cache keys and persists
+    # them in JSONL stores, so the dict form must be stable, canonical
+    # (enums as their string values) and loss-free.
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; exact inverse of :meth:`from_dict`."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (OrderingMethod, FillOrder)):
+                value = value.value
+            elif isinstance(value, dict):
+                value = dict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AcceleratorConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (they signal a version mismatch the
+        cache must treat as a different configuration, not silently
+        drop).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown AcceleratorConfig fields: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if "ordering" in kwargs and not isinstance(
+            kwargs["ordering"], OrderingMethod
+        ):
+            kwargs["ordering"] = OrderingMethod.from_name(kwargs["ordering"])
+        if "fill_order" in kwargs and not isinstance(
+            kwargs["fill_order"], FillOrder
+        ):
+            kwargs["fill_order"] = FillOrder(kwargs["fill_order"])
+        return cls(**kwargs)

@@ -16,6 +16,7 @@ recovery and separated-ordering's index recovery works.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -61,6 +62,14 @@ class LayerSummary:
     bit_transitions: int
     cycles: int
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; exact inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LayerSummary":
+        return cls(**data)
+
 
 @dataclass
 class RunResult:
@@ -98,6 +107,34 @@ class RunResult:
         if self.flit_hops == 0:
             return 0.0
         return self.total_bit_transitions / self.flit_hops
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; exact inverse of :meth:`from_dict`.
+
+        The campaign result store persists run results as JSONL, so
+        the dict form nests the config and per-layer summaries as
+        plain dicts.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "total_bit_transitions": self.total_bit_transitions,
+            "total_cycles": self.total_cycles,
+            "flit_hops": self.flit_hops,
+            "layers": [layer.to_dict() for layer in self.layers],
+            "tasks_verified": self.tasks_verified,
+            "tasks_total": self.tasks_total,
+            "mean_packet_latency": self.mean_packet_latency,
+            "ordering_latency_cycles": self.ordering_latency_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        kwargs = dict(data)
+        kwargs["config"] = AcceleratorConfig.from_dict(kwargs["config"])
+        kwargs["layers"] = [
+            LayerSummary.from_dict(layer) for layer in kwargs["layers"]
+        ]
+        return cls(**kwargs)
 
 
 @dataclass

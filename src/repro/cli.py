@@ -7,6 +7,15 @@ Subcommands::
     repro link-power — Sec. V-C link power arithmetic
     repro table2     — Table II synthesis comparison
     repro traffic    — synthetic traffic patterns through the NoC
+    repro sweep      — run a declarative campaign grid (cached, parallel)
+    repro report     — re-render campaign tables from a result store
+
+Every subcommand accepts ``--seed``: when given, all randomness (model
+init, sample images, task sampling, traffic schedules) derives from it
+via :func:`repro.experiments.spec.derive_seed`; when omitted, the
+historical per-command defaults apply so existing outputs stay stable.
+Purely arithmetic commands (``link-power``, ``table2``) accept the flag
+for uniformity and ignore it.
 
 Installed as the ``repro`` console script, or run with
 ``python -m repro.cli``.
@@ -15,6 +24,7 @@ Installed as the ``repro`` console script, or run with
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 import numpy as np
@@ -24,6 +34,11 @@ from repro.accelerator.simulator import run_model_on_noc
 from repro.analysis.summary import reduction_rate
 from repro.dnn.datasets import synthetic_digits, synthetic_shapes
 from repro.dnn.models import build_model
+from repro.experiments.cache import ResultCache
+from repro.experiments.report import fig12_report, mesh_row_key, model_row_key
+from repro.experiments.runner import CampaignRunner
+from repro.experiments.spec import SweepSpec, derive_seed
+from repro.experiments.store import ResultStore
 from repro.hardware.linkpower import (
     BANERJEE_ENERGY_PJ,
     PAPER_ENERGY_PJ,
@@ -54,8 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bit-transition-reduction reproduction experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    seeded = argparse.ArgumentParser(add_help=False)
+    seeded.add_argument(
+        "--seed", type=int, default=None,
+        help="derive all randomness from this seed "
+             "(default: historical per-command seeds)",
+    )
 
-    run_noc = sub.add_parser("run-noc", help="run a DNN through the NoC")
+    run_noc = sub.add_parser("run-noc", parents=[seeded],
+                             help="run a DNN through the NoC")
     run_noc.add_argument("--model", default="lenet",
                          choices=("lenet", "darknet"))
     run_noc.add_argument("--format", default="fixed8",
@@ -70,7 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_noc.add_argument("--compare", action="store_true",
                          help="also run O0 and report the reduction")
 
-    no_noc = sub.add_parser("no-noc", help="Table I flit-stream experiment")
+    no_noc = sub.add_parser("no-noc", parents=[seeded],
+                            help="Table I flit-stream experiment")
     no_noc.add_argument("--format", default="fixed8",
                         choices=("float32", "fixed8"))
     no_noc.add_argument("--weights", default="random",
@@ -78,18 +101,62 @@ def build_parser() -> argparse.ArgumentParser:
     no_noc.add_argument("--packets", type=int, default=10_000)
     no_noc.add_argument("--kernel", type=int, default=25)
 
-    power = sub.add_parser("link-power", help="Sec. V-C link power")
+    power = sub.add_parser("link-power", parents=[seeded],
+                           help="Sec. V-C link power")
     power.add_argument("--mesh", default="8x8")
     power.add_argument("--reduction", type=float, default=40.85,
                        help="BT reduction rate in percent")
 
-    sub.add_parser("table2", help="Table II synthesis comparison")
+    sub.add_parser("table2", parents=[seeded],
+                   help="Table II synthesis comparison")
 
-    traffic = sub.add_parser("traffic", help="synthetic NoC traffic")
+    traffic = sub.add_parser("traffic", parents=[seeded],
+                             help="synthetic NoC traffic")
     traffic.add_argument("--pattern", default="uniform",
                          choices=[p.value for p in TrafficPattern])
     traffic.add_argument("--mesh", default="4x4")
     traffic.add_argument("--packets", type=int, default=200)
+
+    sweep = sub.add_parser(
+        "sweep", parents=[seeded],
+        help="run a campaign grid through the cached parallel engine",
+    )
+    sweep.add_argument("--name", default="sweep", help="campaign name")
+    sweep.add_argument("--spec", default=None,
+                       help="JSON SweepSpec file (overrides grid flags; "
+                            "--seed still overrides its campaign seed)")
+    sweep.add_argument("--model", default="lenet",
+                       choices=("lenet", "darknet", "trained-lenet"))
+    sweep.add_argument("--meshes", default="4x4:2,8x8:4,8x8:8",
+                       help="comma list of WxH:MCS mesh points")
+    sweep.add_argument("--formats", default="fixed8",
+                       help="comma list of data formats")
+    sweep.add_argument("--orderings", default="O0,O1,O2",
+                       help="comma list of ordering methods")
+    sweep.add_argument("--tasks", type=int, default=16,
+                       help="sampled tasks per layer")
+    sweep.add_argument("--workers", type=int, default=2,
+                       help="worker processes (1 = inline)")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="content-addressed result cache directory")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="always simulate, never read or write cache")
+    sweep.add_argument("--store", default=None,
+                       help="JSONL result store "
+                            "(default campaigns/<name>.jsonl)")
+    sweep.add_argument("--csv", default=None,
+                       help="also export the store as CSV")
+
+    report = sub.add_parser(
+        "report", parents=[seeded],
+        help="re-render campaign tables from a result store",
+    )
+    report.add_argument("--store", required=True,
+                        help="JSONL store written by `repro sweep`")
+    report.add_argument("--by", default="mesh", choices=("mesh", "model"),
+                        help="grid row key")
+    report.add_argument("--csv", default=None,
+                        help="also export the store as CSV")
     return parser
 
 
@@ -101,13 +168,23 @@ def _parse_mesh(text: str) -> tuple[int, int]:
         raise SystemExit(f"bad mesh {text!r}; use WxH like 4x4") from exc
 
 
+def _seed_or(args: argparse.Namespace, label: str, default: int) -> int:
+    """Per-purpose seed: derived from --seed when given, else legacy."""
+    if getattr(args, "seed", None) is None:
+        return default
+    return derive_seed(args.seed, label)
+
+
 def _cmd_run_noc(args: argparse.Namespace) -> int:
     width, height = _parse_mesh(args.mesh)
-    model = build_model(args.model, rng=np.random.default_rng(1))
+    model = build_model(
+        args.model, rng=np.random.default_rng(_seed_or(args, "model", 1))
+    )
+    image_seed = _seed_or(args, "image", 5)
     if args.model == "lenet":
-        image = synthetic_digits(1, seed=5).images[0]
+        image = synthetic_digits(1, seed=image_seed).images[0]
     else:
-        image = synthetic_shapes(1, seed=5).images[0]
+        image = synthetic_shapes(1, seed=image_seed).images[0]
     methods = [OrderingMethod.from_name(args.ordering)]
     if args.compare and methods[0] is not OrderingMethod.BASELINE:
         methods.insert(0, OrderingMethod.BASELINE)
@@ -120,6 +197,7 @@ def _cmd_run_noc(args: argparse.Namespace) -> int:
             data_format=args.format,
             ordering=method,
             max_tasks_per_layer=args.tasks,
+            seed=_seed_or(args, "tasks", 2025),
         )
         result = run_model_on_noc(config, model, image)
         line = (
@@ -141,10 +219,11 @@ def _cmd_run_noc(args: argparse.Namespace) -> int:
 
 
 def _cmd_no_noc(args: argparse.Namespace) -> int:
+    weight_seed = _seed_or(args, "weights", 3)
     if args.weights == "random":
-        values = random_weights(40_000, seed=3)
+        values = random_weights(40_000, seed=weight_seed)
     else:
-        values = trained_lenet_weights()
+        values = trained_lenet_weights(seed=weight_seed)
     words, fmt = words_for_format(values, args.format)
     base = build_packets(
         words, args.packets, 8, fmt.width, kernel_size=args.kernel
@@ -187,7 +266,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     width, height = _parse_mesh(args.mesh)
     noc = NoCConfig(width=width, height=height, link_width=128)
     config = SyntheticTrafficConfig(
-        pattern=TrafficPattern(args.pattern), n_packets=args.packets
+        pattern=TrafficPattern(args.pattern),
+        n_packets=args.packets,
+        seed=_seed_or(args, "traffic", 0),
     )
     stats = run_synthetic(config, noc)
     print(
@@ -198,12 +279,88 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    if args.spec:
+        import dataclasses
+        import json
+
+        try:
+            data = json.loads(pathlib.Path(args.spec).read_text())
+            spec = SweepSpec.from_dict(data)
+        except (OSError, ValueError, TypeError) as exc:
+            raise SystemExit(
+                f"bad sweep spec file {args.spec!r}: {exc}"
+            ) from exc
+        if args.seed is not None:
+            # --seed overrides the file's campaign seed; the file's
+            # explicit model_seed/image_seed fields stay authoritative.
+            spec = dataclasses.replace(spec, seed=args.seed)
+        return spec
+    # As with the other subcommands: omitting --seed keeps the
+    # historical defaults, giving it derives every workload seed.
+    seed = args.seed if args.seed is not None else 0
+    return SweepSpec(
+        name=args.name,
+        model=args.model.replace("-", "_"),
+        base={"max_tasks_per_layer": args.tasks},
+        axes={
+            "mesh": _split_csv(args.meshes),
+            "data_format": _split_csv(args.formats),
+            "ordering": _split_csv(args.orderings),
+        },
+        seed=seed,
+        model_seed=_seed_or(args, "model", 1),
+        image_seed=_seed_or(args, "image", 5),
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_args(args)
+    try:
+        spec.expand()  # surface grid mistakes before any simulation
+    except ValueError as exc:
+        raise SystemExit(f"bad sweep grid: {exc}") from exc
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store_path = args.store or f"campaigns/{spec.name}.jsonl"
+    store = ResultStore(store_path)
+    runner = CampaignRunner(cache=cache, store=store, workers=args.workers)
+    print(f"campaign {spec.name!r}: {spec.n_points} points -> {store_path}")
+    result = runner.run(spec, progress=print)
+    print(result.summary())
+    print()
+    print(fig12_report(result.records))
+    if args.csv:
+        rows = store.to_csv(args.csv)
+        print(f"\nwrote {rows} rows to {args.csv}")
+    return 1 if result.errors else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = list(store.latest_by_job().values())
+    if not records:
+        print(f"no records in {args.store}", file=sys.stderr)
+        return 1
+    row_key = mesh_row_key if args.by == "mesh" else model_row_key
+    print(fig12_report(records, row_key=row_key))
+    if args.csv:
+        rows = store.to_csv(args.csv)
+        print(f"\nwrote {rows} rows to {args.csv}")
+    return 0
+
+
 _COMMANDS = {
     "run-noc": _cmd_run_noc,
     "no-noc": _cmd_no_noc,
     "link-power": _cmd_link_power,
     "table2": _cmd_table2,
     "traffic": _cmd_traffic,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
 }
 
 

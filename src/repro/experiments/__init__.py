@@ -1,0 +1,37 @@
+"""repro.experiments — the campaign engine.
+
+Turns one-off simulations into declarative, cached, parallel campaigns:
+
+* :mod:`repro.experiments.spec` — :class:`SweepSpec` grids expand into
+  deterministic :class:`JobSpec` lists with derived per-job seeds.
+* :mod:`repro.experiments.cache` — content-addressed result cache keyed
+  by job identity + code-version tag.
+* :mod:`repro.experiments.runner` — :class:`CampaignRunner` worker-pool
+  execution with per-job failure capture.
+* :mod:`repro.experiments.store` — append-only JSONL store + CSV export.
+* :mod:`repro.experiments.report` — Fig. 12/13-style grids from
+  persisted records, no re-simulation.
+
+CLI: ``repro sweep`` runs a campaign, ``repro report`` re-renders its
+tables from the store.
+"""
+
+from repro.experiments.cache import ResultCache, code_version_tag
+from repro.experiments.report import fig12_report, pivot, reduction_series
+from repro.experiments.runner import CampaignResult, CampaignRunner
+from repro.experiments.spec import JobSpec, SweepSpec, derive_seed
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "JobSpec",
+    "ResultCache",
+    "ResultStore",
+    "SweepSpec",
+    "code_version_tag",
+    "derive_seed",
+    "fig12_report",
+    "pivot",
+    "reduction_series",
+]

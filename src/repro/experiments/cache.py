@@ -1,0 +1,143 @@
+"""Content-addressed on-disk cache for campaign results.
+
+A cache entry is keyed by the SHA-256 of the job's canonical identity
+(:meth:`JobSpec.key_payload`) combined with a code-version tag hashed
+from the simulation-relevant source modules.  Re-running a campaign
+therefore only simulates points that are new *or* whose semantics may
+have changed — editing the simulator invalidates every entry, editing
+the report layer invalidates nothing.
+
+Entries are JSON files under ``<root>/<key[:2]>/<key>.json``, written
+atomically (temp file + rename) so a killed worker never leaves a
+half-written entry behind.  Unreadable or corrupted entries are treated
+as misses and deleted on access.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from functools import lru_cache
+from typing import Any
+
+from repro.experiments.spec import JobSpec, canonical_json
+
+__all__ = ["code_version_tag", "ResultCache"]
+
+# Modules whose source participates in every cache key: a change to
+# any of them changes what a simulation means, so cached results from
+# older code must not be served.
+_VERSIONED_MODULES = (
+    "repro.accelerator.config",
+    "repro.accelerator.flitize",
+    "repro.accelerator.mapping",
+    "repro.accelerator.orderer",
+    "repro.accelerator.simulator",
+    "repro.accelerator.tasks",
+    "repro.bits.formats",
+    "repro.bits.transitions",
+    "repro.dnn.models",
+    "repro.noc.network",
+    "repro.noc.router",
+    "repro.ordering.strategies",
+)
+
+
+@lru_cache(maxsize=1)
+def code_version_tag() -> str:
+    """Short hash over the simulation-relevant source files."""
+    import importlib
+
+    digest = hashlib.sha256()
+    for name in _VERSIONED_MODULES:
+        module = importlib.import_module(name)
+        source = pathlib.Path(module.__file__).read_bytes()
+        digest.update(name.encode())
+        digest.update(source)
+    return digest.hexdigest()[:12]
+
+
+class ResultCache:
+    """Content-addressed store of finished job records.
+
+    Attributes:
+        root: cache directory (created lazily on first put).
+        version_tag: code-version component of every key; defaults to
+            :func:`code_version_tag`.  Tests override it to model a
+            code change without editing source files.
+        corrupt_dropped: entries discarded due to unreadable JSON.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        version_tag: str | None = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.version_tag = (
+            code_version_tag() if version_tag is None else version_tag
+        )
+        self.corrupt_dropped = 0
+
+    # -- keys ------------------------------------------------------------
+
+    def key_for(self, job: JobSpec) -> str:
+        """The content address of a job under the current code version."""
+        identity = {"code": self.version_tag, "job": job.key_payload()}
+        return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached record, or None on miss / corrupted entry."""
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
+            return None
+        try:
+            record = json.loads(text)
+            if not isinstance(record, dict):
+                raise ValueError("cache entry is not an object")
+        except ValueError:
+            # Corrupted entry (truncated write, disk fault, manual
+            # edit): drop it so the point re-simulates cleanly.
+            self.corrupt_dropped += 1
+            path.unlink(missing_ok=True)
+            return None
+        return record
+
+    def get_job(self, job: JobSpec) -> dict[str, Any] | None:
+        return self.get(self.key_for(job))
+
+    def put(self, key: str, record: dict[str, Any]) -> None:
+        """Atomically persist a record under its key."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, sort_keys=True))
+        tmp.replace(path)
+
+    def put_job(self, job: JobSpec, record: dict[str, Any]) -> None:
+        self.put(self.key_for(job), record)
+
+    def contains(self, job: JobSpec) -> bool:
+        return self._path(self.key_for(job)).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

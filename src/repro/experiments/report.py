@@ -1,0 +1,106 @@
+"""Aggregation and paper-style reporting over persisted campaign records.
+
+These helpers turn a :class:`~repro.experiments.store.ResultStore` (or
+an in-memory record list) back into the paper's grids without touching
+the simulator: :func:`pivot` is the generic
+``{row -> {column -> value}}`` aggregation,
+:func:`fig12_report` renders the Fig. 12/13 absolute-BT and
+reduction-vs-O0 tables per data format, reusing the exact
+:func:`~repro.analysis.summary.format_series` layout the benches record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.analysis.summary import format_series, reduction_rate
+
+__all__ = [
+    "ok_records",
+    "pivot",
+    "mesh_row_key",
+    "model_row_key",
+    "reduction_series",
+    "fig12_report",
+]
+
+Record = dict[str, Any]
+
+
+def ok_records(records: Iterable[Record]) -> list[Record]:
+    """Only successful simulation records."""
+    return [r for r in records if r.get("status") == "ok"]
+
+
+def mesh_row_key(record: Record) -> str:
+    """Fig. 12 row key: "WxH MCn"."""
+    config = record["config"]
+    return (
+        f"{config['width']}x{config['height']} MC{config['n_mcs']}"
+    )
+
+
+def model_row_key(record: Record) -> str:
+    """Fig. 13 row key: the model name."""
+    return str(record.get("model", "?"))
+
+
+def pivot(
+    records: Iterable[Record],
+    row_key: Callable[[Record], str] = mesh_row_key,
+    col_key: Callable[[Record], str] = lambda r: r["config"]["ordering"],
+    value: Callable[[Record], float] = lambda r: float(
+        r["result"]["total_bit_transitions"]
+    ),
+) -> dict[str, dict[str, float]]:
+    """Aggregate records into the {row -> {column -> value}} grid shape.
+
+    Later records win on key collisions (store append order = recency),
+    matching :meth:`ResultStore.latest_by_job` semantics.
+    """
+    series: dict[str, dict[str, float]] = {}
+    for record in ok_records(records):
+        series.setdefault(row_key(record), {})[col_key(record)] = value(
+            record
+        )
+    return series
+
+
+def reduction_series(
+    series: dict[str, dict[str, float]], baseline: str = "O0"
+) -> dict[str, dict[str, float]]:
+    """Per-row reduction rates vs the baseline column, in percent."""
+    out: dict[str, dict[str, float]] = {}
+    for row, values in series.items():
+        if baseline not in values:
+            continue
+        base = values[baseline]
+        out[row] = {
+            col: reduction_rate(base, value)
+            for col, value in values.items()
+            if col != baseline
+        }
+    return out
+
+
+def fig12_report(
+    records: Iterable[Record],
+    row_key: Callable[[Record], str] = mesh_row_key,
+    title: str = "Absolute BTs",
+) -> str:
+    """Render the Fig. 12-style grids, one block per data format."""
+    records = ok_records(records)
+    formats = sorted({r["config"]["data_format"] for r in records})
+    if not formats:
+        return "(no successful records)"
+    blocks: list[str] = []
+    for fmt in formats:
+        subset = [r for r in records if r["config"]["data_format"] == fmt]
+        series = pivot(subset, row_key=row_key)
+        blocks.append(format_series(series, f"{title} ({fmt})"))
+        reductions = reduction_series(series)
+        if reductions:
+            blocks.append(
+                format_series(reductions, f"Reductions vs O0, % ({fmt})")
+            )
+    return "\n\n".join(blocks)

@@ -1,0 +1,252 @@
+"""Campaign execution: worker pool, cache consultation, failure capture.
+
+The :class:`CampaignRunner` takes a sweep (or an explicit job list),
+serves every already-simulated point from the
+:class:`~repro.experiments.cache.ResultCache`, and executes the misses
+across a ``multiprocessing`` pool.  Job records are fully deterministic
+(no timestamps, no host state), so a sweep executed with one worker is
+byte-identical to the same sweep executed with eight — the property the
+cache and the regression tests rely on.
+
+A job that raises is captured as a ``status="error"`` record with the
+traceback; it does not poison the pool, is *not* cached (so the point
+retries on the next run), and still lands in the result store for
+inspection.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.accelerator.simulator import run_model_on_noc
+from repro.dnn.datasets import synthetic_digits, synthetic_shapes
+from repro.dnn.models import ModelSpec, build_model
+from repro.experiments.cache import ResultCache
+from repro.experiments.spec import JobSpec, SweepSpec
+from repro.experiments.store import ResultStore
+from repro.workloads.streams import trained_lenet_model
+
+__all__ = ["execute_job", "CampaignResult", "CampaignRunner"]
+
+
+def _build_workload(
+    model_name: str, model_seed: int, image_seed: int
+) -> tuple[ModelSpec, np.ndarray]:
+    """Construct the (model, sample image) pair for a job."""
+    if model_name == "trained_lenet":
+        model = trained_lenet_model(seed=model_seed)
+        image = synthetic_digits(1, seed=image_seed).images[0]
+    elif model_name == "lenet":
+        model = build_model("lenet", rng=np.random.default_rng(model_seed))
+        image = synthetic_digits(1, seed=image_seed).images[0]
+    elif model_name == "darknet":
+        model = build_model("darknet", rng=np.random.default_rng(model_seed))
+        image = synthetic_shapes(1, seed=image_seed).images[0]
+    else:
+        raise ValueError(f"unknown model {model_name!r}")
+    return model, image
+
+
+def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one serialized job; never raises.
+
+    Module-level (not a method) so worker processes can import it, and
+    dict-in/dict-out so every transport — inline call, fork, spawn —
+    carries the same picklable payload.
+    """
+    try:
+        job = JobSpec.from_dict(payload)
+        model, image = _build_workload(
+            job.model, job.model_seed, job.image_seed
+        )
+        result = run_model_on_noc(
+            job.config,
+            model,
+            image,
+            max_cycles_per_layer=job.max_cycles_per_layer,
+        )
+        return {
+            "job_id": job.job_id,
+            "model": job.model,
+            "model_seed": job.model_seed,
+            "image_seed": job.image_seed,
+            "config": job.config.to_dict(),
+            "status": "ok",
+            "result": result.to_dict(),
+            "error": None,
+        }
+    except Exception as exc:
+        try:
+            job_id = JobSpec.from_dict(payload).job_id
+        except Exception:
+            job_id = "?"
+        return {
+            "job_id": job_id,
+            "model": payload.get("model", "?"),
+            "model_seed": payload.get("model_seed"),
+            "image_seed": payload.get("image_seed"),
+            "config": payload.get("config", {}),
+            "status": "error",
+            "result": None,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run.
+
+    Attributes:
+        name: campaign name.
+        records: one record per job, in grid order.
+        hits / misses: cache accounting for this run.
+        errors: jobs that failed (status="error").
+        elapsed_seconds: wall-clock time of the run.
+        workers: pool size used for the misses.
+    """
+
+    name: str
+    records: list[dict[str, Any]] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of jobs served from cache, in [0, 1]."""
+        if not self.records:
+            return 0.0
+        return self.hits / len(self.records)
+
+    def ok_records(self) -> list[dict[str, Any]]:
+        return [r for r in self.records if r.get("status") == "ok"]
+
+    def summary(self) -> str:
+        """The printed cache-hit summary line."""
+        return (
+            f"campaign {self.name!r}: {self.n_jobs} jobs, "
+            f"{self.hits} cache hits / {self.misses} simulated "
+            f"({100.0 * self.hit_rate:.1f}% hit rate), "
+            f"{self.errors} errors, {self.workers} workers, "
+            f"{self.elapsed_seconds:.2f}s"
+        )
+
+
+class CampaignRunner:
+    """Executes campaigns against a cache, store, and worker pool.
+
+    Attributes:
+        cache: result cache, or None to always simulate.
+        store: JSONL store every record is appended to, or None.
+        workers: pool size; 1 executes inline (no subprocesses),
+            which keeps single-core runs and pytest sessions cheap.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        store: ResultStore | None = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cache = cache
+        self.store = store
+        self.workers = workers
+
+    def run(
+        self,
+        sweep: SweepSpec | list[JobSpec],
+        progress: Callable[[str], None] | None = None,
+    ) -> CampaignResult:
+        """Execute every job of a sweep; returns the campaign result.
+
+        Records come back in grid order regardless of which points hit
+        the cache or which worker finished first.
+        """
+        if isinstance(sweep, SweepSpec):
+            name = sweep.name
+            jobs = sweep.expand()
+        else:
+            name = "jobs"
+            jobs = list(sweep)
+        started = time.perf_counter()
+
+        cached: dict[int, dict[str, Any]] = {}
+        todo: list[tuple[int, JobSpec]] = []
+        for index, job in enumerate(jobs):
+            record = self.cache.get_job(job) if self.cache else None
+            if record is not None:
+                cached[index] = record
+            else:
+                todo.append((index, job))
+
+        fresh = self._execute([job for _, job in todo])
+
+        out = CampaignResult(
+            name=name,
+            hits=len(cached),
+            misses=len(todo),
+            workers=self.workers,
+        )
+        by_index = dict(cached)
+        for (index, job), record in zip(todo, fresh):
+            if self.cache is not None and record.get("status") == "ok":
+                self.cache.put_job(job, record)
+            by_index[index] = record
+        for index in range(len(jobs)):
+            record = dict(by_index[index])
+            record["cached"] = index in cached
+            record["campaign"] = name
+            if record.get("status") == "error" and index not in cached:
+                out.errors += 1
+            out.records.append(record)
+            if progress is not None:
+                progress(_progress_line(record))
+        out.elapsed_seconds = time.perf_counter() - started
+        if self.store is not None:
+            self.store.extend(out.records)
+        return out
+
+    def _execute(
+        self, jobs: list[JobSpec]
+    ) -> list[dict[str, Any]]:
+        payloads = [job.to_dict() for job in jobs]
+        if not payloads:
+            return []
+        if self.workers == 1 or len(payloads) == 1:
+            return [execute_job(p) for p in payloads]
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            return pool.map(execute_job, payloads, chunksize=1)
+
+
+def _progress_line(record: dict[str, Any]) -> str:
+    config = record.get("config", {})
+    label = (
+        f"{record.get('model', '?')} "
+        f"{config.get('width', '?')}x{config.get('height', '?')} "
+        f"MC{config.get('n_mcs', '?')} {config.get('data_format', '?')} "
+        f"{config.get('ordering', '?')}"
+    )
+    origin = "cache" if record.get("cached") else "sim"
+    if record.get("status") != "ok":
+        return f"  {label}: ERROR ({record.get('error')})"
+    result = record["result"]
+    return (
+        f"  {label} [{origin}]: {result['total_bit_transitions']:>10d} BTs "
+        f"({result['total_cycles']} cycles, verified "
+        f"{result['tasks_verified']}/{result['tasks_total']})"
+    )

@@ -1,0 +1,229 @@
+"""Declarative sweep specifications for the campaign engine.
+
+A :class:`SweepSpec` names a cartesian grid over
+:class:`~repro.accelerator.config.AcceleratorConfig` fields (plus the
+pseudo-axes ``model`` and ``mesh``) and expands it into a deterministic
+list of :class:`JobSpec` — one fully-resolved simulation each.  The
+paper's evaluation grids map directly: Fig. 12 is
+``mesh x ordering`` for one model/format, Fig. 13 is
+``model x ordering``, Table I adds ``data_format``.
+
+Per-job seeds are derived from the campaign seed and the job's
+parameters with :func:`derive_seed`, so a job's workload sampling is
+reproducible regardless of which worker runs it, in which order, or
+whether the grid around it grows or shrinks.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.accelerator.config import AcceleratorConfig
+
+__all__ = [
+    "MODEL_NAMES",
+    "canonical_json",
+    "derive_seed",
+    "JobSpec",
+    "SweepSpec",
+    "parse_mesh_axis",
+]
+
+# Model names the job executor knows how to build (see runner.py).
+MODEL_NAMES = ("lenet", "darknet", "trained_lenet")
+
+# Pseudo-axes expanded specially rather than passed to the config.
+_MESH_KEYS = ("width", "height", "n_mcs")
+
+
+def _json_default(obj: Any) -> Any:
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    raise TypeError(f"not JSON-canonicalisable: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical (sorted-key, compact) JSON used for hashing.
+
+    Enums serialise as their values so specs built from
+    :class:`OrderingMethod` members and from plain strings hash alike.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+def derive_seed(*parts: Any) -> int:
+    """Deterministic 32-bit seed from arbitrary JSON-compatible parts."""
+    digest = hashlib.sha256(canonical_json(list(parts)).encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def parse_mesh_axis(text: str) -> dict[str, int]:
+    """Parse "WxH:MCS" (e.g. "8x8:4") into mesh config fields."""
+    try:
+        mesh, _, mcs = text.partition(":")
+        w, h = mesh.lower().split("x")
+        return {
+            "width": int(w),
+            "height": int(h),
+            "n_mcs": int(mcs) if mcs else 2,
+        }
+    except ValueError as exc:
+        raise ValueError(
+            f"bad mesh {text!r}; use WxH:MCS like 8x8:4"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully-resolved simulation point of a campaign.
+
+    Attributes:
+        model: workload model name (one of :data:`MODEL_NAMES`).
+        config: the accelerator configuration to simulate.
+        model_seed: RNG seed for model construction / training.
+        image_seed: dataset seed for the sample image.
+        max_cycles_per_layer: simulator drain budget.
+    """
+
+    model: str
+    config: AcceleratorConfig
+    model_seed: int = 1
+    image_seed: int = 5
+    max_cycles_per_layer: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.model not in MODEL_NAMES:
+            raise ValueError(
+                f"unknown model {self.model!r}; use one of {MODEL_NAMES}"
+            )
+
+    def key_payload(self) -> dict[str, Any]:
+        """The JSON-compatible identity hashed into the cache key."""
+        return {
+            "model": self.model,
+            "model_seed": self.model_seed,
+            "image_seed": self.image_seed,
+            "max_cycles_per_layer": self.max_cycles_per_layer,
+            "config": self.config.to_dict(),
+        }
+
+    @property
+    def job_id(self) -> str:
+        """Short stable identifier (prefix of the identity hash)."""
+        digest = hashlib.sha256(
+            canonical_json(self.key_payload()).encode()
+        ).hexdigest()
+        return digest[:12]
+
+    def label(self) -> str:
+        """Human-readable point label, e.g. "lenet 4x4 MC2 fixed8 O2"."""
+        return f"{self.model} {self.config.label()}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.key_payload()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobSpec":
+        kwargs = dict(data)
+        kwargs["config"] = AcceleratorConfig.from_dict(kwargs["config"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative cartesian sweep.
+
+    Attributes:
+        name: campaign name (store/report labelling).
+        model: model name, or the axis ``"model"`` overrides it.
+        base: AcceleratorConfig keyword defaults shared by every point.
+        axes: axis name -> list of values.  Axis names are
+            AcceleratorConfig field names, plus ``"model"`` (list of
+            model names) and ``"mesh"`` (list of "WxH:MCS" strings or
+            {width, height, n_mcs} dicts).
+        seed: campaign seed; per-job config seeds derive from it
+            unless ``base``/``axes`` pin ``seed`` explicitly.
+        model_seed / image_seed: workload construction seeds.
+        max_cycles_per_layer: simulator drain budget per job.
+    """
+
+    name: str = "sweep"
+    model: str = "lenet"
+    base: dict[str, Any] = field(default_factory=dict)
+    axes: dict[str, list[Any]] = field(default_factory=dict)
+    seed: int = 0
+    model_seed: int = 1
+    image_seed: int = 5
+    max_cycles_per_layer: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        for axis, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values")
+
+    @property
+    def n_points(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def expand(self) -> list[JobSpec]:
+        """Expand the grid into jobs, in deterministic axis order.
+
+        The last axis varies fastest (itertools.product order over the
+        axes in insertion order), matching how the paper's tables walk
+        their grids.
+        """
+        axis_names = list(self.axes)
+        jobs: list[JobSpec] = []
+        for combo in itertools.product(
+            *(self.axes[name] for name in axis_names)
+        ):
+            point = dict(zip(axis_names, combo))
+            model = point.pop("model", self.model)
+            kwargs: dict[str, Any] = dict(self.base)
+            mesh = point.pop("mesh", None)
+            if mesh is not None:
+                mesh_kw = (
+                    parse_mesh_axis(mesh) if isinstance(mesh, str) else mesh
+                )
+                kwargs.update(
+                    {k: mesh_kw[k] for k in _MESH_KEYS if k in mesh_kw}
+                )
+            kwargs.update(point)
+            if "seed" not in kwargs:
+                kwargs["seed"] = derive_seed(self.seed, model, kwargs)
+            jobs.append(
+                JobSpec(
+                    model=model,
+                    config=AcceleratorConfig.from_dict(kwargs),
+                    model_seed=self.model_seed,
+                    image_seed=self.image_seed,
+                    max_cycles_per_layer=self.max_cycles_per_layer,
+                )
+            )
+        return jobs
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "base": dict(self.base),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "seed": self.seed,
+            "model_seed": self.model_seed,
+            "image_seed": self.image_seed,
+            "max_cycles_per_layer": self.max_cycles_per_layer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepSpec":
+        return cls(**data)

@@ -1,0 +1,126 @@
+"""Append-only JSONL result store with CSV export.
+
+Every campaign run appends one record per job (cached or freshly
+simulated), so the store is the durable, replayable log a ``repro
+report`` reads — reporting never re-simulates.  Records are plain
+dicts (see runner.py for the schema); :meth:`ResultStore.latest_by_job`
+deduplicates re-runs of the same point, keeping the newest record.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import pathlib
+from typing import Any, Iterator
+
+__all__ = ["ResultStore"]
+
+# Scalar result fields promoted into CSV columns, in column order.
+_CSV_RESULT_FIELDS = (
+    "total_bit_transitions",
+    "total_cycles",
+    "flit_hops",
+    "tasks_verified",
+    "tasks_total",
+    "mean_packet_latency",
+    "ordering_latency_cycles",
+)
+_CSV_CONFIG_FIELDS = (
+    "width",
+    "height",
+    "n_mcs",
+    "data_format",
+    "ordering",
+    "max_tasks_per_layer",
+    "seed",
+)
+
+
+class ResultStore:
+    """One campaign's JSONL log of job records.
+
+    Attributes:
+        path: the JSONL file.
+        corrupt_skipped: unparseable lines skipped by the last read
+            (a torn append must not take the whole campaign log down).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self.corrupt_skipped = 0
+
+    def append(self, record: dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def extend(self, records: list[dict[str, Any]]) -> None:
+        for record in records:
+            self.append(record)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        if not self.path.is_file():
+            return
+        self.corrupt_skipped = 0
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    self.corrupt_skipped += 1
+                    continue
+                if isinstance(record, dict):
+                    yield record
+                else:
+                    self.corrupt_skipped += 1
+
+    def load(self) -> list[dict[str, Any]]:
+        return list(self)
+
+    def latest_by_job(self) -> dict[str, dict[str, Any]]:
+        """Newest record per job_id (append order = recency)."""
+        latest: dict[str, dict[str, Any]] = {}
+        for record in self:
+            latest[record["job_id"]] = record
+        return latest
+
+    def to_csv(self, path: str | os.PathLike) -> int:
+        """Flatten successful records into a CSV; returns row count.
+
+        One row per job (latest record wins) with the campaign/job
+        identity, the headline config fields, and the scalar results.
+        """
+        rows = []
+        for record in self.latest_by_job().values():
+            if record.get("status") != "ok":
+                continue
+            config = record.get("config", {})
+            result = record.get("result", {})
+            row: dict[str, Any] = {
+                "job_id": record["job_id"],
+                "campaign": record.get("campaign", ""),
+                "model": record.get("model", ""),
+                "cached": record.get("cached", False),
+            }
+            for name in _CSV_CONFIG_FIELDS:
+                row[name] = config.get(name)
+            for name in _CSV_RESULT_FIELDS:
+                row[name] = result.get(name)
+            rows.append(row)
+        out = pathlib.Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        fieldnames = (
+            ["job_id", "campaign", "model", "cached"]
+            + list(_CSV_CONFIG_FIELDS)
+            + list(_CSV_RESULT_FIELDS)
+        )
+        with out.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(rows)
+        return len(rows)

@@ -15,7 +15,7 @@ flits on the same physical link).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any
 
 from repro.noc.flit import Flit, Packet
@@ -81,6 +81,19 @@ class NoCConfig:
     @property
     def n_nodes(self) -> int:
         return self.width * self.height
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; exact inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "NoCConfig":
+        """Rebuild a config from :meth:`to_dict` output (strict keys)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown NoCConfig fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 @dataclass

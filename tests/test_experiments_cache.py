@@ -1,0 +1,103 @@
+"""Cache layer: hit/miss, invalidation, corruption recovery."""
+
+from __future__ import annotations
+
+import json
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.experiments.cache import ResultCache, code_version_tag
+from repro.experiments.spec import JobSpec
+
+
+def make_job(**config_overrides) -> JobSpec:
+    kwargs = dict(width=2, height=2, n_mcs=1, max_tasks_per_layer=2)
+    kwargs.update(config_overrides)
+    return JobSpec(model="lenet", config=AcceleratorConfig(**kwargs))
+
+
+RECORD = {"job_id": "x", "status": "ok", "result": {"bt": 1}}
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get_job(make_job()) is None
+        assert not cache.contains(make_job())
+        assert len(cache) == 0
+
+    def test_put_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put_job(job, RECORD)
+        assert cache.get_job(job) == RECORD
+        assert cache.contains(job)
+        assert len(cache) == 1
+
+    def test_hit_across_instances(self, tmp_path):
+        job = make_job()
+        ResultCache(tmp_path).put_job(job, RECORD)
+        assert ResultCache(tmp_path).get_job(job) == RECORD
+
+
+class TestInvalidation:
+    def test_config_change_changes_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_job(make_job(), RECORD)
+        assert cache.get_job(make_job(ordering="O2")) is None
+        assert cache.get_job(make_job(seed=1)) is None
+        assert cache.get_job(make_job(data_format="fixed8")) is None
+
+    def test_workload_change_changes_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put_job(job, RECORD)
+        other = JobSpec(
+            model=job.model, config=job.config, image_seed=99
+        )
+        assert cache.get_job(other) is None
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, version_tag="aaa")
+        old.put_job(make_job(), RECORD)
+        new = ResultCache(tmp_path, version_tag="bbb")
+        assert new.get_job(make_job()) is None
+        # The old entry is untouched — rolling back the code revives it.
+        assert old.get_job(make_job()) == RECORD
+
+    def test_default_tag_is_stable_hash(self):
+        assert ResultCache("unused").version_tag == code_version_tag()
+        assert len(code_version_tag()) == 12
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put_job(job, RECORD)
+        path = cache._path(cache.key_for(job))
+        path.write_text(path.read_text()[:10])  # simulate torn write
+        assert cache.get_job(job) is None
+        assert cache.corrupt_dropped == 1
+        assert not path.exists()
+        # A fresh put repairs the entry.
+        cache.put_job(job, RECORD)
+        assert cache.get_job(job) == RECORD
+
+    def test_non_object_entry_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        key = cache.key_for(job)
+        cache.put(key, RECORD)
+        cache._path(key).write_text(json.dumps([1, 2, 3]))
+        assert cache.get(key) is None
+        assert cache.corrupt_dropped == 1
+
+
+class TestHousekeeping:
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_job(make_job(), RECORD)
+        cache.put_job(make_job(ordering="O1"), RECORD)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get_job(make_job()) is None

@@ -1,0 +1,142 @@
+"""Campaign runner: caching, failure capture, parallel determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import CampaignRunner, execute_job
+from repro.experiments.spec import JobSpec, SweepSpec
+from repro.experiments.store import ResultStore
+
+
+def small_spec(**overrides) -> SweepSpec:
+    kwargs = dict(
+        name="t",
+        model="lenet",
+        base={"max_tasks_per_layer": 2},
+        axes={
+            "mesh": ["2x2:1", "3x3:1"],
+            "ordering": ["O0", "O2"],
+        },
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestExecuteJob:
+    def test_successful_record_shape(self):
+        job = JobSpec(
+            model="lenet",
+            config=AcceleratorConfig(
+                width=2, height=2, n_mcs=1, max_tasks_per_layer=1
+            ),
+        )
+        record = execute_job(job.to_dict())
+        assert record["status"] == "ok"
+        assert record["job_id"] == job.job_id
+        assert record["result"]["total_bit_transitions"] > 0
+        assert record["result"]["tasks_verified"] == (
+            record["result"]["tasks_total"]
+        )
+        assert record["error"] is None
+
+    def test_failure_is_captured_not_raised(self):
+        job = JobSpec(
+            model="lenet",
+            config=AcceleratorConfig(
+                width=2, height=2, n_mcs=1, max_tasks_per_layer=1
+            ),
+            max_cycles_per_layer=1,  # impossible budget -> timeout
+        )
+        record = execute_job(job.to_dict())
+        assert record["status"] == "error"
+        assert "SimulationTimeout" in record["error"]
+        assert "traceback" in record
+        assert record["result"] is None
+
+
+class TestCampaignRunner:
+    def test_cold_run_then_full_cache_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(cache=cache, workers=1)
+        spec = small_spec()
+        first = runner.run(spec)
+        assert (first.hits, first.misses) == (0, 4)
+        assert first.errors == 0
+        second = runner.run(spec)
+        assert (second.hits, second.misses) == (4, 0)
+        assert second.hit_rate == 1.0
+        stripped = lambda recs: [
+            {k: v for k, v in r.items() if k != "cached"} for r in recs
+        ]
+        assert stripped(second.records) == stripped(first.records)
+        assert all(r["cached"] for r in second.records)
+
+    def test_partial_cache_only_simulates_new_points(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(cache=cache, workers=1)
+        runner.run(small_spec(axes={"mesh": ["2x2:1"],
+                                    "ordering": ["O0", "O2"]}))
+        grown = runner.run(small_spec())
+        assert (grown.hits, grown.misses) == (2, 2)
+
+    def test_error_jobs_are_not_cached_and_counted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(cache=cache, workers=1)
+        spec = small_spec(max_cycles_per_layer=1)
+        result = runner.run(spec)
+        assert result.errors == result.n_jobs == 4
+        assert all(r["status"] == "error" for r in result.records)
+        assert len(cache) == 0
+        # The retry simulates again instead of serving stale errors.
+        retry = runner.run(spec)
+        assert retry.hits == 0
+
+    def test_store_receives_every_record(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        runner = CampaignRunner(
+            cache=ResultCache(tmp_path / "cache"), store=store, workers=1
+        )
+        spec = small_spec()
+        runner.run(spec)
+        runner.run(spec)
+        records = store.load()
+        assert len(records) == 8  # both runs logged
+        assert len(store.latest_by_job()) == 4
+        assert all(r["campaign"] == "t" for r in records)
+
+    def test_runs_plain_job_lists(self, tmp_path):
+        jobs = small_spec().expand()[:2]
+        result = CampaignRunner(workers=1).run(jobs)
+        assert result.n_jobs == 2
+        assert result.name == "jobs"
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(workers=0)
+
+
+class TestParallelDeterminism:
+    def test_workers_1_vs_4_identical_records(self, tmp_path):
+        spec = small_spec()
+        serial = CampaignRunner(
+            cache=ResultCache(tmp_path / "c1"), workers=1
+        ).run(spec)
+        parallel = CampaignRunner(
+            cache=ResultCache(tmp_path / "c4"), workers=4
+        ).run(spec)
+        assert serial.records == parallel.records
+        # Cache contents are byte-identical too: same keys, same values.
+        c1 = ResultCache(tmp_path / "c1")
+        c4 = ResultCache(tmp_path / "c4")
+        for job in spec.expand():
+            assert c1.get_job(job) == c4.get_job(job)
+
+    def test_parallel_run_hits_serial_cache(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        CampaignRunner(cache=cache, workers=1).run(spec)
+        replay = CampaignRunner(cache=cache, workers=4).run(spec)
+        assert (replay.hits, replay.misses) == (4, 0)

@@ -1,0 +1,157 @@
+"""Result store persistence and the report aggregation layer."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments.report import (
+    fig12_report,
+    mesh_row_key,
+    model_row_key,
+    pivot,
+    reduction_series,
+)
+from repro.experiments.store import ResultStore
+
+
+def make_record(
+    job_id="j1",
+    width=4,
+    height=4,
+    n_mcs=2,
+    ordering="O0",
+    data_format="fixed8",
+    bt=1000,
+    status="ok",
+    model="lenet",
+):
+    return {
+        "job_id": job_id,
+        "campaign": "t",
+        "model": model,
+        "model_seed": 1,
+        "image_seed": 5,
+        "cached": False,
+        "config": {
+            "width": width,
+            "height": height,
+            "n_mcs": n_mcs,
+            "ordering": ordering,
+            "data_format": data_format,
+            "max_tasks_per_layer": 2,
+            "seed": 7,
+        },
+        "status": status,
+        "result": None
+        if status != "ok"
+        else {
+            "total_bit_transitions": bt,
+            "total_cycles": 100,
+            "flit_hops": 50,
+            "tasks_verified": 2,
+            "tasks_total": 2,
+            "mean_packet_latency": 4.5,
+            "ordering_latency_cycles": 0,
+        },
+        "error": None if status == "ok" else "boom",
+    }
+
+
+class TestResultStore:
+    def test_append_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        records = [make_record("a"), make_record("b", ordering="O2")]
+        store.extend(records)
+        assert store.load() == records
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "nope.jsonl").load() == []
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append(make_record("a"))
+        with store.path.open("a") as fh:
+            fh.write("not json\n")  # torn append
+            fh.write("[1, 2]\n")  # parseable but not a record
+        store.append(make_record("b"))
+        records = store.load()
+        assert [r["job_id"] for r in records] == ["a", "b"]
+        assert store.corrupt_skipped == 2
+
+    def test_latest_by_job_keeps_newest(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append(make_record("a", bt=1))
+        store.append(make_record("a", bt=2))
+        latest = store.latest_by_job()
+        assert latest["a"]["result"]["total_bit_transitions"] == 2
+
+    def test_to_csv(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append(make_record("a", bt=123))
+        store.append(make_record("bad", status="error"))
+        out = tmp_path / "out.csv"
+        assert store.to_csv(out) == 1  # error rows excluded
+        with out.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["job_id"] == "a"
+        assert rows[0]["total_bit_transitions"] == "123"
+        assert rows[0]["ordering"] == "O0"
+
+
+GRID = [
+    make_record("a", ordering="O0", bt=1000),
+    make_record("b", ordering="O1", bt=800),
+    make_record("c", ordering="O2", bt=600),
+    make_record("d", width=8, height=8, n_mcs=4, ordering="O0", bt=2000),
+    make_record("e", width=8, height=8, n_mcs=4, ordering="O2", bt=1000),
+]
+
+
+class TestReport:
+    def test_pivot_by_mesh(self):
+        series = pivot(GRID)
+        assert series["4x4 MC2"] == {"O0": 1000.0, "O1": 800.0,
+                                     "O2": 600.0}
+        assert series["8x8 MC4"]["O2"] == 1000.0
+
+    def test_pivot_skips_errors(self):
+        series = pivot(GRID + [make_record("x", status="error")])
+        assert series == pivot(GRID)
+
+    def test_pivot_by_model(self):
+        records = [
+            make_record("a", model="lenet", bt=10),
+            make_record("b", model="darknet", bt=20),
+        ]
+        series = pivot(records, row_key=model_row_key)
+        assert set(series) == {"lenet", "darknet"}
+
+    def test_reduction_series(self):
+        reductions = reduction_series(pivot(GRID))
+        assert reductions["4x4 MC2"]["O1"] == pytest.approx(20.0)
+        assert reductions["4x4 MC2"]["O2"] == pytest.approx(40.0)
+        assert reductions["8x8 MC4"] == {"O2": pytest.approx(50.0)}
+
+    def test_reduction_series_requires_baseline(self):
+        assert reduction_series({"row": {"O1": 5.0}}) == {}
+
+    def test_fig12_report_renders_per_format(self):
+        mixed = GRID + [
+            make_record("f", data_format="float32", ordering="O0",
+                        bt=4000),
+            make_record("g", data_format="float32", ordering="O2",
+                        bt=3000),
+        ]
+        text = fig12_report(mixed)
+        assert "Absolute BTs (fixed8)" in text
+        assert "Absolute BTs (float32)" in text
+        assert "Reductions vs O0" in text
+        assert "4x4 MC2" in text
+
+    def test_fig12_report_empty(self):
+        assert "no successful records" in fig12_report([])
+
+    def test_mesh_row_key(self):
+        assert mesh_row_key(make_record()) == "4x4 MC2"

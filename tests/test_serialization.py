@@ -1,0 +1,111 @@
+"""Round-trip serialization of configs and run results.
+
+The campaign engine hashes configs into cache keys and persists run
+results as JSONL, so ``to_dict``/``from_dict`` must be loss-free and
+JSON-stable for every field, including the enum-typed ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.simulator import (
+    LayerSummary,
+    RunResult,
+    run_model_on_noc,
+)
+from repro.noc.network import NoCConfig
+from repro.ordering.strategies import FillOrder, OrderingMethod
+
+
+class TestAcceleratorConfigRoundTrip:
+    def test_default_round_trip(self):
+        config = AcceleratorConfig()
+        assert AcceleratorConfig.from_dict(config.to_dict()) == config
+
+    def test_non_default_round_trip(self):
+        config = AcceleratorConfig(
+            width=8,
+            height=8,
+            n_mcs=4,
+            data_format="float32",
+            ordering=OrderingMethod.SEPARATED,
+            fill_order=FillOrder.ROW_MAJOR,
+            max_tasks_per_layer=None,
+            chunk_pairs=None,
+            layer_barrier=False,
+            packet_scheduling="count_desc",
+            mapping_policy="group_affine",
+            weight_cache=True,
+            include_index_payload=True,
+            seed=77,
+            extra={"model_ordering_latency": True},
+        )
+        rebuilt = AcceleratorConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.ordering is OrderingMethod.SEPARATED
+        assert rebuilt.fill_order is FillOrder.ROW_MAJOR
+        assert rebuilt.extra == {"model_ordering_latency": True}
+
+    def test_dict_is_json_compatible(self):
+        data = AcceleratorConfig(ordering=OrderingMethod.AFFILIATED).to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert data["ordering"] == "O1"
+        assert data["fill_order"] == "deal"
+
+    def test_unknown_field_rejected(self):
+        data = AcceleratorConfig().to_dict()
+        data["warp_drive"] = True
+        with pytest.raises(ValueError, match="warp_drive"):
+            AcceleratorConfig.from_dict(data)
+
+    def test_validation_still_applies(self):
+        data = AcceleratorConfig().to_dict()
+        data["n_mcs"] = 0
+        with pytest.raises(ValueError):
+            AcceleratorConfig.from_dict(data)
+
+
+class TestNoCConfigRoundTrip:
+    def test_round_trip(self):
+        config = NoCConfig(
+            width=3, height=5, n_vcs=2, vc_depth=8, link_width=128,
+            routing="yx", record_injection=True, link_latency=2,
+        )
+        assert NoCConfig.from_dict(config.to_dict()) == config
+        assert json.loads(json.dumps(config.to_dict())) == config.to_dict()
+
+    def test_unknown_field_rejected(self):
+        data = NoCConfig().to_dict()
+        data["wormholes"] = 9
+        with pytest.raises(ValueError, match="wormholes"):
+            NoCConfig.from_dict(data)
+
+    def test_derived_noc_config_round_trips(self):
+        noc = AcceleratorConfig(data_format="fixed8").noc_config()
+        assert NoCConfig.from_dict(noc.to_dict()) == noc
+
+
+class TestRunResultRoundTrip:
+    def test_layer_summary_round_trip(self):
+        layer = LayerSummary(
+            layer_name="conv1", n_tasks=4, total_neurons=100,
+            packets=8, flits=40, bit_transitions=1234, cycles=99,
+        )
+        assert LayerSummary.from_dict(layer.to_dict()) == layer
+
+    def test_simulated_result_round_trip(self, small_lenet, digit_image):
+        config = AcceleratorConfig(
+            width=2, height=2, n_mcs=1,
+            data_format="fixed8", max_tasks_per_layer=2,
+        )
+        result = run_model_on_noc(config, small_lenet, digit_image)
+        data = result.to_dict()
+        assert json.loads(json.dumps(data)) == data
+        rebuilt = RunResult.from_dict(data)
+        assert rebuilt == result
+        assert rebuilt.config == config
+        assert rebuilt.all_verified == result.all_verified
