@@ -2,19 +2,23 @@
 
 Every bench regenerates one table or figure of the paper and writes its
 paper-style output both to stdout and to ``benchmarks/results/<name>.txt``
-so EXPERIMENTS.md can reference the recorded numbers.
+so EXPERIMENTS.md can reference the recorded numbers.  The workload
+definitions live in :mod:`repro.workloads.figures`, shared with the
+golden regression suite so the two cannot drift apart.
 """
 
 from __future__ import annotations
 
 import pathlib
 
-import numpy as np
 import pytest
 
-from repro.dnn.datasets import synthetic_digits, synthetic_shapes
-from repro.dnn.models import DarkNetSlim
-from repro.workloads.streams import trained_lenet_model
+from repro.workloads.figures import (
+    figure_darknet_image,
+    figure_darknet_model,
+    figure_lenet_image,
+    figure_trained_lenet,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -37,19 +41,19 @@ def record_result():
 @pytest.fixture(scope="session")
 def trained_lenet():
     """LeNet trained on the synthetic digit task (cached per session)."""
-    return trained_lenet_model()
+    return figure_trained_lenet()
 
 
 @pytest.fixture(scope="session")
 def lenet_image():
-    return synthetic_digits(1, seed=5).images[0]
+    return figure_lenet_image()
 
 
 @pytest.fixture(scope="session")
 def darknet_model():
-    return DarkNetSlim(rng=np.random.default_rng(21))
+    return figure_darknet_model()
 
 
 @pytest.fixture(scope="session")
 def darknet_image():
-    return synthetic_shapes(1, seed=5).images[0]
+    return figure_darknet_image()

@@ -4,53 +4,80 @@ Not a paper figure — a substrate-validation bench: the NoC must deliver
 all packets under uniform/transpose/complement/hotspot patterns, BT
 totals must track payload entropy (zero payloads -> zero BTs), and the
 hotspot pattern must exhibit the expected congestion signature.
+
+The patterns execute through the campaign engine's ``synthetic`` job
+kind — the same dispatch ``repro sweep --kind synthetic`` uses — so
+this bench also pins the engine's second workload end to end: grid
+expansion, cached replay, and the per-record stats the report layer
+reads.
 """
 
 from __future__ import annotations
 
-from repro.noc.network import NoCConfig
-from repro.noc.traffic import (
-    SyntheticTrafficConfig,
-    TrafficPattern,
-    run_synthetic,
-)
+from repro.experiments import CampaignRunner, ResultCache, SweepSpec
+from repro.noc.traffic import TrafficPattern
 
-NOC = NoCConfig(width=4, height=4, link_width=128)
+# Pinned traffic seed + NoC shape, matching the pre-campaign bench.
+BASE = {
+    "n_packets": 150,
+    "seed": 7,
+    "width": 4,
+    "height": 4,
+    "link_width": 128,
+}
 
 
-def test_synthetic_traffic(benchmark, record_result):
+def test_synthetic_traffic(benchmark, record_result, tmp_path):
+    patterns = SweepSpec(
+        name="synthetic_patterns",
+        kind="synthetic",
+        base={**BASE, "injection_window": 150},
+        axes={"pattern": [p.value for p in TrafficPattern]},
+    )
+    zero_payload = SweepSpec(
+        name="synthetic_zero",
+        kind="synthetic",
+        base={**BASE, "payload": "zero"},
+        axes={"pattern": ["uniform"]},
+    )
+    runner = CampaignRunner(cache=ResultCache(tmp_path / "cache"), workers=1)
+
     def run():
         out = {}
-        for pattern in TrafficPattern:
-            config = SyntheticTrafficConfig(
-                pattern=pattern,
-                n_packets=150,
-                injection_window=150,
-                seed=7,
-            )
-            out[pattern.value] = run_synthetic(config, NOC)
-        out["zero-payload"] = run_synthetic(
-            SyntheticTrafficConfig(
-                n_packets=150, payload="zero", seed=7
-            ),
-            NOC,
-        )
+        for spec in (patterns, zero_payload):
+            campaign = runner.run(spec)
+            assert not campaign.errors, campaign.summary()
+            for record in campaign.records:
+                pattern = record["config"]["traffic"]["pattern"]
+                name = (
+                    "zero-payload"
+                    if record["config"]["traffic"]["payload"] == "zero"
+                    else pattern
+                )
+                out[name] = record["result"]
         return out
 
     stats = benchmark.pedantic(run, rounds=1)
 
     for name, s in stats.items():
-        assert s.packets_delivered == 150, name
-    assert stats["zero-payload"].total_bit_transitions == 0
+        assert s["packets_delivered"] == 150, name
+    assert stats["zero-payload"]["total_bit_transitions"] == 0
     assert (
-        stats["hotspot"].mean_latency > stats["uniform"].mean_latency
+        stats["hotspot"]["mean_packet_latency"]
+        > stats["uniform"]["mean_packet_latency"]
     )
+
+    # A replay of both grids must be served entirely from cache.
+    for spec in (patterns, zero_payload):
+        replay = runner.run(spec)
+        assert (replay.hits, replay.misses) == (replay.n_jobs, 0)
 
     lines = ["Synthetic traffic validation (4x4 mesh, 128-bit links):"]
     for name, s in stats.items():
         lines.append(
-            f"  {name:<14} delivered {s.packets_delivered:>4}  "
-            f"cycles {s.cycles:>5}  BTs {s.total_bit_transitions:>8}  "
-            f"mean latency {s.mean_latency:7.2f}"
+            f"  {name:<14} delivered {s['packets_delivered']:>4}  "
+            f"cycles {s['total_cycles']:>5}  "
+            f"BTs {s['total_bit_transitions']:>8}  "
+            f"mean latency {s['mean_packet_latency']:7.2f}"
         )
     record_result("synthetic_traffic", "\n".join(lines))

@@ -86,6 +86,9 @@ class RunResult:
         mean_packet_latency: average packet latency in cycles.
         ordering_latency_cycles: total cycles spent in ordering units
             (informational; hidden from the critical path by default).
+        per_link: link-name -> accumulated BTs on that link (the
+            Fig. 8 per-recorder breakdown; feeds the campaign engine's
+            per-link pivots).
     """
 
     config: AcceleratorConfig
@@ -97,6 +100,7 @@ class RunResult:
     tasks_total: int
     mean_packet_latency: float
     ordering_latency_cycles: int
+    per_link: dict[str, int] = field(default_factory=dict)
 
     @property
     def all_verified(self) -> bool:
@@ -125,6 +129,7 @@ class RunResult:
             "tasks_total": self.tasks_total,
             "mean_packet_latency": self.mean_packet_latency,
             "ordering_latency_cycles": self.ordering_latency_cycles,
+            "per_link": dict(self.per_link),
         }
 
     @classmethod
@@ -134,6 +139,8 @@ class RunResult:
         kwargs["layers"] = [
             LayerSummary.from_dict(layer) for layer in kwargs["layers"]
         ]
+        # Records persisted before per-link recording default to empty.
+        kwargs.setdefault("per_link", {})
         return cls(**kwargs)
 
 
@@ -417,6 +424,7 @@ class AcceleratorSimulator:
             tasks_total=len(records),
             mean_packet_latency=stats.mean_latency,
             ordering_latency_cycles=total_ordering_latency,
+            per_link=network.ledger.per_link(),
         )
 
     def _encode_task(

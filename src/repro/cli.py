@@ -7,8 +7,10 @@ Subcommands::
     repro link-power — Sec. V-C link power arithmetic
     repro table2     — Table II synthesis comparison
     repro traffic    — synthetic traffic patterns through the NoC
-    repro sweep      — run a declarative campaign grid (cached, parallel)
+    repro sweep      — run a declarative campaign grid (cached, parallel;
+                       --kind model|batch|synthetic picks the workload)
     repro report     — re-render campaign tables from a result store
+                       (--pivot mesh|model|layer|link)
 
 Every subcommand accepts ``--seed``: when given, all randomness (model
 init, sample images, task sampling, traffic schedules) derives from it
@@ -35,7 +37,8 @@ from repro.analysis.summary import reduction_rate
 from repro.dnn.datasets import synthetic_digits, synthetic_shapes
 from repro.dnn.models import build_model
 from repro.experiments.cache import ResultCache
-from repro.experiments.report import fig12_report, mesh_row_key, model_row_key
+from repro.experiments.kinds import JOB_KINDS
+from repro.experiments.report import REPORT_PIVOTS, campaign_report
 from repro.experiments.runner import CampaignRunner
 from repro.experiments.spec import SweepSpec, derive_seed
 from repro.experiments.store import ResultStore
@@ -122,19 +125,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a campaign grid through the cached parallel engine",
     )
     sweep.add_argument("--name", default="sweep", help="campaign name")
+    sweep.add_argument("--kind", default=None,
+                       choices=sorted(JOB_KINDS),
+                       help="job kind every grid point runs as "
+                            "(default model)")
     sweep.add_argument("--spec", default=None,
                        help="JSON SweepSpec file (overrides grid flags; "
                             "--seed still overrides its campaign seed)")
-    sweep.add_argument("--model", default="lenet",
-                       choices=("lenet", "darknet", "trained-lenet"))
-    sweep.add_argument("--meshes", default="4x4:2,8x8:4,8x8:8",
-                       help="comma list of WxH:MCS mesh points")
-    sweep.add_argument("--formats", default="fixed8",
-                       help="comma list of data formats")
-    sweep.add_argument("--orderings", default="O0,O1,O2",
-                       help="comma list of ordering methods")
-    sweep.add_argument("--tasks", type=int, default=16,
-                       help="sampled tasks per layer")
+    # Kind-specific grid flags default to None so an explicitly-given
+    # flag that doesn't apply to the chosen --kind can be rejected
+    # instead of silently ignored (_check_kind_flags below).
+    sweep.add_argument("--model", default=None,
+                       choices=("lenet", "darknet", "trained-lenet"),
+                       help="[model/batch] workload model "
+                            "(default lenet)")
+    sweep.add_argument("--meshes", default=None,
+                       help="comma list of WxH:MCS mesh points "
+                            "(default 4x4:2,8x8:4,8x8:8; synthetic "
+                            "ignores the MCS part, default 4x4,8x8)")
+    sweep.add_argument("--formats", default=None,
+                       help="[model/batch] comma list of data formats "
+                            "(default fixed8)")
+    sweep.add_argument("--orderings", default=None,
+                       help="[model/batch] comma list of ordering "
+                            "methods (default O0,O1,O2)")
+    sweep.add_argument("--tasks", type=int, default=None,
+                       help="[model/batch] sampled tasks per layer "
+                            "(default 16)")
+    sweep.add_argument("--images", type=int, default=None,
+                       help="[batch] images per job (default 4)")
+    sweep.add_argument("--patterns", default=None,
+                       help="[synthetic] comma list of traffic patterns "
+                            "(default all four)")
+    sweep.add_argument("--payloads", default=None,
+                       help="[synthetic] comma list of payload kinds "
+                            "(random, zero, counter; default random)")
+    sweep.add_argument("--packets", type=int, default=None,
+                       help="[synthetic] packets injected per job "
+                            "(default 150)")
+    sweep.add_argument("--window", type=int, default=None,
+                       help="[synthetic] injection window in cycles "
+                            "(default 200)")
+    sweep.add_argument("--link-width", type=int, default=None,
+                       help="[synthetic] link width in bits "
+                            "(default 128)")
     sweep.add_argument("--workers", type=int, default=2,
                        help="worker processes (1 = inline)")
     sweep.add_argument("--cache-dir", default=".repro-cache",
@@ -153,8 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--store", required=True,
                         help="JSONL store written by `repro sweep`")
-    report.add_argument("--by", default="mesh", choices=("mesh", "model"),
-                        help="grid row key")
+    report.add_argument("--pivot", "--by", dest="pivot", default="mesh",
+                        choices=REPORT_PIVOTS,
+                        help="aggregation: mesh/model grids, or "
+                             "per-layer / per-link BT tables")
     report.add_argument("--csv", default=None,
                         help="also export the store as CSV")
     return parser
@@ -283,8 +319,47 @@ def _split_csv(text: str) -> list[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+# Sweep grid flags that only make sense for some job kinds.
+_KIND_FLAGS = {
+    "model": ("model", "formats", "orderings", "tasks"),
+    "batch": ("model", "formats", "orderings", "tasks", "images"),
+    "synthetic": ("patterns", "payloads", "packets", "window",
+                  "link_width"),
+}
+
+
+def _check_kind_flags(args: argparse.Namespace, kind: str) -> None:
+    """Reject explicitly-given flags the chosen kind would ignore."""
+    applicable = _KIND_FLAGS[kind]
+    for flags in _KIND_FLAGS.values():
+        for flag in flags:
+            if flag in applicable:
+                continue
+            if getattr(args, flag) is not None:
+                raise SystemExit(
+                    f"--{flag.replace('_', '-')} does not apply to "
+                    f"--kind {kind}"
+                )
+
+
 def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     if args.spec:
+        # The spec file is the whole grid: explicitly-given grid flags
+        # would be silently ignored, so reject them instead.
+        ignored = ["kind"] if args.kind is not None else []
+        ignored += [
+            flag
+            for flags in _KIND_FLAGS.values()
+            for flag in flags
+            if getattr(args, flag) is not None
+        ]
+        if args.meshes is not None:
+            ignored.append("meshes")
+        if ignored:
+            raise SystemExit(
+                f"--{ignored[0].replace('_', '-')} is ignored with "
+                f"--spec; edit the spec file instead"
+            )
         import dataclasses
         import json
 
@@ -302,19 +377,53 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         return spec
     # As with the other subcommands: omitting --seed keeps the
     # historical defaults, giving it derives every workload seed.
+    kind = args.kind or "model"
+    _check_kind_flags(args, kind)
     seed = args.seed if args.seed is not None else 0
+    meshes = _split_csv(args.meshes) if args.meshes else None
+    if kind == "synthetic":
+        axes: dict[str, list] = {
+            "mesh": meshes or ["4x4", "8x8"],
+            "pattern": _split_csv(
+                args.patterns or "uniform,transpose,complement,hotspot"
+            ),
+        }
+        base: dict = {
+            "n_packets": args.packets if args.packets is not None else 150,
+            "injection_window": args.window if args.window is not None
+            else 200,
+            "link_width": args.link_width if args.link_width is not None
+            else 128,
+        }
+        payloads = _split_csv(args.payloads or "random")
+        if len(payloads) == 1:
+            base["payload"] = payloads[0]
+        else:
+            axes["payload"] = payloads
+        return SweepSpec(
+            name=args.name, kind="synthetic", base=base, axes=axes,
+            seed=seed,
+        )
     return SweepSpec(
         name=args.name,
-        model=args.model.replace("-", "_"),
-        base={"max_tasks_per_layer": args.tasks},
+        kind=kind,
+        model=(args.model or "lenet").replace("-", "_"),
+        base={
+            "max_tasks_per_layer": args.tasks
+            if args.tasks is not None else 16,
+        },
         axes={
-            "mesh": _split_csv(args.meshes),
-            "data_format": _split_csv(args.formats),
-            "ordering": _split_csv(args.orderings),
+            "mesh": meshes or ["4x4:2", "8x8:4", "8x8:8"],
+            "data_format": _split_csv(args.formats or "fixed8"),
+            "ordering": _split_csv(args.orderings or "O0,O1,O2"),
         },
         seed=seed,
         model_seed=_seed_or(args, "model", 1),
         image_seed=_seed_or(args, "image", 5),
+        # n_images is a batch-only field; model sweeps keep the
+        # JobSpec default so the spec doesn't record a dropped value.
+        n_images=(args.images if args.images is not None else 4)
+        if kind == "batch" else 1,
     )
 
 
@@ -332,7 +441,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = runner.run(spec, progress=print)
     print(result.summary())
     print()
-    print(fig12_report(result.records))
+    print(campaign_report(result.records))
     if args.csv:
         rows = store.to_csv(args.csv)
         print(f"\nwrote {rows} rows to {args.csv}")
@@ -345,8 +454,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not records:
         print(f"no records in {args.store}", file=sys.stderr)
         return 1
-    row_key = mesh_row_key if args.by == "mesh" else model_row_key
-    print(fig12_report(records, row_key=row_key))
+    print(campaign_report(records, args.pivot))
     if args.csv:
         rows = store.to_csv(args.csv)
         print(f"\nwrote {rows} rows to {args.csv}")

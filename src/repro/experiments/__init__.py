@@ -2,36 +2,67 @@
 
 Turns one-off simulations into declarative, cached, parallel campaigns:
 
+* :mod:`repro.experiments.kinds` — the job-kind registry: pluggable
+  workload handlers (``model`` single-image inference, ``batch``
+  multi-image inference with per-image fan-out, ``synthetic`` NoC
+  traffic), each owning its config schema, executor, and labels.
 * :mod:`repro.experiments.spec` — :class:`SweepSpec` grids expand into
   deterministic :class:`JobSpec` lists with derived per-job seeds.
 * :mod:`repro.experiments.cache` — content-addressed result cache keyed
   by job identity + code-version tag.
 * :mod:`repro.experiments.runner` — :class:`CampaignRunner` worker-pool
-  execution with per-job failure capture.
+  execution with per-job failure capture, dispatching through the
+  registry.
 * :mod:`repro.experiments.store` — append-only JSONL store + CSV export.
-* :mod:`repro.experiments.report` — Fig. 12/13-style grids from
-  persisted records, no re-simulation.
+* :mod:`repro.experiments.report` — Fig. 12/13-style grids plus
+  per-layer and per-link aggregations from persisted records, no
+  re-simulation.
 
-CLI: ``repro sweep`` runs a campaign, ``repro report`` re-renders its
-tables from the store.
+CLI: ``repro sweep --kind {model,batch,synthetic}`` runs a campaign,
+``repro report --pivot {mesh,model,layer,link}`` re-renders its tables
+from the store.
 """
 
 from repro.experiments.cache import ResultCache, code_version_tag
-from repro.experiments.report import fig12_report, pivot, reduction_series
+from repro.experiments.hashing import canonical_json, derive_seed
+from repro.experiments.kinds import (
+    JOB_KINDS,
+    JobKind,
+    SyntheticJobConfig,
+    job_kind,
+    register_job_kind,
+)
+from repro.experiments.report import (
+    campaign_report,
+    fig12_report,
+    layer_pivot,
+    link_pivot,
+    pivot,
+    reduction_series,
+)
 from repro.experiments.runner import CampaignResult, CampaignRunner
-from repro.experiments.spec import JobSpec, SweepSpec, derive_seed
+from repro.experiments.spec import JobSpec, SweepSpec
 from repro.experiments.store import ResultStore
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "JOB_KINDS",
+    "JobKind",
     "JobSpec",
     "ResultCache",
     "ResultStore",
     "SweepSpec",
+    "SyntheticJobConfig",
+    "campaign_report",
+    "canonical_json",
     "code_version_tag",
     "derive_seed",
     "fig12_report",
+    "job_kind",
+    "layer_pivot",
+    "link_pivot",
     "pivot",
     "reduction_series",
+    "register_job_kind",
 ]

@@ -22,13 +22,16 @@ import pathlib
 from functools import lru_cache
 from typing import Any
 
-from repro.experiments.spec import JobSpec, canonical_json
+from repro.experiments.hashing import canonical_json
+from repro.experiments.spec import JobSpec
 
 __all__ = ["code_version_tag", "ResultCache"]
 
 # Modules whose source participates in every cache key: a change to
 # any of them changes what a simulation means, so cached results from
-# older code must not be served.
+# older code must not be served.  The job-kind module is versioned
+# because it owns the executors (workload construction, batch fan-out,
+# synthetic drivers); the report layer deliberately is not.
 _VERSIONED_MODULES = (
     "repro.accelerator.config",
     "repro.accelerator.flitize",
@@ -39,8 +42,10 @@ _VERSIONED_MODULES = (
     "repro.bits.formats",
     "repro.bits.transitions",
     "repro.dnn.models",
+    "repro.experiments.kinds",
     "repro.noc.network",
     "repro.noc.router",
+    "repro.noc.traffic",
     "repro.ordering.strategies",
 )
 

@@ -1,0 +1,42 @@
+"""Canonical hashing primitives shared across the campaign engine.
+
+Job identity, cache keys, and derived per-job seeds all hash the same
+canonical JSON form: sorted keys, compact separators, enums as their
+values.  Keeping the primitives in one dependency-free module lets the
+spec, cache, and job-kind layers share them without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "derive_seed"]
+
+
+def _json_default(obj: Any) -> Any:
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    raise TypeError(f"not JSON-canonicalisable: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical (sorted-key, compact) JSON used for hashing.
+
+    Enums serialise as their values so specs built from
+    :class:`OrderingMethod` members and from plain strings hash alike.
+    The sort is over JSON string keys, so the output is independent of
+    dict insertion order and of ``PYTHONHASHSEED`` — the property the
+    cache relies on across process restarts.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+def derive_seed(*parts: Any) -> int:
+    """Deterministic 32-bit seed from arbitrary JSON-compatible parts."""
+    digest = hashlib.sha256(canonical_json(list(parts)).encode()).digest()
+    return int.from_bytes(digest[:4], "big")

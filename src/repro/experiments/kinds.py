@@ -1,0 +1,555 @@
+"""Job-kind registry: pluggable workloads for the campaign engine.
+
+The engine's dispatch is a registry of :class:`JobKind` handlers, one
+per workload family.  A handler owns everything kind-specific:
+
+* the config schema (building it from an expanded sweep point,
+  serialising it into the canonical cache-key / JSONL form),
+* execution (what simulator entry point a job drives),
+* presentation (job labels, progress-line summaries).
+
+Three kinds ship built in:
+
+* ``"model"`` — single-image DNN inference via
+  :func:`repro.accelerator.simulator.run_model_on_noc` (the paper's
+  Fig. 12/13 grids).
+* ``"batch"`` — a batch of images via :func:`run_batch_on_noc`, with
+  per-image results fanned out inside the record.
+* ``"synthetic"`` — standalone NoC traffic via
+  :func:`repro.noc.traffic.run_synthetic` (uniform / transpose /
+  complement / hotspot patterns).
+
+``register_job_kind`` accepts further kinds; ``SweepSpec`` and
+``CampaignRunner`` dispatch purely through the registry, so a new
+workload never touches the engine's core.
+
+Note: this module is cache-versioned (see ``_VERSIONED_MODULES`` in
+cache.py) because the executors live here, so *any* edit — including
+a label or progress-line tweak — invalidates on-disk caches.  That is
+the conservative trade-off for keeping each kind's behaviour in one
+class; split the presentation hooks out if label churn ever makes it
+expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.simulator import run_batch_on_noc, run_model_on_noc
+from repro.dnn.datasets import synthetic_digits, synthetic_shapes
+from repro.dnn.models import ModelSpec, build_model
+from repro.experiments.hashing import derive_seed
+from repro.noc.network import NoCConfig
+from repro.noc.traffic import (
+    SyntheticTrafficConfig,
+    TrafficPattern,
+    drive_synthetic,
+)
+from repro.workloads.streams import trained_lenet_model
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.spec import JobSpec, SweepSpec
+
+__all__ = [
+    "MODEL_NAMES",
+    "JOB_KINDS",
+    "JobKind",
+    "SyntheticJobConfig",
+    "job_kind",
+    "parse_mesh_axis",
+    "register_job_kind",
+]
+
+# Model names the workload builder knows how to construct.
+MODEL_NAMES = ("lenet", "darknet", "trained_lenet")
+
+# Pseudo-axes expanded specially rather than passed to the config.
+_MESH_KEYS = ("width", "height", "n_mcs")
+
+
+def parse_mesh_axis(text: str) -> dict[str, int]:
+    """Parse "WxH:MCS" (e.g. "8x8:4") into mesh config fields."""
+    try:
+        mesh, _, mcs = text.partition(":")
+        w, h = mesh.lower().split("x")
+        return {
+            "width": int(w),
+            "height": int(h),
+            "n_mcs": int(mcs) if mcs else 2,
+        }
+    except ValueError as exc:
+        raise ValueError(
+            f"bad mesh {text!r}; use WxH:MCS like 8x8:4"
+        ) from exc
+
+
+def _spec_default(obj: Any, name: str) -> Any:
+    """The dataclass default of one of ``obj``'s fields."""
+    (field_,) = [f for f in fields(type(obj)) if f.name == name]
+    return field_.default
+
+
+def _build_model_images(
+    model_name: str, model_seed: int, image_seed: int, n_images: int
+) -> tuple[ModelSpec, np.ndarray]:
+    """Construct the (model, image batch) pair for a model/batch job."""
+    if model_name == "trained_lenet":
+        model = trained_lenet_model(seed=model_seed)
+        images = synthetic_digits(n_images, seed=image_seed).images
+    elif model_name == "lenet":
+        model = build_model("lenet", rng=np.random.default_rng(model_seed))
+        images = synthetic_digits(n_images, seed=image_seed).images
+    elif model_name == "darknet":
+        model = build_model("darknet", rng=np.random.default_rng(model_seed))
+        images = synthetic_shapes(n_images, seed=image_seed).images
+    else:
+        raise ValueError(f"unknown model {model_name!r}")
+    return model, images
+
+
+@dataclass(frozen=True)
+class SyntheticJobConfig:
+    """Config of one synthetic-traffic point: traffic shape + NoC.
+
+    Attributes:
+        traffic: injection schedule, pattern, and payload parameters.
+        noc: the mesh the traffic runs on.
+    """
+
+    traffic: SyntheticTrafficConfig
+    noc: NoCConfig
+
+    def label(self) -> str:
+        """Short point label, e.g. "4x4 uniform random p150"."""
+        return (
+            f"{self.noc.width}x{self.noc.height} "
+            f"{self.traffic.pattern.value} {self.traffic.payload} "
+            f"p{self.traffic.n_packets}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; exact inverse of :meth:`from_dict`."""
+        return {"traffic": self.traffic.to_dict(), "noc": self.noc.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SyntheticJobConfig":
+        unknown = set(data) - {"traffic", "noc"}
+        if unknown:
+            raise ValueError(
+                f"unknown SyntheticJobConfig keys: {sorted(unknown)}"
+            )
+        return cls(
+            traffic=SyntheticTrafficConfig.from_dict(data["traffic"]),
+            noc=NoCConfig.from_dict(data["noc"]),
+        )
+
+    @classmethod
+    def from_flat(cls, kwargs: dict[str, Any]) -> "SyntheticJobConfig":
+        """Build from a flat sweep-point mapping.
+
+        Sweep axes address traffic and NoC fields by their plain names
+        (the two field sets are disjoint); anything else is rejected
+        with the full vocabulary so grid mistakes fail at expansion
+        time, not inside a worker.
+        """
+        traffic_fields = {f.name for f in fields(SyntheticTrafficConfig)}
+        noc_fields = {f.name for f in fields(NoCConfig)}
+        traffic_kw: dict[str, Any] = {}
+        noc_kw: dict[str, Any] = {}
+        unknown: list[str] = []
+        for key, value in kwargs.items():
+            if key in traffic_fields:
+                traffic_kw[key] = value
+            elif key in noc_fields:
+                noc_kw[key] = value
+            else:
+                unknown.append(key)
+        if unknown:
+            raise ValueError(
+                f"unknown synthetic config fields {sorted(unknown)}; "
+                f"traffic fields: {sorted(traffic_fields)}, "
+                f"noc fields: {sorted(noc_fields)}"
+            )
+        if "pattern" in traffic_kw and not isinstance(
+            traffic_kw["pattern"], TrafficPattern
+        ):
+            traffic_kw["pattern"] = TrafficPattern(traffic_kw["pattern"])
+        return cls(
+            traffic=SyntheticTrafficConfig(**traffic_kw),
+            noc=NoCConfig(**noc_kw),
+        )
+
+
+class JobKind:
+    """One workload family the campaign engine can run.
+
+    Subclasses override the hooks; the base class implements the
+    model-style (single-image inference) behaviour that ``"model"``
+    uses directly and ``"batch"`` extends.
+    """
+
+    name = "model"
+    # Which campaign_report block family renders this kind's records:
+    # "accelerator" promises the RunResult-style scalar schema
+    # (total_bit_transitions, data_format in config, ...), "synthetic"
+    # the NoC-stats schema.
+    report_family = "accelerator"
+    # Expansion parameters: which mesh pseudo-axis fields apply, and
+    # whether the kind carries a DNN model (and its workload seeds).
+    mesh_keys = _MESH_KEYS
+    uses_model = True
+
+    # -- config schema ---------------------------------------------------
+
+    def config_from_dict(self, data: dict[str, Any]) -> Any:
+        return AcceleratorConfig.from_dict(data)
+
+    def _validate_accel_workload(self, job: "JobSpec") -> None:
+        if job.model not in MODEL_NAMES:
+            raise ValueError(
+                f"unknown model {job.model!r}; use one of {MODEL_NAMES}"
+            )
+        if not isinstance(job.config, AcceleratorConfig):
+            raise ValueError(
+                f"kind {self.name!r} needs an AcceleratorConfig, "
+                f"got {type(job.config).__name__}"
+            )
+
+    def validate_job(self, job: "JobSpec") -> None:
+        """Reject field combinations that make no sense for the kind."""
+        self._validate_accel_workload(job)
+        if job.n_images != 1:
+            raise ValueError("n_images != 1 requires kind='batch'")
+
+    def validate_spec(self, spec: "SweepSpec") -> None:
+        """Reject sweep fields the kind would silently drop."""
+        if spec.n_images != _spec_default(spec, "n_images"):
+            raise ValueError("n_images requires kind='batch'")
+
+    def key_payload(self, job: "JobSpec") -> dict[str, Any]:
+        """The JSON-compatible identity hashed into the cache key."""
+        return {
+            "kind": self.name,
+            "model": job.model,
+            "model_seed": job.model_seed,
+            "image_seed": job.image_seed,
+            "max_cycles_per_layer": job.max_cycles_per_layer,
+            "config": job.config.to_dict(),
+        }
+
+    # -- sweep expansion -------------------------------------------------
+
+    def _build_point_config(self, kwargs: dict[str, Any]) -> Any:
+        """Config object from a fully-resolved flat point mapping."""
+        return AcceleratorConfig.from_dict(kwargs)
+
+    def point_kwargs(
+        self,
+        spec: "SweepSpec",
+        point: dict[str, Any],
+        seed_salt: tuple[Any, ...] = (),
+    ) -> dict[str, Any]:
+        """Resolve one expanded grid point into JobSpec kwargs.
+
+        One scaffold for every kind: base + mesh pseudo-axis + point
+        values, a derived seed when none is pinned, and config
+        construction with the kind named in any error.  Subclasses
+        parameterize it via ``mesh_keys`` / ``uses_model`` /
+        :meth:`_build_point_config`; ``seed_salt`` lets them fold
+        kind-specific point fields that live outside the config (e.g.
+        the batch size) into the derived seed, keeping per-job seeds
+        collision-free.
+        """
+        point = dict(point)
+        model = point.pop("model", spec.model) if self.uses_model else None
+        kwargs: dict[str, Any] = dict(spec.base)
+        mesh = point.pop("mesh", None)
+        if mesh is not None:
+            mesh_kw = (
+                parse_mesh_axis(mesh) if isinstance(mesh, str) else mesh
+            )
+            kwargs.update(
+                {k: mesh_kw[k] for k in self.mesh_keys if k in mesh_kw}
+            )
+        kwargs.update(point)
+        if "seed" not in kwargs:
+            kwargs["seed"] = derive_seed(
+                spec.seed, model if self.uses_model else self.name,
+                kwargs, *seed_salt,
+            )
+        try:
+            config = self._build_point_config(kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"job kind {self.name!r}: {exc}") from exc
+        out: dict[str, Any] = {
+            "model": model,
+            "config": config,
+            "max_cycles_per_layer": spec.max_cycles_per_layer,
+        }
+        if self.uses_model:
+            out["model_seed"] = spec.model_seed
+            out["image_seed"] = spec.image_seed
+        return out
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, job: "JobSpec") -> dict[str, Any]:
+        """Run the job; returns the result payload (may raise)."""
+        model, images = _build_model_images(
+            job.model, job.model_seed, job.image_seed, 1
+        )
+        result = run_model_on_noc(
+            job.config,
+            model,
+            images[0],
+            max_cycles_per_layer=job.max_cycles_per_layer,
+        )
+        return result.to_dict()
+
+    # -- presentation ----------------------------------------------------
+
+    def job_label(self, job: "JobSpec") -> str:
+        return f"{job.model} {job.config.label()}"
+
+    def record_label(self, record: dict[str, Any]) -> str:
+        """Point label recovered from a persisted record."""
+        config = record.get("config", {})
+        return (
+            f"{record.get('model', '?')} "
+            f"{config.get('width', '?')}x{config.get('height', '?')} "
+            f"MC{config.get('n_mcs', '?')} {config.get('data_format', '?')} "
+            f"{config.get('ordering', '?')}"
+        )
+
+    def result_summary(self, result: dict[str, Any]) -> str:
+        """Progress-line fragment for a successful result payload."""
+        return (
+            f"{result['total_bit_transitions']:>10d} BTs "
+            f"({result['total_cycles']} cycles, verified "
+            f"{result['tasks_verified']}/{result['tasks_total']})"
+        )
+
+
+class BatchJobKind(JobKind):
+    """A batch of images through :func:`run_batch_on_noc`.
+
+    The record's result carries the batch aggregate at the top level
+    (so the mesh/model/layer/link pivots work unchanged) plus a
+    per-image fan-out under ``"images"``.
+    """
+
+    name = "batch"
+
+    def validate_job(self, job: "JobSpec") -> None:
+        self._validate_accel_workload(job)
+        if job.n_images < 1:
+            raise ValueError("batch jobs need n_images >= 1")
+
+    def validate_spec(self, spec: "SweepSpec") -> None:
+        if spec.n_images < 1:
+            raise ValueError("batch sweeps need n_images >= 1")
+
+    def key_payload(self, job: "JobSpec") -> dict[str, Any]:
+        payload = super().key_payload(job)
+        payload["n_images"] = job.n_images
+        return payload
+
+    def point_kwargs(
+        self, spec: "SweepSpec", point: dict[str, Any]
+    ) -> dict[str, Any]:
+        point = dict(point)
+        n_images = point.pop("n_images", spec.n_images)
+        # Salt the derived seed with the batch size so an n_images
+        # axis yields distinct per-job seeds like any other axis.
+        kwargs = super().point_kwargs(
+            spec, point, seed_salt=("n_images", n_images)
+        )
+        kwargs["n_images"] = n_images
+        return kwargs
+
+    def execute(self, job: "JobSpec") -> dict[str, Any]:
+        model, images = _build_model_images(
+            job.model, job.model_seed, job.image_seed, job.n_images
+        )
+        results = run_batch_on_noc(
+            job.config,
+            model,
+            images,
+            max_cycles_per_layer=job.max_cycles_per_layer,
+        )
+        per_link: dict[str, int] = {}
+        fanout = []
+        for index, result in enumerate(results):
+            for link, bts in result.per_link.items():
+                per_link[link] = per_link.get(link, 0) + bts
+            image_dict = result.to_dict()
+            del image_dict["config"]  # identical for every image
+            image_dict["image_index"] = index
+            fanout.append(image_dict)
+        # Integer totals are summed directly: aggregate_results is the
+        # float-summary API, and records/cache keys must carry exact
+        # ints (float conversion rounds sums beyond 2**53).
+        total_bt = sum(r.total_bit_transitions for r in results)
+        return {
+            "total_bit_transitions": total_bt,
+            "total_cycles": sum(r.total_cycles for r in results),
+            "flit_hops": sum(r.flit_hops for r in results),
+            "mean_bt_per_image": total_bt / len(results),
+            "tasks_verified": sum(r.tasks_verified for r in results),
+            "tasks_total": sum(r.tasks_total for r in results),
+            "mean_packet_latency": float(
+                np.mean([r.mean_packet_latency for r in results])
+            ),
+            "ordering_latency_cycles": sum(
+                r.ordering_latency_cycles for r in results
+            ),
+            "n_images": len(results),
+            "per_link": per_link,
+            "images": fanout,
+        }
+
+    def job_label(self, job: "JobSpec") -> str:
+        return f"{job.model}[x{job.n_images}] {job.config.label()}"
+
+    def record_label(self, record: dict[str, Any]) -> str:
+        label = super().record_label(record)
+        n = (record.get("result") or {}).get("n_images", "?")
+        return f"{label} (batch x{n})"
+
+    def result_summary(self, result: dict[str, Any]) -> str:
+        return (
+            f"{result['total_bit_transitions']:>10d} BTs over "
+            f"{result['n_images']} images (verified "
+            f"{result['tasks_verified']}/{result['tasks_total']})"
+        )
+
+
+class SyntheticJobKind(JobKind):
+    """Standalone synthetic NoC traffic (no DNN workload)."""
+
+    name = "synthetic"
+    report_family = "synthetic"
+    # Synthetic traffic has no MCs and no DNN model; only the mesh
+    # shape applies, and derived seeds hash the kind name instead.
+    mesh_keys = ("width", "height")
+    uses_model = False
+
+    def config_from_dict(self, data: dict[str, Any]) -> Any:
+        return SyntheticJobConfig.from_dict(data)
+
+    def validate_job(self, job: "JobSpec") -> None:
+        if job.model is not None:
+            raise ValueError(
+                "synthetic jobs carry no DNN model; leave model=None"
+            )
+        if not isinstance(job.config, SyntheticJobConfig):
+            raise ValueError(
+                f"kind 'synthetic' needs a SyntheticJobConfig, "
+                f"got {type(job.config).__name__}"
+            )
+        # The DNN-workload fields are meaningless here and excluded
+        # from key_payload, so non-default values would silently drop
+        # on a to_dict round trip — reject them instead.
+        for name in ("model_seed", "image_seed", "n_images"):
+            if getattr(job, name) != _spec_default(job, name):
+                raise ValueError(
+                    "synthetic jobs take no model_seed/image_seed/"
+                    "n_images; set the traffic seed in the config instead"
+                )
+
+    def validate_spec(self, spec: "SweepSpec") -> None:
+        # A DNN-workload field on a synthetic sweep would be silently
+        # dropped by point_kwargs — fail loudly instead.
+        for name in ("model", "model_seed", "image_seed", "n_images"):
+            if getattr(spec, name) != _spec_default(spec, name):
+                raise ValueError(
+                    f"synthetic sweeps take no {name}; "
+                    "set workload fields in base/axes instead"
+                )
+
+    def key_payload(self, job: "JobSpec") -> dict[str, Any]:
+        return {
+            "kind": self.name,
+            "max_cycles_per_layer": job.max_cycles_per_layer,
+            "config": job.config.to_dict(),
+        }
+
+    def _build_point_config(self, kwargs: dict[str, Any]) -> Any:
+        return SyntheticJobConfig.from_flat(kwargs)
+
+    def execute(self, job: "JobSpec") -> dict[str, Any]:
+        network = drive_synthetic(
+            job.config.traffic,
+            job.config.noc,
+            max_cycles=job.max_cycles_per_layer,
+        )
+        stats = network.stats
+        return {
+            "total_bit_transitions": stats.total_bit_transitions,
+            "total_cycles": stats.cycles,
+            "flit_hops": stats.flit_hops,
+            "packets_injected": stats.packets_injected,
+            "packets_delivered": stats.packets_delivered,
+            "flits_injected": stats.flits_injected,
+            "mean_packet_latency": stats.mean_latency,
+            "per_link": network.ledger.per_link(),
+        }
+
+    def job_label(self, job: "JobSpec") -> str:
+        return f"synthetic {job.config.label()}"
+
+    def record_label(self, record: dict[str, Any]) -> str:
+        config = record.get("config", {})
+        traffic = config.get("traffic", {})
+        noc = config.get("noc", {})
+        return (
+            f"synthetic {noc.get('width', '?')}x{noc.get('height', '?')} "
+            f"{traffic.get('pattern', '?')} {traffic.get('payload', '?')} "
+            f"p{traffic.get('n_packets', '?')}"
+        )
+
+    def result_summary(self, result: dict[str, Any]) -> str:
+        return (
+            f"{result['total_bit_transitions']:>10d} BTs "
+            f"({result['total_cycles']} cycles, "
+            f"{result['packets_delivered']} delivered, "
+            f"mean latency {result['mean_packet_latency']:.1f})"
+        )
+
+
+JOB_KINDS: dict[str, JobKind] = {}
+
+
+def register_job_kind(kind: JobKind) -> JobKind:
+    """Register (or replace) a job kind under its name.
+
+    Worker processes resolve kinds against *their own* registry, so a
+    custom kind must be registered at import time of a module the
+    workers also import (spawn-based platforms re-import from scratch;
+    fork inherits the parent's registry).  Kinds registered only at
+    runtime in the parent are limited to ``workers=1``; their jobs in
+    a pool come back as clean ``status="error"`` records, never a
+    crash.
+    """
+    JOB_KINDS[kind.name] = kind
+    return kind
+
+
+register_job_kind(JobKind())
+register_job_kind(BatchJobKind())
+register_job_kind(SyntheticJobKind())
+
+
+def job_kind(name: str) -> JobKind:
+    """Look up a registered kind; unknown names fail loudly."""
+    try:
+        return JOB_KINDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown job kind {name!r}; registered kinds: "
+            f"{sorted(JOB_KINDS)}"
+        ) from None

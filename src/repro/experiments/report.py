@@ -6,25 +6,37 @@ the simulator: :func:`pivot` is the generic
 ``{row -> {column -> value}}`` aggregation,
 :func:`fig12_report` renders the Fig. 12/13 absolute-BT and
 reduction-vs-O0 tables per data format, reusing the exact
-:func:`~repro.analysis.summary.format_series` layout the benches record.
+:func:`~repro.analysis.summary.format_series` layout the benches
+record.  The layer is kind-aware: :func:`layer_pivot` /
+:func:`link_pivot` aggregate per-layer and per-link BTs (fanning batch
+records out across their images), and :func:`campaign_report` renders
+whatever mix of model, batch, and synthetic records a store holds.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.analysis.summary import format_series, reduction_rate
 
 __all__ = [
+    "REPORT_PIVOTS",
     "ok_records",
+    "record_kind",
     "pivot",
     "mesh_row_key",
     "model_row_key",
+    "ordering_col_key",
+    "layer_pivot",
+    "link_pivot",
     "reduction_series",
     "fig12_report",
+    "campaign_report",
 ]
 
 Record = dict[str, Any]
+
+REPORT_PIVOTS = ("mesh", "model", "layer", "link")
 
 
 def ok_records(records: Iterable[Record]) -> list[Record]:
@@ -32,9 +44,17 @@ def ok_records(records: Iterable[Record]) -> list[Record]:
     return [r for r in records if r.get("status") == "ok"]
 
 
+def record_kind(record: Record) -> str:
+    """The record's job kind; pre-registry records default to model."""
+    return str(record.get("kind", "model"))
+
+
 def mesh_row_key(record: Record) -> str:
-    """Fig. 12 row key: "WxH MCn"."""
+    """Fig. 12 row key: "WxH MCn" (accelerator kinds), "WxH" (synthetic)."""
     config = record["config"]
+    if "noc" in config:
+        noc = config["noc"]
+        return f"{noc['width']}x{noc['height']}"
     return (
         f"{config['width']}x{config['height']} MC{config['n_mcs']}"
     )
@@ -45,10 +65,19 @@ def model_row_key(record: Record) -> str:
     return str(record.get("model", "?"))
 
 
+def ordering_col_key(record: Record) -> str:
+    """Default column key: the ordering method, or — for synthetic
+    records, which carry no ordering — the traffic pattern."""
+    config = record.get("config", {})
+    if "ordering" in config:
+        return str(config["ordering"])
+    return str(config.get("traffic", {}).get("pattern", "?"))
+
+
 def pivot(
     records: Iterable[Record],
     row_key: Callable[[Record], str] = mesh_row_key,
-    col_key: Callable[[Record], str] = lambda r: r["config"]["ordering"],
+    col_key: Callable[[Record], str] = ordering_col_key,
     value: Callable[[Record], float] = lambda r: float(
         r["result"]["total_bit_transitions"]
     ),
@@ -63,6 +92,72 @@ def pivot(
         series.setdefault(row_key(record), {})[col_key(record)] = value(
             record
         )
+    return series
+
+
+def _layer_items(record: Record) -> Iterator[tuple[str, float]]:
+    """(layer_name, bit_transitions) pairs of one record.
+
+    Model records carry their layers directly; batch records fan out
+    across the per-image results.  Kinds without layers yield nothing.
+    """
+    result = record.get("result") or {}
+    if "layers" in result:
+        for layer in result["layers"]:
+            yield layer["layer_name"], float(layer["bit_transitions"])
+    elif "images" in result:
+        for image in result["images"]:
+            for layer in image.get("layers", []):
+                yield layer["layer_name"], float(layer["bit_transitions"])
+
+
+def layer_pivot(
+    records: Iterable[Record],
+    col_key: Callable[[Record], str] = ordering_col_key,
+) -> dict[str, dict[str, float]]:
+    """{layer_name -> {column -> summed BTs}} across all records.
+
+    Unlike :func:`pivot` this *sums* colliding cells: a batch record
+    contributes every image's layer, and a multi-mesh grid aggregates
+    each layer over its meshes.
+    """
+    series: dict[str, dict[str, float]] = {}
+    for record in ok_records(records):
+        col = col_key(record)
+        for layer_name, bts in _layer_items(record):
+            row = series.setdefault(layer_name, {})
+            row[col] = row.get(col, 0.0) + bts
+    return series
+
+
+def link_pivot(
+    records: Iterable[Record],
+    col_key: Callable[[Record], str] = ordering_col_key,
+) -> dict[str, dict[str, float]]:
+    """{link_name -> {column -> summed BTs}} across all records.
+
+    Every kind's result payload carries ``per_link`` (router outport ->
+    accumulated BTs), so model, batch, and synthetic records all land
+    in the same grid.  Cells sum like :func:`layer_pivot` — but link
+    names repeat across topologies (R0.EAST exists in every mesh), so
+    when the record set spans more than one mesh/config context, each
+    row is prefixed with it rather than conflating distinct physical
+    links into one cell.
+    """
+    records = ok_records(records)
+    if records and all("noc" in r.get("config", {}) for r in records):
+        context = _synthetic_row_key_for(records)
+    else:
+        context = mesh_row_key
+    multiple = len({context(r) for r in records}) > 1
+    series: dict[str, dict[str, float]] = {}
+    for record in records:
+        col = col_key(record)
+        prefix = f"{context(record)} " if multiple else ""
+        per_link = (record.get("result") or {}).get("per_link", {})
+        for link_name, bts in per_link.items():
+            row = series.setdefault(f"{prefix}{link_name}", {})
+            row[col] = row.get(col, 0.0) + float(bts)
     return series
 
 
@@ -89,7 +184,11 @@ def fig12_report(
     title: str = "Absolute BTs",
 ) -> str:
     """Render the Fig. 12-style grids, one block per data format."""
-    records = ok_records(records)
+    records = [
+        r
+        for r in ok_records(records)
+        if "data_format" in r.get("config", {})
+    ]
     formats = sorted({r["config"]["data_format"] for r in records})
     if not formats:
         return "(no successful records)"
@@ -103,4 +202,187 @@ def fig12_report(
             blocks.append(
                 format_series(reductions, f"Reductions vs O0, % ({fmt})")
             )
+    return "\n\n".join(blocks)
+
+
+def _per_format_blocks(
+    records: list[Record],
+    make_series: Callable[[list[Record]], dict[str, dict[str, float]]],
+    title: str,
+    empty_note: str,
+    reduction_title: str | None = None,
+) -> list[str]:
+    """One block per data format — BT magnitudes of different formats
+    must never sum into one cell (mirrors fig12_report's grouping)."""
+    formats = sorted(
+        {r["config"].get("data_format", "?") for r in records}
+    )
+    blocks: list[str] = []
+    for fmt in formats:
+        subset = [
+            r for r in records
+            if r["config"].get("data_format", "?") == fmt
+        ]
+        series = make_series(subset)
+        if not series:
+            continue
+        blocks.append(format_series(series, f"{title} ({fmt})"))
+        if reduction_title:
+            reductions = reduction_series(series)
+            if reductions:
+                blocks.append(
+                    format_series(reductions, f"{reduction_title} ({fmt})")
+                )
+    return blocks or [empty_note]
+
+
+def _accel_blocks(records: list[Record], pivot_name: str) -> list[str]:
+    """Report blocks for the accelerator kinds (model / batch)."""
+    if pivot_name == "model":
+        return [fig12_report(records, row_key=model_row_key)]
+    if pivot_name == "layer":
+        return _per_format_blocks(
+            records, layer_pivot, "Per-layer BTs",
+            "(no per-layer data in records)",
+            reduction_title="Per-layer reductions vs O0, %",
+        )
+    if pivot_name == "link":
+        return _per_format_blocks(
+            records, link_pivot, "Per-link BTs",
+            "(no per-link data in records)",
+        )
+    return [fig12_report(records)]
+
+
+def _synthetic_row_key_for(
+    records: list[Record],
+) -> Callable[[Record], str]:
+    """Row key covering every config field the record set varies.
+
+    The base row is the mesh shape and the column is the pattern; any
+    other traffic/NoC field that differs between records sharing a
+    (mesh, pattern) cell — payload, n_packets, link_width, a swept
+    seed, ... — is folded into the row label so pivot() never
+    silently overwrites one point with another.
+    """
+
+    def flat(record: Record) -> dict[str, Any]:
+        config = record["config"]
+        return {**config.get("traffic", {}), **config.get("noc", {})}
+
+    cells: dict[tuple[str, str], list[dict[str, Any]]] = {}
+    for record in records:
+        key = (mesh_row_key(record), ordering_col_key(record))
+        cells.setdefault(key, []).append(flat(record))
+    # The per-point seed is usually *derived* from the other fields,
+    # so it varies with them and would pollute every label; fold it
+    # only if the real axes (second pass below) can't disambiguate.
+    folded: set[str] = set()
+    for group in cells.values():
+        for field in group[0]:
+            if field in ("pattern", "width", "height", "seed"):
+                continue
+            if len({repr(g.get(field)) for g in group}) > 1:
+                folded.add(field)
+
+    def label_for(values: dict[str, Any], base: str) -> str:
+        for field in sorted(folded):
+            value = values.get(field)
+            part = value if isinstance(value, str) else f"{field}={value}"
+            base = f"{base} {part}"
+        return base
+
+    for (base, _), group in cells.items():
+        by_label: dict[str, set[str]] = {}
+        for g in group:
+            by_label.setdefault(label_for(g, base), set()).add(
+                repr(sorted(g.items()))
+            )
+        if any(len(variants) > 1 for variants in by_label.values()):
+            # Distinct points still share a label: an explicit seed
+            # axis — fold the seed as a last resort.
+            folded.add("seed")
+            break
+
+    def row_key(record: Record) -> str:
+        return label_for(flat(record), mesh_row_key(record))
+
+    return row_key
+
+
+def _synthetic_blocks(records: list[Record], pivot_name: str) -> list[str]:
+    """Report blocks for synthetic-traffic records."""
+    if pivot_name == "link":
+        series = link_pivot(records)
+        if not series:
+            return ["(no per-link data in records)"]
+        return [format_series(series, "Synthetic per-link BTs")]
+    # Be explicit rather than silently rendering the default grid.
+    if pivot_name == "layer":
+        return ["(synthetic records have no per-layer data)"]
+    if pivot_name == "model":
+        return ["(synthetic records have no model pivot)"]
+    row_key = _synthetic_row_key_for(records)
+    blocks = [
+        format_series(
+            pivot(records, row_key=row_key),
+            "Synthetic traffic BTs",
+        ),
+        format_series(
+            pivot(
+                records,
+                row_key=row_key,
+                value=lambda r: float(r["result"]["mean_packet_latency"]),
+            ),
+            "Synthetic mean packet latency (cycles)",
+        ),
+    ]
+    return blocks
+
+
+def _report_family(record: Record) -> str:
+    """Which block family renders a record.
+
+    Dispatches through the kind registry (``JobKind.report_family``);
+    records of unregistered kinds fall back to the accelerator family,
+    whose result schema the base :class:`JobKind` guarantees.
+    """
+    from repro.experiments.kinds import job_kind
+
+    try:
+        return job_kind(record_kind(record)).report_family
+    except ValueError:
+        return "accelerator"
+
+
+def campaign_report(
+    records: Iterable[Record], pivot_name: str = "mesh"
+) -> str:
+    """Kind-aware campaign rendering for ``repro sweep`` / ``report``.
+
+    Accelerator-family records (model/batch) render the Fig. 12/13
+    grids for the ``mesh`` and ``model`` pivots, or the per-layer /
+    per-link aggregations; synthetic-family records render BT +
+    latency grids by pattern (``link`` pivots them per link instead).
+    When one store mixes several kinds of the same family, each kind
+    gets its own block group so same-config points don't collide.
+    """
+    if pivot_name not in REPORT_PIVOTS:
+        raise ValueError(
+            f"unknown pivot {pivot_name!r}; use one of {REPORT_PIVOTS}"
+        )
+    records = ok_records(records)
+    accel = [r for r in records if _report_family(r) == "accelerator"]
+    synth = [r for r in records if _report_family(r) == "synthetic"]
+    blocks: list[str] = []
+    accel_kinds = sorted({record_kind(r) for r in accel})
+    for kind_name in accel_kinds:
+        subset = [r for r in accel if record_kind(r) == kind_name]
+        if len(accel_kinds) > 1:
+            blocks.append(f"== {kind_name} jobs ==")
+        blocks.extend(_accel_blocks(subset, pivot_name))
+    if synth:
+        blocks.extend(_synthetic_blocks(synth, pivot_name))
+    if not blocks:
+        return "(no successful records)"
     return "\n\n".join(blocks)

@@ -3,10 +3,13 @@
 The :class:`CampaignRunner` takes a sweep (or an explicit job list),
 serves every already-simulated point from the
 :class:`~repro.experiments.cache.ResultCache`, and executes the misses
-across a ``multiprocessing`` pool.  Job records are fully deterministic
-(no timestamps, no host state), so a sweep executed with one worker is
-byte-identical to the same sweep executed with eight — the property the
-cache and the regression tests rely on.
+across a ``multiprocessing`` pool.  Execution dispatches through the
+job-kind registry (:mod:`repro.experiments.kinds`), so model, batch,
+and synthetic jobs — and any kind registered later — share one
+runner.  Job records are fully deterministic (no timestamps, no host
+state), so a sweep executed with one worker is byte-identical to the
+same sweep executed with eight — the property the cache and the
+regression tests rely on.
 
 A job that raises is captured as a ``status="error"`` record with the
 traceback; it does not poison the pool, is *not* cached (so the point
@@ -22,35 +25,12 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-import numpy as np
-
-from repro.accelerator.simulator import run_model_on_noc
-from repro.dnn.datasets import synthetic_digits, synthetic_shapes
-from repro.dnn.models import ModelSpec, build_model
 from repro.experiments.cache import ResultCache
+from repro.experiments.kinds import job_kind
 from repro.experiments.spec import JobSpec, SweepSpec
 from repro.experiments.store import ResultStore
-from repro.workloads.streams import trained_lenet_model
 
 __all__ = ["execute_job", "CampaignResult", "CampaignRunner"]
-
-
-def _build_workload(
-    model_name: str, model_seed: int, image_seed: int
-) -> tuple[ModelSpec, np.ndarray]:
-    """Construct the (model, sample image) pair for a job."""
-    if model_name == "trained_lenet":
-        model = trained_lenet_model(seed=model_seed)
-        image = synthetic_digits(1, seed=image_seed).images[0]
-    elif model_name == "lenet":
-        model = build_model("lenet", rng=np.random.default_rng(model_seed))
-        image = synthetic_digits(1, seed=image_seed).images[0]
-    elif model_name == "darknet":
-        model = build_model("darknet", rng=np.random.default_rng(model_seed))
-        image = synthetic_shapes(1, seed=image_seed).images[0]
-    else:
-        raise ValueError(f"unknown model {model_name!r}")
-    return model, image
 
 
 def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
@@ -62,23 +42,17 @@ def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
     """
     try:
         job = JobSpec.from_dict(payload)
-        model, image = _build_workload(
-            job.model, job.model_seed, job.image_seed
-        )
-        result = run_model_on_noc(
-            job.config,
-            model,
-            image,
-            max_cycles_per_layer=job.max_cycles_per_layer,
-        )
+        result = job_kind(job.kind).execute(job)
         return {
             "job_id": job.job_id,
+            "kind": job.kind,
             "model": job.model,
             "model_seed": job.model_seed,
             "image_seed": job.image_seed,
+            "n_images": job.n_images,
             "config": job.config.to_dict(),
             "status": "ok",
-            "result": result.to_dict(),
+            "result": result,
             "error": None,
         }
     except Exception as exc:
@@ -88,9 +62,11 @@ def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
             job_id = "?"
         return {
             "job_id": job_id,
+            "kind": payload.get("kind", "model"),
             "model": payload.get("model", "?"),
             "model_seed": payload.get("model_seed"),
             "image_seed": payload.get("image_seed"),
+            "n_images": payload.get("n_images"),
             "config": payload.get("config", {}),
             "status": "error",
             "result": None,
@@ -234,19 +210,9 @@ class CampaignRunner:
 
 
 def _progress_line(record: dict[str, Any]) -> str:
-    config = record.get("config", {})
-    label = (
-        f"{record.get('model', '?')} "
-        f"{config.get('width', '?')}x{config.get('height', '?')} "
-        f"MC{config.get('n_mcs', '?')} {config.get('data_format', '?')} "
-        f"{config.get('ordering', '?')}"
-    )
+    handler = job_kind(record.get("kind", "model"))
+    label = handler.record_label(record)
     origin = "cache" if record.get("cached") else "sim"
     if record.get("status") != "ok":
         return f"  {label}: ERROR ({record.get('error')})"
-    result = record["result"]
-    return (
-        f"  {label} [{origin}]: {result['total_bit_transitions']:>10d} BTs "
-        f"({result['total_cycles']} cycles, verified "
-        f"{result['tasks_verified']}/{result['tasks_total']})"
-    )
+    return f"  {label} [{origin}]: {handler.result_summary(record['result'])}"

@@ -1,12 +1,12 @@
 """Declarative sweep specifications for the campaign engine.
 
-A :class:`SweepSpec` names a cartesian grid over
-:class:`~repro.accelerator.config.AcceleratorConfig` fields (plus the
-pseudo-axes ``model`` and ``mesh``) and expands it into a deterministic
-list of :class:`JobSpec` — one fully-resolved simulation each.  The
-paper's evaluation grids map directly: Fig. 12 is
-``mesh x ordering`` for one model/format, Fig. 13 is
-``model x ordering``, Table I adds ``data_format``.
+A :class:`SweepSpec` names a cartesian grid over the fields of one job
+kind's config (see :mod:`repro.experiments.kinds`) and expands it into
+a deterministic list of :class:`JobSpec` — one fully-resolved
+simulation each.  The paper's evaluation grids map directly: Fig. 12
+is ``mesh x ordering`` for one model/format, Fig. 13 is
+``model x ordering``, Table I adds ``data_format``; synthetic-traffic
+sweeps walk ``mesh x pattern`` instead.
 
 Per-job seeds are derived from the campaign seed and the job's
 parameters with :func:`derive_seed`, so a job's workload sampling is
@@ -16,14 +16,17 @@ whether the grid around it grows or shrinks.
 
 from __future__ import annotations
 
-import enum
 import hashlib
 import itertools
-import json
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.accelerator.config import AcceleratorConfig
+from repro.experiments.hashing import canonical_json, derive_seed
+from repro.experiments.kinds import (
+    MODEL_NAMES,
+    job_kind,
+    parse_mesh_axis,
+)
 
 __all__ = [
     "MODEL_NAMES",
@@ -34,85 +37,43 @@ __all__ = [
     "parse_mesh_axis",
 ]
 
-# Model names the job executor knows how to build (see runner.py).
-MODEL_NAMES = ("lenet", "darknet", "trained_lenet")
-
-# Pseudo-axes expanded specially rather than passed to the config.
-_MESH_KEYS = ("width", "height", "n_mcs")
-
-
-def _json_default(obj: Any) -> Any:
-    if isinstance(obj, enum.Enum):
-        return obj.value
-    raise TypeError(f"not JSON-canonicalisable: {obj!r}")
-
-
-def canonical_json(obj: Any) -> str:
-    """Canonical (sorted-key, compact) JSON used for hashing.
-
-    Enums serialise as their values so specs built from
-    :class:`OrderingMethod` members and from plain strings hash alike.
-    """
-    return json.dumps(
-        obj, sort_keys=True, separators=(",", ":"), default=_json_default
-    )
-
-
-def derive_seed(*parts: Any) -> int:
-    """Deterministic 32-bit seed from arbitrary JSON-compatible parts."""
-    digest = hashlib.sha256(canonical_json(list(parts)).encode()).digest()
-    return int.from_bytes(digest[:4], "big")
-
-
-def parse_mesh_axis(text: str) -> dict[str, int]:
-    """Parse "WxH:MCS" (e.g. "8x8:4") into mesh config fields."""
-    try:
-        mesh, _, mcs = text.partition(":")
-        w, h = mesh.lower().split("x")
-        return {
-            "width": int(w),
-            "height": int(h),
-            "n_mcs": int(mcs) if mcs else 2,
-        }
-    except ValueError as exc:
-        raise ValueError(
-            f"bad mesh {text!r}; use WxH:MCS like 8x8:4"
-        ) from exc
-
 
 @dataclass(frozen=True)
 class JobSpec:
     """One fully-resolved simulation point of a campaign.
 
     Attributes:
-        model: workload model name (one of :data:`MODEL_NAMES`).
-        config: the accelerator configuration to simulate.
+        model: workload model name (one of :data:`MODEL_NAMES`) for the
+            model/batch kinds; None for synthetic jobs.
+        config: the kind's configuration object
+            (:class:`~repro.accelerator.config.AcceleratorConfig` for
+            model/batch, :class:`~repro.experiments.kinds.SyntheticJobConfig`
+            for synthetic).
         model_seed: RNG seed for model construction / training.
-        image_seed: dataset seed for the sample image.
-        max_cycles_per_layer: simulator drain budget.
+        image_seed: dataset seed for the sample image(s).
+        max_cycles_per_layer: simulator drain budget (per barrier
+            window for model/batch; whole-run budget for synthetic).
+        kind: registered job kind name (default ``"model"``).
+        n_images: batch size (batch kind only; must stay 1 otherwise).
     """
 
-    model: str
-    config: AcceleratorConfig
+    model: str | None = None
+    config: Any = None
     model_seed: int = 1
     image_seed: int = 5
     max_cycles_per_layer: int = 2_000_000
+    kind: str = "model"
+    n_images: int = 1
 
     def __post_init__(self) -> None:
-        if self.model not in MODEL_NAMES:
-            raise ValueError(
-                f"unknown model {self.model!r}; use one of {MODEL_NAMES}"
-            )
+        handler = job_kind(self.kind)  # unknown kinds fail loudly here
+        if self.config is None:
+            raise ValueError(f"kind {self.kind!r} jobs need a config")
+        handler.validate_job(self)
 
     def key_payload(self) -> dict[str, Any]:
         """The JSON-compatible identity hashed into the cache key."""
-        return {
-            "model": self.model,
-            "model_seed": self.model_seed,
-            "image_seed": self.image_seed,
-            "max_cycles_per_layer": self.max_cycles_per_layer,
-            "config": self.config.to_dict(),
-        }
+        return job_kind(self.kind).key_payload(self)
 
     @property
     def job_id(self) -> str:
@@ -124,7 +85,7 @@ class JobSpec:
 
     def label(self) -> str:
         """Human-readable point label, e.g. "lenet 4x4 MC2 fixed8 O2"."""
-        return f"{self.model} {self.config.label()}"
+        return job_kind(self.kind).job_label(self)
 
     def to_dict(self) -> dict[str, Any]:
         return self.key_payload()
@@ -132,26 +93,31 @@ class JobSpec:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "JobSpec":
         kwargs = dict(data)
-        kwargs["config"] = AcceleratorConfig.from_dict(kwargs["config"])
+        handler = job_kind(kwargs.setdefault("kind", "model"))
+        kwargs["config"] = handler.config_from_dict(kwargs["config"])
         return cls(**kwargs)
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A declarative cartesian sweep.
+    """A declarative cartesian sweep over one job kind.
 
     Attributes:
         name: campaign name (store/report labelling).
-        model: model name, or the axis ``"model"`` overrides it.
-        base: AcceleratorConfig keyword defaults shared by every point.
-        axes: axis name -> list of values.  Axis names are
-            AcceleratorConfig field names, plus ``"model"`` (list of
-            model names) and ``"mesh"`` (list of "WxH:MCS" strings or
-            {width, height, n_mcs} dicts).
+        kind: registered job kind every expanded job runs as.
+        model: model name, or the axis ``"model"`` overrides it
+            (model/batch kinds; ignored for synthetic).
+        base: config keyword defaults shared by every point.
+        axes: axis name -> list of values.  Axis names are the kind's
+            config field names, plus the pseudo-axes ``"model"`` (list
+            of model names), ``"mesh"`` (list of "WxH:MCS" strings or
+            {width, height, n_mcs} dicts), and — for the batch kind —
+            ``"n_images"``.
         seed: campaign seed; per-job config seeds derive from it
             unless ``base``/``axes`` pin ``seed`` explicitly.
         model_seed / image_seed: workload construction seeds.
         max_cycles_per_layer: simulator drain budget per job.
+        n_images: batch size for the batch kind.
     """
 
     name: str = "sweep"
@@ -162,8 +128,17 @@ class SweepSpec:
     model_seed: int = 1
     image_seed: int = 5
     max_cycles_per_layer: int = 2_000_000
+    kind: str = "model"
+    n_images: int = 1
 
     def __post_init__(self) -> None:
+        # Unknown kinds and kind-inapplicable fields (which the kind's
+        # expansion would silently drop) both fail at spec build time.
+        job_kind(self.kind).validate_spec(self)
+        if "kind" in self.axes or "kind" in self.base:
+            raise ValueError(
+                "'kind' is not sweepable; run one sweep per job kind"
+            )
         for axis, values in self.axes.items():
             if not values:
                 raise ValueError(f"axis {axis!r} has no values")
@@ -180,41 +155,25 @@ class SweepSpec:
 
         The last axis varies fastest (itertools.product order over the
         axes in insertion order), matching how the paper's tables walk
-        their grids.
+        their grids.  All validation — unknown config fields, bad
+        values, impossible meshes — happens here, with the kind named
+        in the error, never deep inside a worker process.
         """
+        handler = job_kind(self.kind)
         axis_names = list(self.axes)
         jobs: list[JobSpec] = []
         for combo in itertools.product(
             *(self.axes[name] for name in axis_names)
         ):
             point = dict(zip(axis_names, combo))
-            model = point.pop("model", self.model)
-            kwargs: dict[str, Any] = dict(self.base)
-            mesh = point.pop("mesh", None)
-            if mesh is not None:
-                mesh_kw = (
-                    parse_mesh_axis(mesh) if isinstance(mesh, str) else mesh
-                )
-                kwargs.update(
-                    {k: mesh_kw[k] for k in _MESH_KEYS if k in mesh_kw}
-                )
-            kwargs.update(point)
-            if "seed" not in kwargs:
-                kwargs["seed"] = derive_seed(self.seed, model, kwargs)
-            jobs.append(
-                JobSpec(
-                    model=model,
-                    config=AcceleratorConfig.from_dict(kwargs),
-                    model_seed=self.model_seed,
-                    image_seed=self.image_seed,
-                    max_cycles_per_layer=self.max_cycles_per_layer,
-                )
-            )
+            kwargs = handler.point_kwargs(self, point)
+            jobs.append(JobSpec(kind=self.kind, **kwargs))
         return jobs
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
+            "kind": self.kind,
             "model": self.model,
             "base": dict(self.base),
             "axes": {k: list(v) for k, v in self.axes.items()},
@@ -222,6 +181,7 @@ class SweepSpec:
             "model_seed": self.model_seed,
             "image_seed": self.image_seed,
             "max_cycles_per_layer": self.max_cycles_per_layer,
+            "n_images": self.n_images,
         }
 
     @classmethod

@@ -18,6 +18,8 @@ from typing import Any, Iterator
 __all__ = ["ResultStore"]
 
 # Scalar result fields promoted into CSV columns, in column order.
+# The union over job kinds: model/batch rows leave the synthetic-only
+# columns empty and vice versa.
 _CSV_RESULT_FIELDS = (
     "total_bit_transitions",
     "total_cycles",
@@ -26,6 +28,8 @@ _CSV_RESULT_FIELDS = (
     "tasks_total",
     "mean_packet_latency",
     "ordering_latency_cycles",
+    "n_images",
+    "packets_delivered",
 )
 _CSV_CONFIG_FIELDS = (
     "width",
@@ -34,8 +38,30 @@ _CSV_CONFIG_FIELDS = (
     "data_format",
     "ordering",
     "max_tasks_per_layer",
+    "pattern",
+    "payload",
+    "n_packets",
+    "flits_per_packet",
+    "injection_window",
+    "hotspot_node",
+    "link_width",
     "seed",
 )
+
+
+def _flat_config(config: dict[str, Any]) -> dict[str, Any]:
+    """Flatten a kind's config dict for column lookup.
+
+    Accelerator configs are already flat; synthetic configs nest
+    ``traffic`` and ``noc`` sections (whose field names are disjoint),
+    so both merge into one namespace.
+    """
+    flat = dict(config)
+    for section in ("noc", "traffic"):
+        nested = flat.pop(section, None)
+        if isinstance(nested, dict):
+            flat.update(nested)
+    return flat
 
 
 class ResultStore:
@@ -99,11 +125,12 @@ class ResultStore:
         for record in self.latest_by_job().values():
             if record.get("status") != "ok":
                 continue
-            config = record.get("config", {})
+            config = _flat_config(record.get("config", {}))
             result = record.get("result", {})
             row: dict[str, Any] = {
                 "job_id": record["job_id"],
                 "campaign": record.get("campaign", ""),
+                "kind": record.get("kind", "model"),
                 "model": record.get("model", ""),
                 "cached": record.get("cached", False),
             }
@@ -115,7 +142,7 @@ class ResultStore:
         out = pathlib.Path(path)
         out.parent.mkdir(parents=True, exist_ok=True)
         fieldnames = (
-            ["job_id", "campaign", "model", "cached"]
+            ["job_id", "campaign", "kind", "model", "cached"]
             + list(_CSV_CONFIG_FIELDS)
             + list(_CSV_RESULT_FIELDS)
         )

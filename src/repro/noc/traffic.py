@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Any
 
 import numpy as np
 
@@ -28,6 +29,7 @@ __all__ = [
     "SyntheticTrafficConfig",
     "destination_for",
     "generate_traffic",
+    "drive_synthetic",
     "run_synthetic",
 ]
 
@@ -69,6 +71,38 @@ class SyntheticTrafficConfig:
             raise ValueError("traffic volume must be positive")
         if self.payload not in ("random", "zero", "counter"):
             raise ValueError(f"unknown payload kind {self.payload!r}")
+
+    # -- serialization ---------------------------------------------------
+    #
+    # The campaign engine hashes traffic configs into cache keys and
+    # persists them in JSONL stores, so the dict form must be stable,
+    # canonical (the pattern enum as its string value) and loss-free.
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; exact inverse of :meth:`from_dict`."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, TrafficPattern):
+                value = value.value
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SyntheticTrafficConfig":
+        """Rebuild a config from :meth:`to_dict` output (strict keys)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SyntheticTrafficConfig fields: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if "pattern" in kwargs and not isinstance(
+            kwargs["pattern"], TrafficPattern
+        ):
+            kwargs["pattern"] = TrafficPattern(kwargs["pattern"])
+        return cls(**kwargs)
 
 
 def destination_for(
@@ -137,12 +171,17 @@ def generate_traffic(
     yield from events
 
 
-def run_synthetic(
+def drive_synthetic(
     config: SyntheticTrafficConfig,
     noc_config: NoCConfig,
     max_cycles: int = 500_000,
-) -> NoCStats:
-    """Drive a synthetic workload through a fresh network."""
+) -> Network:
+    """Drive a synthetic workload through a fresh network.
+
+    Returns the drained :class:`Network` so callers can read both the
+    aggregate ``stats`` and the per-link ``ledger`` (the campaign
+    engine's per-link pivots need the latter).
+    """
     network = Network(noc_config)
     pending = list(generate_traffic(config, noc_config))
     idx = 0
@@ -155,4 +194,13 @@ def run_synthetic(
                 f"synthetic run exceeded {max_cycles} cycles"
             )
         network.step()
-    return network.stats
+    return network
+
+
+def run_synthetic(
+    config: SyntheticTrafficConfig,
+    noc_config: NoCConfig,
+    max_cycles: int = 500_000,
+) -> NoCStats:
+    """Stats-only convenience wrapper around :func:`drive_synthetic`."""
+    return drive_synthetic(config, noc_config, max_cycles).stats

@@ -1,0 +1,44 @@
+"""Canonical paper-figure workloads.
+
+One definition of the (model, image) pairs the Fig. 12/13 benches
+simulate, shared by ``benchmarks/conftest.py`` and the golden
+regression suite (``tests/test_golden_figures.py``) so the two can
+never drift apart: if a seed here changes, the benches and the golden
+tests move together and the recorded tables must be regenerated in the
+same commit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn.datasets import synthetic_digits, synthetic_shapes
+from repro.dnn.models import DarkNetSlim
+from repro.workloads.streams import trained_lenet_model
+
+__all__ = [
+    "figure_trained_lenet",
+    "figure_lenet_image",
+    "figure_darknet_model",
+    "figure_darknet_image",
+]
+
+
+def figure_trained_lenet():
+    """The benches' trained LeNet (training seed 3, cached)."""
+    return trained_lenet_model()
+
+
+def figure_lenet_image() -> np.ndarray:
+    """The Fig. 12/13 LeNet sample image."""
+    return synthetic_digits(1, seed=5).images[0]
+
+
+def figure_darknet_model() -> DarkNetSlim:
+    """The Fig. 13 DarkNet-like model (init seed 21)."""
+    return DarkNetSlim(rng=np.random.default_rng(21))
+
+
+def figure_darknet_image() -> np.ndarray:
+    """The Fig. 13 DarkNet sample image."""
+    return synthetic_shapes(1, seed=5).images[0]

@@ -7,6 +7,12 @@ import pytest
 
 from repro.dnn.datasets import synthetic_digits
 from repro.dnn.models import LeNet5
+from repro.workloads.figures import (
+    figure_darknet_image,
+    figure_darknet_model,
+    figure_lenet_image,
+    figure_trained_lenet,
+)
 
 
 @pytest.fixture(scope="session")
@@ -24,3 +30,27 @@ def small_lenet() -> LeNet5:
 def digit_image() -> np.ndarray:
     """One 32x32x1 sample image."""
     return synthetic_digits(1, seed=9).images[0]
+
+
+# -- golden-figure workloads (one definition, repro.workloads.figures,
+# -- shared with benchmarks/conftest.py so the two cannot drift) --------
+
+
+@pytest.fixture(scope="session")
+def golden_trained_lenet():
+    return figure_trained_lenet()
+
+
+@pytest.fixture(scope="session")
+def golden_lenet_image() -> np.ndarray:
+    return figure_lenet_image()
+
+
+@pytest.fixture(scope="session")
+def golden_darknet_model():
+    return figure_darknet_model()
+
+
+@pytest.fixture(scope="session")
+def golden_darknet_image() -> np.ndarray:
+    return figure_darknet_image()

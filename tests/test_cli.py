@@ -205,3 +205,126 @@ class TestSweepAndReport:
 
     def test_report_missing_store(self, tmp_path, capsys):
         assert main(["report", "--store", str(tmp_path / "no.jsonl")]) == 1
+
+
+class TestKindSweeps:
+    def _sweep(self, tmp_path, capsys, *extra):
+        argv = [
+            "sweep", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--store", str(tmp_path / "runs.jsonl"),
+            *extra,
+        ]
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_synthetic_sweep_and_report(self, tmp_path, capsys):
+        out = self._sweep(
+            tmp_path, capsys,
+            "--kind", "synthetic", "--meshes", "3x3",
+            "--patterns", "uniform,hotspot", "--packets", "20",
+        )
+        assert "synthetic 3x3 uniform" in out
+        assert "Synthetic traffic BTs" in out
+        assert "0 errors" in out
+
+        store = str(tmp_path / "runs.jsonl")
+        assert main(["report", "--store", store]) == 0
+        report = capsys.readouterr().out
+        assert "Synthetic traffic BTs" in report
+        assert "hotspot" in report
+
+        assert main(["report", "--store", store, "--pivot", "link"]) == 0
+        linked = capsys.readouterr().out
+        assert "Synthetic per-link BTs" in linked
+        assert "R0.EAST" in linked
+
+    def test_batch_sweep_and_layer_report(self, tmp_path, capsys):
+        out = self._sweep(
+            tmp_path, capsys,
+            "--kind", "batch", "--images", "2", "--tasks", "1",
+            "--meshes", "2x2:1", "--orderings", "O0,O2",
+        )
+        assert "(batch x2)" in out
+        assert "over 2 images" in out
+        assert "Absolute BTs (fixed8)" in out
+
+        store = str(tmp_path / "runs.jsonl")
+        assert main(["report", "--store", store, "--pivot", "layer"]) == 0
+        report = capsys.readouterr().out
+        assert "Per-layer BTs" in report
+        assert "conv1" in report
+
+    def test_synthetic_sweep_caches(self, tmp_path, capsys):
+        args = ("--kind", "synthetic", "--meshes", "2x2",
+                "--patterns", "uniform", "--packets", "10")
+        cold = self._sweep(tmp_path, capsys, *args)
+        assert "0 cache hits / 1 simulated" in cold
+        warm = self._sweep(tmp_path, capsys, *args)
+        assert "1 cache hits / 0 simulated" in warm
+
+    def test_model_layer_and_link_pivots(self, tmp_path, capsys):
+        self._sweep(
+            tmp_path, capsys,
+            "--meshes", "2x2:1", "--orderings", "O0,O2", "--tasks", "1",
+        )
+        store = str(tmp_path / "runs.jsonl")
+        assert main(["report", "--store", store, "--pivot", "layer"]) == 0
+        assert "Per-layer reductions vs O0" in capsys.readouterr().out
+        assert main(["report", "--store", store, "--pivot", "link"]) == 0
+        assert "Per-link BTs" in capsys.readouterr().out
+
+    def test_unknown_kind_is_parser_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--kind", "quantum"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_inapplicable_flags_rejected_not_ignored(self):
+        with pytest.raises(SystemExit, match="--orderings does not apply"):
+            main(["sweep", "--kind", "synthetic", "--orderings", "O0,O2"])
+        with pytest.raises(SystemExit, match="--patterns does not apply"):
+            main(["sweep", "--kind", "model", "--patterns", "hotspot"])
+        with pytest.raises(SystemExit, match="--images does not apply"):
+            main(["sweep", "--kind", "model", "--images", "4"])
+        with pytest.raises(SystemExit, match="--link-width does not apply"):
+            main(["sweep", "--kind", "batch", "--link-width", "64"])
+
+    def test_spec_file_rejects_explicit_grid_flags(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "base": {"max_tasks_per_layer": 1},
+            "axes": {"mesh": ["2x2:1"], "ordering": ["O0"]},
+        }))
+        with pytest.raises(SystemExit, match="ignored with --spec"):
+            main(["sweep", "--spec", str(spec), "--patterns", "hotspot"])
+        with pytest.raises(SystemExit, match="ignored with --spec"):
+            main(["sweep", "--spec", str(spec), "--kind", "synthetic"])
+        with pytest.raises(SystemExit, match="ignored with --spec"):
+            main(["sweep", "--spec", str(spec), "--meshes", "4x4:2"])
+
+    def test_synthetic_store_layer_pivot_notes_no_data(
+        self, tmp_path, capsys
+    ):
+        self._sweep(
+            tmp_path, capsys,
+            "--kind", "synthetic", "--meshes", "2x2",
+            "--patterns", "uniform", "--packets", "10",
+        )
+        store = str(tmp_path / "runs.jsonl")
+        assert main(["report", "--store", store, "--pivot", "layer"]) == 0
+        out = capsys.readouterr().out
+        assert "no per-layer data" in out
+        assert "Synthetic traffic BTs" not in out
+
+    def test_csv_has_kind_column(self, tmp_path, capsys):
+        self._sweep(
+            tmp_path, capsys,
+            "--kind", "synthetic", "--meshes", "2x2",
+            "--patterns", "uniform", "--packets", "10",
+            "--csv", str(tmp_path / "out.csv"),
+        )
+        header, row = (
+            (tmp_path / "out.csv").read_text().strip().splitlines()
+        )
+        assert "kind" in header.split(",")
+        assert "synthetic" in row

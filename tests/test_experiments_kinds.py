@@ -1,0 +1,310 @@
+"""The job-kind registry: dispatch, config schemas, and executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.experiments.kinds import (
+    JOB_KINDS,
+    JobKind,
+    SyntheticJobConfig,
+    job_kind,
+    register_job_kind,
+)
+from repro.experiments.runner import CampaignRunner, execute_job
+from repro.experiments.spec import JobSpec, SweepSpec
+from repro.noc.network import NoCConfig
+from repro.noc.traffic import SyntheticTrafficConfig, TrafficPattern
+
+
+def tiny_accel(**overrides) -> AcceleratorConfig:
+    kwargs = dict(width=2, height=2, n_mcs=1, max_tasks_per_layer=1)
+    kwargs.update(overrides)
+    return AcceleratorConfig(**kwargs)
+
+
+def tiny_synth(**overrides) -> SyntheticJobConfig:
+    traffic = dict(n_packets=10, seed=3)
+    traffic.update(overrides)
+    return SyntheticJobConfig(
+        traffic=SyntheticTrafficConfig(**traffic),
+        noc=NoCConfig(width=3, height=3, link_width=32),
+    )
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        assert {"model", "batch", "synthetic"} <= set(JOB_KINDS)
+
+    def test_unknown_kind_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown job kind 'quantum'"):
+            job_kind("quantum")
+
+    def test_error_names_registered_kinds(self):
+        with pytest.raises(ValueError, match="batch.*model.*synthetic"):
+            job_kind("nope")
+
+    def test_register_custom_kind(self):
+        class NullKind(JobKind):
+            name = "null"
+
+            def execute(self, job):
+                return {"total_bit_transitions": 0}
+
+        register_job_kind(NullKind())
+        try:
+            assert job_kind("null").execute(None) == {
+                "total_bit_transitions": 0
+            }
+        finally:
+            del JOB_KINDS["null"]
+
+
+class TestSyntheticJobConfig:
+    def test_round_trip(self):
+        config = tiny_synth(pattern=TrafficPattern.HOTSPOT, payload="zero")
+        rebuilt = SyntheticJobConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.traffic.pattern is TrafficPattern.HOTSPOT
+
+    def test_from_flat_splits_disjoint_namespaces(self):
+        config = SyntheticJobConfig.from_flat(
+            {"n_packets": 5, "width": 2, "height": 2, "link_width": 16,
+             "pattern": "complement"}
+        )
+        assert config.traffic.n_packets == 5
+        assert config.traffic.pattern is TrafficPattern.BIT_COMPLEMENT
+        assert (config.noc.width, config.noc.link_width) == (2, 16)
+
+    def test_from_flat_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match=r"\['n_mcs'\]"):
+            SyntheticJobConfig.from_flat({"n_mcs": 2})
+
+    def test_unknown_nested_key_rejected(self):
+        data = tiny_synth().to_dict()
+        data["traffic"]["warp"] = 1
+        with pytest.raises(ValueError, match="warp"):
+            SyntheticJobConfig.from_dict(data)
+
+
+class TestJobSpecKinds:
+    def test_default_kind_is_model(self):
+        job = JobSpec(model="lenet", config=tiny_accel())
+        assert job.kind == "model"
+        assert job.key_payload()["kind"] == "model"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(model="lenet", config=tiny_accel(), kind="quantum")
+
+    def test_missing_config_rejected(self):
+        with pytest.raises(ValueError, match="need a config"):
+            JobSpec(model="lenet")
+
+    def test_model_kind_rejects_batch_sizes(self):
+        with pytest.raises(ValueError, match="kind='batch'"):
+            JobSpec(model="lenet", config=tiny_accel(), n_images=3)
+
+    def test_synthetic_rejects_model(self):
+        with pytest.raises(ValueError, match="no DNN model"):
+            JobSpec(model="lenet", config=tiny_synth(), kind="synthetic")
+
+    def test_synthetic_rejects_accelerator_config(self):
+        with pytest.raises(ValueError, match="SyntheticJobConfig"):
+            JobSpec(config=tiny_accel(), kind="synthetic")
+
+    def test_synthetic_rejects_workload_fields(self):
+        """Fields the kind would drop on round-trip are rejected."""
+        for override in ({"model_seed": 42}, {"image_seed": 9},
+                         {"n_images": 2}):
+            with pytest.raises(ValueError, match="traffic seed"):
+                JobSpec(config=tiny_synth(), kind="synthetic", **override)
+
+    def test_model_kind_rejects_synthetic_config(self):
+        with pytest.raises(ValueError, match="AcceleratorConfig"):
+            JobSpec(model="lenet", config=tiny_synth())
+
+    def test_job_ids_differ_across_kinds(self):
+        config = tiny_accel()
+        single = JobSpec(model="lenet", config=config)
+        batch = JobSpec(model="lenet", config=config, kind="batch")
+        assert single.job_id != batch.job_id
+
+    def test_batch_id_tracks_n_images(self):
+        a = JobSpec(model="lenet", config=tiny_accel(), kind="batch",
+                    n_images=2)
+        b = JobSpec(model="lenet", config=tiny_accel(), kind="batch",
+                    n_images=3)
+        assert a.job_id != b.job_id
+
+    def test_labels_are_kind_specific(self):
+        assert JobSpec(
+            model="lenet", config=tiny_accel()
+        ).label().startswith("lenet ")
+        assert "[x4]" in JobSpec(
+            model="lenet", config=tiny_accel(), kind="batch", n_images=4
+        ).label()
+        assert JobSpec(
+            config=tiny_synth(), kind="synthetic"
+        ).label().startswith("synthetic ")
+
+
+class TestExecutors:
+    def test_synthetic_execute_record(self):
+        job = JobSpec(config=tiny_synth(), kind="synthetic")
+        record = execute_job(job.to_dict())
+        assert record["status"] == "ok"
+        assert record["kind"] == "synthetic"
+        assert record["model"] is None
+        result = record["result"]
+        assert result["packets_delivered"] == 10
+        assert result["total_bit_transitions"] > 0
+        assert result["per_link"]
+        assert sum(result["per_link"].values()) == (
+            result["total_bit_transitions"]
+        )
+
+    def test_batch_execute_fans_out_per_image(self):
+        job = JobSpec(
+            model="lenet", config=tiny_accel(), kind="batch", n_images=2
+        )
+        record = execute_job(job.to_dict())
+        assert record["status"] == "ok"
+        result = record["result"]
+        assert result["n_images"] == 2
+        assert [img["image_index"] for img in result["images"]] == [0, 1]
+        assert result["total_bit_transitions"] == sum(
+            img["total_bit_transitions"] for img in result["images"]
+        )
+        assert result["tasks_verified"] == result["tasks_total"]
+        # Different images produce different traffic.
+        bts = {img["total_bit_transitions"] for img in result["images"]}
+        assert len(bts) == 2
+        assert result["mean_bt_per_image"] == (
+            result["total_bit_transitions"] / 2
+        )
+
+    def test_model_record_carries_per_link(self):
+        job = JobSpec(model="lenet", config=tiny_accel())
+        record = execute_job(job.to_dict())
+        per_link = record["result"]["per_link"]
+        assert sum(per_link.values()) == (
+            record["result"]["total_bit_transitions"]
+        )
+
+
+class TestSweepKinds:
+    def test_synthetic_expansion(self):
+        spec = SweepSpec(
+            name="s",
+            kind="synthetic",
+            base={"n_packets": 5, "link_width": 32},
+            axes={"mesh": ["2x2", "3x3"],
+                  "pattern": ["uniform", "complement"]},
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 4
+        assert all(j.kind == "synthetic" for j in jobs)
+        assert jobs[0].config.noc.width == 2
+        assert jobs[3].config.noc.width == 3
+        assert jobs[3].config.traffic.pattern is (
+            TrafficPattern.BIT_COMPLEMENT
+        )
+
+    def test_synthetic_derived_seeds_differ_per_point(self):
+        spec = SweepSpec(
+            kind="synthetic",
+            base={"n_packets": 5},
+            axes={"pattern": ["uniform", "transpose"]},
+        )
+        seeds = {j.config.traffic.seed for j in spec.expand()}
+        assert len(seeds) == 2
+
+    def test_batch_n_images_axis(self):
+        spec = SweepSpec(
+            kind="batch",
+            base={"max_tasks_per_layer": 1, "width": 2, "height": 2,
+                  "n_mcs": 1},
+            axes={"n_images": [1, 2, 4]},
+        )
+        assert [j.n_images for j in spec.expand()] == [1, 2, 4]
+
+    def test_unknown_kind_fails_at_spec_build(self):
+        with pytest.raises(ValueError, match="unknown job kind 'quantum'"):
+            SweepSpec(kind="quantum")
+
+    def test_model_spec_rejects_n_images(self):
+        """A dropped-field sweep must fail loudly, not run 1-image jobs."""
+        with pytest.raises(ValueError, match="kind='batch'"):
+            SweepSpec(kind="model", n_images=3)
+
+    def test_synthetic_spec_rejects_workload_fields(self):
+        for override in ({"model": "darknet"}, {"model_seed": 9},
+                         {"image_seed": 9}, {"n_images": 2}):
+            with pytest.raises(ValueError, match="synthetic sweeps"):
+                SweepSpec(kind="synthetic", **override)
+
+    def test_kind_is_not_sweepable(self):
+        with pytest.raises(ValueError, match="not sweepable"):
+            SweepSpec(axes={"kind": ["model", "batch"]})
+
+    def test_unknown_synthetic_field_fails_at_expansion(self):
+        spec = SweepSpec(
+            kind="synthetic", axes={"ordering": [["O0"]]}
+        )
+        with pytest.raises(
+            ValueError,
+            match="job kind 'synthetic'.*unknown synthetic config fields",
+        ):
+            spec.expand()
+
+    def test_unknown_model_field_fails_at_expansion(self):
+        spec = SweepSpec(axes={"warp_drive": [1, 2]})
+        with pytest.raises(
+            ValueError, match="job kind 'model'.*warp_drive"
+        ):
+            spec.expand()
+
+    def test_round_trip_preserves_kind(self):
+        spec = SweepSpec(
+            kind="synthetic",
+            base={"n_packets": 5},
+            axes={"pattern": ["uniform"]},
+        )
+        rebuilt = SweepSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert [j.job_id for j in rebuilt.expand()] == [
+            j.job_id for j in spec.expand()
+        ]
+
+
+class TestKindCampaigns:
+    def test_synthetic_campaign_caches(self, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        spec = SweepSpec(
+            name="s",
+            kind="synthetic",
+            base={"n_packets": 5, "link_width": 32},
+            axes={"pattern": ["uniform", "complement"]},
+        )
+        runner = CampaignRunner(
+            cache=ResultCache(tmp_path / "cache"), workers=1
+        )
+        cold = runner.run(spec)
+        assert (cold.hits, cold.misses, cold.errors) == (0, 2, 0)
+        warm = runner.run(spec)
+        assert (warm.hits, warm.misses) == (2, 0)
+
+    def test_kinds_do_not_share_cache_entries(self, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_accel()
+        single = JobSpec(model="lenet", config=config)
+        batch = JobSpec(model="lenet", config=config, kind="batch")
+        runner = CampaignRunner(cache=cache, workers=1)
+        runner.run([single])
+        followup = runner.run([batch])
+        assert followup.hits == 0

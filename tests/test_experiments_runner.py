@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.accelerator.config import AcceleratorConfig
 from repro.experiments.cache import ResultCache
+from repro.experiments.kinds import JOB_KINDS, JobKind, register_job_kind
 from repro.experiments.runner import CampaignRunner, execute_job
 from repro.experiments.spec import JobSpec, SweepSpec
 from repro.experiments.store import ResultStore
@@ -116,6 +119,105 @@ class TestCampaignRunner:
     def test_invalid_workers_rejected(self):
         with pytest.raises(ValueError):
             CampaignRunner(workers=0)
+
+
+@pytest.fixture
+def flaky_kind():
+    """A registered kind whose handler raises until told otherwise."""
+
+    class FlakyKind(JobKind):
+        name = "flaky"
+        broken = True
+
+        def execute(self, job):
+            if FlakyKind.broken:
+                raise RuntimeError("handler exploded")
+            return super().execute(job)
+
+    kind = register_job_kind(FlakyKind())
+    yield kind
+    del JOB_KINDS["flaky"]
+
+
+def flaky_job() -> JobSpec:
+    return JobSpec(
+        model="lenet",
+        config=AcceleratorConfig(
+            width=2, height=2, n_mcs=1, max_tasks_per_layer=1
+        ),
+        kind="flaky",
+    )
+
+
+class TestHandlerFailurePaths:
+    """A raising job-kind handler must never corrupt a campaign."""
+
+    def test_raise_is_captured_with_error_status(self, flaky_kind):
+        record = execute_job(flaky_job().to_dict())
+        assert record["status"] == "error"
+        assert "RuntimeError: handler exploded" in record["error"]
+        assert "handler exploded" in record["traceback"]
+        assert record["result"] is None
+
+    def test_failed_job_is_not_cached_and_excluded(
+        self, flaky_kind, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        store = ResultStore(tmp_path / "runs.jsonl")
+        runner = CampaignRunner(cache=cache, store=store, workers=1)
+        result = runner.run([flaky_job()])
+        assert result.errors == 1
+        assert result.ok_records() == []  # errors never count as ok
+        assert len(cache) == 0  # the cache is not poisoned
+        # ...but the store still logged the failure for inspection.
+        (logged,) = store.load()
+        assert logged["status"] == "error"
+
+    def test_failed_job_reruns_instead_of_replaying(
+        self, flaky_kind, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(cache=cache, workers=1)
+        runner.run([flaky_job()])
+        type(flaky_kind).broken = False  # the bug gets fixed...
+        retry = runner.run([flaky_job()])
+        # ...and the next campaign simulates rather than serving the
+        # stale failure: a fresh ok record, produced by a cache miss.
+        assert (retry.hits, retry.misses, retry.errors) == (0, 1, 0)
+        assert retry.records[0]["status"] == "ok"
+        type(flaky_kind).broken = True
+
+    def test_mixed_campaign_continues_past_failures(
+        self, flaky_kind, tmp_path
+    ):
+        good = JobSpec(
+            model="lenet",
+            config=AcceleratorConfig(
+                width=2, height=2, n_mcs=1, max_tasks_per_layer=1
+            ),
+        )
+        result = CampaignRunner(workers=1).run([flaky_job(), good])
+        assert [r["status"] for r in result.records] == ["error", "ok"]
+        assert result.errors == 1
+        assert len(result.ok_records()) == 1
+
+
+class TestReplayDeterminism:
+    def test_cached_replay_is_byte_identical_jsonl(self, tmp_path):
+        """Two warm replays append byte-identical JSONL records."""
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        CampaignRunner(cache=cache, workers=1).run(spec)  # cold fill
+        store_a = ResultStore(tmp_path / "a.jsonl")
+        store_b = ResultStore(tmp_path / "b.jsonl")
+        CampaignRunner(cache=cache, store=store_a, workers=1).run(spec)
+        CampaignRunner(cache=cache, store=store_b, workers=4).run(spec)
+        lines_a = store_a.path.read_bytes()
+        assert lines_a == store_b.path.read_bytes()
+        assert all(
+            json.loads(line)["cached"]
+            for line in lines_a.splitlines()
+        )
 
 
 class TestParallelDeterminism:

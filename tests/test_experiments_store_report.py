@@ -7,7 +7,10 @@ import csv
 import pytest
 
 from repro.experiments.report import (
+    campaign_report,
     fig12_report,
+    layer_pivot,
+    link_pivot,
     mesh_row_key,
     model_row_key,
     pivot,
@@ -155,3 +158,189 @@ class TestReport:
 
     def test_mesh_row_key(self):
         assert mesh_row_key(make_record()) == "4x4 MC2"
+
+
+def make_synthetic_record(job_id="s1", pattern="uniform", bt=500,
+                          per_link=None, payload="random"):
+    return {
+        "job_id": job_id,
+        "campaign": "t",
+        "kind": "synthetic",
+        "model": None,
+        "cached": False,
+        "config": {
+            "traffic": {"pattern": pattern, "payload": payload,
+                        "n_packets": 50, "seed": 7},
+            "noc": {"width": 4, "height": 4, "link_width": 128},
+        },
+        "status": "ok",
+        "result": {
+            "total_bit_transitions": bt,
+            "total_cycles": 90,
+            "flit_hops": 40,
+            "packets_injected": 50,
+            "packets_delivered": 50,
+            "flits_injected": 200,
+            "mean_packet_latency": 6.5,
+            "per_link": per_link or {"R0.EAST": bt},
+        },
+        "error": None,
+    }
+
+
+def with_layers(record, layers):
+    record["result"]["layers"] = [
+        {"layer_name": name, "n_tasks": 1, "total_neurons": 1,
+         "packets": 1, "flits": 4, "bit_transitions": bts, "cycles": 10}
+        for name, bts in layers
+    ]
+    return record
+
+
+class TestKindAwarePivots:
+    def test_layer_pivot_sums_model_records(self):
+        records = [
+            with_layers(make_record("a", ordering="O0"),
+                        [("conv1", 100), ("fc1", 300)]),
+            with_layers(make_record("b", ordering="O2"),
+                        [("conv1", 60), ("fc1", 200)]),
+        ]
+        series = layer_pivot(records)
+        assert series == {
+            "conv1": {"O0": 100.0, "O2": 60.0},
+            "fc1": {"O0": 300.0, "O2": 200.0},
+        }
+
+    def test_layer_pivot_fans_out_batch_images(self):
+        record = make_record("a", ordering="O0")
+        record["kind"] = "batch"
+        record["result"]["images"] = [
+            {"layers": [{"layer_name": "conv1", "bit_transitions": 40}]},
+            {"layers": [{"layer_name": "conv1", "bit_transitions": 2}]},
+        ]
+        assert layer_pivot([record]) == {"conv1": {"O0": 42.0}}
+
+    def test_link_pivot_spans_kinds(self):
+        model = make_record("a", ordering="O0")
+        model["result"]["per_link"] = {"R0.EAST": 10, "R1.WEST": 5}
+        synth = make_synthetic_record(per_link={"R0.EAST": 7})
+        series = link_pivot([model, synth])
+        # An accelerator 4x4-MC2 mesh and a synthetic 4x4 mesh are
+        # different contexts, so their links keep separate rows.
+        assert series["4x4 MC2 R0.EAST"] == {"O0": 10.0}
+        assert series["4x4 R0.EAST"] == {"uniform": 7.0}
+        assert series["4x4 MC2 R1.WEST"] == {"O0": 5.0}
+
+    def test_link_pivot_single_context_stays_bare(self):
+        model = make_record("a", ordering="O0")
+        model["result"]["per_link"] = {"R0.EAST": 10}
+        other = make_record("b", ordering="O2")
+        other["result"]["per_link"] = {"R0.EAST": 6}
+        series = link_pivot([model, other])
+        assert series["R0.EAST"] == {"O0": 10.0, "O2": 6.0}
+
+    def test_link_pivot_disambiguates_meshes(self):
+        """R0.EAST in a 4x4 is not the same link as in an 8x8."""
+        small = make_record("a", ordering="O0")
+        small["result"]["per_link"] = {"R0.EAST": 10}
+        big = make_record("b", width=8, height=8, n_mcs=4, ordering="O0")
+        big["result"]["per_link"] = {"R0.EAST": 99}
+        series = link_pivot([small, big])
+        assert series["4x4 MC2 R0.EAST"] == {"O0": 10.0}
+        assert series["8x8 MC4 R0.EAST"] == {"O0": 99.0}
+
+    def test_link_pivot_disambiguates_synthetic_payloads(self):
+        a = make_synthetic_record("a", per_link={"R0.EAST": 50})
+        b = make_synthetic_record("b", payload="zero",
+                                  per_link={"R0.EAST": 0})
+        series = link_pivot([a, b])
+        assert series["4x4 random R0.EAST"] == {"uniform": 50.0}
+        assert series["4x4 zero R0.EAST"] == {"uniform": 0.0}
+
+    def test_campaign_report_mixed_kinds(self):
+        text = campaign_report(GRID + [make_synthetic_record()])
+        assert "Absolute BTs (fixed8)" in text
+        assert "Synthetic traffic BTs" in text
+        assert "Synthetic mean packet latency" in text
+
+    def test_campaign_report_rejects_unknown_pivot(self):
+        with pytest.raises(ValueError, match="unknown pivot"):
+            campaign_report(GRID, "galaxy")
+
+    def test_campaign_report_layer_without_data(self):
+        assert "no per-layer data" in campaign_report(GRID, "layer")
+
+    def test_synthetic_inapplicable_pivots_are_explicit(self):
+        records = [make_synthetic_record()]
+        assert "no per-layer data" in campaign_report(records, "layer")
+        assert "no model pivot" in campaign_report(records, "model")
+
+    def test_old_records_default_to_model_kind(self):
+        """Pre-registry stores (no "kind" key) still report fine."""
+        record = dict(make_record())
+        record.pop("kind", None)
+        assert "Absolute BTs (fixed8)" in campaign_report([record])
+
+    def test_payload_axis_gets_its_own_rows(self):
+        """A multi-payload sweep must not collapse rows onto each other."""
+        records = [
+            make_synthetic_record("a", bt=900, payload="random"),
+            make_synthetic_record("b", bt=0, payload="zero"),
+        ]
+        text = campaign_report(records)
+        assert "4x4 random" in text
+        assert "4x4 zero" in text
+        assert "900.00" in text  # the random row survives
+
+    def test_any_varied_synthetic_field_gets_its_own_rows(self):
+        """Non-payload axes (n_packets, link_width, ...) fold too."""
+        a = make_synthetic_record("a", bt=111)
+        b = make_synthetic_record("b", bt=999)
+        b["config"]["traffic"]["n_packets"] = 150
+        text = campaign_report([a, b])
+        assert "n_packets=50" in text
+        assert "n_packets=150" in text
+        assert "111.00" in text and "999.00" in text
+
+    def test_unvaried_fields_stay_out_of_row_labels(self):
+        records = [
+            make_synthetic_record("a", pattern="uniform"),
+            make_synthetic_record("b", pattern="hotspot"),
+        ]
+        text = campaign_report(records)
+        assert "n_packets" not in text  # constant across the grid
+        assert "4x4\n" in text or "4x4 " in text.splitlines()[3]
+
+    def test_mixed_accel_kinds_render_separate_blocks(self):
+        """Model and batch records at one config don't overwrite."""
+        batch = make_record("bb", bt=7777)
+        batch["kind"] = "batch"
+        text = campaign_report(GRID + [batch])
+        assert "== model jobs ==" in text
+        assert "== batch jobs ==" in text
+        assert "1000.00" in text  # model O0 cell intact
+        assert "7777.00" in text  # batch cell rendered too
+
+    def test_unregistered_kind_falls_back_to_accel_family(self):
+        record = make_record("x", bt=123)
+        record["kind"] = "somekind-from-the-future"
+        assert "123.00" in campaign_report([record])
+
+
+class TestKindAwareCsv:
+    def test_synthetic_rows_flatten_nested_config(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append(make_record("a", bt=123))
+        store.append(make_synthetic_record("s", pattern="hotspot", bt=9))
+        out = tmp_path / "out.csv"
+        assert store.to_csv(out) == 2
+        with out.open() as fh:
+            rows = {r["job_id"]: r for r in csv.DictReader(fh)}
+        assert rows["a"]["kind"] == "model"
+        assert rows["a"]["ordering"] == "O0"
+        assert rows["a"]["pattern"] == ""
+        assert rows["s"]["kind"] == "synthetic"
+        assert rows["s"]["pattern"] == "hotspot"
+        assert rows["s"]["width"] == "4"
+        assert rows["s"]["packets_delivered"] == "50"
+        assert rows["s"]["total_bit_transitions"] == "9"

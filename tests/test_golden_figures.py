@@ -1,0 +1,255 @@
+"""Golden regression suite: the checked-in paper figures must not drift.
+
+Parses the recorded tables under ``benchmarks/results/`` for Fig. 9-13
+and re-runs the exact pipelines the benches use, asserting the current
+simulator + report stack reproduces the committed numbers: BT counts
+and popcount grids tolerance-free, rates and probabilities within half
+of the last printed digit.  A failure means a refactor changed the
+reproduced paper results — regenerate the goldens deliberately (run
+the benches and commit the diff), never accidentally.
+
+The golden files are read at *import* (collection) time.  That matters
+when the whole suite runs in one session: the benches rewrite
+``benchmarks/results/`` as they execute, so reading lazily at test
+time would compare fresh output against freshly overwritten files and
+hide any drift.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.simulator import run_model_on_noc
+from repro.analysis.distribution import analyze_stream
+from repro.bits.popcount import popcount_array
+from repro.experiments import (
+    CampaignRunner,
+    ResultCache,
+    SweepSpec,
+    pivot,
+    reduction_series,
+)
+from repro.ordering.strategies import OrderingMethod
+from repro.workloads.packets import build_packets, ones_count_grid
+from repro.workloads.streams import (
+    random_weights,
+    trained_lenet_weights,
+    words_for_format,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+
+# Read every golden at import time — before any bench in the same
+# pytest session overwrites it (collection precedes execution).
+GOLDEN = {
+    name: (RESULTS_DIR / f"{name}.txt").read_text()
+    for name in (
+        "fig09_ordering_view",
+        "fig10_float32_bits",
+        "fig11_fixed8_bits",
+        "fig12_noc_sizes_fixed8",
+        "fig12_noc_sizes_float32",
+        "fig13_dnn_models_fixed8",
+        "fig13_dnn_models_float32",
+    )
+}
+
+# Half of the last printed digit: tables render rates/probabilities
+# with two decimals, so a faithful rerun parses back within 5e-3.
+EPS = 5e-3
+
+
+def parse_series_tables(text: str) -> dict[str, dict[str, dict[str, float]]]:
+    """Parse every ``format_series`` block: {title: {row: {col: value}}}."""
+    lines = text.splitlines()
+    tables: dict[str, dict[str, dict[str, float]]] = {}
+    i = 0
+    while i < len(lines):
+        if lines[i].startswith("Config") and i > 0:
+            title = lines[i - 1].strip()
+            columns = lines[i].split()[1:]
+            series: dict[str, dict[str, float]] = {}
+            j = i + 2  # skip the dashed rule
+            while j < len(lines) and lines[j].strip() and not (
+                lines[j].startswith("Config")
+            ):
+                row_label = lines[j][:24].strip()
+                values = [float(v) for v in lines[j][24:].split()]
+                series[row_label] = dict(zip(columns, values))
+                j += 1
+            tables[title] = series
+            i = j
+        else:
+            i += 1
+    return tables
+
+
+def parse_count_grids(text: str) -> dict[str, np.ndarray]:
+    """Parse the Fig. 9 flit/lane popcount grids: {title: (F, L) ints}."""
+    grids: dict[str, np.ndarray] = {}
+    title = None
+    rows: list[list[int]] = []
+    for line in text.splitlines():
+        match = re.match(r"flit\s+\d+ \| (.*)", line)
+        if match:
+            rows.append([int(v) for v in match.group(1).split()])
+        elif line.strip() and not line.startswith("mean "):
+            if title and rows:
+                grids[title] = np.array(rows)
+            title, rows = line.strip(), []
+    if title and rows:
+        grids[title] = np.array(rows)
+    return grids
+
+
+def parse_bit_stats(text: str) -> dict[str, dict[str, list[float]]]:
+    """Parse Fig. 10/11 per-position stats: {stream: {line: values}}."""
+    stats: dict[str, dict[str, list[float]]] = {}
+    current = None
+    for line in text.splitlines():
+        match = re.match(r"\s+P\((bit=1|flip)\)\s*: (.*)", line)
+        if match and current is not None:
+            key = "one" if match.group(1) == "bit=1" else "flip"
+            stats[current][key] = [float(v) for v in match.group(2).split()]
+        elif re.match(r"(random|trained) (baseline|ordered)$", line.strip()):
+            current = line.strip()
+            stats[current] = {}
+    return stats
+
+
+class TestFig09Golden:
+    def test_ordering_view_counts_exact(self):
+        golden = parse_count_grids(GOLDEN["fig09_ordering_view"])
+        words, fmt = words_for_format(trained_lenet_weights(), "fixed8")
+        base = build_packets(words, 2000, 8, fmt.width, kernel_size=25)
+        ordered = build_packets(
+            words, 2000, 8, fmt.width, kernel_size=25, ordered=True
+        )
+        n_show = golden["Fig. 9 (left): before ordering"].shape[0]
+        np.testing.assert_array_equal(
+            ones_count_grid(base)[:n_show],
+            golden["Fig. 9 (left): before ordering"],
+        )
+        np.testing.assert_array_equal(
+            ones_count_grid(ordered)[:n_show],
+            golden["Fig. 9 (right): after ordering"],
+        )
+
+    def test_spread_line(self):
+        match = re.search(
+            r"spread: ([\d.]+) -> ([\d.]+)", GOLDEN["fig09_ordering_view"]
+        )
+        words, fmt = words_for_format(trained_lenet_weights(), "fixed8")
+        base = build_packets(words, 2000, 8, fmt.width, kernel_size=25)
+        spread = float(np.ptp(ones_count_grid(base)[:26], axis=1).mean())
+        assert spread == pytest.approx(float(match.group(1)), abs=EPS)
+        assert float(match.group(2)) == 0.0
+
+
+@pytest.mark.parametrize(
+    "name, width",
+    [("fig10_float32_bits", 32), ("fig11_fixed8_bits", 8)],
+)
+def test_bit_position_stats_golden(name, width):
+    golden = parse_bit_stats(GOLDEN[name])
+    fmt = "float32" if width == 32 else "fixed8"
+    pools = {
+        "random": random_weights(30_000, seed=3),
+        "trained": trained_lenet_weights(),
+    }
+    for pool_name, values in pools.items():
+        words, _ = words_for_format(values, fmt)
+        words = np.asarray(words)
+        counts = popcount_array(words)
+        ordered = words[np.argsort(-counts.astype(np.int64), kind="stable")]
+        for variant, stream in (("baseline", words), ("ordered", ordered)):
+            stats = analyze_stream(stream, width)
+            expected = golden[f"{pool_name} {variant}"]
+            assert len(expected["one"]) == width, name
+            np.testing.assert_allclose(
+                stats.one_probability, expected["one"], atol=EPS
+            )
+            np.testing.assert_allclose(
+                stats.transition_probability, expected["flip"], atol=EPS
+            )
+
+
+@pytest.mark.parametrize("data_format", ["fixed8", "float32"])
+def test_fig12_noc_sizes_golden(data_format, tmp_path):
+    """The full mesh x ordering campaign reproduces Fig. 12 exactly."""
+    tables = parse_series_tables(GOLDEN[f"fig12_noc_sizes_{data_format}"])
+    (absolute_title,) = [t for t in tables if t.startswith("Fig. 12")]
+    golden_abs = tables[absolute_title]
+    golden_red = tables["Reduction rates vs O0 (%)"]
+
+    spec = SweepSpec(
+        name=f"golden_fig12_{data_format}",
+        model="trained_lenet",
+        model_seed=3,
+        image_seed=5,
+        base={
+            "data_format": data_format,
+            "max_tasks_per_layer": 32,
+            "seed": 2025,
+        },
+        axes={"mesh": ["4x4:2", "8x8:4", "8x8:8"],
+              "ordering": ["O0", "O1", "O2"]},
+    )
+    runner = CampaignRunner(cache=ResultCache(tmp_path / "cache"), workers=1)
+    campaign = runner.run(spec)
+    assert not campaign.errors, campaign.summary()
+
+    series = pivot(campaign.records)
+    assert set(series) == set(golden_abs)
+    for row, golden_values in golden_abs.items():
+        for col, golden_bt in golden_values.items():
+            # BT counts are integers: tolerance-free comparison.
+            assert series[row][col] == golden_bt, (
+                f"{data_format} {row} {col}: "
+                f"{series[row][col]} != golden {golden_bt}"
+            )
+    reductions = reduction_series(series)
+    for row, golden_values in golden_red.items():
+        for col, golden_rate in golden_values.items():
+            assert reductions[row][col] == pytest.approx(
+                golden_rate, abs=EPS
+            ), f"{data_format} {row} {col}"
+
+
+@pytest.mark.parametrize("data_format", ["fixed8", "float32"])
+def test_fig13_dnn_models_golden(
+    data_format,
+    golden_trained_lenet,
+    golden_lenet_image,
+    golden_darknet_model,
+    golden_darknet_image,
+):
+    """Both models' normalised-BT rows reproduce Fig. 13."""
+    tables = parse_series_tables(GOLDEN[f"fig13_dnn_models_{data_format}"])
+    ((_, golden_norm),) = tables.items()
+
+    workloads = {
+        "LeNet": (golden_trained_lenet, golden_lenet_image),
+        "DarkNet": (golden_darknet_model, golden_darknet_image),
+    }
+    assert set(golden_norm) == set(workloads)
+    for name, (model, image) in workloads.items():
+        raw = {}
+        for method in OrderingMethod:
+            config = AcceleratorConfig(
+                data_format=data_format,
+                ordering=method,
+                max_tasks_per_layer=24,
+            )
+            result = run_model_on_noc(config, model, image)
+            assert result.all_verified, f"{name} {method.value}"
+            raw[method.value] = float(result.total_bit_transitions)
+        for col, golden_value in golden_norm[name].items():
+            assert raw[col] / raw["O0"] == pytest.approx(
+                golden_value, abs=EPS
+            ), f"{data_format} {name} {col}"

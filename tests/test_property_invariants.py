@@ -13,12 +13,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.flitize import TaskCodec
 from repro.analysis.expectation import expected_flit_transitions
 from repro.bits.popcount import popcount
 from repro.bits.transitions import transitions_between
+from repro.experiments.cache import ResultCache
+from repro.experiments.kinds import SyntheticJobConfig
+from repro.experiments.spec import JobSpec, SweepSpec
 from repro.noc.flit import make_packet
 from repro.noc.network import Network, NoCConfig
+from repro.noc.traffic import SyntheticTrafficConfig
 from repro.ordering.strategies import (
     FillOrder,
     OrderingMethod,
@@ -150,3 +155,163 @@ class TestNoCConservation:
             forward = transitions_between(a, b)
             backward = transitions_between(b, a)
             assert forward == backward
+
+
+def _tiny_accel_job(**overrides) -> JobSpec:
+    kwargs = dict(
+        model="lenet",
+        config=AcceleratorConfig(
+            width=2, height=2, n_mcs=1, max_tasks_per_layer=1
+        ),
+    )
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+class TestCacheKeyInvariants:
+    """Cache keys are pure functions of job identity + code version."""
+
+    @given(st.permutations(["model", "model_seed", "image_seed",
+                            "max_cycles_per_layer", "config", "kind"]))
+    def test_key_independent_of_dict_key_order(self, key_order):
+        """Rebuilding a job from a reordered payload keeps its key."""
+        job = _tiny_accel_job()
+        payload = job.to_dict()
+        reordered = {k: payload[k] for k in key_order}
+        rebuilt = JobSpec.from_dict(reordered)
+        cache = ResultCache("/nonexistent", version_tag="t")
+        assert cache.key_for(rebuilt) == cache.key_for(job)
+        assert rebuilt.job_id == job.job_id
+
+    def test_key_stable_across_process_restarts(self):
+        """The pinned digest below was computed in a separate process.
+
+        canonical_json sorts keys and never uses str hashes, so the
+        key must not depend on PYTHONHASHSEED or interpreter session.
+        A failure here means every existing on-disk cache silently
+        invalidates — bump deliberately, not accidentally.
+        """
+        cache = ResultCache("/nonexistent", version_tag="vtest")
+        assert cache.key_for(_tiny_accel_job()) == (
+            "9694f793d5fa4008be21a35f553c1d4a"
+            "6996657a6559eee8e40e15fc468101c7"
+        )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_version_tag_always_changes_key(self, seed):
+        job = _tiny_accel_job(image_seed=seed)
+        a = ResultCache("/nonexistent", version_tag="a")
+        b = ResultCache("/nonexistent", version_tag="b")
+        assert a.key_for(job) != b.key_for(job)
+
+
+class TestSweepSeedInvariants:
+    """Derived per-job seeds are deterministic and collision-free."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(
+            st.sampled_from(["O0", "O1", "O2"]),
+            min_size=1, max_size=3, unique=True,
+        ),
+    )
+    def test_seeds_deterministic_and_unique_within_sweep(
+        self, campaign_seed, orderings
+    ):
+        spec = SweepSpec(
+            base={"max_tasks_per_layer": 1, "n_mcs": 1},
+            axes={"mesh": ["2x2:1", "3x3:1"], "ordering": orderings},
+            seed=campaign_seed,
+        )
+        first = [j.config.seed for j in spec.expand()]
+        second = [j.config.seed for j in spec.expand()]
+        assert first == second  # deterministic across expansions
+        assert len(set(first)) == len(first)  # collision-free in-sweep
+
+    def test_batch_n_images_axis_gets_distinct_seeds(self):
+        """Jobs differing only in batch size must not share a seed."""
+        spec = SweepSpec(
+            kind="batch",
+            base={"max_tasks_per_layer": 1, "n_mcs": 1},
+            axes={"n_images": [1, 2, 4]},
+        )
+        seeds = [j.config.seed for j in spec.expand()]
+        assert len(set(seeds)) == 3
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_synthetic_seeds_deterministic_and_unique(self, campaign_seed):
+        spec = SweepSpec(
+            kind="synthetic",
+            base={"n_packets": 5},
+            axes={
+                "mesh": ["2x2", "3x3"],
+                "pattern": ["uniform", "complement"],
+            },
+            seed=campaign_seed,
+        )
+        seeds = [j.config.traffic.seed for j in spec.expand()]
+        assert seeds == [j.config.traffic.seed for j in spec.expand()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestJobSpecRoundTrip:
+    """from_dict(to_dict()) is the identity for every job kind."""
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.sampled_from(["lenet", "darknet", "trained_lenet"]),
+        st.sampled_from(["float32", "fixed8"]),
+        st.sampled_from(["O0", "O1", "O2"]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_model_kind(self, model, fmt, ordering, seed):
+        job = JobSpec(
+            model=model,
+            config=AcceleratorConfig(
+                data_format=fmt,
+                ordering=OrderingMethod.from_name(ordering),
+                seed=seed,
+            ),
+            model_seed=seed % 97,
+        )
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_batch_kind(self, n_images, seed):
+        job = JobSpec(
+            model="lenet",
+            config=AcceleratorConfig(seed=seed),
+            kind="batch",
+            n_images=n_images,
+        )
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.sampled_from(["uniform", "transpose", "complement", "hotspot"]),
+        st.sampled_from(["random", "zero", "counter"]),
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_synthetic_kind(self, pattern, payload, n_packets, seed):
+        job = JobSpec(
+            kind="synthetic",
+            config=SyntheticJobConfig.from_flat({
+                "pattern": pattern,
+                "payload": payload,
+                "n_packets": n_packets,
+                "seed": seed,
+                "width": 4,
+                "height": 4,
+                "link_width": 64,
+            }),
+        )
+        rebuilt = JobSpec.from_dict(job.to_dict())
+        assert rebuilt == job
+        assert isinstance(rebuilt.config.traffic, SyntheticTrafficConfig)
