@@ -1,0 +1,117 @@
+"""Smoke coverage for the perf harness (`repro bench`).
+
+Runs the reduced (--smoke) grids for both cores in-process, checks the
+BENCH JSON schema, and asserts the machine-independent fast-forward
+invariant — never wall-clock thresholds, which are machine-dependent
+and flaky by construction.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA,
+    WORKLOADS,
+    check_invariants,
+    run_bench,
+)
+
+_ENTRY_KEYS = {
+    "name",
+    "wall_seconds",
+    "simulated_cycles",
+    "steps_executed",
+    "flit_hops",
+    "bit_transitions",
+    "cycles_per_second",
+    "flit_hops_per_second",
+}
+
+
+@pytest.fixture(scope="module")
+def smoke_payloads(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench")
+    payloads = {}
+    for core in ("event", "stepped"):
+        payloads[core] = run_bench(
+            f"smoke-{core}",
+            core=core,
+            smoke=True,
+            out_path=out / f"BENCH_smoke-{core}.json",
+        )
+    return out, payloads
+
+
+class TestBenchSmoke:
+    def test_schema(self, smoke_payloads):
+        _, payloads = smoke_payloads
+        for core, payload in payloads.items():
+            assert payload["schema"] == BENCH_SCHEMA
+            assert payload["core"] == core
+            assert payload["smoke"] is True
+            assert payload["peak_rss_bytes"] > 0
+            assert {e["name"] for e in payload["workloads"]} == set(
+                WORKLOADS
+            )
+            for entry in payload["workloads"]:
+                assert set(entry) == _ENTRY_KEYS
+                assert entry["wall_seconds"] >= 0
+            assert set(payload["totals"]) == _ENTRY_KEYS - {"name"}
+
+    def test_written_file_round_trips(self, smoke_payloads):
+        out, payloads = smoke_payloads
+        on_disk = json.loads(
+            (out / "BENCH_smoke-event.json").read_text()
+        )
+        assert on_disk == payloads["event"]
+
+    def test_cores_simulate_identical_cycles_and_hops(
+        self, smoke_payloads
+    ):
+        # The bit-identity acceptance at harness level: both cores
+        # simulate the same cycles, hops, and BTs on every workload.
+        _, payloads = smoke_payloads
+        for ev, st in zip(
+            payloads["event"]["workloads"],
+            payloads["stepped"]["workloads"],
+        ):
+            assert ev["name"] == st["name"]
+            for key in (
+                "simulated_cycles",
+                "flit_hops",
+                "bit_transitions",
+            ):
+                assert ev[key] == st[key], (ev["name"], key)
+
+    def test_fast_forward_invariant(self, smoke_payloads):
+        _, payloads = smoke_payloads
+        for payload in payloads.values():
+            assert check_invariants(payload) == []
+        # The stepped core steps every cycle; the event core skipped
+        # idle cycles somewhere (the sparse synthetic window).
+        stepped = payloads["stepped"]["totals"]
+        assert stepped["steps_executed"] == stepped["simulated_cycles"]
+        event = payloads["event"]["totals"]
+        assert event["steps_executed"] < event["simulated_cycles"]
+
+    def test_check_invariants_flags_violations(self, smoke_payloads):
+        _, payloads = smoke_payloads
+        broken = json.loads(json.dumps(payloads["event"]))
+        broken["workloads"][0]["steps_executed"] = (
+            broken["workloads"][0]["simulated_cycles"] + 1
+        )
+        failures = check_invariants(broken)
+        assert any("exceeds" in f for f in failures)
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown bench workloads"):
+            run_bench(
+                "x", workloads=["nope"], out_path=tmp_path / "b.json"
+            )
+
+    def test_unknown_core_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown network core"):
+            run_bench("x", core="warp", out_path=tmp_path / "b.json")

@@ -17,7 +17,9 @@ recovery and separated-ordering's index recovery works.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 import numpy as np
 
@@ -144,12 +146,51 @@ class RunResult:
         return cls(**kwargs)
 
 
-@dataclass
-class _PendingPacket:
-    """A packet waiting for its release cycle (ordering/compute delay)."""
+class _PendingQueue:
+    """Packets waiting for their release cycle (ordering/compute delay).
 
-    release_cycle: int
-    packet: Packet
+    A min-heap keyed by ``(release_cycle, sequence)``: the drain loop
+    peeks the earliest release in O(1) instead of re-scanning every
+    pending packet each cycle.  The monotonic sequence preserves push
+    order among equal release cycles, which is exactly the order the
+    old list scan released them in (a pending packet only matures on
+    the cycle it was released for, so equal-release FIFO order is the
+    only order the list scan could observe).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Packet]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, release_cycle: int, packet: Packet) -> None:
+        heappush(self._heap, (release_cycle, next(self._seq), packet))
+
+    def next_release(self) -> int:
+        """Earliest release cycle; only valid when non-empty."""
+        return self._heap[0][0]
+
+    def pop(self) -> Packet:
+        """Remove and return the earliest-release packet."""
+        return heappop(self._heap)[2]
+
+    def reorder(self, key) -> None:
+        """Re-queue all packets under a new (release, packet) sort key.
+
+        Used by the ``count_desc`` packet-scheduling policy: the sorted
+        order becomes the new FIFO order via fresh sequence numbers.
+        """
+        items = [
+            (release, packet)
+            for release, _, packet in sorted(self._heap, key=lambda t: t[1])
+        ]
+        items.sort(key=key)
+        self._heap.clear()
+        self._seq = itertools.count()
+        for release, packet in items:
+            self.push(release, packet)
 
 
 @dataclass
@@ -209,6 +250,9 @@ class AcceleratorSimulator:
         self._mc_sent_keys: dict[int, set[tuple]] = {
             pe: set() for pe in self.placement.pe_nodes
         }
+        # The most recent run's network, exposed for the perf harness
+        # (steps_executed vs stats.cycles — the fast-forward invariant).
+        self.last_network: Network | None = None
 
     def _build_formats(self) -> dict[int, tuple[DataFormat, DataFormat]]:
         """Per-layer (input, weight) wire formats."""
@@ -246,9 +290,18 @@ class AcceleratorSimulator:
         """
         network = Network(self.config.noc_config())
         network.trace_collector = trace_collector
+        self.last_network = network
         records: dict[int, _TaskRecord] = {}
-        pending: list[_PendingPacket] = []
+        pending = _PendingQueue()
+        # Outstanding-task counter for the drain loop: O(1) per-cycle
+        # termination check instead of re-scanning every task record.
+        counters = {"outstanding": 0}
         response_fmt = Float32Format()
+
+        def complete_task(record: _TaskRecord) -> None:
+            if not record.response_received:
+                record.response_received = True
+                counters["outstanding"] -= 1
         # Weight-stationary state: per-PE decoded weight blocks and
         # input-only chunks that arrived before their weights.
         pe_cache: dict[int, dict[tuple, tuple[list[int], int]]] = {}
@@ -274,7 +327,7 @@ class AcceleratorSimulator:
                 record.partials[c] for c in range(record.n_chunks)
             )
             if not self.config.include_responses:
-                record.response_received = True
+                complete_task(record)
                 return
             payload = int(
                 response_fmt.encode(
@@ -288,9 +341,7 @@ class AcceleratorSimulator:
                 width=self.config.link_width,
                 metadata={"kind": "response", "task_id": record.task.task_id},
             )
-            pending.append(
-                _PendingPacket(cycle + self.config.compute_delay, response)
-            )
+            pending.push(cycle + self.config.compute_delay, response)
 
         def pe_sink(packet: Packet, cycle: int) -> None:
             meta = packet.metadata
@@ -343,7 +394,7 @@ class AcceleratorSimulator:
             meta = packet.metadata
             if meta.get("kind") != "response":
                 return
-            records[meta["task_id"]].response_received = True
+            complete_task(records[meta["task_id"]])
 
         for pe in self.placement.pe_nodes:
             network.attach_sink(pe, pe_sink)
@@ -361,7 +412,12 @@ class AcceleratorSimulator:
                     records[task.task_id] = record
                 self._schedule_pending(pending)
                 layer_flits = self._drain(
-                    network, pending, records, lt.tasks, max_cycles_per_layer
+                    network,
+                    pending,
+                    counters,
+                    records,
+                    lt.tasks,
+                    max_cycles_per_layer,
                 )
                 summaries.append(
                     LayerSummary(
@@ -386,7 +442,12 @@ class AcceleratorSimulator:
                 )
             self._schedule_pending(pending)
             total_flits = self._drain(
-                network, pending, records, all_tasks, max_cycles_per_layer
+                network,
+                pending,
+                counters,
+                records,
+                all_tasks,
+                max_cycles_per_layer,
             )
             summaries.append(
                 LayerSummary(
@@ -431,7 +492,7 @@ class AcceleratorSimulator:
         self,
         task: NeuronTask,
         cycle: int,
-        pending: list[_PendingPacket],
+        pending: _PendingQueue,
     ) -> _TaskRecord:
         """Encode one task's chunks and queue their request packets."""
         if self.config.mapping_policy == "group_affine":
@@ -489,7 +550,7 @@ class AcceleratorSimulator:
                 },
             )
             release += delay
-            pending.append(_PendingPacket(release, packet))
+            pending.push(release, packet)
             # The cached weight block is bit-identical to this chunk's
             # own words (same filter, same per-layer scale), so the
             # reference uses the chunk's words in both paths.
@@ -499,7 +560,7 @@ class AcceleratorSimulator:
         record.reference = reference
         return record
 
-    def _schedule_pending(self, pending: list[_PendingPacket]) -> None:
+    def _schedule_pending(self, pending: _PendingQueue) -> None:
         """Apply the MC injection-order policy to queued packets.
 
         "count_desc" extends the ordering idea across packet
@@ -510,18 +571,18 @@ class AcceleratorSimulator:
         """
         if self.config.packet_scheduling != "count_desc":
             return
-        pending.sort(
+        pending.reorder(
             key=lambda item: (
-                item.release_cycle,
-                -sum(p.bit_count() for p in
-                     (f.payload for f in item.packet.flits)),
+                item[0],
+                -sum(f.payload.bit_count() for f in item[1].flits),
             )
         )
 
     def _drain(
         self,
         network: Network,
-        pending: list[_PendingPacket],
+        pending: _PendingQueue,
+        counters: dict[str, int],
         records: dict[int, _TaskRecord],
         tasks: list[NeuronTask],
         max_cycles: int,
@@ -529,23 +590,34 @@ class AcceleratorSimulator:
         """Run the network until the given tasks complete."""
         flits_before = network.stats.flits_injected
         deadline = network.cycle + max_cycles
-        task_ids = [t.task_id for t in tasks]
+        counters["outstanding"] = sum(
+            1 for t in tasks if not records[t.task_id].response_received
+        )
+        event = network.event_core
 
-        while not all(records[tid].response_received for tid in task_ids):
+        while counters["outstanding"] > 0:
+            if event and network.is_idle:
+                # Nothing can act this cycle: jump straight to the next
+                # packet release or link arrival (clamped so timeout
+                # semantics match the stepped run exactly).  With
+                # neither queued the run is wedged — jumping to the
+                # deadline raises the same timeout the stepped core
+                # would reach by spinning.
+                target = deadline
+                if pending:
+                    target = min(target, pending.next_release())
+                arrival = network.next_internal_event()
+                if arrival is not None:
+                    target = min(target, arrival)
+                network.fast_forward(target)
             if network.cycle >= deadline:
                 raise SimulationTimeout(
-                    f"{len(task_ids)} tasks did not complete within "
+                    f"{len(tasks)} tasks did not complete within "
                     f"{max_cycles} cycles"
                 )
             # Release matured packets into their source NI.
-            if pending:
-                still_pending: list[_PendingPacket] = []
-                for item in pending:
-                    if item.release_cycle <= network.cycle:
-                        network.send_packet(item.packet)
-                    else:
-                        still_pending.append(item)
-                pending[:] = still_pending
+            while pending and pending.next_release() <= network.cycle:
+                network.send_packet(pending.pop())
             network.step()
         return network.stats.flits_injected - flits_before
 

@@ -15,6 +15,16 @@ import numpy as np
 __all__ = ["pack_words", "unpack_words", "words_from_array", "array_from_words"]
 
 
+def _reject_bad_word(words: Sequence[int], width: int) -> None:
+    """Raise the lane-precise error for an out-of-range word."""
+    for lane, word in enumerate(words):
+        w = int(word)
+        if not 0 <= w < (1 << width):
+            raise ValueError(
+                f"word {w:#x} in lane {lane} does not fit in {width} bits"
+            )
+
+
 def pack_words(words: Sequence[int], width: int) -> int:
     """Pack ``words`` (lane 0 first) into one payload integer.
 
@@ -25,6 +35,31 @@ def pack_words(words: Sequence[int], width: int) -> int:
     Returns:
         Payload int with word ``i`` at bit offset ``i * width``.
     """
+    if width == 8:
+        # Single-byte lanes (fixed8): bytes() both packs and
+        # range-checks the whole sequence in one C call.  A numpy
+        # array must be converted first — bytes(ndarray) serialises
+        # the raw element buffer, not one byte per word.
+        if isinstance(words, np.ndarray):
+            words = words.tolist()
+        try:
+            return int.from_bytes(bytes(words), "little")
+        except (ValueError, TypeError):
+            _reject_bad_word(words, width)
+            raise
+    if width & 7 == 0:
+        # Byte-aligned lanes (all the wire formats): build the payload
+        # through one bytes buffer instead of per-lane shift/or over a
+        # growing bignum.  to_bytes also range-checks each word.
+        nbytes = width >> 3
+        try:
+            buf = b"".join(
+                int(w).to_bytes(nbytes, "little") for w in words
+            )
+        except OverflowError:
+            _reject_bad_word(words, width)
+            raise
+        return int.from_bytes(buf, "little")
     payload = 0
     for lane, word in enumerate(words):
         w = int(word)
@@ -49,6 +84,17 @@ def unpack_words(payload: int, width: int, count: int) -> list[int]:
     """
     if payload < 0:
         raise ValueError("payload must be non-negative")
+    if width in (8, 16, 32, 64):
+        # One bytes conversion + numpy view instead of count shifts
+        # over the bignum; bits beyond `count` lanes are ignored, as in
+        # the generic path.
+        nbytes = width >> 3
+        total = count * nbytes
+        data = (payload & ((1 << (count * width)) - 1)).to_bytes(
+            total, "little"
+        )
+        dtype = {8: np.uint8, 16: "<u2", 32: "<u4", 64: "<u8"}[width]
+        return np.frombuffer(data, dtype=dtype).tolist()
     mask = (1 << width) - 1
     return [(payload >> (lane * width)) & mask for lane in range(count)]
 
@@ -58,7 +104,7 @@ def words_from_array(arr: np.ndarray) -> list[int]:
     a = np.asarray(arr)
     if a.dtype.kind != "u":
         raise ValueError(f"expected unsigned dtype, got {a.dtype}")
-    return [int(x) for x in a.reshape(-1)]
+    return a.reshape(-1).tolist()
 
 
 def array_from_words(words: Iterable[int], width: int) -> np.ndarray:

@@ -98,8 +98,23 @@ def per_bit_transitions(words: np.ndarray, width: int) -> np.ndarray:
     if arr.size < 2:
         return np.zeros(width, dtype=np.float64)
     xored = arr[:-1] ^ arr[1:]
-    probs = np.empty(width, dtype=np.float64)
-    for pos in range(width):
-        bit = (xored >> np.asarray(width - 1 - pos, dtype=arr.dtype)) & 1
-        probs[pos] = float(bit.mean())
-    return probs
+    nbits = 8 * xored.dtype.itemsize
+    if width > nbits:
+        # Positions above the storage dtype can never flip; widen so
+        # the unpack below yields well-defined zeros for them.
+        if width > 64:
+            raise ValueError(
+                f"width {width} exceeds the 64-bit unpack limit"
+            )
+        xored = xored.astype(np.uint64)
+        nbits = 64
+    # One unpackbits pass instead of a per-position shift loop: view
+    # the XORs as big-endian bytes so the unpacked columns run MSB
+    # first, then keep the trailing `width` columns (bit width-1 .. 0).
+    as_bytes = (
+        xored.astype(xored.dtype.newbyteorder(">"), copy=False)
+        .view(np.uint8)
+        .reshape(xored.size, -1)
+    )
+    bits = np.unpackbits(as_bytes, axis=1)[:, nbits - width:]
+    return bits.mean(axis=0, dtype=np.float64)

@@ -11,6 +11,8 @@ Subcommands::
                        --kind model|batch|synthetic picks the workload)
     repro report     — re-render campaign tables from a result store
                        (--pivot mesh|model|layer|link)
+    repro bench      — time the perf-benchmark workloads and write a
+                       BENCH_<tag>.json snapshot (--core event|stepped)
 
 Every subcommand accepts ``--seed``: when given, all randomness (model
 init, sample images, task sampling, traffic schedules) derives from it
@@ -180,6 +182,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default campaigns/<name>.jsonl)")
     sweep.add_argument("--csv", default=None,
                        help="also export the store as CSV")
+
+    bench = sub.add_parser(
+        "bench", parents=[seeded],
+        help="time the perf workloads and write BENCH_<tag>.json",
+    )
+    bench.add_argument("--tag", default=None,
+                       help="snapshot label (default: the core name)")
+    bench.add_argument("--core", default="event",
+                       choices=("event", "stepped"),
+                       help="network core to measure")
+    bench.add_argument("--workloads", default=None,
+                       help="comma list of workloads (default: all)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="reduced CI grids")
+    bench.add_argument("--out", default=None,
+                       help="output path (default BENCH_<tag>.json)")
+    bench.add_argument("--check-invariant", action="store_true",
+                       help="fail unless steps_executed <= simulated_cycles "
+                            "everywhere and the event core fast-forwarded "
+                            "somewhere (machine-independent)")
 
     report = sub.add_parser(
         "report", parents=[seeded],
@@ -448,6 +470,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import check_invariants, run_bench
+
+    tag = args.tag or args.core
+    workloads = _split_csv(args.workloads) if args.workloads else None
+    try:
+        payload = run_bench(
+            tag,
+            core=args.core,
+            workloads=workloads,
+            smoke=args.smoke,
+            out_path=args.out,
+            progress=print,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    totals = payload["totals"]
+    print(
+        f"total: {totals['wall_seconds']:.2f}s wall, "
+        f"{totals['simulated_cycles']} cycles "
+        f"({totals['steps_executed']} stepped), "
+        f"{totals['cycles_per_second']:,.0f} cycles/s, "
+        f"{totals['flit_hops_per_second']:,.0f} flit-hops/s, "
+        f"peak RSS {payload['peak_rss_bytes'] / 1e6:.0f} MB"
+    )
+    out = args.out or f"BENCH_{tag}.json"
+    print(f"wrote {out}")
+    if args.check_invariant:
+        failures = check_invariants(payload)
+        for failure in failures:
+            print(f"invariant violated: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("invariants ok: stepped-cycles <= simulated-cycles"
+              + (", idle cycles were fast-forwarded"
+                 if payload["core"] == "event" else ""))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     records = list(store.latest_by_job().values())
@@ -468,6 +529,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "traffic": _cmd_traffic,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "report": _cmd_report,
 }
 

@@ -3,7 +3,16 @@
 from repro.noc.arbiter import RoundRobinArbiter
 from repro.noc.flit import Flit, FlitType, Packet, make_packet
 from repro.noc.interface import NetworkInterface
-from repro.noc.network import Network, NoCConfig, NoCStats, SimulationTimeout
+from repro.noc.network import (
+    CORES,
+    Network,
+    NoCConfig,
+    NoCStats,
+    SimulationTimeout,
+    default_core,
+    network_core,
+    set_default_core,
+)
 from repro.noc.recorder import LinkRecorder, TransitionLedger
 from repro.noc.router import ProtocolError, Router, VCState
 from repro.noc.statistics import (
@@ -34,10 +43,14 @@ __all__ = [
     "Packet",
     "make_packet",
     "NetworkInterface",
+    "CORES",
     "Network",
     "NoCConfig",
     "NoCStats",
     "SimulationTimeout",
+    "default_core",
+    "network_core",
+    "set_default_core",
     "LinkRecorder",
     "TransitionLedger",
     "ProtocolError",

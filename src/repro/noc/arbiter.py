@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 __all__ = ["RoundRobinArbiter"]
 
@@ -40,3 +40,25 @@ class RoundRobinArbiter:
                 self._last_winner = idx
                 return idx
         return None
+
+    def pick_indices(self, indices: Iterable[int]) -> int | None:
+        """Grant among asserted requester *indices* without a flag scan.
+
+        Equivalent to :meth:`pick` on a flag vector with exactly
+        ``indices`` asserted — the winner is the asserted requester
+        closest after the previous winner — but O(len(indices)) instead
+        of O(n).  Indices must be valid requester ids; duplicates are
+        harmless (the winner is picked by priority, not position).
+        """
+        last = self._last_winner
+        n = self.n
+        best: int | None = None
+        best_offset = n
+        for idx in indices:
+            offset = (idx - last - 1) % n
+            if offset < best_offset:
+                best_offset = offset
+                best = idx
+        if best is not None:
+            self._last_winner = best
+        return best

@@ -67,6 +67,11 @@ class Flit:
                 f"payload needs more than {self.width} bits "
                 f"(packet {self.packet_id}, flit {self.index})"
             )
+        # Plain-bool mirrors of the FlitType properties, precomputed
+        # once: the cycle loop tests tail-ness on every hop and every
+        # ejection, where two chained property calls are measurable.
+        self.is_head: bool = self.flit_type.is_head
+        self.is_tail: bool = self.flit_type.is_tail
 
     def wire_bits(self, include_header: bool = False, header_width: int = 16) -> int:
         """Bit image seen by a link.

@@ -59,26 +59,34 @@ class NetworkInterface:
         return self._current is not None or bool(self.tx_queue)
 
     def try_inject(self, cycle: int) -> list[Flit]:
-        """Inject up to ``flits_per_cycle`` flits; returns those injected."""
+        """Inject up to ``flits_per_cycle`` flits; returns those injected.
+
+        The event-driven network core iterates only NIs with pending
+        traffic, keyed off :attr:`has_pending_tx`; this method is the
+        sole path that can clear that flag.
+        """
         injected: list[Flit] = []
-        while len(injected) < self.flits_per_cycle:
-            if self._current is None:
+        router = self.router
+        budget = self.flits_per_cycle
+        while len(injected) < budget:
+            current = self._current
+            if current is None:
                 if not self.tx_queue:
                     break
                 vc = self._pick_vc()
                 if vc is None:
                     break
-                self._current = self.tx_queue.popleft()
-                self._current.created_cycle = cycle
+                current = self._current = self.tx_queue.popleft()
+                current.created_cycle = cycle
                 self._next_flit = 0
                 self._tx_vc = vc
-            if self.router.local_vc_space(self._tx_vc) <= 0:
+            if router.local_vc_space(self._tx_vc) <= 0:
                 break
-            flit = self._current.flits[self._next_flit]
-            self.router.accept_flit(Port.LOCAL, self._tx_vc, flit)
+            flit = current.flits[self._next_flit]
+            router.accept_flit(Port.LOCAL, self._tx_vc, flit)
             injected.append(flit)
             self._next_flit += 1
-            if self._next_flit == len(self._current.flits):
+            if self._next_flit == len(current.flits):
                 self._current = None
         return injected
 
@@ -104,7 +112,7 @@ class NetworkInterface:
             cycle: current simulation cycle.
         """
         self._rx_flits.setdefault(flit.packet_id, []).append(flit)
-        if not flit.flit_type.is_tail:
+        if not flit.is_tail:
             return
         flits = self._rx_flits.pop(flit.packet_id)
         if packet is None:

@@ -11,25 +11,98 @@ The network advances in deterministic phases per cycle:
 This gives one-cycle link traversal and a one-cycle credit loop —
 the granularity at which the paper's BT phenomenon lives (consecutive
 flits on the same physical link).
+
+Two cycle-loop implementations ("cores") produce bit-identical results:
+
+* ``"event"`` (default) — the fast core.  Activity is tracked in
+  explicit sets (routers gain membership when a flit is accepted or
+  injected, lose it when their buffers drain; NIs when packets are
+  queued / fully injected), so per-cycle work is proportional to the
+  *events* of that cycle, not to the mesh size or the number of
+  in-flight flits.  Link arrivals live in a min-heap keyed by
+  ``(due_cycle, sequence)`` — sequence numbers preserve the exact
+  commit order of the reference list for equal due cycles — and when
+  nothing is active the drivers :meth:`Network.fast_forward` the clock
+  straight to the next heap event instead of stepping through idle
+  cycles.  ``stats.cycles``, latencies, and per-link BTs are exactly
+  those of the stepped result; :attr:`Network.steps_executed` counts
+  the cycles actually *stepped*, so ``steps_executed <= stats.cycles``
+  with equality only when no idle cycle existed to skip.
+
+* ``"stepped"`` — the retained reference core: scans every router and
+  NI each cycle and keeps arrivals in a plain list that is re-scanned
+  for due flits every cycle.  It exists as the oracle for the
+  equivalence suite (``tests/test_noc_eventcore.py``) and as the
+  baseline the perf harness (``repro bench``) measures the event core
+  against.
+
+Both cores share the routers, the NIs, and :meth:`Network.transmit`
+(per-hop BT recording with per-(router, outport) recorder handles that
+are resolved once, not per hop).
 """
 
 from __future__ import annotations
 
+import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
-from typing import Any
+from heapq import heappop, heappush
+from typing import Any, Iterator
 
 from repro.noc.flit import Flit, Packet
 from repro.noc.interface import NetworkInterface
-from repro.noc.recorder import TransitionLedger
+from repro.noc.recorder import LinkRecorder, TransitionLedger
 from repro.noc.router import Router
 from repro.noc.routing import OPPOSITE, Port, routing_by_name
 from repro.noc.topology import mesh_neighbors
 
-__all__ = ["NoCConfig", "NoCStats", "Network", "SimulationTimeout"]
+_LOCAL = Port.LOCAL
+
+__all__ = [
+    "NoCConfig",
+    "NoCStats",
+    "Network",
+    "SimulationTimeout",
+    "CORES",
+    "default_core",
+    "set_default_core",
+    "network_core",
+]
 
 
 class SimulationTimeout(RuntimeError):
     """Raised when the network fails to drain within the cycle budget."""
+
+
+#: The cycle-loop implementations a Network can run on.
+CORES = ("event", "stepped")
+
+_default_core = "event"
+
+
+def default_core() -> str:
+    """The core a :class:`Network` uses when none is passed."""
+    return _default_core
+
+
+def set_default_core(core: str) -> str:
+    """Set the process-wide default core; returns the previous value."""
+    global _default_core
+    if core not in CORES:
+        raise ValueError(f"unknown network core {core!r}; use one of {CORES}")
+    previous = _default_core
+    _default_core = core
+    return previous
+
+
+@contextmanager
+def network_core(core: str) -> Iterator[None]:
+    """Scoped :func:`set_default_core` (used by benches and tests)."""
+    previous = set_default_core(core)
+    try:
+        yield
+    finally:
+        set_default_core(previous)
 
 
 @dataclass(frozen=True)
@@ -131,10 +204,24 @@ class NoCStats:
 
 
 class Network:
-    """A complete NoC instance ready to carry packets."""
+    """A complete NoC instance ready to carry packets.
 
-    def __init__(self, config: NoCConfig) -> None:
+    Args:
+        config: structural parameters.
+        core: cycle-loop implementation, ``"event"`` or ``"stepped"``;
+            ``None`` uses :func:`default_core`.
+    """
+
+    def __init__(self, config: NoCConfig, core: str | None = None) -> None:
         self.config = config
+        if core is None:
+            core = _default_core
+        if core not in CORES:
+            raise ValueError(
+                f"unknown network core {core!r}; use one of {CORES}"
+            )
+        self.core = core
+        self.event_core = core == "event"
         route_fn = routing_by_name(config.routing)
         self.routers = [
             Router(
@@ -158,10 +245,65 @@ class Network:
         self.ledger = TransitionLedger()
         self.stats = NoCStats()
         self.cycle = 0
+        #: Cycles actually executed by :meth:`step`; on the event core
+        #: ``steps_executed <= stats.cycles`` because idle cycles are
+        #: fast-forwarded over rather than stepped.
+        self.steps_executed = 0
         self._in_flight: dict[int, Packet] = {}
-        self._arrivals: list[tuple[int, int, Port, int, Flit]] = []
+        # Arrivals are (due, seq, node, in_port, vc_idx, flit) tuples in
+        # both cores; the event core keeps them heap-ordered, the
+        # stepped core scans the plain list every cycle.  The monotonic
+        # seq preserves the list's commit order for equal due cycles.
+        self._arrivals: list[tuple[int, int, int, Port, int, Flit]] = []
+        self._arrival_seq = itertools.count()
+        # Event-core shortcut for the (default) one-cycle links: every
+        # arrival queued during a step commits at the end of that same
+        # step, so a plain append-ordered list replaces the heap and
+        # its per-hop push/pop entirely.
+        self._same_cycle_arrivals: list[tuple[int, int, Flit]] = []
         self._ejections: list[tuple[int, Flit]] = []
-        self._credits: list[tuple[int, Port, int]] = []
+        self._credits: list[tuple[list[int], int, int, int]] = []
+        # Event-core activity tracking (unused by the stepped core).
+        self._active_routers: set[int] = set()
+        self._pending_nis: set[int] = set()
+        # Per-hop fast paths: config scalars hoisted out of transmit(),
+        # neighbor/link-name tables indexed by (node, port value), and
+        # lazily bound per-link recorder handles so the hot path never
+        # formats a link name or hashes into the ledger dict.  Handles
+        # are bound on first traversal (not precreated) so the ledger
+        # keeps containing exactly the links that carried traffic.
+        self._record_ejection = config.record_ejection
+        self._record_injection = config.record_injection
+        self._include_header = config.include_header_bits
+        self._link_latency = config.link_latency
+        n_ports = len(Port)
+        self._neighbor_of: list[list[int | None]] = [
+            [self._neighbors[node].get(port) for port in Port]
+            for node in range(config.n_nodes)
+        ]
+        self._recorders: list[list[LinkRecorder | None]] = [
+            [None] * n_ports for _ in range(config.n_nodes)
+        ]
+        self._inject_recorders: list[LinkRecorder | None] = (
+            [None] * config.n_nodes
+        )
+        self._opposite_of: list[Port | None] = [
+            OPPOSITE.get(port) for port in Port
+        ]
+        # Arrival slot base per outgoing port: the receiving router's
+        # flat slot index is base + out_vc (event-core arrival tuples
+        # carry flat indices, not (Port, vc) pairs).
+        self._opposite_flat_base: list[int] = [
+            0 if opp is None else opp.value * config.n_vcs
+            for opp in self._opposite_of
+        ]
+        # Per (node, in-port) handle on the upstream router's credit
+        # counters for the opposite outport: the credit return path
+        # then touches no router/dict lookups per hop.  Rows build on
+        # a node's first credit so construction stays O(1) per node.
+        self._upstream_credits: list[list[list[int] | None] | None] = (
+            [None] * config.n_nodes
+        )
         # Optional per-link wire-image trace (see repro.workloads.traces);
         # any object with record(link_name, bits, cycle) works.
         self.trace_collector = None
@@ -182,6 +324,7 @@ class Network:
                 )
         self._in_flight[packet.packet_id] = packet
         self.nis[packet.src].queue_packet(packet)
+        self._pending_nis.add(packet.src)
         self.stats.packets_injected += 1
         self.stats.flits_injected += len(packet.flits)
 
@@ -195,42 +338,146 @@ class Network:
         self, router: Router, out_port: Port, out_vc: int, flit: Flit
     ) -> None:
         """Carry one flit over ``router``'s ``out_port`` link."""
-        record = out_port is not Port.LOCAL or self.config.record_ejection
-        if record:
-            name = f"R{router.node_id}.{out_port.name}"
-            bits = flit.wire_bits(self.config.include_header_bits)
-            self.stats.total_bit_transitions += self.ledger.recorder_for(
-                name
-            ).record(bits)
+        node = router.node_id
+        stats = self.stats
+        # Port is an IntEnum: indexing lists with it directly avoids
+        # the enum .value descriptor on the per-hop path.
+        if out_port is not _LOCAL or self._record_ejection:
+            recorder = self._recorders[node][out_port]
+            if recorder is None:
+                recorder = self.ledger.recorder_for(
+                    f"R{node}.{out_port.name}"
+                )
+                self._recorders[node][out_port] = recorder
+            # With header bits excluded (the default) the wire image is
+            # exactly the payload — skip the wire_bits() call per hop.
+            bits = (
+                flit.wire_bits(True) if self._include_header else flit.payload
+            )
+            # LinkRecorder.record() unrolled: one flit hop is the
+            # hottest line of the whole simulator.
+            prev = recorder.previous
+            caused = 0 if prev is None else (prev ^ bits).bit_count()
+            recorder.transitions += caused
+            recorder.flits += 1
+            recorder.previous = bits
+            ledger = self.ledger
+            ledger._total_transitions += caused
+            ledger._total_flits += 1
+            stats.total_bit_transitions += caused
             if self.trace_collector is not None:
-                self.trace_collector.record(name, bits, self.cycle)
-        self.stats.flit_hops += 1
-        if out_port is Port.LOCAL:
-            self._ejections.append((router.node_id, flit))
+                self.trace_collector.record(recorder.name, bits, self.cycle)
+        stats.flit_hops += 1
+        if out_port is _LOCAL:
+            self._ejections.append((node, flit))
             return
-        neighbor = self._neighbors[router.node_id].get(out_port)
+        neighbor = self._neighbor_of[node][out_port]
         if neighbor is None:
             raise ValueError(
-                f"router {router.node_id} has no {out_port.name} link"
+                f"router {node} has no {out_port.name} link"
             )
-        due = self.cycle + self.config.link_latency - 1
+        if self.event_core:
+            flat = self._opposite_flat_base[out_port] + out_vc
+            if self._link_latency == 1:
+                self._same_cycle_arrivals.append((neighbor, flat, flit))
+                return
+            heappush(
+                self._arrivals,
+                (
+                    self.cycle + self._link_latency - 1,
+                    next(self._arrival_seq),
+                    neighbor,
+                    flat,
+                    flit,
+                ),
+            )
+            return
         self._arrivals.append(
-            (due, neighbor, OPPOSITE[out_port], out_vc, flit)
+            (
+                self.cycle + self._link_latency - 1,
+                next(self._arrival_seq),
+                neighbor,
+                self._opposite_of[out_port.value],
+                out_vc,
+                flit,
+            )
         )
 
     def queue_credit(self, router: Router, in_port: Port, vc_idx: int) -> None:
         """Return a buffer credit to the upstream router."""
-        upstream = self._neighbors[router.node_id].get(in_port)
-        if upstream is None:
+        self._queue_credit(router.node_id, in_port.value, vc_idx)
+
+    def _queue_credit(self, node: int, port_idx: int, vc_idx: int) -> None:
+        """:meth:`queue_credit` by node id and port value."""
+        row = self._upstream_credits[node]
+        if row is None:
+            neighbors = self._neighbor_of[node]
+            row = [None] + [
+                None
+                if (up := neighbors[p]) is None
+                else self.routers[up].credits[self._opposite_of[p]]
+                for p in range(1, len(neighbors))
+            ]
+            self._upstream_credits[node] = row
+        credit_list = row[port_idx]
+        if credit_list is None:
             raise ValueError(
-                f"router {router.node_id} has no upstream on {in_port.name}"
+                f"router {node} has no upstream on {Port(port_idx).name}"
             )
-        self._credits.append((upstream, OPPOSITE[in_port], vc_idx))
+        self._credits.append((credit_list, vc_idx, node, port_idx))
 
     # -- cycle loop --------------------------------------------------------
 
     def step(self) -> None:
         """Advance the network by one cycle."""
+        if self.event_core:
+            self._step_event()
+        else:
+            self._step_reference()
+
+    def _step_event(self) -> None:
+        """One cycle of the event core: touch only what is active."""
+        cycle = self.cycle
+        routers = self.routers
+        active = self._active_routers
+        if active:
+            for node in sorted(active):
+                router = routers[node]
+                router.allocate_and_traverse(self)
+                if not router.buffered_flits:
+                    active.discard(node)
+        if self._pending_nis:
+            record = self._record_injection
+            for node in sorted(self._pending_nis):
+                ni = self.nis[node]
+                injected = ni.try_inject(cycle)
+                if injected:
+                    active.add(node)
+                    if record:
+                        self._record_injected(node, injected)
+                if not ni.has_pending_tx:
+                    self._pending_nis.discard(node)
+        same_cycle = self._same_cycle_arrivals
+        if same_cycle:
+            for node, flat, flit in same_cycle:
+                routers[node]._accept_flat(flat, flit)
+                active.add(node)
+            same_cycle.clear()
+        arrivals = self._arrivals
+        while arrivals and arrivals[0][0] <= cycle:
+            _, _, node, flat, flit = heappop(arrivals)
+            routers[node]._accept_flat(flat, flit)
+            active.add(node)
+        if self._ejections:
+            self._commit_ejections(cycle)
+        if self._credits:
+            self._commit_credits()
+        self.cycle = cycle + 1
+        self.stats.cycles = self.cycle
+        self.steps_executed += 1
+
+    def _step_reference(self) -> None:
+        """One cycle of the retained reference core: scan everything."""
         active = [r for r in self.routers if r.is_active]
         for router in active:
             router.allocate()
@@ -239,53 +486,110 @@ class Network:
         for ni in self.nis:
             if ni.has_pending_tx:
                 injected = ni.try_inject(self.cycle)
-                if self.config.record_injection and injected:
-                    recorder = self.ledger.recorder_for(
-                        f"NI{ni.node_id}.INJECT"
-                    )
-                    for flit in injected:
-                        self.stats.total_bit_transitions += recorder.record(
-                            flit.wire_bits(self.config.include_header_bits)
-                        )
-        still_in_flight: list[tuple[int, int, Port, int, Flit]] = []
-        for due, node, in_port, vc_idx, flit in self._arrivals:
-            if due <= self.cycle:
+                if self._record_injection and injected:
+                    self._record_injected(ni.node_id, injected)
+        still_in_flight: list[tuple[int, int, int, Port, int, Flit]] = []
+        for arrival in self._arrivals:
+            if arrival[0] <= self.cycle:
+                _, _, node, in_port, vc_idx, flit = arrival
                 self.routers[node].accept_flit(in_port, vc_idx, flit)
             else:
-                still_in_flight.append((due, node, in_port, vc_idx, flit))
+                still_in_flight.append(arrival)
         self._arrivals[:] = still_in_flight
-        for node, flit in self._ejections:
-            packet = None
-            if flit.flit_type.is_tail:
-                packet = self._in_flight.pop(flit.packet_id, None)
-            self.nis[node].receive_flit(flit, packet, self.cycle)
-            if flit.flit_type.is_tail and packet is not None:
-                self.stats.packets_delivered += 1
-                self.stats.packet_latencies.append(packet.latency)
-        self._ejections.clear()
-        for node, out_port, vc_idx in self._credits:
-            credits = self.routers[node].credits[out_port]
-            credits[vc_idx] += 1
-            if credits[vc_idx] > self.config.vc_depth:
-                raise RuntimeError(
-                    f"credit overflow at router {node} port {out_port.name}"
-                )
-        self._credits.clear()
+        self._commit_ejections(self.cycle)
+        if self._credits:
+            self._commit_credits()
         self.cycle += 1
         self.stats.cycles = self.cycle
+        self.steps_executed += 1
+
+    def _record_injected(self, node: int, injected: list[Flit]) -> None:
+        """Account NI->router injection-link BTs for injected flits."""
+        recorder = self._inject_recorders[node]
+        if recorder is None:
+            recorder = self.ledger.recorder_for(f"NI{node}.INJECT")
+            self._inject_recorders[node] = recorder
+        include_header = self._include_header
+        for flit in injected:
+            self.stats.total_bit_transitions += recorder.record(
+                flit.wire_bits(True) if include_header else flit.payload
+            )
+
+    def _commit_ejections(self, cycle: int) -> None:
+        """Deliver ejected flits to their NIs; complete tail packets."""
+        stats = self.stats
+        for node, flit in self._ejections:
+            packet = None
+            if flit.is_tail:
+                packet = self._in_flight.pop(flit.packet_id, None)
+            self.nis[node].receive_flit(flit, packet, cycle)
+            if flit.is_tail and packet is not None:
+                stats.packets_delivered += 1
+                stats.packet_latencies.append(packet.latency)
+        self._ejections.clear()
+
+    def _commit_credits(self) -> None:
+        """Return queued credits to their upstream routers."""
+        vc_depth = self.config.vc_depth
+        for credit_list, vc_idx, node, port_idx in self._credits:
+            credit_list[vc_idx] += 1
+            if credit_list[vc_idx] > vc_depth:
+                upstream = self._neighbor_of[node][port_idx]
+                out_port = self._opposite_of[port_idx]
+                raise RuntimeError(
+                    f"credit overflow at router {upstream} "
+                    f"port {out_port.name}"
+                )
+        self._credits.clear()
+
+    # -- idle-cycle fast-forward ---------------------------------------
+
+    @property
+    def is_idle(self) -> bool:
+        """Event core: True when no router or NI can act this cycle.
+
+        Queued arrivals with a future due cycle may still exist; they
+        are the events :meth:`fast_forward` jumps to.
+        """
+        return not (
+            self._active_routers or self._pending_nis or self._ejections
+        )
+
+    def next_internal_event(self) -> int | None:
+        """Due cycle of the earliest queued link arrival, if any."""
+        return self._arrivals[0][0] if self._arrivals else None
+
+    def fast_forward(self, target: int) -> None:
+        """Jump the clock to ``target`` without stepping idle cycles.
+
+        Only meaningful on the event core while :attr:`is_idle`; a
+        target at or behind the current cycle is a no-op.  The stepped
+        result is preserved exactly because an idle cycle mutates
+        nothing but the cycle counter.
+        """
+        if target > self.cycle:
+            self.cycle = target
+            self.stats.cycles = target
+
+    # -- drivers -----------------------------------------------------------
 
     @property
     def has_work(self) -> bool:
         """True while any flit is buffered, queued, or in flight."""
-        if self._arrivals or self._ejections:
+        if self._arrivals or self._same_cycle_arrivals or self._ejections:
             return True
+        if self.event_core:
+            return bool(self._active_routers or self._pending_nis)
         if any(r.is_active for r in self.routers):
             return True
         return any(ni.has_pending_tx for ni in self.nis)
 
     def run_until_drained(self, max_cycles: int = 1_000_000) -> NoCStats:
         """Step until all traffic is delivered (or the budget runs out)."""
+        event = self.event_core
         while self.has_work:
+            if event and self.is_idle and self._arrivals:
+                self.fast_forward(min(self._arrivals[0][0], max_cycles))
             if self.cycle >= max_cycles:
                 raise SimulationTimeout(
                     f"network not drained after {max_cycles} cycles "

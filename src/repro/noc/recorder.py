@@ -5,13 +5,19 @@ the previous flit that crossed it; each traversal XORs the new flit
 against the register and accumulates the popcount into the NoC-wide
 sum.  Recording is measurement-only — the paper stresses that the flit
 storage and summation are not part of the design overhead.
+
+The ledger keeps *running* totals, updated by every
+:meth:`LinkRecorder.record` call, so reading
+:attr:`TransitionLedger.total_transitions` or
+:attr:`TransitionLedger.total_flit_traversals` is O(1) instead of a
+full sweep over all recorders — they are polled per drain loop in the
+hot simulation paths.  Per-link snapshots (:meth:`per_link`) are
+unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-from repro.bits.popcount import popcount
 
 __all__ = ["LinkRecorder", "TransitionLedger"]
 
@@ -26,19 +32,31 @@ class LinkRecorder:
             None before the first traversal.
         transitions: accumulated BT count on this link.
         flits: number of flits that crossed.
+        ledger: owning ledger whose running totals this recorder
+            feeds, if any (set by :meth:`TransitionLedger.recorder_for`).
     """
 
     name: str
     previous: int | None = None
     transitions: int = 0
     flits: int = 0
+    ledger: "TransitionLedger | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def record(self, bits: int) -> int:
         """Account one flit traversal; returns the BTs it caused."""
-        caused = 0 if self.previous is None else popcount(self.previous ^ bits)
+        previous = self.previous
+        # Inline popcount: bits are validated non-negative at flit
+        # construction, and this runs once per flit hop.
+        caused = 0 if previous is None else (previous ^ bits).bit_count()
         self.transitions += caused
         self.flits += 1
         self.previous = bits
+        ledger = self.ledger
+        if ledger is not None:
+            ledger._total_transitions += caused
+            ledger._total_flits += 1
         return caused
 
 
@@ -51,24 +69,46 @@ class TransitionLedger:
     """
 
     recorders: dict[str, LinkRecorder] = field(default_factory=dict)
+    _total_transitions: int = field(default=0, repr=False)
+    _total_flits: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        # Adopt recorders handed in at construction time so the running
+        # totals stay consistent with their accumulated state.
+        for rec in self.recorders.values():
+            self.adopt(rec)
+
+    def adopt(self, rec: LinkRecorder) -> LinkRecorder:
+        """Register an existing recorder and fold in its history."""
+        if rec.ledger is self:
+            return rec
+        if rec.ledger is not None:
+            raise ValueError(
+                f"recorder {rec.name!r} already belongs to another ledger"
+            )
+        rec.ledger = self
+        self.recorders[rec.name] = rec
+        self._total_transitions += rec.transitions
+        self._total_flits += rec.flits
+        return rec
 
     def recorder_for(self, name: str) -> LinkRecorder:
         """Get (or lazily create) the recorder for a link."""
         rec = self.recorders.get(name)
         if rec is None:
-            rec = LinkRecorder(name=name)
+            rec = LinkRecorder(name=name, ledger=self)
             self.recorders[name] = rec
         return rec
 
     @property
     def total_transitions(self) -> int:
-        """The "NoC Bit Transition Sum" of Fig. 8."""
-        return sum(r.transitions for r in self.recorders.values())
+        """The "NoC Bit Transition Sum" of Fig. 8 — a running counter."""
+        return self._total_transitions
 
     @property
     def total_flit_traversals(self) -> int:
-        """Total flit-hops across all recorded links."""
-        return sum(r.flits for r in self.recorders.values())
+        """Total flit-hops across all recorded links — a running counter."""
+        return self._total_flits
 
     def per_link(self) -> dict[str, int]:
         """Snapshot of per-link BT counts."""

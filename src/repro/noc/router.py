@@ -15,12 +15,28 @@ Tail flits release their VC on departure; credits flow back one cycle
 later.  The allocation state (``out_port`` / ``out_vc``) always refers
 to the packet at the head of a VC FIFO, which makes back-to-back
 packets in one buffer safe.
+
+Two equivalent implementations of the per-cycle phases exist:
+
+* :meth:`Router.allocate` + :meth:`Router.switch_traversal` — the
+  reference pair, which scans every input VC.  The stepped network
+  core and the unit tests use these.
+* :meth:`Router.allocate_and_traverse` — the event-core fast path,
+  which visits only the tracked occupied / allocation-pending VCs and
+  arbitrates without building flag vectors.  Bit-identical outcomes
+  are enforced by ``tests/test_noc_eventcore.py``.
+
+Both paths share :meth:`accept_flit` / :meth:`_traverse`, which keep
+the occupancy tracking consistent, so a router works under either
+network core at any time.  Input VC buffers, arbiters and downstream
+holder state materialise on a router's first flit — mesh-scaling
+campaigns construct thousands of routers of which the quiet ones never
+buffer anything.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.noc.arbiter import RoundRobinArbiter
@@ -32,12 +48,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["VCState", "Router", "ProtocolError"]
 
+_LOCAL = Port.LOCAL
+_N_PORTS = len(Port)
+
+# Flat-slot decode tables shared by every router with the same VC
+# count: slot index -> (port, vc).
+_SLOT_TABLES: dict[int, tuple[list[Port], list[int]]] = {}
+
+
+def _slot_tables(n_vcs: int) -> tuple[list[Port], list[int]]:
+    tables = _SLOT_TABLES.get(n_vcs)
+    if tables is None:
+        tables = (
+            [port for port in Port for _ in range(n_vcs)],
+            [vc for _ in Port for vc in range(n_vcs)],
+        )
+        _SLOT_TABLES[n_vcs] = tables
+    return tables
+
 
 class ProtocolError(RuntimeError):
     """Raised when the wormhole protocol invariants are violated."""
 
 
-@dataclass
 class VCState:
     """One virtual-channel input buffer and its head-packet state.
 
@@ -48,10 +81,13 @@ class VCState:
         out_vc: downstream VC allocated to that packet, if any.
     """
 
-    capacity: int
-    fifo: deque[Flit] = field(default_factory=deque)
-    out_port: Port | None = None
-    out_vc: int | None = None
+    __slots__ = ("capacity", "fifo", "out_port", "out_vc")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.fifo: deque[Flit] = deque()
+        self.out_port: Port | None = None
+        self.out_vc: int | None = None
 
     @property
     def free_slots(self) -> int:
@@ -74,27 +110,62 @@ class Router:
         self.n_vcs = n_vcs
         self.vc_depth = vc_depth
         self.route_fn = route_fn
-        self.inputs: dict[Port, list[VCState]] = {
-            port: [VCState(vc_depth) for _ in range(n_vcs)] for port in Port
-        }
-        # Downstream VC bookkeeping per output port: which (in_port, vc)
-        # holds each VC, and how many free downstream buffer slots remain.
-        self.out_holder: dict[Port, list[tuple[Port, int] | None]] = {
-            port: [None] * n_vcs for port in Port
-        }
-        self.credits: dict[Port, list[int]] = {
-            port: [vc_depth] * n_vcs for port in Port if port is not Port.LOCAL
-        }
-        n_requesters = len(Port) * n_vcs
-        self._vc_arbiters = {
-            port: RoundRobinArbiter(n_requesters) for port in Port
-        }
-        self._sw_arbiters = {
-            port: RoundRobinArbiter(n_requesters) for port in Port
-        }
+        # Flat slots indexed by ``port * n_vcs + vc`` — the requester
+        # id used by the arbiters — with `inputs` exposing the same
+        # VCState objects per port.  Built lazily by _materialize().
+        self._slots: list[VCState] | None = None
+        self._inputs: dict[Port, list[VCState]] | None = None
+        self._out_holder: list[list[tuple[Port, int] | None]] | None = None
+        self._vc_arbiters: list[RoundRobinArbiter] | None = None
+        self._sw_arbiters: list[RoundRobinArbiter] | None = None
+        self._slot_port, self._slot_vc = _slot_tables(n_vcs)
+        # Occupancy tracking for the event-core fast path: which flat
+        # slots hold flits, and which of those still await a VC grant.
+        self._occupied: set[int] = set()
+        self._needs_alloc: set[int] = set()
+        # Credit counters per output port (indexed by port value; LOCAL
+        # has no credit loop).  Eager: the network wires neighbouring
+        # routers' credit lists together at construction time.
+        self.credits: list[list[int] | None] = [None] + [
+            [vc_depth] * n_vcs for _ in range(_N_PORTS - 1)
+        ]
         self.buffered_flits = 0
 
-    # -- cycle phases -------------------------------------------------
+    # -- lazy state materialisation ------------------------------------
+
+    def _materialize(self) -> list[VCState]:
+        """Build the VC buffers and allocation state on first use."""
+        n_vcs = self.n_vcs
+        slots = [VCState(self.vc_depth) for _ in range(_N_PORTS * n_vcs)]
+        self._slots = slots
+        self._inputs = {
+            port: slots[port * n_vcs:(port + 1) * n_vcs] for port in Port
+        }
+        self._out_holder = [[None] * n_vcs for _ in range(_N_PORTS)]
+        n_slots = _N_PORTS * n_vcs
+        self._vc_arbiters = [
+            RoundRobinArbiter(n_slots) for _ in range(_N_PORTS)
+        ]
+        self._sw_arbiters = [
+            RoundRobinArbiter(n_slots) for _ in range(_N_PORTS)
+        ]
+        return slots
+
+    @property
+    def inputs(self) -> dict[Port, list[VCState]]:
+        """Per-port input VC states (shared objects with the flat view)."""
+        if self._inputs is None:
+            self._materialize()
+        return self._inputs
+
+    @property
+    def out_holder(self) -> list[list[tuple[Port, int] | None]]:
+        """Per-outport downstream VC holders (indexed by port value)."""
+        if self._out_holder is None:
+            self._materialize()
+        return self._out_holder
+
+    # -- cycle phases (reference pair) ---------------------------------
 
     def allocate(self) -> None:
         """Phase 1: route computation and VC allocation."""
@@ -105,7 +176,7 @@ class Router:
                     continue
                 head = state.fifo[0]
                 if state.out_port is None:
-                    if not head.flit_type.is_head:
+                    if not head.is_head:
                         raise ProtocolError(
                             f"router {self.node_id}: body/tail flit of packet "
                             f"{head.packet_id} at VC head without a route"
@@ -128,15 +199,13 @@ class Router:
             for req in requesters:
                 in_port, vc_idx = Port(req // self.n_vcs), req % self.n_vcs
                 self.inputs[in_port][vc_idx].out_vc = 0
+                self._needs_alloc.discard(req)
             return
-        free = [
-            v
-            for v in range(self.n_vcs)
-            if self.out_holder[out_port][v] is None
-        ]
+        holders = self.out_holder[out_port]
+        free = [v for v in range(self.n_vcs) if holders[v] is None]
         if not free:
             return
-        n_requesters = len(Port) * self.n_vcs
+        n_requesters = _N_PORTS * self.n_vcs
         flags = [False] * n_requesters
         for req in requesters:
             flags[req] = True
@@ -149,7 +218,8 @@ class Router:
             in_port, vc_idx = Port(winner // self.n_vcs), winner % self.n_vcs
             state = self.inputs[in_port][vc_idx]
             state.out_vc = out_vc
-            self.out_holder[out_port][out_vc] = (in_port, vc_idx)
+            holders[out_vc] = (in_port, vc_idx)
+            self._needs_alloc.discard(winner)
 
     def switch_traversal(self, network: "Network") -> None:
         """Phase 2: switch allocation and link traversal."""
@@ -171,7 +241,7 @@ class Router:
                     in_port.value * self.n_vcs + vc_idx
                 )
         consumed_inports: set[Port] = set()
-        n_requesters = len(Port) * self.n_vcs
+        n_requesters = _N_PORTS * self.n_vcs
         for out_port, requesters in requests.items():
             flags = [False] * n_requesters
             any_request = False
@@ -185,52 +255,207 @@ class Router:
             winner = self._sw_arbiters[out_port].pick(flags)
             if winner is None:
                 continue
-            in_port, vc_idx = Port(winner // self.n_vcs), winner % self.n_vcs
-            self._traverse(network, in_port, vc_idx, out_port)
-            consumed_inports.add(in_port)
+            self._traverse(network, winner, out_port)
+            consumed_inports.add(Port(winner // self.n_vcs))
+
+    # -- cycle phases (event-core fast path) ---------------------------
+
+    def allocate_and_traverse(self, network: "Network") -> None:
+        """Both phases for one cycle, visiting only tracked VCs.
+
+        Behaviourally identical to :meth:`allocate` followed by
+        :meth:`switch_traversal`.  Merging the phases per router is
+        safe because a router's phases only read and write its own
+        state plus the network's end-of-cycle commit queues, so phase
+        ordering across distinct routers cannot be observed.
+        """
+        slots = self._slots
+        slot_port = self._slot_port
+        needs = self._needs_alloc
+        occupied = self._occupied
+        if len(occupied) == 1 and (not needs or needs == occupied):
+            # Streaming fast path: a single occupied VC is the only
+            # possible winner of every arbitration it enters, so skip
+            # the request grouping of the general path entirely.
+            (flat,) = occupied
+            state = slots[flat]
+            if needs:
+                # Phase 1 for the lone requester — identical to the
+                # general path with a single-entry request group.
+                head = state.fifo[0]
+                out_port = state.out_port
+                if out_port is None:
+                    if not head.is_head:
+                        raise ProtocolError(
+                            f"router {self.node_id}: body/tail flit of "
+                            f"packet {head.packet_id} at VC head without "
+                            "a route"
+                        )
+                    out_port = self.route_fn(
+                        self.node_id, head.dst, self.mesh_width
+                    )
+                    state.out_port = out_port
+                if out_port is _LOCAL:
+                    state.out_vc = 0
+                    needs.discard(flat)
+                else:
+                    self._grant_vcs_fast(out_port, [flat])
+            out_vc = state.out_vc
+            if out_vc is None:
+                return
+            out_port = state.out_port
+            if out_port is None:
+                return
+            if out_port is not _LOCAL and self.credits[out_port][out_vc] <= 0:
+                return
+            # State update identical to pick_indices([flat]).
+            self._sw_arbiters[out_port]._last_winner = flat
+            self._traverse(network, flat, out_port)
+            return
+        if needs:
+            requests: dict[Port, list[int]] = {}
+            for flat in sorted(needs):
+                state = slots[flat]
+                head = state.fifo[0]
+                out_port = state.out_port
+                if out_port is None:
+                    if not head.is_head:
+                        raise ProtocolError(
+                            f"router {self.node_id}: body/tail flit of packet "
+                            f"{head.packet_id} at VC head without a route"
+                        )
+                    out_port = self.route_fn(
+                        self.node_id, head.dst, self.mesh_width
+                    )
+                    state.out_port = out_port
+                requests.setdefault(out_port, []).append(flat)
+            for out_port, reqs in requests.items():
+                if out_port is _LOCAL:
+                    for flat in reqs:
+                        slots[flat].out_vc = 0
+                        needs.discard(flat)
+                else:
+                    self._grant_vcs_fast(out_port, reqs)
+        if not occupied:
+            return
+        credits = self.credits
+        sendable: dict[Port, list[int]] | None = None
+        for flat in sorted(occupied):
+            state = slots[flat]
+            out_vc = state.out_vc
+            if out_vc is None:
+                continue
+            out_port = state.out_port
+            if out_port is None:
+                continue
+            if out_port is not _LOCAL and credits[out_port][out_vc] <= 0:
+                continue
+            if sendable is None:
+                sendable = {out_port: [flat]}
+            else:
+                sendable.setdefault(out_port, []).append(flat)
+        if sendable is None:
+            return
+        consumed: set[Port] | None = None
+        for out_port, reqs in sendable.items():
+            if consumed:
+                reqs = [f for f in reqs if slot_port[f] not in consumed]
+                if not reqs:
+                    continue
+            winner = self._sw_arbiters[out_port].pick_indices(reqs)
+            self._traverse(network, winner, out_port)
+            in_port = slot_port[winner]
+            if consumed is None:
+                consumed = {in_port}
+            else:
+                consumed.add(in_port)
+
+    def _grant_vcs_fast(self, out_port: Port, reqs: list[int]) -> None:
+        """:meth:`_grant_vcs` over requester indices, no flag vector."""
+        holders = self._out_holder[out_port]
+        free = [v for v in range(self.n_vcs) if holders[v] is None]
+        if not free:
+            return
+        arbiter = self._vc_arbiters[out_port]
+        needs = self._needs_alloc
+        slots = self._slots
+        for out_vc in free:
+            if not reqs:
+                break
+            winner = arbiter.pick_indices(reqs)
+            reqs.remove(winner)
+            state = slots[winner]
+            state.out_vc = out_vc
+            holders[out_vc] = (
+                self._slot_port[winner],
+                self._slot_vc[winner],
+            )
+            needs.discard(winner)
 
     def _traverse(
-        self, network: "Network", in_port: Port, vc_idx: int, out_port: Port
+        self, network: "Network", flat: int, out_port: Port
     ) -> None:
-        """Move the winning flit across ``out_port``'s link."""
-        state = self.inputs[in_port][vc_idx]
+        """Move the winning flit of slot ``flat`` across ``out_port``."""
+        state = self._slots[flat]
         flit = state.fifo.popleft()
         self.buffered_flits -= 1
+        if not state.fifo:
+            self._occupied.discard(flat)
         out_vc = state.out_vc
         if out_vc is None:
             raise ProtocolError("traversal without an allocated VC")
-        if out_port is not Port.LOCAL:
-            self.credits[out_port][out_vc] -= 1
-            if self.credits[out_port][out_vc] < 0:
+        if out_port is not _LOCAL:
+            port_credits = self.credits[out_port]
+            port_credits[out_vc] -= 1
+            if port_credits[out_vc] < 0:
                 raise ProtocolError(
                     f"router {self.node_id} port {out_port.name} "
                     f"VC {out_vc}: credit underflow"
                 )
         network.transmit(self, out_port, out_vc, flit)
-        if in_port is not Port.LOCAL:
-            network.queue_credit(self, in_port, vc_idx)
-        if flit.flit_type.is_tail:
-            if out_port is not Port.LOCAL:
-                self.out_holder[out_port][out_vc] = None
+        n_vcs = self.n_vcs
+        if flat >= n_vcs:  # non-LOCAL input port: return the credit
+            network._queue_credit(
+                self.node_id, flat // n_vcs, flat % n_vcs
+            )
+        if flit.is_tail:
+            if out_port is not _LOCAL:
+                self._out_holder[out_port][out_vc] = None
             state.out_port = None
             state.out_vc = None
+            if state.fifo:
+                self._needs_alloc.add(flat)
 
     # -- buffer interface (used by the network and the NIs) ------------
 
     def accept_flit(self, in_port: Port, vc_idx: int, flit: Flit) -> None:
         """Append an arriving flit to an input VC buffer."""
-        state = self.inputs[in_port][vc_idx]
+        self._accept_flat(in_port * self.n_vcs + vc_idx, flit)
+
+    def _accept_flat(self, flat: int, flit: Flit) -> None:
+        """:meth:`accept_flit` by flat slot index."""
+        slots = self._slots
+        if slots is None:
+            slots = self._materialize()
+        state = slots[flat]
         if len(state.fifo) >= state.capacity:
             raise ProtocolError(
-                f"router {self.node_id} port {in_port.name} VC {vc_idx}: "
+                f"router {self.node_id} port {self._slot_port[flat].name} "
+                f"VC {self._slot_vc[flat]}: "
                 "buffer overflow (credit protocol violated)"
             )
         state.fifo.append(flit)
         self.buffered_flits += 1
+        self._occupied.add(flat)
+        if state.out_vc is None:
+            self._needs_alloc.add(flat)
 
     def local_vc_space(self, vc_idx: int) -> int:
         """Free slots in the local (injection) input VC buffer."""
-        return self.inputs[Port.LOCAL][vc_idx].free_slots
+        slots = self._slots
+        if slots is None:
+            slots = self._materialize()
+        return slots[vc_idx].free_slots
 
     @property
     def is_active(self) -> bool:

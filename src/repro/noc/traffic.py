@@ -185,8 +185,23 @@ def drive_synthetic(
     network = Network(noc_config)
     pending = list(generate_traffic(config, noc_config))
     idx = 0
-    while idx < len(pending) or network.has_work:
-        while idx < len(pending) and pending[idx][0] <= network.cycle:
+    n_events = len(pending)
+    event = network.event_core
+    while idx < n_events or network.has_work:
+        if event and network.is_idle:
+            # Idle gap between scheduled injections (or before a
+            # multi-cycle link arrival matures): jump the clock to the
+            # next event instead of stepping empty cycles.  Clamped to
+            # max_cycles so the timeout fires at the same cycle as a
+            # stepped run.
+            target = max_cycles
+            if idx < n_events:
+                target = min(target, pending[idx][0])
+            arrival = network.next_internal_event()
+            if arrival is not None:
+                target = min(target, arrival)
+            network.fast_forward(target)
+        while idx < n_events and pending[idx][0] <= network.cycle:
             network.send_packet(pending[idx][1])
             idx += 1
         if network.cycle >= max_cycles:

@@ -214,17 +214,20 @@ def deal_into_rows(
     """
     if n_rows <= 0:
         raise ValueError(f"n_rows must be positive, got {n_rows}")
-    rows: list[list[int]] = [[] for _ in range(n_rows)]
     if fill is FillOrder.COLUMN_MAJOR_DEAL:
-        for k, v in enumerate(values):
-            rows[k % n_rows].append(int(v))
-    elif fill is FillOrder.ROW_MAJOR:
+        # Row r receives elements r, r + n_rows, r + 2*n_rows, ... —
+        # exactly the stride-n_rows slices of the sequence.
+        return [
+            [int(v) for v in values[r::n_rows]] for r in range(n_rows)
+        ]
+    if fill is FillOrder.ROW_MAJOR:
         per_row = -(-len(values) // n_rows)  # ceil division
-        for k, v in enumerate(values):
-            rows[k // per_row].append(int(v))
-    else:
-        raise ValueError(f"unhandled fill order {fill}")
-    return rows
+        rows = [
+            [int(v) for v in values[r * per_row:(r + 1) * per_row]]
+            for r in range(n_rows)
+        ]
+        return rows
+    raise ValueError(f"unhandled fill order {fill}")
 
 
 def undeal_rows(
@@ -237,14 +240,16 @@ def undeal_rows(
     if fill is not FillOrder.COLUMN_MAJOR_DEAL:
         raise ValueError(f"unhandled fill order {fill}")
     total = sum(len(row) for row in rows)
-    out: list[int | None] = [None] * total
+    out: list[int] = [0] * total
     n_rows = len(rows)
     for r, row in enumerate(rows):
-        for lane, v in enumerate(row):
-            out[lane * n_rows + r] = int(v)
-    if any(v is None for v in out):
-        raise ValueError("rows are not a valid deal layout")
-    return out  # type: ignore[return-value]
+        # Row r is exactly the stride-n_rows slice starting at r; a
+        # length mismatch means the rows are not a valid deal layout.
+        try:
+            out[r::n_rows] = [int(v) for v in row]
+        except ValueError:
+            raise ValueError("rows are not a valid deal layout") from None
+    return out
 
 
 def index_bits_required(n_values: int) -> int:

@@ -1,0 +1,396 @@
+"""Perf-benchmark harness: tracked wall-clock numbers for the simulator.
+
+``repro bench`` times a set of representative workloads and writes a
+``BENCH_<tag>.json`` snapshot so every PR has a perf trajectory to
+answer to.  The workloads cover the regimes the event-driven core
+targets:
+
+* ``fig12_paper_grid`` — the paper's exact Fig. 12 campaign (three
+  mesh/MC points x two data formats x three orderings, trained LeNet).
+* ``fig12_mesh_sweep`` — the Fig. 12 mesh-size axis extended to
+  campaign scale (16x16 .. 80x80 meshes, two MCs), the regime where
+  the stepped core's per-cycle full-mesh scans dominate.
+* ``fig13_model_sweep`` — the Fig. 13 model axis (LeNet and DarkNet)
+  over the paper's mesh points.
+* ``synthetic_rates`` — uniform-random synthetic traffic at several
+  injection rates; the sparse windows are idle-heavy, exercising the
+  event core's fast-forward.
+
+Each workload runs to completion under the selected network core
+(``event`` or ``stepped`` — see :mod:`repro.noc.network`) and reports
+wall seconds, simulated cycles, *stepped* cycles (cycles the core
+actually executed; the difference is fast-forwarded idle time),
+flit hops, bit transitions, and derived throughput rates.
+
+BENCH JSON schema (``schema`` = 1)::
+
+    {
+      "schema": 1,
+      "tag": "eventcore",             # free-form label
+      "core": "event",                # network core measured
+      "smoke": false,                 # reduced grids for CI
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "workloads": [
+        {
+          "name": "fig12_mesh_sweep",
+          "wall_seconds": 1.23,
+          "simulated_cycles": 5678,   # sum of stats.cycles
+          "steps_executed": 5600,     # cycles actually stepped
+          "flit_hops": 91011,
+          "bit_transitions": 121314,
+          "cycles_per_second": 4616.2,
+          "flit_hops_per_second": 73992.6
+        }, ...
+      ],
+      "totals": { same fields summed / recomputed },
+      "peak_rss_bytes": 123456789
+    }
+
+Machine-independent invariant (asserted by ``--check-invariant`` and
+the CI ``bench-smoke`` job): ``steps_executed <= simulated_cycles``
+everywhere, with strict inequality somewhere on the event core —
+i.e. fast-forward actually skipped idle cycles.  Wall-clock numbers
+are recorded but never asserted; they are machine-dependent.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import resource
+import sys
+import time
+from typing import Any, Callable
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.simulator import AcceleratorSimulator
+from repro.dnn.models import ModelSpec
+from repro.noc.network import CORES, NoCConfig, network_core
+from repro.noc.traffic import (
+    SyntheticTrafficConfig,
+    TrafficPattern,
+    drive_synthetic,
+)
+from repro.ordering.strategies import OrderingMethod
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "WORKLOADS",
+    "run_bench",
+    "check_invariants",
+    "default_bench_path",
+]
+
+BENCH_SCHEMA = 1
+
+# (width, height, n_mcs) grids per workload; full vs --smoke.
+_FIG12_PAPER_MESHES = [(4, 4, 2), (8, 8, 4), (8, 8, 8)]
+_FIG12_SWEEP_MESHES = [
+    (16, 16, 2),
+    (24, 24, 2),
+    (32, 32, 2),
+    (48, 48, 2),
+    (64, 64, 2),
+    (80, 80, 2),
+]
+_FIG12_SWEEP_MESHES_SMOKE = [(8, 8, 2), (12, 12, 2)]
+_FIG13_MESHES = [(4, 4, 2), (8, 8, 4)]
+
+
+def _zero_metrics() -> dict[str, int]:
+    return {
+        "simulated_cycles": 0,
+        "steps_executed": 0,
+        "flit_hops": 0,
+        "bit_transitions": 0,
+    }
+
+
+def _run_model_points(
+    sims: list[AcceleratorSimulator],
+) -> dict[str, int]:
+    """Run prebuilt accelerator simulations; accumulate their metrics.
+
+    Simulator construction (task extraction, wire formats) is workload
+    *preparation* shared verbatim by both cores — it happens in the
+    factories, outside the timed window, so the bench measures the
+    cycle core itself.
+    """
+    metrics = _zero_metrics()
+    for sim in sims:
+        result = sim.run()
+        network = sim.last_network
+        metrics["simulated_cycles"] += result.total_cycles
+        metrics["steps_executed"] += network.steps_executed
+        metrics["flit_hops"] += result.flit_hops
+        metrics["bit_transitions"] += result.total_bit_transitions
+    return metrics
+
+
+def _fig12_paper_grid(smoke: bool) -> Callable[[], dict[str, int]]:
+    from repro.workloads.figures import (
+        figure_lenet_image,
+        figure_trained_lenet,
+    )
+
+    model = figure_trained_lenet()
+    image = figure_lenet_image()
+    meshes = _FIG12_PAPER_MESHES[:1] if smoke else _FIG12_PAPER_MESHES
+    formats = ("fixed8",) if smoke else ("float32", "fixed8")
+    orderings = ("O0", "O2") if smoke else ("O0", "O1", "O2")
+    tasks = 4 if smoke else 32
+    sims = [
+        AcceleratorSimulator(
+            AcceleratorConfig(
+                width=width,
+                height=height,
+                n_mcs=n_mcs,
+                data_format=data_format,
+                ordering=OrderingMethod.from_name(ordering),
+                max_tasks_per_layer=tasks,
+                seed=2025,
+            ),
+            model,
+            image,
+        )
+        for data_format in formats
+        for width, height, n_mcs in meshes
+        for ordering in orderings
+    ]
+    return lambda: _run_model_points(sims)
+
+
+def _fig12_mesh_sweep(smoke: bool) -> Callable[[], dict[str, int]]:
+    from repro.workloads.figures import (
+        figure_lenet_image,
+        figure_trained_lenet,
+    )
+
+    model = figure_trained_lenet()
+    image = figure_lenet_image()
+    meshes = _FIG12_SWEEP_MESHES_SMOKE if smoke else _FIG12_SWEEP_MESHES
+    tasks = 2 if smoke else 8
+    sims = [
+        AcceleratorSimulator(
+            AcceleratorConfig(
+                width=width,
+                height=height,
+                n_mcs=n_mcs,
+                data_format="fixed8",
+                ordering=OrderingMethod.SEPARATED,
+                max_tasks_per_layer=tasks,
+                seed=2025,
+            ),
+            model,
+            image,
+        )
+        for width, height, n_mcs in meshes
+    ]
+    return lambda: _run_model_points(sims)
+
+
+def _fig13_model_sweep(smoke: bool) -> Callable[[], dict[str, int]]:
+    from repro.workloads.figures import (
+        figure_darknet_image,
+        figure_darknet_model,
+        figure_lenet_image,
+        figure_trained_lenet,
+    )
+
+    points = [("lenet", figure_trained_lenet(), figure_lenet_image())]
+    if not smoke:
+        points.append(
+            ("darknet", figure_darknet_model(), figure_darknet_image())
+        )
+    meshes = _FIG13_MESHES[:1] if smoke else _FIG13_MESHES
+    orderings = ("O2",) if smoke else ("O0", "O2")
+    tasks = 2 if smoke else 16
+    sims = [
+        AcceleratorSimulator(
+            AcceleratorConfig(
+                width=width,
+                height=height,
+                n_mcs=n_mcs,
+                data_format="fixed8",
+                ordering=OrderingMethod.from_name(ordering),
+                max_tasks_per_layer=tasks,
+                seed=2025,
+            ),
+            model,
+            image,
+        )
+        for _, model, image in points
+        for width, height, n_mcs in meshes
+        for ordering in orderings
+    ]
+    return lambda: _run_model_points(sims)
+
+
+def _synthetic_rates(smoke: bool) -> Callable[[], dict[str, int]]:
+    # Fixed packet count across widening injection windows: the wide
+    # windows are idle-dominated, which is where fast-forward pays.
+    n_packets = 30 if smoke else 150
+    windows = (100, 2_000) if smoke else (200, 2_000, 20_000)
+    noc = NoCConfig(width=8, height=8, link_width=128)
+
+    def run() -> dict[str, int]:
+        metrics = _zero_metrics()
+        for window in windows:
+            network = drive_synthetic(
+                SyntheticTrafficConfig(
+                    pattern=TrafficPattern.UNIFORM_RANDOM,
+                    n_packets=n_packets,
+                    injection_window=window,
+                    seed=7,
+                ),
+                noc,
+            )
+            stats = network.stats
+            metrics["simulated_cycles"] += stats.cycles
+            metrics["steps_executed"] += network.steps_executed
+            metrics["flit_hops"] += stats.flit_hops
+            metrics["bit_transitions"] += stats.total_bit_transitions
+        return metrics
+
+    return run
+
+
+# Each factory takes `smoke` and returns the timed runner; model and
+# image construction (including LeNet training) happens in the factory,
+# outside the timed window.
+WORKLOADS: dict[str, Callable[[bool], Callable[[], dict[str, int]]]] = {
+    "fig12_paper_grid": _fig12_paper_grid,
+    "fig12_mesh_sweep": _fig12_mesh_sweep,
+    "fig13_model_sweep": _fig13_model_sweep,
+    "synthetic_rates": _synthetic_rates,
+}
+
+
+def default_bench_path(tag: str) -> pathlib.Path:
+    """Repository-convention output path for a bench tag."""
+    return pathlib.Path(f"BENCH_{tag}.json")
+
+
+def _rates(entry: dict[str, Any]) -> None:
+    wall = entry["wall_seconds"]
+    entry["cycles_per_second"] = (
+        entry["simulated_cycles"] / wall if wall > 0 else 0.0
+    )
+    entry["flit_hops_per_second"] = (
+        entry["flit_hops"] / wall if wall > 0 else 0.0
+    )
+
+
+def run_bench(
+    tag: str,
+    core: str = "event",
+    workloads: list[str] | None = None,
+    smoke: bool = False,
+    out_path: str | pathlib.Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Time the selected workloads and write ``BENCH_<tag>.json``.
+
+    Args:
+        tag: label baked into the file name and payload.
+        core: network core to measure ("event" or "stepped").
+        workloads: workload names (default: all, in registry order).
+        smoke: run the reduced CI grids.
+        out_path: output file (None = ``BENCH_<tag>.json`` in the cwd).
+        progress: optional per-workload status callback.
+
+    Returns:
+        The payload that was written.
+    """
+    if core not in CORES:
+        raise ValueError(f"unknown network core {core!r}; use one of {CORES}")
+    names = list(WORKLOADS) if workloads is None else list(workloads)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise ValueError(
+            f"unknown bench workloads {unknown}; "
+            f"available: {sorted(WORKLOADS)}"
+        )
+    entries: list[dict[str, Any]] = []
+    with network_core(core):
+        for name in names:
+            runner = WORKLOADS[name](smoke)
+            start = time.perf_counter()
+            metrics = runner()
+            wall = time.perf_counter() - start
+            entry: dict[str, Any] = {"name": name, "wall_seconds": wall}
+            entry.update(metrics)
+            _rates(entry)
+            entries.append(entry)
+            if progress is not None:
+                progress(
+                    f"{name}: {wall:.2f}s, "
+                    f"{entry['simulated_cycles']} cycles "
+                    f"({entry['steps_executed']} stepped), "
+                    f"{entry['flit_hops']} hops"
+                )
+    totals: dict[str, Any] = {
+        "wall_seconds": sum(e["wall_seconds"] for e in entries),
+    }
+    for key in _zero_metrics():
+        totals[key] = sum(e[key] for e in entries)
+    _rates(totals)
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_rss = maxrss if sys.platform == "darwin" else maxrss * 1024
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "tag": tag,
+        "core": core,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": entries,
+        "totals": totals,
+        "peak_rss_bytes": peak_rss,
+    }
+    path = pathlib.Path(out_path) if out_path else default_bench_path(tag)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_invariants(payload: dict[str, Any]) -> list[str]:
+    """Machine-independent consistency checks on a bench payload.
+
+    Returns a list of violation descriptions (empty = all good):
+
+    * every workload: ``steps_executed <= simulated_cycles``;
+    * stepped core: ``steps_executed == simulated_cycles`` (the
+      reference core cannot skip cycles);
+    * event core: some workload with strictly fewer steps than cycles
+      when the idle-heavy ``synthetic_rates`` workload ran (i.e.
+      fast-forward actually skipped idle cycles).
+    """
+    failures: list[str] = []
+    skipped_somewhere = False
+    ran_synthetic = False
+    for entry in payload["workloads"]:
+        steps = entry["steps_executed"]
+        cycles = entry["simulated_cycles"]
+        if steps > cycles:
+            failures.append(
+                f"{entry['name']}: steps_executed {steps} exceeds "
+                f"simulated_cycles {cycles}"
+            )
+        if steps < cycles:
+            skipped_somewhere = True
+            if payload["core"] == "stepped":
+                failures.append(
+                    f"{entry['name']}: the stepped core skipped cycles "
+                    f"({steps} < {cycles})"
+                )
+        if entry["name"] == "synthetic_rates":
+            ran_synthetic = True
+    if payload["core"] == "event" and ran_synthetic and not skipped_somewhere:
+        failures.append(
+            "event core fast-forward skipped no idle cycles anywhere "
+            "(steps_executed == simulated_cycles for every workload)"
+        )
+    return failures

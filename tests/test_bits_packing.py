@@ -87,3 +87,19 @@ class TestArrayConversions:
     def test_inverse(self):
         arr = np.array([7, 11, 13], dtype=np.uint16)
         assert (array_from_words(words_from_array(arr), 16) == arr).all()
+
+
+class TestPackWordsNumpyInputs:
+    """The byte fast paths must treat numpy arrays as word sequences."""
+
+    def test_width8_numpy_array_wider_dtype(self):
+        words = np.array([1, 2], dtype=np.uint32)
+        assert pack_words(words, 8) == 0x0201
+
+    def test_width8_numpy_array_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="lane 0"):
+            pack_words(np.array([300], dtype=np.uint32), 8)
+
+    def test_width32_numpy_array(self):
+        words = np.array([1, 2], dtype=np.uint64)
+        assert pack_words(words, 32) == (2 << 32) | 1

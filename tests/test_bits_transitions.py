@@ -115,3 +115,60 @@ class TestPerBitTransitions:
             [popcount(int(a) ^ int(b)) for a, b in zip(words, words[1:])]
         )
         assert probs.sum() == pytest.approx(mean_bt)
+
+
+class TestPerBitTransitionsVectorized:
+    """The unpackbits-based pass must be bit-exact with the old loop."""
+
+    @staticmethod
+    def _reference_loop(words: np.ndarray, width: int) -> np.ndarray:
+        # The pre-vectorization per-position implementation, retained
+        # verbatim as the regression oracle.
+        arr = np.asarray(words).reshape(-1)
+        if arr.size < 2:
+            return np.zeros(width, dtype=np.float64)
+        xored = arr[:-1] ^ arr[1:]
+        probs = np.empty(width, dtype=np.float64)
+        for pos in range(width):
+            bit = (
+                xored >> np.asarray(width - 1 - pos, dtype=arr.dtype)
+            ) & 1
+            probs[pos] = float(bit.mean())
+        return probs
+
+    @pytest.mark.parametrize(
+        "dtype,width",
+        [
+            (np.uint8, 8),
+            (np.uint16, 16),
+            (np.uint32, 32),
+            (np.uint64, 64),
+            (np.uint32, 16),  # width below the storage dtype
+            (np.uint16, 9),   # non-power-of-two width
+        ],
+    )
+    def test_matches_reference_loop(self, rng, dtype, width):
+        words = rng.integers(
+            0, 2**width, size=300, dtype=np.uint64, endpoint=False
+        ).astype(dtype)
+        np.testing.assert_array_equal(
+            per_bit_transitions(words, width),
+            self._reference_loop(words, width),
+        )
+
+    def test_width_above_dtype_is_zero_padded(self, rng):
+        # Bits beyond the storage dtype can never flip; the widened
+        # unpack must report exactly zero probability for them.
+        words = rng.integers(0, 2**8, size=64).astype(np.uint8)
+        probs = per_bit_transitions(words, 12)
+        np.testing.assert_array_equal(
+            probs[:4], np.zeros(4, dtype=np.float64)
+        )
+        np.testing.assert_array_equal(
+            probs[4:], per_bit_transitions(words, 8)
+        )
+
+    def test_width_beyond_64_rejected(self):
+        words = np.array([1, 2, 3], dtype=np.uint8)
+        with pytest.raises(ValueError, match="64-bit unpack limit"):
+            per_bit_transitions(words, 65)

@@ -45,3 +45,33 @@ class TestRoundRobinArbiter:
     def test_zero_size_rejected(self):
         with pytest.raises(ValueError):
             RoundRobinArbiter(0)
+
+
+class TestPickIndices:
+    """pick_indices must be state-equivalent to flag-vector pick."""
+
+    def test_single_index(self):
+        arb = RoundRobinArbiter(5)
+        assert arb.pick_indices([3]) == 3
+        # State advanced exactly as pick() would have: priority now
+        # rotates from requester 4, so 0 beats 1.
+        assert arb.pick([True, True, False, False, False]) == 0
+
+    def test_empty_returns_none(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.pick_indices([]) is None
+
+    def test_mirrors_flag_pick_over_random_sequences(self):
+        import random
+
+        rng = random.Random(17)
+        n = 10
+        flag_arb = RoundRobinArbiter(n)
+        idx_arb = RoundRobinArbiter(n)
+        for _ in range(300):
+            asserted = [i for i in range(n) if rng.random() < 0.4]
+            flags = [i in asserted for i in range(n)]
+            expected = flag_arb.pick(flags)
+            got = idx_arb.pick_indices(asserted)
+            assert got == expected
+            assert idx_arb._last_winner == flag_arb._last_winner

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.noc.recorder import LinkRecorder, TransitionLedger
 
 
@@ -55,3 +57,55 @@ class TestTransitionLedger:
         ledger.recorder_for("a").record(0)
         ledger.recorder_for("a").record(7)
         assert ledger.per_link() == {"a": 3}
+
+
+class TestRunningTotals:
+    """Ledger totals are running counters, not full-dict sums."""
+
+    def test_totals_track_incrementally(self):
+        ledger = TransitionLedger()
+        rec = ledger.recorder_for("a")
+        rec.record(0x0)
+        assert ledger.total_transitions == 0
+        assert ledger.total_flit_traversals == 1
+        rec.record(0x7)
+        assert ledger.total_transitions == 3
+        assert ledger.total_flit_traversals == 2
+        ledger.recorder_for("b").record(0xF)
+        assert ledger.total_transitions == 3
+        assert ledger.total_flit_traversals == 3
+
+    def test_totals_equal_per_link_sum(self):
+        ledger = TransitionLedger()
+        for i, payload in enumerate([0x0, 0x3, 0x5, 0xF, 0x0]):
+            ledger.recorder_for(f"l{i % 2}").record(payload)
+        assert ledger.total_transitions == sum(
+            ledger.per_link().values()
+        )
+
+    def test_adopt_folds_existing_history(self):
+        rec = LinkRecorder("ext")
+        rec.record(0x0)
+        rec.record(0x3)
+        ledger = TransitionLedger()
+        ledger.adopt(rec)
+        assert ledger.total_transitions == 2
+        assert ledger.total_flit_traversals == 2
+        rec.record(0x1)
+        assert ledger.total_transitions == 3
+
+    def test_adopt_rejects_double_ownership(self):
+        rec = LinkRecorder("ext")
+        a = TransitionLedger()
+        a.adopt(rec)
+        b = TransitionLedger()
+        with pytest.raises(ValueError, match="another ledger"):
+            b.adopt(rec)
+
+    def test_construction_with_recorders_adopts(self):
+        rec = LinkRecorder("x")
+        rec.record(0x0)
+        rec.record(0x1)
+        ledger = TransitionLedger(recorders={"x": rec})
+        assert ledger.total_transitions == 1
+        assert ledger.total_flit_traversals == 2
