@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Any
 
-from repro.noc.network import NoCConfig
+from repro.noc.network import CORES, NoCConfig
 from repro.ordering.strategies import FillOrder, OrderingMethod
 
 __all__ = ["AcceleratorConfig", "link_width_for", "VALUES_PER_FLIT"]
@@ -67,6 +67,9 @@ class AcceleratorConfig:
             in-band as extra payload flits (overhead ablation; the
             default models the paper's side-band minimal index).
         n_vcs / vc_depth / routing / injection_rate: NoC parameters.
+        core: pin the NoC cycle-loop core ("event" or "stepped");
+            None uses the process default.  Sweepable (``repro sweep
+            --cores``) for cross-core checks at campaign scale.
         seed: workload sampling seed.
     """
 
@@ -91,6 +94,7 @@ class AcceleratorConfig:
     routing: str = "xy"
     injection_rate: int = 1
     record_ejection: bool = True
+    core: str | None = None
     seed: int = 2025
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -115,6 +119,10 @@ class AcceleratorConfig:
             raise ValueError(
                 "weight_cache requires the group_affine mapping policy "
                 "(weight reuse needs group-stable PE assignment)"
+            )
+        if self.core is not None and self.core not in CORES:
+            raise ValueError(
+                f"unknown network core {self.core!r}; use one of {CORES}"
             )
         link_width_for(self.data_format)  # validates the format name
 
@@ -144,6 +152,7 @@ class AcceleratorConfig:
             routing=self.routing,
             record_ejection=self.record_ejection,
             injection_rate=self.injection_rate,
+            core=self.core,
         )
 
     def label(self) -> str:

@@ -655,10 +655,14 @@ def run_model_on_noc(
     model: ModelSpec,
     sample_image: np.ndarray,
     max_cycles_per_layer: int = 2_000_000,
+    trace_collector=None,
 ) -> RunResult:
     """One-call convenience wrapper used by examples and benches."""
     sim = AcceleratorSimulator(config, model, sample_image)
-    return sim.run(max_cycles_per_layer=max_cycles_per_layer)
+    return sim.run(
+        max_cycles_per_layer=max_cycles_per_layer,
+        trace_collector=trace_collector,
+    )
 
 
 def run_batch_on_noc(

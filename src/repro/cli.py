@@ -3,16 +3,22 @@
 Subcommands::
 
     repro run-noc    — run a DNN through the NoC and report BTs
+                       (--trace records a replayable wire-image trace)
     repro no-noc     — the Table I flit-stream experiment
     repro link-power — Sec. V-C link power arithmetic
     repro table2     — Table II synthesis comparison
     repro traffic    — synthetic traffic patterns through the NoC
+                       (--trace records a replayable wire-image trace)
     repro sweep      — run a declarative campaign grid (cached, parallel;
-                       --kind model|batch|synthetic picks the workload)
+                       --kind model|batch|synthetic|replay picks the
+                       workload, --cores adds a network-core axis)
     repro report     — re-render campaign tables from a result store
-                       (--pivot mesh|model|layer|link)
+                       (--pivot mesh|model|layer|link; failed jobs are
+                       skipped with a warning)
     repro bench      — time the perf-benchmark workloads and write a
-                       BENCH_<tag>.json snapshot (--core event|stepped)
+                       BENCH_<tag>.json snapshot (--core event|stepped;
+                       --compare gates wall-time regressions against a
+                       previous snapshot)
 
 Every subcommand accepts ``--seed``: when given, all randomness (model
 init, sample images, task sampling, traffic schedules) derives from it
@@ -40,7 +46,11 @@ from repro.dnn.datasets import synthetic_digits, synthetic_shapes
 from repro.dnn.models import build_model
 from repro.experiments.cache import ResultCache
 from repro.experiments.kinds import JOB_KINDS
-from repro.experiments.report import REPORT_PIVOTS, campaign_report
+from repro.experiments.report import (
+    REPORT_PIVOTS,
+    campaign_report,
+    skipped_records,
+)
 from repro.experiments.runner import CampaignRunner
 from repro.experiments.spec import SweepSpec, derive_seed
 from repro.experiments.store import ResultStore
@@ -51,10 +61,11 @@ from repro.hardware.linkpower import (
 )
 from repro.hardware.synthesis import format_table2, model_table2, paper_table2
 from repro.noc.network import NoCConfig
+from repro.noc.recorder import TraceRecorder
 from repro.noc.traffic import (
     SyntheticTrafficConfig,
     TrafficPattern,
-    run_synthetic,
+    drive_synthetic,
 )
 from repro.ordering.strategies import OrderingMethod
 from repro.workloads.packets import build_packets, measure_stream
@@ -96,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sampled tasks per layer")
     run_noc.add_argument("--compare", action="store_true",
                          help="also run O0 and report the reduction")
+    run_noc.add_argument("--trace", default=None,
+                         help="record the requested ordering's run to "
+                              "this trace file (replayable via "
+                              "`repro sweep --kind replay`)")
 
     no_noc = sub.add_parser("no-noc", parents=[seeded],
                             help="Table I flit-stream experiment")
@@ -121,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=[p.value for p in TrafficPattern])
     traffic.add_argument("--mesh", default="4x4")
     traffic.add_argument("--packets", type=int, default=200)
+    traffic.add_argument("--trace", default=None,
+                         help="record the run to this trace file "
+                              "(replayable via `repro sweep --kind "
+                              "replay`)")
 
     sweep = sub.add_parser(
         "sweep", parents=[seeded],
@@ -171,6 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--link-width", type=int, default=None,
                        help="[synthetic] link width in bits "
                             "(default 128)")
+    sweep.add_argument("--traces", default=None,
+                       help="[replay] comma list of recorded trace "
+                            "files (the 'trace' axis)")
+    sweep.add_argument("--codings", default=None,
+                       help="[replay] comma list of link codings "
+                            "(none, bus_invert, delta; default none)")
+    sweep.add_argument("--cores", default=None,
+                       help="network-core axis: comma list of cores "
+                            "(event, stepped; replay also takes "
+                            "offline and the differential 'both')")
     sweep.add_argument("--workers", type=int, default=2,
                        help="worker processes (1 = inline)")
     sweep.add_argument("--cache-dir", default=".repro-cache",
@@ -202,6 +231,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless steps_executed <= simulated_cycles "
                             "everywhere and the event core fast-forwarded "
                             "somewhere (machine-independent)")
+    bench.add_argument("--compare", default=None,
+                       help="previous BENCH_<tag>.json to diff against; "
+                            "fails on wall-time regressions beyond "
+                            "--max-regression-pct")
+    bench.add_argument("--max-regression-pct", type=float, default=25.0,
+                       help="allowed per-workload wall-time regression "
+                            "vs --compare, in percent (default 25)")
+    bench.add_argument("--min-delta-seconds", type=float, default=0.05,
+                       help="absolute wall-time noise floor for "
+                            "--compare: smaller regressions never fail "
+                            "(default 0.05; raise when comparing across "
+                            "machines)")
 
     report = sub.add_parser(
         "report", parents=[seeded],
@@ -233,6 +274,17 @@ def _seed_or(args: argparse.Namespace, label: str, default: int) -> int:
     return derive_seed(args.seed, label)
 
 
+def _write_trace(recorder: TraceRecorder, noc_config, path: str) -> None:
+    """Persist a finished capture and print its summary line."""
+    trace = recorder.finish(noc_config)
+    trace.save(path)
+    print(
+        f"wrote trace {path} "
+        f"({trace.total_flit_traversals()} flit hops, "
+        f"{len(trace.packets)} packets)"
+    )
+
+
 def _cmd_run_noc(args: argparse.Namespace) -> int:
     width, height = _parse_mesh(args.mesh)
     model = build_model(
@@ -257,7 +309,16 @@ def _cmd_run_noc(args: argparse.Namespace) -> int:
             max_tasks_per_layer=args.tasks,
             seed=_seed_or(args, "tasks", 2025),
         )
-        result = run_model_on_noc(config, model, image)
+        # With --compare the trace captures the *requested* ordering's
+        # run (the last method), not the O0 baseline.
+        recorder = (
+            TraceRecorder() if args.trace and method is methods[-1] else None
+        )
+        result = run_model_on_noc(
+            config, model, image, trace_collector=recorder
+        )
+        if recorder is not None:
+            _write_trace(recorder, config.noc_config(), args.trace)
         line = (
             f"{config.label()}: {result.total_bit_transitions} BTs, "
             f"{result.total_cycles} cycles, verified "
@@ -328,7 +389,11 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         n_packets=args.packets,
         seed=_seed_or(args, "traffic", 0),
     )
-    stats = run_synthetic(config, noc)
+    recorder = TraceRecorder() if args.trace else None
+    network = drive_synthetic(config, noc, trace_collector=recorder)
+    stats = network.stats
+    if recorder is not None:
+        _write_trace(recorder, network.config, args.trace)
     print(
         f"{args.pattern} on {args.mesh}: {stats.packets_delivered} packets, "
         f"{stats.cycles} cycles, {stats.total_bit_transitions} BTs, "
@@ -341,12 +406,17 @@ def _split_csv(text: str) -> list[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
-# Sweep grid flags that only make sense for some job kinds.
+# Sweep grid flags that only make sense for some job kinds.  --cores
+# applies everywhere: the network core is a config field of every kind
+# (--orderings is shared too: O0/O1/O2 for the accelerator kinds,
+# none/popcount_desc for replay).
 _KIND_FLAGS = {
-    "model": ("model", "formats", "orderings", "tasks"),
-    "batch": ("model", "formats", "orderings", "tasks", "images"),
+    "model": ("model", "formats", "orderings", "tasks", "cores"),
+    "batch": ("model", "formats", "orderings", "tasks", "images",
+              "cores"),
     "synthetic": ("patterns", "payloads", "packets", "window",
-                  "link_width"),
+                  "link_width", "cores"),
+    "replay": ("traces", "orderings", "codings", "cores"),
 }
 
 
@@ -403,14 +473,56 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     _check_kind_flags(args, kind)
     seed = args.seed if args.seed is not None else 0
     meshes = _split_csv(args.meshes) if args.meshes else None
+    cores = _split_csv(args.cores) if args.cores else None
+    if kind == "replay":
+        if not args.traces:
+            raise SystemExit(
+                "--kind replay needs --traces (comma list of trace "
+                "files recorded with --trace or TraceRecorder)"
+            )
+        if meshes is not None:
+            raise SystemExit(
+                "--meshes does not apply to --kind replay "
+                "(the trace pins the topology)"
+            )
+        axes = {
+            "trace": _split_csv(args.traces),
+            "ordering": _split_csv(
+                args.orderings or "none,popcount_desc"
+            ),
+            "core": cores or ["offline"],
+        }
+        base: dict = {}
+        codings = _split_csv(args.codings or "none")
+        # Link codings re-apply offline only: a cartesian grid crossing
+        # a non-none coding with a network core would abort the whole
+        # sweep at expansion — reject the combination up front instead.
+        if any(c != "none" for c in codings) and any(
+            c != "offline" for c in axes["core"]
+        ):
+            raise SystemExit(
+                "--codings other than 'none' re-apply offline only; "
+                "run the network-core sweep (--cores) and the coding "
+                "sweep separately"
+            )
+        if len(codings) == 1:
+            base["coding"] = codings[0]
+        else:
+            axes["coding"] = codings
+        return SweepSpec(
+            name=args.name, kind="replay", base=base, axes=axes,
+            seed=seed,
+        )
     if kind == "synthetic":
-        axes: dict[str, list] = {
+        axes = {
             "mesh": meshes or ["4x4", "8x8"],
             "pattern": _split_csv(
                 args.patterns or "uniform,transpose,complement,hotspot"
             ),
         }
-        base: dict = {
+        if cores:
+            axes["core"] = cores
+        base = {
             "n_packets": args.packets if args.packets is not None else 150,
             "injection_window": args.window if args.window is not None
             else 200,
@@ -426,6 +538,13 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
             name=args.name, kind="synthetic", base=base, axes=axes,
             seed=seed,
         )
+    axes = {
+        "mesh": meshes or ["4x4:2", "8x8:4", "8x8:8"],
+        "data_format": _split_csv(args.formats or "fixed8"),
+        "ordering": _split_csv(args.orderings or "O0,O1,O2"),
+    }
+    if cores:
+        axes["core"] = cores
     return SweepSpec(
         name=args.name,
         kind=kind,
@@ -434,11 +553,7 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
             "max_tasks_per_layer": args.tasks
             if args.tasks is not None else 16,
         },
-        axes={
-            "mesh": meshes or ["4x4:2", "8x8:4", "8x8:8"],
-            "data_format": _split_csv(args.formats or "fixed8"),
-            "ordering": _split_csv(args.orderings or "O0,O1,O2"),
-        },
+        axes=axes,
         seed=seed,
         model_seed=_seed_or(args, "model", 1),
         image_seed=_seed_or(args, "image", 5),
@@ -471,7 +586,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf import check_invariants, run_bench
+    from repro.perf import check_invariants, compare_bench, run_bench
 
     tag = args.tag or args.core
     workloads = _split_csv(args.workloads) if args.workloads else None
@@ -506,6 +621,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("invariants ok: stepped-cycles <= simulated-cycles"
               + (", idle cycles were fast-forwarded"
                  if payload["core"] == "event" else ""))
+    if args.compare:
+        import json
+
+        try:
+            baseline = json.loads(pathlib.Path(args.compare).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"bad bench baseline {args.compare!r}: {exc}"
+            ) from exc
+        regressions = compare_bench(
+            baseline,
+            payload,
+            args.max_regression_pct,
+            min_delta_seconds=args.min_delta_seconds,
+        )
+        for regression in regressions:
+            print(f"perf regression: {regression}", file=sys.stderr)
+        if regressions:
+            return 1
+        print(
+            f"wall time within +{args.max_regression_pct:.0f}% of "
+            f"{args.compare} on every workload"
+        )
     return 0
 
 
@@ -515,6 +653,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not records:
         print(f"no records in {args.store}", file=sys.stderr)
         return 1
+    # Failed (or malformed) jobs never block reporting the points that
+    # did finish — they are skipped, loudly.
+    skipped = skipped_records(records)
+    for record, reason in skipped:
+        print(
+            f"warning: skipping {record.get('job_id', '?')}: {reason}",
+            file=sys.stderr,
+        )
+    if skipped:
+        print(
+            f"warning: skipped {len(skipped)} of {len(records)} "
+            f"record(s); reporting the rest",
+            file=sys.stderr,
+        )
     print(campaign_report(records, args.pivot))
     if args.csv:
         rows = store.to_csv(args.csv)

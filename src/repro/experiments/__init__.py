@@ -28,6 +28,7 @@ from repro.experiments.hashing import canonical_json, derive_seed
 from repro.experiments.kinds import (
     JOB_KINDS,
     JobKind,
+    ReplayJobConfig,
     SyntheticJobConfig,
     job_kind,
     register_job_kind,
@@ -50,6 +51,7 @@ __all__ = [
     "JOB_KINDS",
     "JobKind",
     "JobSpec",
+    "ReplayJobConfig",
     "ResultCache",
     "ResultStore",
     "SweepSpec",

@@ -44,9 +44,11 @@ _VERSIONED_MODULES = (
     "repro.dnn.models",
     "repro.experiments.kinds",
     "repro.noc.network",
+    "repro.noc.recorder",
     "repro.noc.router",
     "repro.noc.traffic",
     "repro.ordering.strategies",
+    "repro.workloads.traces",
 )
 
 

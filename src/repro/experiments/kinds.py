@@ -18,6 +18,12 @@ Three kinds ship built in:
 * ``"synthetic"`` — standalone NoC traffic via
   :func:`repro.noc.traffic.run_synthetic` (uniform / transpose /
   complement / hotspot patterns).
+* ``"replay"`` — recorded wire-image traces
+  (:mod:`repro.workloads.traces`) re-scored offline or re-injected
+  through a network core, with ordering strategies / link codings
+  re-applied at replay time; ``core="both"`` is the differential mode
+  that runs the event and stepped cores on identical traffic and
+  fails the job on any per-link BT divergence.
 
 ``register_job_kind`` accepts further kinds; ``SweepSpec`` and
 ``CampaignRunner`` dispatch purely through the registry, so a new
@@ -33,7 +39,10 @@ expensive.
 
 from __future__ import annotations
 
+import os
+import pathlib
 from dataclasses import dataclass, fields
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -50,6 +59,13 @@ from repro.noc.traffic import (
     drive_synthetic,
 )
 from repro.workloads.streams import trained_lenet_model
+from repro.workloads.traces import (
+    REPLAY_ORDERINGS,
+    TrafficTrace,
+    reencode_per_link,
+    replay_through_network,
+    trace_digest,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.spec import JobSpec, SweepSpec
@@ -57,8 +73,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "MODEL_NAMES",
     "JOB_KINDS",
+    "REPLAY_CORES",
+    "REPLAY_CODINGS",
     "JobKind",
     "SyntheticJobConfig",
+    "ReplayJobConfig",
     "job_kind",
     "parse_mesh_axis",
     "register_job_kind",
@@ -184,6 +203,147 @@ class SyntheticJobConfig:
         )
 
 
+#: Replay execution targets: offline re-scoring, one network core, or
+#: the differential both-cores conformance mode.
+REPLAY_CORES = ("offline", "event", "stepped", "both")
+
+#: Link codings the offline replay path can re-apply.
+REPLAY_CODINGS = ("none", "bus_invert", "delta")
+
+
+@dataclass(frozen=True)
+class ReplayJobConfig:
+    """Config of one trace-replay point.
+
+    Attributes:
+        trace: path to a trace file written by
+            :meth:`~repro.workloads.traces.TrafficTrace.save`.
+        trace_sha256: content digest of the trace file; filled in from
+            the file by :meth:`from_flat` when empty, verified again at
+            execution time so a swapped file never serves stale cached
+            results.
+        ordering: transmission ordering re-applied at replay time
+            ("none" or "popcount_desc").  The two replay targets apply
+            it at different stages by construction: offline re-sorts
+            each packet's wire images within their recorded per-link
+            slots, while network replay sorts each packet's payloads
+            *before* injection (link interleaving may then differ
+            under contention).  Both estimate the ordering's benefit
+            on identical traffic; compare rows with that in mind.
+        coding: link coding re-applied offline ("none", "bus_invert",
+            "delta"; offline mode only).
+        core: "offline" re-scores the recorded wire images without a
+            network; "event"/"stepped" re-inject the recorded packet
+            schedule through that cycle-loop core; "both" is the
+            differential conformance mode — both cores run the same
+            traffic and the job *fails* on any per-link BT divergence.
+        link_latency: optional NoC link-latency override for network
+            replay (timing what-ifs on recorded traffic).
+    """
+
+    trace: str
+    trace_sha256: str = ""
+    ordering: str = "none"
+    coding: str = "none"
+    core: str = "offline"
+    link_latency: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.ordering not in REPLAY_ORDERINGS:
+            raise ValueError(
+                f"unknown replay ordering {self.ordering!r}; "
+                f"use one of {REPLAY_ORDERINGS}"
+            )
+        if self.coding not in REPLAY_CODINGS:
+            raise ValueError(
+                f"unknown replay coding {self.coding!r}; "
+                f"use one of {REPLAY_CODINGS}"
+            )
+        if self.core not in REPLAY_CORES:
+            raise ValueError(
+                f"unknown replay core {self.core!r}; "
+                f"use one of {REPLAY_CORES}"
+            )
+        if self.coding != "none" and self.core != "offline":
+            raise ValueError(
+                "link codings re-apply offline only; use core='offline'"
+            )
+        if self.link_latency is not None:
+            if self.core == "offline":
+                raise ValueError(
+                    "link_latency overrides need a network replay core"
+                )
+            if self.link_latency < 1:
+                raise ValueError("link_latency must be at least 1")
+
+    def label(self) -> str:
+        """Short point label, e.g. "run.trace.gz popcount_desc both"."""
+        parts = [os.path.basename(self.trace), self.ordering]
+        if self.coding != "none":
+            parts.append(self.coding)
+        parts.append(self.core)
+        if self.link_latency is not None:
+            parts.append(f"lat{self.link_latency}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; exact inverse of :meth:`from_dict`."""
+        return {
+            "trace": self.trace,
+            "trace_sha256": self.trace_sha256,
+            "ordering": self.ordering,
+            "coding": self.coding,
+            "core": self.core,
+            "link_latency": self.link_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReplayJobConfig":
+        known = {
+            "trace", "trace_sha256", "ordering", "coding", "core",
+            "link_latency",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ReplayJobConfig keys: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_flat(cls, kwargs: dict[str, Any]) -> "ReplayJobConfig":
+        """Build from a flat sweep-point mapping.
+
+        Reads the trace file to pin its content digest, so a missing
+        or unreadable trace fails at grid-expansion time — with the
+        point named — never inside a worker.
+        """
+        config = cls.from_dict(kwargs)
+        if not config.trace_sha256:
+            try:
+                stat = os.stat(config.trace)
+                digest = _trace_digest_cached(
+                    config.trace, stat.st_mtime_ns, stat.st_size
+                )
+            except OSError as exc:
+                raise ValueError(
+                    f"cannot read trace file {config.trace!r}: {exc}"
+                ) from exc
+            config = ReplayJobConfig(
+                **{**config.to_dict(), "trace_sha256": digest}
+            )
+        return config
+
+
+@lru_cache(maxsize=256)
+def _trace_digest_cached(path: str, mtime_ns: int, size: int) -> str:
+    """Stat-keyed digest memo: a wide grid over one trace hashes the
+    file once per (path, mtime, size), not once per expanded point.
+    Executors still re-hash at run time, so a swap between expansion
+    and execution is always caught."""
+    return trace_digest(path)
+
+
 class JobKind:
     """One workload family the campaign engine can run.
 
@@ -198,10 +358,12 @@ class JobKind:
     # (total_bit_transitions, data_format in config, ...), "synthetic"
     # the NoC-stats schema.
     report_family = "accelerator"
-    # Expansion parameters: which mesh pseudo-axis fields apply, and
-    # whether the kind carries a DNN model (and its workload seeds).
+    # Expansion parameters: which mesh pseudo-axis fields apply,
+    # whether the kind carries a DNN model (and its workload seeds),
+    # and whether its config takes a derived per-point seed at all.
     mesh_keys = _MESH_KEYS
     uses_model = True
+    uses_seed = True
 
     # -- config schema ---------------------------------------------------
 
@@ -269,6 +431,10 @@ class JobKind:
         kwargs: dict[str, Any] = dict(spec.base)
         mesh = point.pop("mesh", None)
         if mesh is not None:
+            if not self.mesh_keys:
+                raise ValueError(
+                    f"job kind {self.name!r} takes no mesh axis"
+                )
             mesh_kw = (
                 parse_mesh_axis(mesh) if isinstance(mesh, str) else mesh
             )
@@ -276,10 +442,16 @@ class JobKind:
                 {k: mesh_kw[k] for k in self.mesh_keys if k in mesh_kw}
             )
         kwargs.update(point)
-        if "seed" not in kwargs:
+        if self.uses_seed and "seed" not in kwargs:
+            # The network core is an execution detail, not workload
+            # identity: a --cores cross-check must sample the *same*
+            # tasks/images on both cores, so it stays out of the
+            # derived seed (cache keys still separate per core via the
+            # config itself).
+            seed_kwargs = {k: v for k, v in kwargs.items() if k != "core"}
             kwargs["seed"] = derive_seed(
                 spec.seed, model if self.uses_model else self.name,
-                kwargs, *seed_salt,
+                seed_kwargs, *seed_salt,
             )
         try:
             config = self._build_point_config(kwargs)
@@ -521,6 +693,212 @@ class SyntheticJobKind(JobKind):
         )
 
 
+class ReplayJobKind(JobKind):
+    """Recorded-trace replay (offline re-scoring or network re-run).
+
+    The workload is a trace file, content-addressed into the cache key
+    via its digest: re-running a replay sweep over an unchanged trace
+    is all cache hits, and editing the trace re-simulates exactly the
+    affected points.  ``core="both"`` is the cross-core differential
+    mode — both cycle-loop cores replay identical traffic and the job
+    errors on any per-link BT divergence, making conformance checks a
+    first-class (cached, parallel) campaign workload.
+    """
+
+    name = "replay"
+    report_family = "replay"
+    # No mesh (the trace pins the topology), no DNN model, and no
+    # derived per-point seed (replay is deterministic by construction).
+    mesh_keys = ()
+    uses_model = False
+    uses_seed = False
+
+    def config_from_dict(self, data: dict[str, Any]) -> Any:
+        return ReplayJobConfig.from_dict(data)
+
+    def validate_job(self, job: "JobSpec") -> None:
+        if job.model is not None:
+            raise ValueError(
+                "replay jobs carry no DNN model; leave model=None"
+            )
+        if not isinstance(job.config, ReplayJobConfig):
+            raise ValueError(
+                f"kind 'replay' needs a ReplayJobConfig, "
+                f"got {type(job.config).__name__}"
+            )
+        for name in ("model_seed", "image_seed", "n_images"):
+            if getattr(job, name) != _spec_default(job, name):
+                raise ValueError(
+                    "replay jobs take no model_seed/image_seed/n_images"
+                )
+
+    def validate_spec(self, spec: "SweepSpec") -> None:
+        for name in ("model", "model_seed", "image_seed", "n_images"):
+            if getattr(spec, name) != _spec_default(spec, name):
+                raise ValueError(
+                    f"replay sweeps take no {name}; "
+                    "axes are trace/ordering/coding/core/link_latency"
+                )
+
+    def key_payload(self, job: "JobSpec") -> dict[str, Any]:
+        config_dict = job.config.to_dict()
+        if not config_dict["trace_sha256"]:
+            # Programmatic configs may omit the digest, but the cache
+            # key must always be content-addressed — an empty digest
+            # would serve stale cached results after the trace file is
+            # rewritten.  An unreadable file keeps the empty digest and
+            # fails at execution with the captured-error machinery.
+            try:
+                stat = os.stat(config_dict["trace"])
+                config_dict["trace_sha256"] = _trace_digest_cached(
+                    config_dict["trace"], stat.st_mtime_ns, stat.st_size
+                )
+            except OSError:
+                pass
+        return {
+            "kind": self.name,
+            "max_cycles_per_layer": job.max_cycles_per_layer,
+            "config": config_dict,
+        }
+
+    def _build_point_config(self, kwargs: dict[str, Any]) -> Any:
+        return ReplayJobConfig.from_flat(kwargs)
+
+    def execute(self, job: "JobSpec") -> dict[str, Any]:
+        config = job.config
+        # One read serves both the content check and the decode.
+        raw = pathlib.Path(config.trace).read_bytes()
+        digest = trace_digest(raw)
+        if config.trace_sha256 and digest != config.trace_sha256:
+            raise ValueError(
+                f"trace file {config.trace!r} changed since the sweep "
+                f"was expanded (digest {digest} != {config.trace_sha256})"
+            )
+        trace = TrafficTrace.from_bytes(raw, source=config.trace)
+        recorded_per_link = trace.per_link_transitions()
+        recorded_total = sum(recorded_per_link.values())
+        payload: dict[str, Any] = {
+            "trace": config.trace,
+            "trace_sha256": digest,
+            "recorded_bit_transitions": recorded_total,
+            "trace_packets": len(trace.packets),
+        }
+        if config.core == "offline":
+            if config.ordering == "none" and config.coding == "none":
+                # Identity replay: the recorded pass *is* the answer —
+                # don't re-walk every link's flit stream a second time.
+                per_link = dict(recorded_per_link)
+            else:
+                per_link = reencode_per_link(
+                    trace.reordered(config.ordering), config.coding
+                )
+            total = sum(per_link.values())
+            payload.update(
+                {
+                    "total_bit_transitions": total,
+                    "flit_hops": trace.total_flit_traversals(),
+                    "per_link": per_link,
+                    "cores": [],
+                    "cores_agree": None,
+                    "matches_recorded": per_link == recorded_per_link,
+                }
+            )
+            return payload
+        cores = (
+            ["event", "stepped"] if config.core == "both" else [config.core]
+        )
+        overrides = (
+            None
+            if config.link_latency is None
+            else {"link_latency": config.link_latency}
+        )
+        networks = {
+            core: replay_through_network(
+                trace,
+                core=core,
+                ordering=config.ordering,
+                overrides=overrides,
+                max_cycles=job.max_cycles_per_layer,
+            )
+            for core in cores
+        }
+        ledgers = {
+            core: net.ledger.per_link() for core, net in networks.items()
+        }
+        if len(cores) == 2 and ledgers["event"] != ledgers["stepped"]:
+            diverged = sorted(
+                name
+                for name in set(ledgers["event"]) | set(ledgers["stepped"])
+                if ledgers["event"].get(name) != ledgers["stepped"].get(name)
+            )
+            raise RuntimeError(
+                f"cross-core replay divergence on {len(diverged)} links "
+                f"(first: {diverged[:4]})"
+            )
+        net = networks[cores[0]]
+        per_link = ledgers[cores[0]]
+        # Injection-link recorders (NI*.INJECT) exist only in the live
+        # ledger, never in the captured trace (record_injection=True
+        # configs).  Headline numbers therefore count the transmit-path
+        # links the trace actually covers, so network rows stay
+        # comparable with offline rows and with recorded_bit_transitions;
+        # the unfiltered network-wide sum is kept alongside.
+        transmit_links = {
+            name: bts
+            for name, bts in per_link.items()
+            if not name.startswith("NI")
+        }
+        faithful = config.ordering == "none" and overrides is None
+        stats = net.stats
+        payload.update(
+            {
+                "total_bit_transitions": sum(transmit_links.values()),
+                "network_bit_transitions": stats.total_bit_transitions,
+                "total_cycles": stats.cycles,
+                "flit_hops": stats.flit_hops,
+                "packets_injected": stats.packets_injected,
+                "packets_delivered": stats.packets_delivered,
+                "mean_packet_latency": stats.mean_latency,
+                "per_link": transmit_links,
+                "cores": cores,
+                "cores_agree": True if len(cores) == 2 else None,
+                "matches_recorded": (
+                    transmit_links == recorded_per_link if faithful else None
+                ),
+            }
+        )
+        return payload
+
+    def job_label(self, job: "JobSpec") -> str:
+        return f"replay {job.config.label()}"
+
+    def record_label(self, record: dict[str, Any]) -> str:
+        config = record.get("config", {})
+        trace = os.path.basename(str(config.get("trace", "?")))
+        label = (
+            f"replay {trace} {config.get('ordering', '?')} "
+            f"{config.get('core', '?')}"
+        )
+        if config.get("coding", "none") != "none":
+            label += f" {config['coding']}"
+        if config.get("link_latency") is not None:
+            label += f" lat{config['link_latency']}"
+        return label
+
+    def result_summary(self, result: dict[str, Any]) -> str:
+        recorded = result.get("recorded_bit_transitions", 0)
+        total = result["total_bit_transitions"]
+        delta = (
+            f", {100.0 * (recorded - total) / recorded:.2f}% vs recorded"
+            if recorded
+            else ""
+        )
+        cores = result.get("cores") or []
+        agree = " [cores agree]" if result.get("cores_agree") else ""
+        mode = "+".join(cores) if cores else "offline"
+        return f"{total:>10d} BTs ({mode}{delta}){agree}"
+
+
 JOB_KINDS: dict[str, JobKind] = {}
 
 
@@ -542,6 +920,7 @@ def register_job_kind(kind: JobKind) -> JobKind:
 register_job_kind(JobKind())
 register_job_kind(BatchJobKind())
 register_job_kind(SyntheticJobKind())
+register_job_kind(ReplayJobKind())
 
 
 def job_kind(name: str) -> JobKind:

@@ -15,6 +15,7 @@ whatever mix of model, batch, and synthetic records a store holds.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.analysis.summary import format_series, reduction_rate
@@ -22,6 +23,7 @@ from repro.analysis.summary import format_series, reduction_rate
 __all__ = [
     "REPORT_PIVOTS",
     "ok_records",
+    "skipped_records",
     "record_kind",
     "pivot",
     "mesh_row_key",
@@ -40,8 +42,40 @@ REPORT_PIVOTS = ("mesh", "model", "layer", "link")
 
 
 def ok_records(records: Iterable[Record]) -> list[Record]:
-    """Only successful simulation records."""
-    return [r for r in records if r.get("status") == "ok"]
+    """Only reportable simulation records.
+
+    A reportable record is ``status == "ok"`` *and* structurally sound
+    (a result object is present).  Failed jobs, and ok-status records
+    whose result payload is missing entirely, are excluded here — the
+    CLI surfaces them via :func:`skipped_records` instead of letting a
+    single bad line take the whole report down.
+    """
+    return [
+        r
+        for r in records
+        if r.get("status") == "ok" and isinstance(r.get("result"), dict)
+    ]
+
+
+def skipped_records(
+    records: Iterable[Record],
+) -> list[tuple[Record, str]]:
+    """(record, reason) for every record a report will skip.
+
+    The complement of :func:`ok_records`: failed jobs carry their
+    captured error, malformed ok-records the structural reason.
+    """
+    skipped: list[tuple[Record, str]] = []
+    for record in records:
+        status = record.get("status")
+        if status == "ok":
+            if not isinstance(record.get("result"), dict):
+                skipped.append((record, "ok record carries no result"))
+        else:
+            skipped.append(
+                (record, str(record.get("error") or f"status={status!r}"))
+            )
+    return skipped
 
 
 def record_kind(record: Record) -> str:
@@ -85,13 +119,18 @@ def pivot(
     """Aggregate records into the {row -> {column -> value}} grid shape.
 
     Later records win on key collisions (store append order = recency),
-    matching :meth:`ResultStore.latest_by_job` semantics.
+    matching :meth:`ResultStore.latest_by_job` semantics.  Records
+    whose result payload lacks the pivoted field (older stores, foreign
+    kinds) are skipped rather than raising — a sweep that mixes job
+    generations must still report the rows it can.
     """
     series: dict[str, dict[str, float]] = {}
     for record in ok_records(records):
-        series.setdefault(row_key(record), {})[col_key(record)] = value(
-            record
-        )
+        try:
+            cell = value(record)
+        except (KeyError, TypeError):
+            continue
+        series.setdefault(row_key(record), {})[col_key(record)] = cell
     return series
 
 
@@ -145,7 +184,9 @@ def link_pivot(
     links into one cell.
     """
     records = ok_records(records)
-    if records and all("noc" in r.get("config", {}) for r in records):
+    if records and all("trace" in r.get("config", {}) for r in records):
+        context = _replay_row_key
+    elif records and all("noc" in r.get("config", {}) for r in records):
         context = _synthetic_row_key_for(records)
     else:
         context = mesh_row_key
@@ -164,24 +205,56 @@ def link_pivot(
 def reduction_series(
     series: dict[str, dict[str, float]], baseline: str = "O0"
 ) -> dict[str, dict[str, float]]:
-    """Per-row reduction rates vs the baseline column, in percent."""
+    """Per-row reduction rates vs the baseline column, in percent.
+
+    Core-suffixed columns (``O2@stepped`` from a ``--cores`` sweep)
+    reduce against the matching suffixed baseline (``O0@stepped``), so
+    adding the core axis never silently drops the reduction tables.
+    """
     out: dict[str, dict[str, float]] = {}
     for row, values in series.items():
-        if baseline not in values:
-            continue
-        base = values[baseline]
-        out[row] = {
-            col: reduction_rate(base, value)
-            for col, value in values.items()
-            if col != baseline
-        }
+        reductions: dict[str, float] = {}
+        for col, value in values.items():
+            prefix, at, suffix = col.partition("@")
+            if prefix == baseline:
+                continue
+            base = values.get(f"{baseline}{at}{suffix}")
+            if base is None:
+                continue
+            reductions[col] = reduction_rate(base, value)
+        if reductions:
+            out[row] = reductions
     return out
+
+
+def _core_aware_col_key(
+    records: list[Record],
+) -> Callable[[Record], str]:
+    """Column key that separates cycle-loop cores when they vary.
+
+    A ``--cores event,stepped`` cross-check produces records whose
+    configs differ only in ``core``; without this, the mesh/model
+    pivots would silently overwrite one core's cell with the other's
+    and the summing layer/link pivots would double-count BTs.  With
+    it, each core gets its own column (``O0@stepped``) — a cross-core
+    divergence becomes visible side by side.
+    """
+    cores = {r.get("config", {}).get("core") for r in records}
+    if len(cores) <= 1:
+        return ordering_col_key
+
+    def col_key(record: Record) -> str:
+        core = record.get("config", {}).get("core") or "default"
+        return f"{ordering_col_key(record)}@{core}"
+
+    return col_key
 
 
 def fig12_report(
     records: Iterable[Record],
     row_key: Callable[[Record], str] = mesh_row_key,
     title: str = "Absolute BTs",
+    col_key: Callable[[Record], str] | None = None,
 ) -> str:
     """Render the Fig. 12-style grids, one block per data format."""
     records = [
@@ -192,10 +265,12 @@ def fig12_report(
     formats = sorted({r["config"]["data_format"] for r in records})
     if not formats:
         return "(no successful records)"
+    if col_key is None:
+        col_key = _core_aware_col_key(records)
     blocks: list[str] = []
     for fmt in formats:
         subset = [r for r in records if r["config"]["data_format"] == fmt]
-        series = pivot(subset, row_key=row_key)
+        series = pivot(subset, row_key=row_key, col_key=col_key)
         blocks.append(format_series(series, f"{title} ({fmt})"))
         reductions = reduction_series(series)
         if reductions:
@@ -238,17 +313,22 @@ def _per_format_blocks(
 
 def _accel_blocks(records: list[Record], pivot_name: str) -> list[str]:
     """Report blocks for the accelerator kinds (model / batch)."""
+    col_key = _core_aware_col_key(ok_records(records))
     if pivot_name == "model":
         return [fig12_report(records, row_key=model_row_key)]
     if pivot_name == "layer":
         return _per_format_blocks(
-            records, layer_pivot, "Per-layer BTs",
+            records,
+            lambda subset: layer_pivot(subset, col_key=col_key),
+            "Per-layer BTs",
             "(no per-layer data in records)",
             reduction_title="Per-layer reductions vs O0, %",
         )
     if pivot_name == "link":
         return _per_format_blocks(
-            records, link_pivot, "Per-link BTs",
+            records,
+            lambda subset: link_pivot(subset, col_key=col_key),
+            "Per-link BTs",
             "(no per-link data in records)",
         )
     return [fig12_report(records)]
@@ -340,6 +420,52 @@ def _synthetic_blocks(records: list[Record], pivot_name: str) -> list[str]:
     return blocks
 
 
+def _replay_row_key(record: Record) -> str:
+    """Replay row key: trace basename plus the replay target."""
+    config = record.get("config", {})
+    row = os.path.basename(str(config.get("trace", "?")))
+    core = config.get("core", "offline")
+    if core != "offline":
+        row = f"{row} {core}"
+    if config.get("link_latency") is not None:
+        row = f"{row} lat{config['link_latency']}"
+    return row
+
+
+def _replay_col_key(record: Record) -> str:
+    """Replay column key: the re-applied ordering (+ coding)."""
+    config = record.get("config", {})
+    col = str(config.get("ordering", "?"))
+    if config.get("coding", "none") != "none":
+        col = f"{col}+{config['coding']}"
+    return col
+
+
+def _replay_blocks(records: list[Record], pivot_name: str) -> list[str]:
+    """Report blocks for trace-replay records."""
+    if pivot_name == "layer":
+        return ["(replay records have no per-layer data)"]
+    if pivot_name == "model":
+        return ["(replay records have no model pivot)"]
+    if pivot_name == "link":
+        series = link_pivot(records, col_key=_replay_col_key)
+        if not series:
+            return ["(no per-link data in records)"]
+        return [format_series(series, "Replayed per-link BTs")]
+    series = pivot(records, row_key=_replay_row_key, col_key=_replay_col_key)
+    if not series:
+        return ["(no successful replay records)"]
+    blocks = [format_series(series, "Replayed BTs")]
+    # Baseline is each row's replayed "none" ordering — equal to the
+    # recorded traffic only when that row replays without overrides.
+    reductions = reduction_series(series, baseline="none")
+    if reductions:
+        blocks.append(
+            format_series(reductions, "Replay reductions vs none, %")
+        )
+    return blocks
+
+
 def _report_family(record: Record) -> str:
     """Which block family renders a record.
 
@@ -374,6 +500,7 @@ def campaign_report(
     records = ok_records(records)
     accel = [r for r in records if _report_family(r) == "accelerator"]
     synth = [r for r in records if _report_family(r) == "synthetic"]
+    replay = [r for r in records if _report_family(r) == "replay"]
     blocks: list[str] = []
     accel_kinds = sorted({record_kind(r) for r in accel})
     for kind_name in accel_kinds:
@@ -383,6 +510,8 @@ def campaign_report(
         blocks.extend(_accel_blocks(subset, pivot_name))
     if synth:
         blocks.extend(_synthetic_blocks(synth, pivot_name))
+    if replay:
+        blocks.extend(_replay_blocks(replay, pivot_name))
     if not blocks:
         return "(no successful records)"
     return "\n\n".join(blocks)

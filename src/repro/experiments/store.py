@@ -30,6 +30,8 @@ _CSV_RESULT_FIELDS = (
     "ordering_latency_cycles",
     "n_images",
     "packets_delivered",
+    "recorded_bit_transitions",
+    "cores_agree",
 )
 _CSV_CONFIG_FIELDS = (
     "width",
@@ -45,6 +47,9 @@ _CSV_CONFIG_FIELDS = (
     "injection_window",
     "hotspot_node",
     "link_width",
+    "core",
+    "trace",
+    "coding",
     "seed",
 )
 

@@ -13,7 +13,11 @@ from repro.noc.network import (
     network_core,
     set_default_core,
 )
-from repro.noc.recorder import LinkRecorder, TransitionLedger
+from repro.noc.recorder import (
+    LinkRecorder,
+    TraceRecorder,
+    TransitionLedger,
+)
 from repro.noc.router import ProtocolError, Router, VCState
 from repro.noc.statistics import (
     LinkLoad,
@@ -24,6 +28,8 @@ from repro.noc.statistics import (
 from repro.noc.traffic import (
     SyntheticTrafficConfig,
     TrafficPattern,
+    drive_schedule,
+    drive_synthetic,
     generate_traffic,
     run_synthetic,
 )
@@ -53,6 +59,7 @@ __all__ = [
     "set_default_core",
     "LinkRecorder",
     "TransitionLedger",
+    "TraceRecorder",
     "ProtocolError",
     "Router",
     "VCState",
@@ -64,6 +71,8 @@ __all__ = [
     "TrafficPattern",
     "generate_traffic",
     "run_synthetic",
+    "drive_schedule",
+    "drive_synthetic",
     "OPPOSITE",
     "Port",
     "routing_by_name",

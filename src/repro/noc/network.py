@@ -43,6 +43,7 @@ are resolved once, not per hop).
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
@@ -127,6 +128,11 @@ class NoCConfig:
         injection_rate: flits each NI may inject per cycle.
         link_latency: cycles a flit spends crossing a link (>= 1;
             models deeper router/link pipelines).
+        core: pin the cycle-loop core ("event" or "stepped") for every
+            network built from this config; None defers to the
+            process-wide :func:`default_core`.  Being a config field
+            makes the core a sweepable campaign axis (``repro sweep
+            --cores``) that participates in cache keys.
     """
 
     width: int = 4
@@ -140,6 +146,7 @@ class NoCConfig:
     include_header_bits: bool = False
     injection_rate: int = 1
     link_latency: int = 1
+    core: str | None = None
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:
@@ -150,6 +157,10 @@ class NoCConfig:
             raise ValueError("link_width must be positive")
         if self.link_latency < 1:
             raise ValueError("link_latency must be at least 1")
+        if self.core is not None and self.core not in CORES:
+            raise ValueError(
+                f"unknown network core {self.core!r}; use one of {CORES}"
+            )
 
     @property
     def n_nodes(self) -> int:
@@ -209,13 +220,14 @@ class Network:
     Args:
         config: structural parameters.
         core: cycle-loop implementation, ``"event"`` or ``"stepped"``;
-            ``None`` uses :func:`default_core`.
+            ``None`` uses ``config.core`` when pinned, else
+            :func:`default_core`.
     """
 
     def __init__(self, config: NoCConfig, core: str | None = None) -> None:
         self.config = config
         if core is None:
-            core = _default_core
+            core = config.core if config.core is not None else _default_core
         if core not in CORES:
             raise ValueError(
                 f"unknown network core {core!r}; use one of {CORES}"
@@ -304,9 +316,17 @@ class Network:
         self._upstream_credits: list[list[list[int] | None] | None] = (
             [None] * config.n_nodes
         )
-        # Optional per-link wire-image trace (see repro.workloads.traces);
-        # any object with record(link_name, bits, cycle) works.
+        # Optional per-link wire-image trace (see repro.workloads.traces
+        # and repro.noc.recorder.TraceRecorder): any object with
+        # record(link_name, bits, cycle, vc, flit) works; if it also
+        # exposes record_send(cycle, packet), every packet injection
+        # event is captured too (what trace replay re-injects).
+        # Collectors with the historical 3-arg record(link, bits,
+        # cycle) signature keep working — the hook arity is resolved
+        # once per collector, not per hop.
         self.trace_collector = None
+        self._trace_hook = None
+        self._trace_hook_owner = None
 
     # -- traffic interface ---------------------------------------------
 
@@ -322,6 +342,11 @@ class Network:
                     f"flit width {flit.width} != link width "
                     f"{self.config.link_width}"
                 )
+        collector = self.trace_collector
+        if collector is not None:
+            send_hook = getattr(collector, "record_send", None)
+            if send_hook is not None:
+                send_hook(self.cycle, packet)
         self._in_flight[packet.packet_id] = packet
         self.nis[packet.src].queue_packet(packet)
         self._pending_nis.add(packet.src)
@@ -366,7 +391,11 @@ class Network:
             ledger._total_flits += 1
             stats.total_bit_transitions += caused
             if self.trace_collector is not None:
-                self.trace_collector.record(recorder.name, bits, self.cycle)
+                if self.trace_collector is not self._trace_hook_owner:
+                    self._bind_trace_hook()
+                self._trace_hook(
+                    recorder.name, bits, self.cycle, out_vc, flit
+                )
         stats.flit_hops += 1
         if out_port is _LOCAL:
             self._ejections.append((node, flit))
@@ -402,6 +431,60 @@ class Network:
                 flit,
             )
         )
+
+    def _bind_trace_hook(self) -> None:
+        """Resolve the trace collector's record() arity, once.
+
+        The hook protocol grew from ``record(link, bits, cycle)`` to
+        ``record(link, bits, cycle, vc, flit)``; collectors written
+        against the old protocol are adapted instead of crashing on
+        the first traced hop.
+        """
+        record = self.trace_collector.record
+        legacy = keyword_only = False
+        try:
+            params = inspect.signature(record).parameters
+            n_positional = sum(
+                p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+                for p in params.values()
+            )
+            var_positional = any(
+                p.kind is p.VAR_POSITIONAL for p in params.values()
+            )
+            kw_names = {
+                name
+                for name, p in params.items()
+                if p.kind is p.KEYWORD_ONLY
+            } | (
+                {"vc", "flit"}
+                if any(p.kind is p.VAR_KEYWORD for p in params.values())
+                else set()
+            )
+            if not var_positional and n_positional == 3:
+                if {"vc", "flit"} <= kw_names:
+                    keyword_only = True
+                else:
+                    legacy = True
+            # Any other shape gets the direct 5-positional call: a
+            # genuinely incompatible signature then raises TypeError
+            # instead of silently losing vc/flit.
+        except (TypeError, ValueError):  # builtins without signatures
+            pass
+        if keyword_only:
+            self._trace_hook = (
+                lambda name, bits, cycle, vc, flit: record(
+                    name, bits, cycle, vc=vc, flit=flit
+                )
+            )
+        elif legacy:
+            self._trace_hook = (
+                lambda name, bits, cycle, vc, flit: record(
+                    name, bits, cycle
+                )
+            )
+        else:
+            self._trace_hook = record
+        self._trace_hook_owner = self.trace_collector
 
     def queue_credit(self, router: Router, in_port: Port, vc_idx: int) -> None:
         """Return a buffer credit to the upstream router."""

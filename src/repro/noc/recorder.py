@@ -18,8 +18,13 @@ unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
-__all__ = ["LinkRecorder", "TransitionLedger"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (layer inversion)
+    from repro.noc.flit import Flit, Packet
+    from repro.workloads.traces import TrafficTrace
+
+__all__ = ["LinkRecorder", "TransitionLedger", "TraceRecorder"]
 
 
 @dataclass
@@ -113,3 +118,99 @@ class TransitionLedger:
     def per_link(self) -> dict[str, int]:
         """Snapshot of per-link BT counts."""
         return {name: rec.transitions for name, rec in self.recorders.items()}
+
+
+class TraceRecorder:
+    """Full-fidelity capture hook for trace record & replay.
+
+    Attach one to :attr:`Network.trace_collector` before a run::
+
+        network.trace_collector = TraceRecorder()
+        ... run ...
+        trace = network.trace_collector.finish(network.config)
+        trace.save("run.trace.gz")
+
+    Two event streams are captured:
+
+    * per-link *hop* events — the wire image, traversal cycle, output
+      VC, and owning packet of every flit that crossed a recorded link
+      (the Fig. 8 measurement surface, in exact traversal order);
+    * packet *injection* events — (cycle, src, dst, per-flit payloads)
+      for every :meth:`Network.send_packet` call, which is precisely
+      the schedule trace replay re-injects through a fresh network.
+
+    Unlike the lighter :class:`repro.workloads.traces.TraceCollector`
+    (wire images + cycles only), a finished TraceRecorder trace can be
+    replayed *through* either network core, not just re-scored offline.
+    """
+
+    def __init__(self) -> None:
+        # Parallel per-link lists, appended in traversal order.
+        self._links: dict[str, list[int]] = {}
+        self._cycles: dict[str, list[int]] = {}
+        self._vcs: dict[str, list[int]] = {}
+        self._packet_ids: dict[str, list[int]] = {}
+        # (cycle, src, dst, payloads) injection events in send order.
+        self._sends: list[tuple[int, int, int, tuple[int, ...]]] = []
+
+    def record(
+        self,
+        link_name: str,
+        bits: int,
+        cycle: int,
+        vc: int = 0,
+        flit: "Flit | None" = None,
+    ) -> None:
+        """Network hook: one flit crossed ``link_name``."""
+        links = self._links.get(link_name)
+        if links is None:
+            links = self._links[link_name] = []
+            self._cycles[link_name] = []
+            self._vcs[link_name] = []
+            self._packet_ids[link_name] = []
+        links.append(bits)
+        self._cycles[link_name].append(cycle)
+        self._vcs[link_name].append(vc)
+        self._packet_ids[link_name].append(
+            -1 if flit is None else flit.packet_id
+        )
+
+    def record_send(self, cycle: int, packet: "Packet") -> None:
+        """Network hook: one packet was queued for injection."""
+        self._sends.append(
+            (
+                cycle,
+                packet.src,
+                packet.dst,
+                tuple(flit.payload for flit in packet.flits),
+            )
+        )
+
+    def finish(self, config: Any) -> "TrafficTrace":
+        """Freeze the capture into a replayable trace.
+
+        Args:
+            config: the network's :class:`NoCConfig` (recorded into the
+                trace so replay can rebuild an identical mesh), or a
+                plain link width in bits for config-less captures.
+        """
+        # Imported here: repro.noc must stay importable without the
+        # workloads layer (which imports bits/ordering on top of it).
+        from repro.workloads.traces import PacketEvent, TrafficTrace
+
+        if isinstance(config, int):
+            link_width, noc = config, None
+        else:
+            link_width, noc = config.link_width, config.to_dict()
+        return TrafficTrace(
+            link_width=link_width,
+            links={k: tuple(v) for k, v in self._links.items()},
+            cycles={k: tuple(v) for k, v in self._cycles.items()},
+            vcs={k: tuple(v) for k, v in self._vcs.items()},
+            packet_ids={k: tuple(v) for k, v in self._packet_ids.items()},
+            packets=tuple(
+                PacketEvent(cycle=c, src=s, dst=d, payloads=p)
+                for c, s, d, p in self._sends
+            ),
+            noc=noc,
+        )

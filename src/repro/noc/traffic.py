@@ -29,6 +29,7 @@ __all__ = [
     "SyntheticTrafficConfig",
     "destination_for",
     "generate_traffic",
+    "drive_schedule",
     "drive_synthetic",
     "run_synthetic",
 ]
@@ -171,21 +172,19 @@ def generate_traffic(
     yield from events
 
 
-def drive_synthetic(
-    config: SyntheticTrafficConfig,
-    noc_config: NoCConfig,
+def drive_schedule(
+    network: Network,
+    events: list[tuple[int, Packet]],
     max_cycles: int = 500_000,
 ) -> Network:
-    """Drive a synthetic workload through a fresh network.
+    """Inject (cycle, packet) events on schedule and drain the network.
 
-    Returns the drained :class:`Network` so callers can read both the
-    aggregate ``stats`` and the per-link ``ledger`` (the campaign
-    engine's per-link pivots need the latter).
+    The shared injection loop of synthetic traffic and trace replay:
+    events must be sorted by cycle (recorded schedules are — the
+    network clock is monotonic).  Returns the drained network.
     """
-    network = Network(noc_config)
-    pending = list(generate_traffic(config, noc_config))
     idx = 0
-    n_events = len(pending)
+    n_events = len(events)
     event = network.event_core
     while idx < n_events or network.has_work:
         if event and network.is_idle:
@@ -196,20 +195,39 @@ def drive_synthetic(
             # stepped run.
             target = max_cycles
             if idx < n_events:
-                target = min(target, pending[idx][0])
+                target = min(target, events[idx][0])
             arrival = network.next_internal_event()
             if arrival is not None:
                 target = min(target, arrival)
             network.fast_forward(target)
-        while idx < n_events and pending[idx][0] <= network.cycle:
-            network.send_packet(pending[idx][1])
+        while idx < n_events and events[idx][0] <= network.cycle:
+            network.send_packet(events[idx][1])
             idx += 1
         if network.cycle >= max_cycles:
             raise RuntimeError(
-                f"synthetic run exceeded {max_cycles} cycles"
+                f"scheduled run exceeded {max_cycles} cycles"
             )
         network.step()
     return network
+
+
+def drive_synthetic(
+    config: SyntheticTrafficConfig,
+    noc_config: NoCConfig,
+    max_cycles: int = 500_000,
+    trace_collector: Any = None,
+) -> Network:
+    """Drive a synthetic workload through a fresh network.
+
+    Returns the drained :class:`Network` so callers can read both the
+    aggregate ``stats`` and the per-link ``ledger`` (the campaign
+    engine's per-link pivots need the latter).  ``trace_collector``
+    optionally captures the run (see :mod:`repro.workloads.traces`).
+    """
+    network = Network(noc_config)
+    network.trace_collector = trace_collector
+    pending = list(generate_traffic(config, noc_config))
+    return drive_schedule(network, pending, max_cycles=max_cycles)
 
 
 def run_synthetic(

@@ -15,6 +15,10 @@ targets:
 * ``synthetic_rates`` — uniform-random synthetic traffic at several
   injection rates; the sparse windows are idle-heavy, exercising the
   event core's fast-forward.
+* ``trace_replay`` — a pre-recorded wire-image trace re-injected
+  through the network (verbatim and reordered), the hot path of
+  ``repro sweep --kind replay``; capture happens in the factory,
+  outside the timed window.
 
 Each workload runs to completion under the selected network core
 (``event`` or ``stepped`` — see :mod:`repro.noc.network`) and reports
@@ -80,6 +84,7 @@ __all__ = [
     "WORKLOADS",
     "run_bench",
     "check_invariants",
+    "compare_bench",
     "default_bench_path",
 ]
 
@@ -257,6 +262,41 @@ def _synthetic_rates(smoke: bool) -> Callable[[], dict[str, int]]:
     return run
 
 
+def _trace_replay(smoke: bool) -> Callable[[], dict[str, int]]:
+    from repro.noc.recorder import TraceRecorder
+    from repro.workloads.traces import replay_through_network
+
+    # Workload preparation: record one synthetic run into a trace —
+    # untimed, shared verbatim by both cores (the capture itself runs
+    # on the process-default core but only the *trace* survives).
+    noc = NoCConfig(width=8, height=8, link_width=128)
+    recorder = TraceRecorder()
+    network = drive_synthetic(
+        SyntheticTrafficConfig(
+            pattern=TrafficPattern.UNIFORM_RANDOM,
+            n_packets=40 if smoke else 300,
+            injection_window=60 if smoke else 400,
+            seed=13,
+        ),
+        noc,
+        trace_collector=recorder,
+    )
+    trace = recorder.finish(network.config)
+
+    def run() -> dict[str, int]:
+        metrics = _zero_metrics()
+        for ordering in ("none", "popcount_desc"):
+            replayed = replay_through_network(trace, ordering=ordering)
+            stats = replayed.stats
+            metrics["simulated_cycles"] += stats.cycles
+            metrics["steps_executed"] += replayed.steps_executed
+            metrics["flit_hops"] += stats.flit_hops
+            metrics["bit_transitions"] += stats.total_bit_transitions
+        return metrics
+
+    return run
+
+
 # Each factory takes `smoke` and returns the timed runner; model and
 # image construction (including LeNet training) happens in the factory,
 # outside the timed window.
@@ -265,6 +305,7 @@ WORKLOADS: dict[str, Callable[[bool], Callable[[], dict[str, int]]]] = {
     "fig12_mesh_sweep": _fig12_mesh_sweep,
     "fig13_model_sweep": _fig13_model_sweep,
     "synthetic_rates": _synthetic_rates,
+    "trace_replay": _trace_replay,
 }
 
 
@@ -354,6 +395,88 @@ def run_bench(
     path = pathlib.Path(out_path) if out_path else default_bench_path(tag)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
+
+
+def compare_bench(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    max_regression_pct: float = 25.0,
+    min_delta_seconds: float = 0.05,
+) -> list[str]:
+    """Wall-time regression gate between two BENCH payloads.
+
+    Compares per-workload and total wall seconds of ``fresh`` against
+    ``baseline`` and reports every workload that got more than
+    ``max_regression_pct`` percent slower.  The two payloads must
+    cover the same grids (same core, same smoke flag, same workload
+    set) — comparing apples to oranges is itself a failure, not a
+    silent pass.  Speedups and sub-threshold noise report nothing;
+    ``min_delta_seconds`` is the absolute noise floor below which a
+    percentage blip on a millisecond-scale workload is ignored (a
+    10ms grid jittering to 13ms is timer noise, not a regression).
+
+    Returns a list of violation descriptions (empty = within budget).
+    """
+    failures: list[str] = []
+    for key in ("schema", "core", "smoke"):
+        if baseline.get(key) != fresh.get(key):
+            failures.append(
+                f"payloads disagree on {key!r}: baseline "
+                f"{baseline.get(key)!r} vs fresh {fresh.get(key)!r}"
+            )
+
+    def by_name(payload: dict[str, Any], label: str) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for entry in payload.get("workloads", []):
+            if (
+                not isinstance(entry, dict)
+                or "name" not in entry
+                or not isinstance(entry.get("wall_seconds"), (int, float))
+            ):
+                # A malformed entry (hand-edited or foreign-schema
+                # snapshot) is a comparison failure, never a crash.
+                failures.append(
+                    f"{label} payload has a malformed workload entry: "
+                    f"{entry!r}"
+                )
+                continue
+            out[entry["name"]] = entry
+        return out
+
+    base_by = by_name(baseline, "baseline")
+    fresh_by = by_name(fresh, "fresh")
+    if set(base_by) != set(fresh_by):
+        failures.append(
+            f"workload sets differ: baseline {sorted(base_by)} vs "
+            f"fresh {sorted(fresh_by)}"
+        )
+    limit = 1.0 + max_regression_pct / 100.0
+    entries = [
+        (name, base_by[name], fresh_by[name])
+        for name in sorted(set(base_by) & set(fresh_by))
+    ]
+    if "totals" in baseline and "totals" in fresh:
+        entries.append(("totals", baseline["totals"], fresh["totals"]))
+    for name, old, new in entries:
+        old_wall = old.get("wall_seconds")
+        new_wall = new.get("wall_seconds")
+        if not isinstance(old_wall, (int, float)) or not isinstance(
+            new_wall, (int, float)
+        ):
+            failures.append(
+                f"{name}: wall_seconds missing or non-numeric "
+                f"(baseline {old_wall!r}, fresh {new_wall!r})"
+            )
+            continue
+        if new_wall - old_wall < min_delta_seconds:
+            continue
+        if old_wall > 0 and new_wall > old_wall * limit:
+            failures.append(
+                f"{name}: wall time {new_wall:.2f}s vs baseline "
+                f"{old_wall:.2f}s (+{100.0 * (new_wall / old_wall - 1):.0f}%"
+                f", limit +{max_regression_pct:.0f}%)"
+            )
+    return failures
 
 
 def check_invariants(payload: dict[str, Any]) -> list[str]:

@@ -10,9 +10,13 @@ from repro.workloads.packets import (
     ones_count_grid,
 )
 from repro.workloads.traces import (
+    PacketEvent,
     TraceCollector,
     TrafficTrace,
+    reencode_per_link,
     reencode_transitions,
+    replay_through_network,
+    trace_digest,
 )
 from repro.workloads.streams import (
     model_weight_values,
@@ -35,7 +39,11 @@ __all__ = [
     "trained_lenet_model",
     "trained_lenet_weights",
     "words_for_format",
+    "PacketEvent",
     "TraceCollector",
     "TrafficTrace",
+    "reencode_per_link",
     "reencode_transitions",
+    "replay_through_network",
+    "trace_digest",
 ]

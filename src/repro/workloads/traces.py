@@ -1,26 +1,52 @@
-"""Packet traffic traces: capture, persistence, offline re-analysis.
+"""Packet traffic traces: capture, persistence, replay, re-analysis.
 
 NocDAS exposes a "packet traffic trace" output (Fig. 7); the equivalent
-here is a per-link record of every wire image in traversal order.
-Attach a :class:`TraceCollector` to a network before running::
+here is a per-link record of every wire image in traversal order, plus
+the packet injection schedule that produced it.  Two capture hooks
+exist:
 
-    network.trace_collector = TraceCollector()
-    ... run ...
-    trace = network.trace_collector.finish(link_width)
-    trace.save("run.trace.json")
+* :class:`TraceCollector` (this module) — the lightweight wire-image
+  collector: link payloads and cycles only, enough for offline BT
+  re-scoring and the link-coding studies.
+* :class:`repro.noc.recorder.TraceRecorder` — the full-fidelity hook:
+  wire images with VC and owning packet per hop, plus every
+  ``send_packet`` event, enough to *replay* the identical traffic
+  through a fresh network (either cycle-loop core).
+
+On-disk format
+--------------
+
+Traces are versioned.  Version 1 is the legacy plain-JSON envelope
+(payloads as hex strings; wire images and cycles only).  Version 2 —
+the default — is a gzip-compressed JSON envelope whose payload arrays
+are packed as fixed-width words (``ceil(link_width / 8)`` bytes each,
+``byte_order`` recorded in the envelope) and base64-encoded, and which
+additionally carries per-hop VCs and packet ids, the packet injection
+schedule, and the recorded :class:`~repro.noc.network.NoCConfig`.
+:meth:`TrafficTrace.load` sniffs compression and dispatches on the
+version field; truncated or corrupt files of either version raise
+:class:`ValueError` rather than leaking codec internals.
 
 Offline, a trace supports exact BT recomputation (validated against the
-live recorders), re-encoding with the related-work link codings (bus
-invert / delta) without re-running the simulator, and per-link
-summaries.  Payload ints can exceed 64 bits, so persistence uses hex
-strings in a plain-JSON envelope.
+live recorders), re-applying the paper's transmission ordering at flit
+granularity (:meth:`TrafficTrace.reordered`), re-encoding with the
+related-work link codings (bus invert / delta) without re-running the
+simulator, and — for full-fidelity traces — cycle-accurate replay
+through either network core (:func:`replay_through_network`).
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
+import dataclasses
+import gzip
+import hashlib
 import json
 import pathlib
+import zlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.bits.transitions import stream_transitions
 from repro.ordering.encodings import (
@@ -29,20 +55,58 @@ from repro.ordering.encodings import (
     stream_transitions_with_invert_line,
 )
 
-__all__ = ["TraceCollector", "TrafficTrace", "reencode_transitions"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.noc.network import Network
 
-_FORMAT_VERSION = 1
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "REPLAY_ORDERINGS",
+    "TraceCollector",
+    "PacketEvent",
+    "TrafficTrace",
+    "replay_through_network",
+    "reencode_transitions",
+    "reencode_per_link",
+    "trace_digest",
+]
+
+#: Default on-disk format version written by :meth:`TrafficTrace.save`.
+TRACE_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+_BYTE_ORDERS = ("big", "little")
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: Orderings that can be re-applied to recorded traffic at replay time.
+#: "popcount_desc" is the paper's descending '1'-count transmission
+#: ordering applied at flit granularity within each packet.
+REPLAY_ORDERINGS = ("none", "popcount_desc")
 
 
 class TraceCollector:
-    """Accumulates per-link wire images during a simulation."""
+    """Accumulates per-link wire images during a simulation.
+
+    The lightweight hook: records what each link saw and when, which is
+    all the offline re-scoring paths need.  For replayable captures use
+    :class:`repro.noc.recorder.TraceRecorder` instead.
+    """
 
     def __init__(self) -> None:
         self._links: dict[str, list[int]] = {}
         self._cycles: dict[str, list[int]] = {}
 
-    def record(self, link_name: str, bits: int, cycle: int) -> None:
-        """Network hook: one flit crossed ``link_name``."""
+    def record(
+        self,
+        link_name: str,
+        bits: int,
+        cycle: int,
+        vc: int = 0,
+        flit: Any = None,
+    ) -> None:
+        """Network hook: one flit crossed ``link_name``.
+
+        ``vc`` and ``flit`` are part of the network's hook protocol but
+        deliberately ignored here; :class:`TraceRecorder` keeps them.
+        """
         self._links.setdefault(link_name, []).append(bits)
         self._cycles.setdefault(link_name, []).append(cycle)
 
@@ -56,6 +120,22 @@ class TraceCollector:
 
 
 @dataclass(frozen=True)
+class PacketEvent:
+    """One recorded packet injection: the replayable traffic unit.
+
+    Attributes:
+        cycle: network cycle at which ``send_packet`` was called.
+        src / dst: endpoints of the packet.
+        payloads: per-flit payload ints, head first.
+    """
+
+    cycle: int
+    src: int
+    dst: int
+    payloads: tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class TrafficTrace:
     """Immutable per-link wire-image trace.
 
@@ -63,11 +143,22 @@ class TrafficTrace:
         link_width: wire width in bits.
         links: link name -> wire images in traversal order.
         cycles: link name -> traversal cycles (same lengths).
+        vcs: link name -> output VC per traversal (full captures only).
+        packet_ids: link name -> owning packet per traversal (full
+            captures only; -1 marks an unknown owner).
+        packets: packet injection schedule in send order (full
+            captures only) — what :func:`replay_through_network`
+            re-injects.
+        noc: the recorded NoC config dict, if captured.
     """
 
     link_width: int
     links: dict[str, tuple[int, ...]]
     cycles: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    vcs: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    packet_ids: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    packets: tuple[PacketEvent, ...] = ()
+    noc: dict[str, Any] | None = None
 
     def total_transitions(self) -> int:
         """Exact BT recomputation (matches the live Fig. 8 recorders)."""
@@ -84,31 +175,221 @@ class TrafficTrace:
             for name, payloads in self.links.items()
         }
 
+    @property
+    def is_replayable(self) -> bool:
+        """True when the trace carries a packet schedule + NoC config."""
+        return bool(self.packets) and self.noc is not None
+
+    # -- offline re-ordering ---------------------------------------------
+
+    def reordered(self, ordering: str = "popcount_desc") -> "TrafficTrace":
+        """Re-apply a transmission ordering to the recorded traffic.
+
+        Within each packet's run of flits on a link, the wire images
+        are re-sorted by descending '1' count — the paper's ordering
+        idea applied at flit granularity to traffic that already
+        crossed the links.  Cycles, VCs and packet ids keep their
+        recorded positions (the *slots* are unchanged; the contents
+        are permuted).  The packet injection schedule is dropped from
+        the result: it describes the *original* payload order, so a
+        reordered trace is an offline artifact, not replayable (use
+        :func:`replay_through_network` with ``ordering=`` to re-run
+        reordered traffic through a network instead).
+
+        Requires per-hop packet ids (a :class:`TraceRecorder` capture);
+        the lightweight collector's traces cannot be reordered because
+        packet boundaries are unknown.
+        """
+        if ordering == "none":
+            return self
+        if ordering not in REPLAY_ORDERINGS:
+            raise ValueError(
+                f"unknown replay ordering {ordering!r}; "
+                f"use one of {REPLAY_ORDERINGS}"
+            )
+        missing = set(self.links) - set(self.packet_ids)
+        if missing:
+            raise ValueError(
+                "trace carries no per-hop packet ids for links "
+                f"{sorted(missing)}; record with TraceRecorder to "
+                "re-apply orderings"
+            )
+        new_links: dict[str, tuple[int, ...]] = {}
+        for name, payloads in self.links.items():
+            pids = self.packet_ids[name]
+            out: list[int] = []
+            i = 0
+            n = len(payloads)
+            while i < n:
+                j = i
+                while j < n and pids[j] == pids[i]:
+                    j += 1
+                out.extend(
+                    sorted(payloads[i:j], key=int.bit_count, reverse=True)
+                )
+                i = j
+            new_links[name] = tuple(out)
+        return dataclasses.replace(self, links=new_links, packets=())
+
     # -- persistence -----------------------------------------------------
 
-    def save(self, path: str | pathlib.Path) -> None:
-        """Write the trace as JSON (payloads as hex strings)."""
-        doc = {
-            "version": _FORMAT_VERSION,
-            "link_width": self.link_width,
-            "links": {
-                name: [format(p, "x") for p in payloads]
-                for name, payloads in self.links.items()
-            },
-            "cycles": {
-                name: list(cycles) for name, cycles in self.cycles.items()
-            },
-        }
-        pathlib.Path(path).write_text(json.dumps(doc))
+    def save(
+        self,
+        path: str | pathlib.Path,
+        *,
+        version: int = TRACE_FORMAT_VERSION,
+        compress: bool | None = None,
+        byte_order: str = "big",
+    ) -> None:
+        """Write the trace to disk.
+
+        Args:
+            path: output file (convention: ``*.trace.gz`` for the
+                compressed default, ``*.trace.json`` for plain).
+            version: on-disk format version (2 default; 1 writes the
+                legacy plain-JSON envelope, which carries wire images
+                and cycles only — the replay fields don't fit it).
+            compress: gzip the envelope; defaults to True for v2 and
+                False for v1.  Either version loads either way.
+            byte_order: "big" or "little" — word packing order of the
+                v2 payload arrays, recorded in the envelope so readers
+                never guess.
+        """
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported trace version {version!r}; "
+                f"use one of {_SUPPORTED_VERSIONS}"
+            )
+        if byte_order not in _BYTE_ORDERS:
+            raise ValueError(
+                f"unknown byte order {byte_order!r}; use one of "
+                f"{_BYTE_ORDERS}"
+            )
+        if version == 1:
+            doc: dict[str, Any] = {
+                "version": 1,
+                "link_width": self.link_width,
+                "links": {
+                    name: [format(p, "x") for p in payloads]
+                    for name, payloads in self.links.items()
+                },
+                "cycles": {
+                    name: list(cycles)
+                    for name, cycles in self.cycles.items()
+                },
+            }
+        else:
+            # Wire images can exceed link_width (include_header_bits
+            # folds a side-band header above the payload), so the word
+            # size is computed from the widest recorded image and
+            # written into the envelope — never guessed by readers.
+            widest = self.link_width
+            for payloads in self.links.values():
+                for p in payloads:
+                    if p.bit_length() > widest:
+                        widest = p.bit_length()
+            for event in self.packets:
+                for p in event.payloads:
+                    if p.bit_length() > widest:
+                        widest = p.bit_length()
+            word_bytes = _word_bytes(widest)
+            doc = {
+                "version": 2,
+                "link_width": self.link_width,
+                "byte_order": byte_order,
+                "word_bytes": word_bytes,
+                "links": {
+                    name: _pack_words(payloads, word_bytes, byte_order)
+                    for name, payloads in self.links.items()
+                },
+                "cycles": {
+                    name: list(cycles)
+                    for name, cycles in self.cycles.items()
+                },
+                "vcs": {
+                    name: list(vcs) for name, vcs in self.vcs.items()
+                },
+                "packet_ids": {
+                    name: list(pids)
+                    for name, pids in self.packet_ids.items()
+                },
+                "packets": [
+                    [
+                        ev.cycle,
+                        ev.src,
+                        ev.dst,
+                        _pack_words(ev.payloads, word_bytes, byte_order),
+                    ]
+                    for ev in self.packets
+                ],
+                "noc": self.noc,
+            }
+        raw = json.dumps(doc).encode("utf-8")
+        if compress is None:
+            compress = version >= 2
+        if compress:
+            # Fixed mtime keeps the bytes content-addressable: the same
+            # trace always hashes to the same digest.
+            raw = gzip.compress(raw, mtime=0)
+        pathlib.Path(path).write_bytes(raw)
 
     @classmethod
     def load(cls, path: str | pathlib.Path) -> "TrafficTrace":
-        """Read a trace written by :meth:`save`."""
-        doc = json.loads(pathlib.Path(path).read_text())
-        if doc.get("version") != _FORMAT_VERSION:
+        """Read a trace written by :meth:`save` (any version).
+
+        Compression is sniffed from the gzip magic, so renamed files
+        load fine.  Truncated or corrupt files — torn writes, partial
+        downloads, bad base64 — raise :class:`ValueError` naming the
+        file instead of leaking codec exceptions.
+        """
+        path = pathlib.Path(path)
+        return cls.from_bytes(path.read_bytes(), source=str(path))
+
+    @classmethod
+    def from_bytes(
+        cls, raw: bytes, source: str = "<bytes>"
+    ) -> "TrafficTrace":
+        """Decode trace file content already in memory (see :meth:`load`).
+
+        ``source`` names the origin in error messages.  Lets callers
+        that also hash the file (the replay job kind) read it once.
+        """
+        path = source
+        if raw[:2] == _GZIP_MAGIC:
+            try:
+                raw = gzip.decompress(raw)
+            except (EOFError, OSError, zlib.error) as exc:
+                raise ValueError(
+                    f"truncated or corrupt trace file {path}: {exc}"
+                ) from exc
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
             raise ValueError(
-                f"unsupported trace version {doc.get('version')!r}"
+                f"truncated or corrupt trace file {path}: {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"truncated or corrupt trace file {path}: envelope is "
+                f"not an object"
             )
+        version = doc.get("version")
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported trace version {version!r} in {path}; "
+                f"supported: {_SUPPORTED_VERSIONS}"
+            )
+        try:
+            if version == 1:
+                return cls._from_v1(doc)
+            return cls._from_v2(doc)
+        except (KeyError, TypeError, ValueError, binascii.Error) as exc:
+            raise ValueError(
+                f"truncated or corrupt trace file {path}: {exc}"
+            ) from exc
+
+    @classmethod
+    def _from_v1(cls, doc: dict[str, Any]) -> "TrafficTrace":
         return cls(
             link_width=int(doc["link_width"]),
             links={
@@ -120,6 +401,162 @@ class TrafficTrace:
                 for name, cycles in doc.get("cycles", {}).items()
             },
         )
+
+    @classmethod
+    def _from_v2(cls, doc: dict[str, Any]) -> "TrafficTrace":
+        link_width = int(doc["link_width"])
+        byte_order = doc["byte_order"]
+        if byte_order not in _BYTE_ORDERS:
+            raise ValueError(f"unknown byte order {byte_order!r}")
+        word_bytes = doc.get("word_bytes")
+        if word_bytes is None:  # envelopes written before the field
+            word_bytes = _word_bytes(link_width)
+        word_bytes = int(word_bytes)
+        if word_bytes < 1:
+            raise ValueError(f"bad word size {word_bytes}")
+        return cls(
+            link_width=link_width,
+            links={
+                name: _unpack_words(packed, word_bytes, byte_order)
+                for name, packed in doc["links"].items()
+            },
+            cycles={
+                name: tuple(int(c) for c in cycles)
+                for name, cycles in doc.get("cycles", {}).items()
+            },
+            vcs={
+                name: tuple(int(v) for v in vcs)
+                for name, vcs in doc.get("vcs", {}).items()
+            },
+            packet_ids={
+                name: tuple(int(p) for p in pids)
+                for name, pids in doc.get("packet_ids", {}).items()
+            },
+            packets=tuple(
+                PacketEvent(
+                    cycle=int(cycle),
+                    src=int(src),
+                    dst=int(dst),
+                    payloads=_unpack_words(packed, word_bytes, byte_order),
+                )
+                for cycle, src, dst, packed in doc.get("packets", [])
+            ),
+            noc=doc.get("noc"),
+        )
+
+
+def _word_bytes(link_width: int) -> int:
+    """Bytes per packed payload word."""
+    return max(1, (link_width + 7) // 8)
+
+
+def _pack_words(
+    payloads: tuple[int, ...], word_bytes: int, byte_order: str
+) -> str:
+    """Fixed-width word array -> base64 text."""
+    blob = b"".join(p.to_bytes(word_bytes, byte_order) for p in payloads)
+    return base64.b64encode(blob).decode("ascii")
+
+
+def _unpack_words(
+    packed: str, word_bytes: int, byte_order: str
+) -> tuple[int, ...]:
+    """Inverse of :func:`_pack_words`; rejects torn word arrays."""
+    blob = base64.b64decode(packed.encode("ascii"), validate=True)
+    if len(blob) % word_bytes:
+        raise ValueError(
+            f"payload array of {len(blob)} bytes is not a multiple of "
+            f"the {word_bytes}-byte word size"
+        )
+    return tuple(
+        int.from_bytes(blob[i : i + word_bytes], byte_order)
+        for i in range(0, len(blob), word_bytes)
+    )
+
+
+def trace_digest(source: str | pathlib.Path | bytes) -> str:
+    """Short content hash of a trace file (cache-key component).
+
+    Hashes the raw file bytes (pass ``bytes`` directly when the file
+    is already in memory), so the digest pins exactly what replay
+    jobs will read — any rewrite, even a lossless re-encode, changes
+    the identity and re-simulates the point.
+    """
+    raw = (
+        source
+        if isinstance(source, bytes)
+        else pathlib.Path(source).read_bytes()
+    )
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+def replay_through_network(
+    trace: TrafficTrace,
+    core: str | None = None,
+    ordering: str = "none",
+    overrides: dict[str, Any] | None = None,
+    max_cycles: int = 500_000,
+) -> "Network":
+    """Re-inject a recorded trace's traffic through a fresh network.
+
+    The recorded packet schedule (cycle, src, dst, payloads) is
+    replayed injection-for-injection on a mesh rebuilt from the
+    trace's recorded NoC config, so — absent overrides — the replayed
+    run reproduces the original link traffic exactly and the live BT
+    ledger matches the recorded wire images.  This is the durable
+    oracle the cross-core conformance suite replays through both
+    cycle-loop cores.
+
+    Args:
+        trace: a full-fidelity (TraceRecorder) capture.
+        core: cycle-loop core for the replay network; None uses the
+            trace's recorded core setting / process default.
+        ordering: "none" replays the traffic verbatim;
+            "popcount_desc" re-applies the paper's descending
+            '1'-count ordering to each packet's payloads before
+            injection.
+        overrides: NoC config fields to override at replay time
+            (e.g. ``{"link_latency": 2}`` for timing what-ifs).
+        max_cycles: drain budget.
+
+    Returns:
+        The drained :class:`Network` (stats + ledger readable).
+    """
+    from repro.noc.flit import make_packet
+    from repro.noc.network import Network, NoCConfig
+    from repro.noc.traffic import drive_schedule
+
+    if not trace.packets:
+        raise ValueError(
+            "trace has no packet injection events; record with "
+            "repro.noc.recorder.TraceRecorder to enable replay"
+        )
+    if trace.noc is None:
+        raise ValueError(
+            "trace records no NoC config; cannot rebuild the mesh"
+        )
+    if ordering not in REPLAY_ORDERINGS:
+        raise ValueError(
+            f"unknown replay ordering {ordering!r}; "
+            f"use one of {REPLAY_ORDERINGS}"
+        )
+    noc_kwargs = dict(trace.noc)
+    if overrides:
+        noc_kwargs.update(overrides)
+    noc = NoCConfig.from_dict(noc_kwargs)
+    network = Network(noc, core=core)
+    events = []
+    for event in trace.packets:
+        payloads = list(event.payloads)
+        if ordering == "popcount_desc":
+            payloads.sort(key=int.bit_count, reverse=True)
+        events.append(
+            (
+                event.cycle,
+                make_packet(event.src, event.dst, payloads, noc.link_width),
+            )
+        )
+    return drive_schedule(network, events, max_cycles=max_cycles)
 
 
 def reencode_transitions(trace: TrafficTrace, coding: str) -> int:
@@ -133,15 +570,22 @@ def reencode_transitions(trace: TrafficTrace, coding: str) -> int:
         NoC-wide BT count under the requested coding (bus-invert is
         charged for its extra line's transitions).
     """
-    if coding == "none":
-        return trace.total_transitions()
-    total = 0
-    for payloads in trace.links.values():
-        if coding == "bus_invert":
+    return sum(reencode_per_link(trace, coding).values())
+
+
+def reencode_per_link(trace: TrafficTrace, coding: str) -> dict[str, int]:
+    """Per-link BT counts under a link coding (see
+    :func:`reencode_transitions`)."""
+    out: dict[str, int] = {}
+    for name, payloads in trace.links.items():
+        if coding == "none":
+            out[name] = stream_transitions(payloads)
+        elif coding == "bus_invert":
             encoded = bus_invert_encode(payloads, trace.link_width)
+            out[name] = stream_transitions_with_invert_line(encoded)
         elif coding == "delta":
             encoded = delta_encode(payloads, trace.link_width)
+            out[name] = stream_transitions_with_invert_line(encoded)
         else:
             raise ValueError(f"unknown coding {coding!r}")
-        total += stream_transitions_with_invert_line(encoded)
-    return total
+    return out

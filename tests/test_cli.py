@@ -279,6 +279,7 @@ class TestKindSweeps:
             main(["sweep", "--kind", "quantum"])
         assert "invalid choice" in capsys.readouterr().err
 
+
     def test_inapplicable_flags_rejected_not_ignored(self):
         with pytest.raises(SystemExit, match="--orderings does not apply"):
             main(["sweep", "--kind", "synthetic", "--orderings", "O0,O2"])
@@ -328,3 +329,159 @@ class TestKindSweeps:
         )
         assert "kind" in header.split(",")
         assert "synthetic" in row
+
+
+class TestTraceReplayCLI:
+    def record_trace(self, tmp_path, capsys) -> str:
+        path = str(tmp_path / "run.trace.gz")
+        assert main(["traffic", "--pattern", "uniform", "--mesh", "3x3",
+                     "--packets", "15", "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "wrote trace" in out
+        return path
+
+    def test_traffic_records_replayable_trace(self, tmp_path, capsys):
+        from repro.workloads.traces import TrafficTrace
+
+        path = self.record_trace(tmp_path, capsys)
+        trace = TrafficTrace.load(path)
+        assert trace.is_replayable
+        assert len(trace.packets) == 15
+
+    def test_run_noc_records_trace(self, tmp_path, capsys):
+        from repro.workloads.traces import TrafficTrace
+
+        path = str(tmp_path / "lenet.trace.gz")
+        assert main(["run-noc", "--tasks", "1", "--format", "fixed8",
+                     "--trace", path]) == 0
+        assert "wrote trace" in capsys.readouterr().out
+        assert TrafficTrace.load(path).is_replayable
+
+    def test_replay_sweep_cold_cached_and_report(self, tmp_path, capsys):
+        trace = self.record_trace(tmp_path, capsys)
+        argv = [
+            "sweep", "--kind", "replay", "--traces", trace,
+            "--cores", "offline,both", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--store", str(tmp_path / "runs.jsonl"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hits / 4 simulated" in cold
+        assert "[cores agree]" in cold
+        assert "Replayed BTs" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "100.0% hit rate" in warm
+
+        store = str(tmp_path / "runs.jsonl")
+        assert main(["report", "--store", store, "--pivot", "link"]) == 0
+        assert "Replayed per-link BTs" in capsys.readouterr().out
+
+    def test_replay_sweep_needs_traces(self):
+        with pytest.raises(SystemExit, match="--traces"):
+            main(["sweep", "--kind", "replay"])
+
+    def test_replay_rejects_mesh_flag(self, tmp_path, capsys):
+        trace = self.record_trace(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="--meshes"):
+            main(["sweep", "--kind", "replay", "--traces", trace,
+                  "--meshes", "4x4"])
+
+    def test_trace_flags_rejected_for_model_kind(self):
+        with pytest.raises(SystemExit, match="--traces"):
+            main(["sweep", "--traces", "x.gz"])
+        with pytest.raises(SystemExit, match="--codings"):
+            main(["sweep", "--codings", "delta"])
+
+    def test_coding_cross_network_core_rejected_up_front(
+        self, tmp_path, capsys
+    ):
+        """A coding x network-core cross product would abort the whole
+        sweep at expansion; the CLI rejects it with guidance instead."""
+        trace = self.record_trace(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="offline only"):
+            main(["sweep", "--kind", "replay", "--traces", trace,
+                  "--codings", "none,delta", "--cores", "offline,event"])
+        # Codings with offline cores remain fine.
+        assert main([
+            "sweep", "--kind", "replay", "--traces", trace,
+            "--codings", "none,delta", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--store", str(tmp_path / "runs.jsonl"),
+        ]) == 0
+
+    def test_missing_trace_file_fails_at_expansion(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace file"):
+            main(["sweep", "--kind", "replay",
+                  "--traces", str(tmp_path / "ghost.trace.gz")])
+
+    def test_cores_axis_on_model_sweep(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--meshes", "2x2:1", "--orderings", "O0",
+            "--tasks", "1", "--workers", "1",
+            "--cores", "event,stepped",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--store", str(tmp_path / "runs.jsonl"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "0 errors" in out
+        records = [json.loads(line) for line in
+                   (tmp_path / "runs.jsonl").read_text().splitlines()]
+        by_core = {r["config"]["core"]: r for r in records}
+        assert set(by_core) == {"event", "stepped"}
+        # The cores are bit-identical on the same workload.
+        assert (
+            by_core["event"]["result"]["total_bit_transitions"]
+            == by_core["stepped"]["result"]["total_bit_transitions"]
+        )
+
+
+class TestReportSkipsFailedJobs:
+    """Regression: `repro report` on a store containing failed jobs
+    warns and reports the rest instead of raising."""
+
+    def write_store(self, tmp_path) -> str:
+        ok = {
+            "job_id": "good", "campaign": "t", "kind": "model",
+            "model": "lenet", "cached": False,
+            "config": {"width": 2, "height": 2, "n_mcs": 1,
+                       "ordering": "O0", "data_format": "fixed8"},
+            "status": "ok",
+            "result": {"total_bit_transitions": 123, "total_cycles": 9,
+                       "flit_hops": 5, "tasks_verified": 1,
+                       "tasks_total": 1, "mean_packet_latency": 1.0,
+                       "ordering_latency_cycles": 0},
+            "error": None,
+        }
+        failed = {
+            "job_id": "bad", "campaign": "t", "kind": "model",
+            "model": "lenet", "cached": False, "config": {},
+            "status": "error", "result": None,
+            "error": "SimulationTimeout: boom",
+        }
+        hollow = {**ok, "job_id": "hollow", "result": None}
+        store = tmp_path / "mixed.jsonl"
+        store.write_text(
+            "\n".join(json.dumps(r) for r in (ok, failed, hollow)) + "\n"
+        )
+        return str(store)
+
+    def test_report_warns_and_renders(self, tmp_path, capsys):
+        store = self.write_store(tmp_path)
+        assert main(["report", "--store", store]) == 0
+        captured = capsys.readouterr()
+        assert "Absolute BTs (fixed8)" in captured.out
+        assert "2x2 MC1" in captured.out
+        assert "skipping bad: SimulationTimeout: boom" in captured.err
+        assert "skipping hollow" in captured.err
+        assert "skipped 2 of 3 record(s)" in captured.err
+
+    def test_report_pivots_survive_failed_jobs(self, tmp_path, capsys):
+        store = self.write_store(tmp_path)
+        for pivot_name in ("mesh", "model", "layer", "link"):
+            assert main(["report", "--store", store,
+                         "--pivot", pivot_name]) == 0

@@ -308,3 +308,292 @@ class TestKindCampaigns:
         runner.run([single])
         followup = runner.run([batch])
         assert followup.hits == 0
+
+
+def recorded_trace_file(path) -> str:
+    """Record a small replayable trace to ``path``; returns the path."""
+    from repro.noc.flit import make_packet
+    from repro.noc.network import Network
+    from repro.noc.recorder import TraceRecorder
+
+    net = Network(NoCConfig(width=3, height=3, link_width=32))
+    net.trace_collector = TraceRecorder()
+    for src in range(5):
+        net.send_packet(make_packet(src, 8, [src * 37, src ^ 0x1F], 32))
+    net.run_until_drained()
+    net.trace_collector.finish(net.config).save(path)
+    return str(path)
+
+
+class TestReplayJobConfig:
+    def test_from_flat_pins_content_digest(self, tmp_path):
+        from repro.experiments.kinds import ReplayJobConfig
+        from repro.workloads.traces import trace_digest
+
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        config = ReplayJobConfig.from_flat({"trace": trace})
+        assert config.trace_sha256 == trace_digest(trace)
+
+    def test_missing_file_fails_at_build(self, tmp_path):
+        from repro.experiments.kinds import ReplayJobConfig
+
+        with pytest.raises(ValueError, match="cannot read trace file"):
+            ReplayJobConfig.from_flat(
+                {"trace": str(tmp_path / "ghost.gz")}
+            )
+
+    def test_validation(self, tmp_path):
+        from repro.experiments.kinds import ReplayJobConfig
+
+        with pytest.raises(ValueError, match="ordering"):
+            ReplayJobConfig(trace="t", ordering="O2")
+        with pytest.raises(ValueError, match="coding"):
+            ReplayJobConfig(trace="t", coding="gray")
+        with pytest.raises(ValueError, match="core"):
+            ReplayJobConfig(trace="t", core="warp")
+        with pytest.raises(ValueError, match="offline"):
+            ReplayJobConfig(trace="t", coding="delta", core="both")
+        with pytest.raises(ValueError, match="link_latency"):
+            ReplayJobConfig(trace="t", link_latency=2)
+
+    def test_round_trip(self):
+        from repro.experiments.kinds import ReplayJobConfig
+
+        config = ReplayJobConfig(
+            trace="a.gz", trace_sha256="ff", ordering="popcount_desc",
+            core="both", link_latency=2,
+        )
+        assert ReplayJobConfig.from_dict(config.to_dict()) == config
+
+
+class TestReplayKind:
+    def expand(self, trace, **axes):
+        spec = SweepSpec(
+            name="r", kind="replay", base={"trace": trace},
+            axes={k: list(v) for k, v in axes.items()},
+        )
+        return spec.expand()
+
+    def test_offline_replay_matches_recording(self, tmp_path):
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        (job,) = self.expand(trace, ordering=["none"])
+        result = job_kind("replay").execute(job)
+        assert result["matches_recorded"] is True
+        assert (
+            result["total_bit_transitions"]
+            == result["recorded_bit_transitions"]
+        )
+        assert result["cores"] == []
+
+    def test_differential_replay_agrees(self, tmp_path):
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        (job,) = self.expand(trace, core=["both"])
+        result = job_kind("replay").execute(job)
+        assert result["cores"] == ["event", "stepped"]
+        assert result["cores_agree"] is True
+        assert result["matches_recorded"] is True
+
+    def test_latency_override_is_not_fidelity_checked(self, tmp_path):
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        (job,) = self.expand(trace, core=["event"], link_latency=[2])
+        result = job_kind("replay").execute(job)
+        assert result["matches_recorded"] is None
+        assert result["total_cycles"] > 0
+
+    def test_swapped_trace_file_fails_loudly(self, tmp_path):
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        (job,) = self.expand(trace)
+        recorded_trace_file(tmp_path / "other.trace.gz")
+        # Overwrite with different content after expansion.
+        import pathlib
+
+        pathlib.Path(trace).write_bytes(
+            pathlib.Path(tmp_path / "other.trace.gz").read_bytes()[:-1]
+        )
+        with pytest.raises(ValueError, match="changed since"):
+            job_kind("replay").execute(job)
+
+    def test_replay_jobs_take_no_model_fields(self, tmp_path):
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        with pytest.raises(ValueError, match="no model_seed"):
+            SweepSpec(kind="replay", base={"trace": trace},
+                      model_seed=7).expand()
+        with pytest.raises(ValueError, match="takes no mesh"):
+            SweepSpec(kind="replay", base={"trace": trace},
+                      axes={"mesh": ["2x2:1"]}).expand()
+
+    def test_replay_campaign_caches_by_content(self, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        spec = SweepSpec(
+            name="r", kind="replay", base={"trace": trace},
+            axes={"ordering": ["none", "popcount_desc"]},
+        )
+        runner = CampaignRunner(
+            cache=ResultCache(tmp_path / "cache"), workers=1
+        )
+        cold = runner.run(spec)
+        assert (cold.hits, cold.misses, cold.errors) == (0, 2, 0)
+        warm = runner.run(spec)
+        assert (warm.hits, warm.misses) == (2, 0)
+        # Rewriting the trace (new bytes — packet ids differ between
+        # recordings — hence a new digest) re-simulates every point.
+        import shutil
+
+        recorded_trace_file(tmp_path / "t2.trace.gz")
+        shutil.copy(tmp_path / "t2.trace.gz", trace)
+        respun = runner.run(
+            SweepSpec(
+                name="r", kind="replay", base={"trace": trace},
+                axes={"ordering": ["none", "popcount_desc"]},
+            )
+        )
+        assert respun.hits == 0
+
+    def test_error_record_not_cached(self, tmp_path):
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        (job,) = self.expand(trace)
+        import pathlib
+
+        blob = pathlib.Path(trace).read_bytes()
+        pathlib.Path(trace).write_bytes(blob[: len(blob) // 2])
+        record = execute_job(job.to_dict())
+        assert record["status"] == "error"
+        assert "changed since" in record["error"] or "trace" in record["error"]
+
+
+class TestReplayDivergenceDetection:
+    def test_cross_core_divergence_is_a_job_failure(self, tmp_path,
+                                                    monkeypatch):
+        """A per-link mismatch between cores must fail the job loudly."""
+        import repro.experiments.kinds as kinds
+
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        (job,) = SweepSpec(
+            kind="replay", base={"trace": trace}, axes={"core": ["both"]}
+        ).expand()
+
+        class FakeLedger:
+            def __init__(self, links):
+                self._links = links
+
+            def per_link(self):
+                return dict(self._links)
+
+        class FakeNet:
+            def __init__(self, links):
+                self.ledger = FakeLedger(links)
+
+        fakes = iter(
+            [FakeNet({"R0.EAST": 10}), FakeNet({"R0.EAST": 11})]
+        )
+        monkeypatch.setattr(
+            kinds, "replay_through_network",
+            lambda *a, **k: next(fakes),
+        )
+        with pytest.raises(RuntimeError, match="divergence"):
+            job_kind("replay").execute(job)
+        # Through the runner it becomes a clean error record.
+        fakes = iter(
+            [FakeNet({"R0.EAST": 10}), FakeNet({"R0.EAST": 11})]
+        )
+        record = execute_job(job.to_dict())
+        assert record["status"] == "error"
+        assert "divergence" in record["error"]
+
+    def test_replay_report_notes_for_foreign_pivots(self, tmp_path):
+        from repro.experiments.cache import ResultCache
+        from repro.experiments.report import campaign_report
+
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        spec = SweepSpec(
+            name="r", kind="replay", base={"trace": trace},
+            axes={"ordering": ["none"]},
+        )
+        runner = CampaignRunner(
+            cache=ResultCache(tmp_path / "cache"), workers=1
+        )
+        records = runner.run(spec).records
+        assert "no per-layer data" in campaign_report(records, "layer")
+        assert "no model pivot" in campaign_report(records, "model")
+        assert "Replayed BTs" in campaign_report(records, "mesh")
+
+
+class TestReplayContentAddressing:
+    def test_programmatic_config_without_digest_is_content_keyed(
+        self, tmp_path
+    ):
+        """A ReplayJobConfig built without trace_sha256 must still key
+        the cache by content: rewriting the trace changes the job id."""
+        from repro.experiments.kinds import ReplayJobConfig
+
+        trace = recorded_trace_file(tmp_path / "t.trace.gz")
+        job = JobSpec(
+            kind="replay", config=ReplayJobConfig(trace=trace)
+        )
+        payload = job.key_payload()
+        assert payload["config"]["trace_sha256"]  # filled from content
+        before = job.job_id
+        recorded_trace_file(tmp_path / "t2.trace.gz")
+        import shutil
+
+        shutil.copy(tmp_path / "t2.trace.gz", trace)
+        assert job.job_id != before
+
+    def test_missing_file_degrades_to_empty_digest(self, tmp_path):
+        from repro.experiments.kinds import ReplayJobConfig
+
+        job = JobSpec(
+            kind="replay",
+            config=ReplayJobConfig(trace=str(tmp_path / "ghost.gz")),
+        )
+        assert job.key_payload()["config"]["trace_sha256"] == ""
+        record = execute_job(job.to_dict())
+        assert record["status"] == "error"
+
+
+class TestReplayInjectionLinkComparability:
+    def test_record_injection_traces_report_transmit_totals(self, tmp_path):
+        """With record_injection=True, the live ledger counts NI->router
+        links the trace never covers; headline replay numbers must stay
+        on the trace's measurement surface so offline and network rows
+        (and recorded_bit_transitions) agree on faithful replays."""
+        from repro.noc.flit import make_packet
+        from repro.noc.network import Network
+        from repro.noc.recorder import TraceRecorder
+
+        net = Network(
+            NoCConfig(width=3, height=3, link_width=32,
+                      record_injection=True)
+        )
+        net.trace_collector = TraceRecorder()
+        for src in range(5):
+            net.send_packet(make_packet(src, 8, [src * 37, src ^ 0x1F], 32))
+        net.run_until_drained()
+        path = tmp_path / "inj.trace.gz"
+        net.trace_collector.finish(net.config).save(path)
+
+        results = {}
+        for core in ("offline", "event"):
+            (job,) = SweepSpec(
+                kind="replay", base={"trace": str(path)},
+                axes={"core": [core]},
+            ).expand()
+            results[core] = job_kind("replay").execute(job)
+        event = results["event"]
+        assert event["matches_recorded"] is True
+        assert (
+            event["total_bit_transitions"]
+            == event["recorded_bit_transitions"]
+            == results["offline"]["total_bit_transitions"]
+        )
+        # The unfiltered network-wide sum (incl. NI links) is larger
+        # and reported separately.
+        assert (
+            event["network_bit_transitions"]
+            > event["total_bit_transitions"]
+        )
+        assert not any(
+            name.startswith("NI") for name in event["per_link"]
+        )

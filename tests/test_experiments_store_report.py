@@ -160,6 +160,101 @@ class TestReport:
         assert mesh_row_key(make_record()) == "4x4 MC2"
 
 
+class TestFailedJobsSkipped:
+    """Regression: a store mixing failed and malformed records must
+    still report the successful points — with the skips surfaced, not
+    by raising on the missing result fields."""
+
+    def mixed(self):
+        return GRID + [
+            make_record("err", status="error"),
+            # ok-status record whose result payload went missing
+            # (older store generation / foreign writer).
+            {**make_record("hollow"), "result": None},
+            # ok-status record whose result lacks the pivoted field.
+            {**make_record("partial"), "result": {"something_else": 1}},
+        ]
+
+    def test_campaign_report_does_not_raise(self):
+        text = campaign_report(self.mixed())
+        assert "4x4 MC2" in text  # the good records still render
+
+    def test_campaign_report_matches_clean_grid(self):
+        assert campaign_report(self.mixed()) == campaign_report(GRID)
+
+    def test_skipped_records_reasons(self):
+        from repro.experiments.report import skipped_records
+
+        skipped = dict(
+            (record["job_id"], reason)
+            for record, reason in skipped_records(self.mixed())
+        )
+        assert skipped == {
+            "err": "boom",
+            "hollow": "ok record carries no result",
+        }
+
+    def test_all_failed_reports_empty(self):
+        records = [make_record("e1", status="error"),
+                   make_record("e2", status="error")]
+        assert campaign_report(records) == "(no successful records)"
+
+    def test_pivot_skips_partial_results(self):
+        series = pivot(GRID + [{**make_record("partial", bt=1),
+                                "result": {"oops": 1}}])
+        assert series == pivot(GRID)
+
+
+class TestCoreAwareReport:
+    """A --cores cross-check must neither overwrite nor double-count."""
+
+    def with_core(self, record, core):
+        out = {**record, "config": {**record["config"], "core": core}}
+        return out
+
+    def cross_core_records(self):
+        base = make_record("a", ordering="O0", bt=1000)
+        return [
+            self.with_core(base, "event"),
+            self.with_core(make_record("b", ordering="O0", bt=1000),
+                           "stepped"),
+        ]
+
+    def test_mesh_pivot_keeps_both_cores(self):
+        text = campaign_report(self.cross_core_records())
+        assert "O0@event" in text
+        assert "O0@stepped" in text
+
+    def test_link_pivot_does_not_double_count(self):
+        records = self.cross_core_records()
+        for record in records:
+            record["result"]["per_link"] = {"R0.EAST": 1000}
+        text = campaign_report(records, "link")
+        assert "2000.00" not in text
+        assert text.count("1000.00") == 2
+
+    def test_single_core_reports_unchanged(self):
+        assert "@" not in campaign_report(GRID)
+
+    def test_reduction_tables_survive_core_columns(self):
+        """Each core column reduces against its own O0 baseline."""
+        records = []
+        for core in ("event", "stepped"):
+            records.append(self.with_core(
+                make_record(f"o0-{core}", ordering="O0", bt=1000), core))
+            records.append(self.with_core(
+                make_record(f"o2-{core}", ordering="O2", bt=600), core))
+        text = campaign_report(records)
+        assert "Reductions vs O0" in text
+        assert "O2@event" in text
+        series = pivot(records, col_key=lambda r: (
+            f"{r['config']['ordering']}@{r['config']['core']}"))
+        reductions = reduction_series(series)
+        assert reductions["4x4 MC2"]["O2@event"] == pytest.approx(40.0)
+        assert reductions["4x4 MC2"]["O2@stepped"] == pytest.approx(40.0)
+        assert "O0@event" not in reductions["4x4 MC2"]
+
+
 def make_synthetic_record(job_id="s1", pattern="uniform", bt=500,
                           per_link=None, payload="random"):
     return {

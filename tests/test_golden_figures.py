@@ -221,6 +221,106 @@ def test_fig12_noc_sizes_golden(data_format, tmp_path):
             ), f"{data_format} {row} {col}"
 
 
+# -- golden trace fixture ---------------------------------------------
+#
+# A checked-in full-fidelity trace (3x3 MC1 fixed8 LeNet, O0, 2 tasks
+# per layer) recorded with repro.noc.recorder.TraceRecorder.  The
+# replayed per-link BT table below is pinned Fig. 9-style: every link,
+# tolerance-free.  A failure means the trace format decoding or the
+# replay path changed the reproduced wire traffic — regenerate the
+# fixture deliberately, never accidentally.
+
+GOLDEN_TRACE = (
+    pathlib.Path(__file__).parent
+    / "data"
+    / "golden_lenet_fixed8_O0.trace.gz"
+)
+
+GOLDEN_TRACE_PER_LINK = {
+    "R0.LOCAL": 781, "R0.SOUTH": 56, "R1.LOCAL": 776, "R1.WEST": 25,
+    "R2.LOCAL": 970, "R2.WEST": 0, "R3.LOCAL": 1194, "R3.NORTH": 781,
+    "R3.SOUTH": 104, "R4.LOCAL": 2770, "R4.NORTH": 776, "R4.WEST": 14,
+    "R5.LOCAL": 2813, "R5.NORTH": 970, "R5.WEST": 0, "R6.EAST": 9344,
+    "R6.LOCAL": 126, "R6.NORTH": 2031, "R7.EAST": 4761,
+    "R7.LOCAL": 909, "R7.NORTH": 3580, "R7.WEST": 13, "R8.LOCAL": 890,
+    "R8.NORTH": 3826, "R8.WEST": 0,
+}
+GOLDEN_TRACE_TOTAL_BT = 37510
+GOLDEN_TRACE_FLIT_HOPS = 870
+GOLDEN_TRACE_PACKETS = 74
+GOLDEN_TRACE_REORDERED_BT = 37580
+
+
+class TestGoldenTraceReplay:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.workloads.traces import TrafficTrace
+
+        return TrafficTrace.load(GOLDEN_TRACE)
+
+    def test_recorded_per_link_table_exact(self, trace):
+        assert trace.per_link_transitions() == GOLDEN_TRACE_PER_LINK
+        assert trace.total_transitions() == GOLDEN_TRACE_TOTAL_BT
+        assert trace.total_flit_traversals() == GOLDEN_TRACE_FLIT_HOPS
+        assert len(trace.packets) == GOLDEN_TRACE_PACKETS
+
+    @pytest.mark.parametrize("core", ["event", "stepped"])
+    def test_replay_reproduces_pinned_table(self, trace, core):
+        from repro.workloads.traces import replay_through_network
+
+        replayed = replay_through_network(trace, core=core)
+        assert replayed.ledger.per_link() == GOLDEN_TRACE_PER_LINK
+        assert (
+            replayed.stats.total_bit_transitions == GOLDEN_TRACE_TOTAL_BT
+        )
+
+    def test_reordered_replay_pinned(self, trace):
+        from repro.workloads.traces import replay_through_network
+
+        assert (
+            trace.reordered("popcount_desc").total_transitions()
+            == GOLDEN_TRACE_REORDERED_BT
+        )
+        replayed = replay_through_network(trace, ordering="popcount_desc")
+        assert (
+            replayed.stats.total_bit_transitions
+            == GOLDEN_TRACE_REORDERED_BT
+        )
+
+    def test_replay_campaign_pins_table(self, tmp_path):
+        """The pinned table survives the full `sweep --kind replay` path."""
+        from repro.experiments import (
+            CampaignRunner,
+            ResultCache,
+            SweepSpec,
+        )
+
+        spec = SweepSpec(
+            name="golden_replay",
+            kind="replay",
+            base={"trace": str(GOLDEN_TRACE)},
+            axes={"ordering": ["none", "popcount_desc"],
+                  "core": ["offline", "both"]},
+        )
+        runner = CampaignRunner(
+            cache=ResultCache(tmp_path / "cache"), workers=1
+        )
+        campaign = runner.run(spec)
+        assert not campaign.errors, campaign.summary()
+        for record in campaign.records:
+            result = record["result"]
+            expected = (
+                GOLDEN_TRACE_TOTAL_BT
+                if record["config"]["ordering"] == "none"
+                else GOLDEN_TRACE_REORDERED_BT
+            )
+            assert result["total_bit_transitions"] == expected, (
+                record["config"]
+            )
+            if record["config"]["ordering"] == "none":
+                assert result["per_link"] == GOLDEN_TRACE_PER_LINK
+
+
 @pytest.mark.parametrize("data_format", ["fixed8", "float32"])
 def test_fig13_dnn_models_golden(
     data_format,

@@ -228,3 +228,99 @@ class TestAcceleratorEquivalence:
         assert event.all_verified
         assert steps["event"] <= event.total_cycles
         assert steps["stepped"] == stepped.total_cycles
+
+
+# Recording-side axes of the replay conformance matrix: the pipelining
+# mode and each MC packet-scheduling policy shape the captured traffic
+# differently (barrier drains vs free pipelining, FIFO vs count-sorted
+# injection order).
+RECORDING_MATRIX = [
+    ("barrier_fifo", dict(layer_barrier=True, packet_scheduling="fifo")),
+    (
+        "barrier_count_desc",
+        dict(layer_barrier=True, packet_scheduling="count_desc"),
+    ),
+    (
+        "pipelined_fifo",
+        dict(layer_barrier=False, packet_scheduling="fifo"),
+    ),
+    (
+        "pipelined_count_desc",
+        dict(layer_barrier=False, packet_scheduling="count_desc"),
+    ),
+]
+
+
+class TestReplayConformanceMatrix:
+    """Cross-core differential conformance on *recorded* traffic.
+
+    A trace captured from a live accelerator run is a durable oracle:
+    replaying it must produce bit-identical per-link BT ledgers on the
+    event and the stepped core — across recording configurations
+    (pipelined on/off, each scheduling policy) and replay-side link
+    latencies.  At the recorded latency the replay must additionally
+    reproduce the capture's own per-link transitions exactly.
+    """
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        from repro.noc.recorder import TraceRecorder
+
+        model = build_model("lenet", rng=np.random.default_rng(9))
+        image = (
+            np.random.default_rng(5)
+            .random(model.input_shape)
+            .astype(np.float32)
+        )
+        traces = {}
+        for label, overrides in RECORDING_MATRIX:
+            config = AcceleratorConfig(
+                width=3,
+                height=3,
+                n_mcs=1,
+                data_format="fixed8",
+                ordering=OrderingMethod.SEPARATED,
+                max_tasks_per_layer=2,
+                seed=2025,
+                **overrides,
+            )
+            sim = AcceleratorSimulator(config, model, image)
+            recorder = TraceRecorder()
+            result = sim.run(trace_collector=recorder)
+            trace = recorder.finish(sim.last_network.config)
+            assert (
+                trace.total_transitions() == result.total_bit_transitions
+            )
+            traces[label] = trace
+        return traces
+
+    @pytest.mark.parametrize(
+        "label",
+        [row[0] for row in RECORDING_MATRIX],
+    )
+    @pytest.mark.parametrize("link_latency", [1, 2])
+    def test_cores_produce_identical_ledgers(
+        self, traces, label, link_latency
+    ):
+        from repro.workloads.traces import replay_through_network
+
+        trace = traces[label]
+        overrides = (
+            None if link_latency == 1 else {"link_latency": link_latency}
+        )
+        ledgers = {}
+        stats = {}
+        for core in CORES:
+            network = replay_through_network(
+                trace, core=core, overrides=overrides
+            )
+            ledgers[core] = network.ledger.per_link()
+            stats[core] = dataclasses.asdict(network.stats)
+        # The conformance pin: identical per-link BT dicts, not just
+        # matching totals — a cross-core divergence on one link must
+        # not hide behind a compensating divergence on another.
+        assert ledgers["event"] == ledgers["stepped"]
+        assert stats["event"] == stats["stepped"]
+        if link_latency == 1:
+            # Recorded latency: the replay reproduces the capture.
+            assert ledgers["event"] == trace.per_link_transitions()

@@ -1,0 +1,105 @@
+"""The BENCH regression gate: compare_bench wall-time diffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import compare_bench
+
+
+def payload(walls: dict[str, float], core="event", smoke=True):
+    entries = [
+        {"name": name, "wall_seconds": wall} for name, wall in walls.items()
+    ]
+    return {
+        "schema": 1,
+        "core": core,
+        "smoke": smoke,
+        "workloads": entries,
+        "totals": {"wall_seconds": sum(walls.values())},
+    }
+
+
+class TestCompareBench:
+    def test_identical_payloads_pass(self):
+        base = payload({"a": 1.0, "b": 2.0})
+        assert compare_bench(base, payload({"a": 1.0, "b": 2.0})) == []
+
+    def test_speedup_and_noise_pass(self):
+        base = payload({"a": 1.0, "b": 2.0})
+        fresh = payload({"a": 0.5, "b": 2.4})  # -50% and +20%
+        assert compare_bench(base, fresh, max_regression_pct=25.0) == []
+
+    def test_regression_beyond_threshold_fails(self):
+        base = payload({"a": 1.0, "b": 2.0})
+        fresh = payload({"a": 1.0, "b": 2.6})  # +30%
+        failures = compare_bench(base, fresh, max_regression_pct=25.0)
+        assert len(failures) == 1
+        assert "b:" in failures[0]
+        assert "+30%" in failures[0]
+
+    def test_total_regression_reported(self):
+        base = payload({"a": 1.0, "b": 1.0})
+        fresh = payload({"a": 1.4, "b": 1.4})  # +40% each and in total
+        failures = compare_bench(base, fresh, max_regression_pct=25.0)
+        assert any(f.startswith("totals:") for f in failures)
+
+    def test_threshold_is_configurable(self):
+        base = payload({"a": 1.0})
+        fresh = payload({"a": 1.3})
+        assert compare_bench(base, fresh, max_regression_pct=50.0) == []
+        assert compare_bench(base, fresh, max_regression_pct=10.0)
+
+    def test_mismatched_grids_fail_not_pass(self):
+        base = payload({"a": 1.0})
+        fresh = payload({"a": 1.0, "b": 1.0})
+        failures = compare_bench(base, fresh)
+        assert any("workload sets differ" in f for f in failures)
+
+    def test_mismatched_core_or_smoke_fail(self):
+        base = payload({"a": 1.0})
+        assert any(
+            "core" in f for f in compare_bench(base, payload({"a": 1.0},
+                                                             core="stepped"))
+        )
+        assert any(
+            "smoke" in f for f in compare_bench(base, payload({"a": 1.0},
+                                                              smoke=False))
+        )
+
+    def test_millisecond_noise_below_floor_ignored(self):
+        # +30% on a 10ms workload is timer jitter, not a regression.
+        base = payload({"a": 0.010})
+        fresh = payload({"a": 0.013})
+        assert compare_bench(base, fresh, max_regression_pct=25.0) == []
+        # ... unless the caller lowers the absolute floor.
+        assert compare_bench(
+            base, fresh, max_regression_pct=25.0, min_delta_seconds=0.001
+        )
+
+    def test_zero_baseline_wall_never_divides(self):
+        base = payload({"a": 0.0})
+        assert compare_bench(base, payload({"a": 5.0})) == []
+
+    def test_schema_mismatch_fails(self):
+        base = payload({"a": 1.0})
+        fresh = {**payload({"a": 1.0}), "schema": 2}
+        assert any("schema" in f for f in compare_bench(base, fresh))
+
+    def test_malformed_entries_fail_not_crash(self):
+        """A hand-edited / foreign-schema snapshot must report, not
+        raise KeyError."""
+        base = payload({"a": 1.0})
+        broken = dict(base)
+        broken["workloads"] = [{"name": "a"}]  # no wall_seconds
+        failures = compare_bench(broken, payload({"a": 1.0}))
+        assert any("malformed workload entry" in f for f in failures)
+        nameless = dict(base)
+        nameless["workloads"] = [{"wall_seconds": 1.0}]
+        failures = compare_bench(nameless, payload({"a": 1.0}))
+        assert any("malformed workload entry" in f for f in failures)
+        # Malformed totals are reported too.
+        bad_totals = payload({"a": 1.0})
+        bad_totals["totals"] = {}
+        failures = compare_bench(bad_totals, payload({"a": 1.0}))
+        assert any("totals" in f for f in failures)

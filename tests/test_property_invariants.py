@@ -193,8 +193,8 @@ class TestCacheKeyInvariants:
         """
         cache = ResultCache("/nonexistent", version_tag="vtest")
         assert cache.key_for(_tiny_accel_job()) == (
-            "9694f793d5fa4008be21a35f553c1d4a"
-            "6996657a6559eee8e40e15fc468101c7"
+            "55465ac4b389c8a1888cad322eb026f3"
+            "973ea3fbc4b48184cd91d63d7b30b235"
         )
 
     @given(st.integers(min_value=0, max_value=2**32 - 1))
