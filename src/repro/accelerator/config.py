@@ -14,10 +14,16 @@ from typing import Any
 from repro.noc.network import CORES, NoCConfig
 from repro.ordering.strategies import FillOrder, OrderingMethod
 
-__all__ = ["AcceleratorConfig", "link_width_for", "VALUES_PER_FLIT"]
+__all__ = ["AcceleratorConfig", "link_width_for", "TASK_CODECS", "VALUES_PER_FLIT"]
 
 # Both paper link configurations carry 16 values per flit.
 VALUES_PER_FLIT = 16
+
+# Task-codec implementations (see repro.accelerator.flitize): the
+# vectorised batch data plane is the default, the scalar per-task path
+# is retained as the bit-exact oracle — the codec twin of the NoC's
+# "event"/"stepped" core pair.
+TASK_CODECS = ("batch", "scalar")
 
 
 def link_width_for(data_format: str, values_per_flit: int = VALUES_PER_FLIT) -> int:
@@ -70,6 +76,12 @@ class AcceleratorConfig:
         core: pin the NoC cycle-loop core ("event" or "stepped");
             None uses the process default.  Sweepable (``repro sweep
             --cores``) for cross-core checks at campaign scale.
+        codec: task encode/decode implementation — "batch" (default)
+            runs the vectorised numpy data plane over whole layers of
+            tasks, "scalar" the retained per-task reference.  The two
+            are pinned bit-identical, so like ``core`` this is an
+            execution detail: it never changes results, only wall
+            time.
         seed: workload sampling seed.
     """
 
@@ -95,6 +107,7 @@ class AcceleratorConfig:
     injection_rate: int = 1
     record_ejection: bool = True
     core: str | None = None
+    codec: str = "batch"
     seed: int = 2025
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -123,6 +136,11 @@ class AcceleratorConfig:
         if self.core is not None and self.core not in CORES:
             raise ValueError(
                 f"unknown network core {self.core!r}; use one of {CORES}"
+            )
+        if self.codec not in TASK_CODECS:
+            raise ValueError(
+                f"unknown task codec {self.codec!r}; "
+                f"use one of {TASK_CODECS}"
             )
         link_width_for(self.data_format)  # validates the format name
 

@@ -17,13 +17,39 @@ slot, which both fill orders place in the last flit's last weight lane.
 
 Decoding reverses the placement and — for separated-ordering —
 re-pairs values through the minimal-width permutation indices.
+
+Two codec paths share this module.  The scalar methods
+(:meth:`TaskCodec.encode` / :meth:`TaskCodec.decode`) convert one task
+at a time and are the bit-exact reference; the batch methods
+(:meth:`TaskCodec.encode_batch` / :meth:`TaskCodec.decode_batch`)
+convert whole layers of same-shaped tasks as ``(n_tasks, n_pairs)``
+numpy matrices — vectorised popcount argsort, reshape-based deal, and
+lane-matrix payload packing — and are pinned bit-identical to the
+scalar path (the ``codec="scalar"`` oracle mirrors the NoC's
+``core="stepped"`` pattern).
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.bits.lanes import (
+    check_lane_range,
+    lane_dtype,
+    lane_fast_path,
+    pack_lane_matrix,
+    unpack_lane_matrix,
+)
 from repro.bits.packing import pack_words, unpack_words
+from repro.ordering.batch import (
+    argsort_popcount,
+    deal_matrix,
+    order_batch,
+    undeal_matrix,
+)
 from repro.ordering.strategies import (
     FillOrder,
     OrderingMethod,
@@ -196,6 +222,180 @@ class TaskCodec:
             weight_perm=ordered.weight_perm,
         )
 
+    def _lane_matrix(self, arr: np.ndarray, what: str) -> np.ndarray:
+        """Validate a word matrix against the lane width and cast it.
+
+        The shared :func:`repro.bits.lanes.check_lane_range` mirrors
+        the per-lane check the scalar
+        :func:`repro.bits.packing.pack_words` performs at pack time,
+        so both codecs reject out-of-range words with a ValueError —
+        and the check must run *before* the dtype cast, which would
+        silently wrap out-of-range values.
+        """
+        a = np.asarray(arr)
+        check_lane_range(a, self.word_width, what)
+        return a.astype(lane_dtype(self.word_width), copy=False)
+
+    def encode_batch(
+        self,
+        input_matrix: np.ndarray,
+        weight_matrix: np.ndarray,
+        bias_words: Sequence[int],
+        method: OrderingMethod,
+        fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL,
+    ) -> list[EncodedTask]:
+        """Order and flitise a whole batch of same-shaped tasks.
+
+        The numpy data plane: ordering, deal and lane packing each run
+        once over the ``(n_tasks, n_pairs)`` matrices instead of once
+        per word.  Bit-identical to calling :meth:`encode` on every
+        row — same payload ints, same permutations — which the
+        property suite pins across methods, fills and widths.
+
+        Args:
+            input_matrix / weight_matrix: ``(n_tasks, n_pairs)``
+                unsigned word matrices (a layer's tasks all share the
+                same pair count; ragged tails form their own batch).
+            bias_words: ``n_tasks`` bias words.
+            method: ordering applied to every task.
+            fill: flit placement.
+
+        Returns:
+            One :class:`EncodedTask` per row.
+        """
+        inputs = np.asarray(input_matrix)
+        weights = np.asarray(weight_matrix)
+        if inputs.ndim != 2 or inputs.shape != weights.shape:
+            raise ValueError(
+                f"inputs {inputs.shape} and weights {weights.shape} must "
+                "be equal-shape (n_tasks, n_pairs) matrices"
+            )
+        n_tasks, n_pairs = inputs.shape
+        if len(bias_words) != n_tasks:
+            raise ValueError(
+                f"{len(bias_words)} biases for {n_tasks} tasks"
+            )
+        if n_tasks == 0:
+            return []
+        if not lane_fast_path(self.word_width):
+            # Exotic lane widths: the scalar reference is the only
+            # bit-exact converter, so the batch API degrades to it.
+            return [
+                self.encode(
+                    [int(w) for w in inputs[t]],
+                    [int(w) for w in weights[t]],
+                    int(bias_words[t]),
+                    method,
+                    fill,
+                )
+                for t in range(n_tasks)
+            ]
+        n_flits = self.data_flit_count(n_pairs)
+        h = self.pairs_per_flit
+        n_padded = n_flits * h - 1  # one slot reserved for the bias
+        dtype = lane_dtype(self.word_width)
+        padded_inputs = np.zeros((n_tasks, n_padded), dtype=dtype)
+        padded_inputs[:, :n_pairs] = self._lane_matrix(inputs, "input")
+        padded_weights = np.zeros((n_tasks, n_padded), dtype=dtype)
+        padded_weights[:, :n_pairs] = self._lane_matrix(weights, "weight")
+        ordered = order_batch(method, padded_inputs, padded_weights)
+        # Bias rides the final sequence slot, exactly as in encode().
+        # Built element-wise: np.asarray would silently promote a plain
+        # int list mixing magnitudes across 2**63 to float64, which the
+        # scalar oracle accepts as uint64 words.
+        try:
+            bias_arr = np.fromiter(
+                (int(b) for b in bias_words),
+                dtype=np.uint64,
+                count=n_tasks,
+            )
+        except (OverflowError, ValueError):
+            raise ValueError(
+                f"bias word does not fit in {self.word_width} bits"
+            ) from None
+        biases = self._lane_matrix(bias_arr.reshape(n_tasks, 1), "bias")
+        seq_inputs = np.concatenate(
+            [ordered.inputs, np.zeros((n_tasks, 1), dtype=dtype)], axis=1
+        )
+        seq_weights = np.concatenate([ordered.weights, biases], axis=1)
+        input_rows = deal_matrix(seq_inputs, n_flits, fill)
+        weight_rows = deal_matrix(seq_weights, n_flits, fill)
+        lanes = np.concatenate([input_rows, weight_rows], axis=2)
+        flat_payloads = pack_lane_matrix(
+            lanes.reshape(n_tasks * n_flits, self.values_per_flit),
+            self.word_width,
+        )
+        ship_indices = self.include_index_payload and not ordered.paired
+        encoded: list[EncodedTask] = []
+        for t in range(n_tasks):
+            payloads = flat_payloads[t * n_flits : (t + 1) * n_flits]
+            input_perm = tuple(ordered.input_perm[t].tolist())
+            weight_perm = tuple(ordered.weight_perm[t].tolist())
+            if ship_indices:
+                payloads = payloads + self._index_flits(
+                    weight_perm, input_perm
+                )
+            encoded.append(
+                EncodedTask(
+                    payloads=tuple(payloads),
+                    n_pairs=n_pairs,
+                    n_data_flits=n_flits,
+                    method=method,
+                    fill=fill,
+                    input_perm=input_perm,
+                    weight_perm=weight_perm,
+                )
+            )
+        return encoded
+
+    def decode_batch(
+        self, encoded: Sequence[EncodedTask]
+    ) -> list[DecodedTask]:
+        """Batch inverse of :meth:`encode_batch` (see :meth:`decode`).
+
+        All tasks must share one flit geometry and fill order — the
+        shape :meth:`encode_batch` produces.  Bit-identical to calling
+        :meth:`decode` on every task.
+        """
+        if not encoded:
+            return []
+        first = encoded[0]
+        n_pairs, n_flits, fill = first.n_pairs, first.n_data_flits, first.fill
+        for task in encoded:
+            if (
+                task.n_pairs != n_pairs
+                or task.n_data_flits != n_flits
+                or task.fill is not fill
+            ):
+                raise ValueError(
+                    "decode_batch needs a uniform batch; got mixed "
+                    "pair counts, flit counts, or fill orders"
+                )
+        if self.data_flit_count(n_pairs) != n_flits:
+            raise ValueError("inconsistent flit count metadata")
+        if not lane_fast_path(self.word_width):
+            return [self.decode(task) for task in encoded]
+        h = self.pairs_per_flit
+        lanes = unpack_lane_matrix(
+            [p for task in encoded for p in task.payloads[:n_flits]],
+            self.word_width,
+            self.values_per_flit,
+        ).reshape(len(encoded), n_flits, self.values_per_flit)
+        seq_inputs = undeal_matrix(lanes[:, :, :h], fill)
+        seq_weights = undeal_matrix(lanes[:, :, h:], fill)
+        return [
+            DecodedTask(
+                inputs=tuple(seq_inputs[t, :-1].tolist()),
+                weights=tuple(seq_weights[t, :-1].tolist()),
+                bias=int(seq_weights[t, -1]),
+                n_pairs=n_pairs,
+                method=task.method,
+                input_perm=task.input_perm,
+                weight_perm=task.weight_perm,
+            )
+            for t, task in enumerate(encoded)
+        ]
+
     def _index_flits(
         self, weight_perm: tuple[int, ...], input_perm: tuple[int, ...]
     ) -> list[int]:
@@ -267,6 +467,69 @@ class TaskCodec:
             fill=use_fill,
             input_perm=tuple(perm),
         )
+
+    def encode_inputs_only_batch(
+        self,
+        input_matrix: np.ndarray,
+        method: OrderingMethod,
+        fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL,
+    ) -> list[EncodedInputs]:
+        """Batch counterpart of :meth:`encode_inputs_only`.
+
+        Bit-identical to the scalar method on every row of the
+        ``(n_tasks, n_values)`` matrix (same payloads, same
+        permutations, same effective fill order).
+        """
+        inputs = np.asarray(input_matrix)
+        if inputs.ndim != 2:
+            raise ValueError(
+                f"expected a (n_tasks, n_values) matrix, got shape "
+                f"{inputs.shape}"
+            )
+        n_tasks, n_values = inputs.shape
+        if n_tasks == 0:
+            return []
+        if not lane_fast_path(self.word_width):
+            return [
+                self.encode_inputs_only(
+                    [int(w) for w in inputs[t]], method, fill
+                )
+                for t in range(n_tasks)
+            ]
+        n_flits = self.input_flit_count(n_values)
+        padded_len = n_flits * self.values_per_flit
+        dtype = lane_dtype(self.word_width)
+        padded = np.zeros((n_tasks, padded_len), dtype=dtype)
+        padded[:, :n_values] = self._lane_matrix(inputs, "input")
+        if method is OrderingMethod.SEPARATED:
+            perm = argsort_popcount(padded)
+            ordered = np.take_along_axis(padded, perm, axis=1)
+            use_fill = fill
+        else:
+            perm = np.broadcast_to(
+                np.arange(padded_len, dtype=np.int64),
+                (n_tasks, padded_len),
+            )
+            ordered = padded
+            use_fill = FillOrder.ROW_MAJOR
+        rows = deal_matrix(ordered, n_flits, use_fill)
+        flat_payloads = pack_lane_matrix(
+            rows.reshape(n_tasks * n_flits, self.values_per_flit),
+            self.word_width,
+        )
+        return [
+            EncodedInputs(
+                payloads=tuple(
+                    flat_payloads[t * n_flits : (t + 1) * n_flits]
+                ),
+                n_values=n_values,
+                n_data_flits=n_flits,
+                method=method,
+                fill=use_fill,
+                input_perm=tuple(perm[t].tolist()),
+            )
+            for t in range(n_tasks)
+        ]
 
     def decode_inputs_only(self, encoded: EncodedInputs) -> list[int]:
         """Recover input words in original order (padding stripped)."""

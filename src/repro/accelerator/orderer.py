@@ -98,11 +98,20 @@ class OrderingUnit:
         encoded = self.codec.encode(
             input_words, weight_words, bias_word, self.method, self.fill
         )
+        return encoded, self.account(encoded.n_pairs)
+
+    def account(self, n_pairs: int) -> int:
+        """Record stats + latency for one ordered task; returns delay.
+
+        The batch data plane orders whole layers out-of-band through
+        :meth:`repro.accelerator.flitize.TaskCodec.encode_batch`; each
+        task still passes through its MC's unit here, so throughput
+        counters and modelled ordering latency are identical across
+        codecs.
+        """
         delay = 0
         if self.model_latency:
-            delay = self.latency_model.task_cycles(
-                encoded.n_pairs, self.method
-            )
+            delay = self.latency_model.task_cycles(n_pairs, self.method)
         self.tasks_ordered += 1
         self.total_latency_cycles += delay
-        return encoded, delay
+        return delay

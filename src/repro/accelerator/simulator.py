@@ -210,6 +210,29 @@ class _TaskRecord:
     response_received: bool = False
 
 
+@dataclass
+class _ChunkJob:
+    """One chunk's encode work order inside ``_encode_tasks``.
+
+    Phase 1 fills everything but ``encoded`` in task/chunk order;
+    phase 2 (the codec pass) fills ``encoded`` — batched across the
+    layer or chunk by chunk; phase 3 turns jobs into packets in the
+    original order.
+    """
+
+    record: _TaskRecord
+    task_id: int
+    chunk_index: int
+    mc: int
+    pe: int
+    cache_key: tuple
+    inputs: np.ndarray
+    weights: np.ndarray
+    bias: int
+    input_only: bool
+    encoded: EncodedTask | EncodedInputs | None = None
+
+
 class AcceleratorSimulator:
     """Drives one model + configuration through the NoC."""
 
@@ -407,9 +430,10 @@ class AcceleratorSimulator:
                 bt_before = network.stats.total_bit_transitions
                 packets_before = network.stats.packets_injected
                 cycles_before = network.cycle
-                for task in lt.tasks:
-                    record = self._encode_task(task, network.cycle, pending)
-                    records[task.task_id] = record
+                for record in self._encode_tasks(
+                    lt.tasks, network.cycle, pending
+                ):
+                    records[record.task.task_id] = record
                 self._schedule_pending(pending)
                 layer_flits = self._drain(
                     network,
@@ -436,10 +460,10 @@ class AcceleratorSimulator:
             # Pipelined mode: every layer's packets queue upfront and
             # interleave freely; one aggregate summary is produced.
             all_tasks = [t for lt in self.layer_tasks for t in lt.tasks]
-            for task in all_tasks:
-                records[task.task_id] = self._encode_task(
-                    task, network.cycle, pending
-                )
+            for record in self._encode_tasks(
+                all_tasks, network.cycle, pending
+            ):
+                records[record.task.task_id] = record
             self._schedule_pending(pending)
             total_flits = self._drain(
                 network,
@@ -488,77 +512,167 @@ class AcceleratorSimulator:
             per_link=network.ledger.per_link(),
         )
 
-    def _encode_task(
+    def _encode_tasks(
         self,
-        task: NeuronTask,
+        tasks: list[NeuronTask],
         cycle: int,
         pending: _PendingQueue,
-    ) -> _TaskRecord:
-        """Encode one task's chunks and queue their request packets."""
-        if self.config.mapping_policy == "group_affine":
-            pe = self.placement.pe_for_group(task.layer_index, task.group)
-        else:
-            pe = self.placement.pe_for_task(task.task_id)
-        mc = self.placement.serving_mc[pe]
-        in_fmt, w_fmt = self._formats[task.layer_index]
-        unit = self.orderers[mc]
-        chunks = split_task(task, self.config.chunk_pairs)
-        record = _TaskRecord(
-            task=task,
-            reference=0.0,
-            pe=pe,
-            mc=mc,
-            n_chunks=len(chunks),
-        )
-        reference = 0.0
-        release = cycle
-        for chunk in chunks:
-            input_words = [int(w) for w in in_fmt.encode(chunk.inputs)]
-            weight_words = [int(w) for w in w_fmt.encode(chunk.weights)]
-            bias_word = int(w_fmt.encode(np.array([chunk.bias]))[0])
-            key = (chunk.layer_index, chunk.group, chunk.chunk_index)
-            cached = (
-                self.config.weight_cache and key in self._mc_sent_keys[pe]
-            )
-            if cached:
-                encoded_in = self.codec.encode_inputs_only(
-                    input_words, self.config.ordering, self.config.fill_order
+    ) -> list[_TaskRecord]:
+        """Encode the tasks' chunks and queue their request packets.
+
+        Three phases so the batch codec can order and flitise every
+        same-shaped chunk of the layer in single numpy passes:
+
+        1. wire-format word conversion and weight-cache decisions, in
+           task/chunk order (the cache decisions are order-dependent);
+        2. the codec pass (:meth:`_encode_jobs`) — batched under
+           ``codec="batch"``, chunk by chunk under the scalar oracle;
+        3. packet assembly, latency accounting and injection in
+           exactly the task/chunk order of phase 1, so the pending
+           queue, ordering-unit stats and release cycles are identical
+           across codecs.
+        """
+        jobs: list[_ChunkJob] = []
+        records: list[_TaskRecord] = []
+        for task in tasks:
+            if self.config.mapping_policy == "group_affine":
+                pe = self.placement.pe_for_group(
+                    task.layer_index, task.group
                 )
-                record.encoded[chunk.chunk_index] = encoded_in
-                payloads = list(encoded_in.payloads)
+            else:
+                pe = self.placement.pe_for_task(task.task_id)
+            mc = self.placement.serving_mc[pe]
+            in_fmt, w_fmt = self._formats[task.layer_index]
+            chunks = split_task(task, self.config.chunk_pairs)
+            record = _TaskRecord(
+                task=task,
+                reference=0.0,
+                pe=pe,
+                mc=mc,
+                n_chunks=len(chunks),
+            )
+            records.append(record)
+            reference = 0.0
+            for chunk in chunks:
+                input_words = in_fmt.encode(chunk.inputs)
+                weight_words = w_fmt.encode(chunk.weights)
+                bias_word = int(w_fmt.encode(np.array([chunk.bias]))[0])
+                key = (chunk.layer_index, chunk.group, chunk.chunk_index)
+                cached = (
+                    self.config.weight_cache
+                    and key in self._mc_sent_keys[pe]
+                )
+                if not cached and self.config.weight_cache:
+                    self._mc_sent_keys[pe].add(key)
+                jobs.append(
+                    _ChunkJob(
+                        record=record,
+                        task_id=task.task_id,
+                        chunk_index=chunk.chunk_index,
+                        mc=mc,
+                        pe=pe,
+                        cache_key=key,
+                        inputs=input_words,
+                        weights=weight_words,
+                        bias=bias_word,
+                        input_only=cached,
+                    )
+                )
+                # The cached weight block is bit-identical to this
+                # chunk's own words (same filter, same per-layer
+                # scale), so the reference uses the chunk's words in
+                # both paths.
+                reference += _mac(
+                    input_words, weight_words, bias_word, in_fmt, w_fmt
+                )
+            record.reference = reference
+        self._encode_jobs(jobs)
+        current: _TaskRecord | None = None
+        release = cycle
+        for job in jobs:
+            if job.record is not current:
+                current = job.record
+                release = cycle
+            encoded = job.encoded
+            assert encoded is not None
+            job.record.encoded[job.chunk_index] = encoded
+            if job.input_only:
                 kind = "task_inputs"
                 delay = 0
             else:
-                encoded, delay = unit.encode(
-                    input_words, weight_words, bias_word
-                )
-                record.encoded[chunk.chunk_index] = encoded
-                payloads = list(encoded.payloads)
                 kind = "task"
-                if self.config.weight_cache:
-                    self._mc_sent_keys[pe].add(key)
+                delay = self.orderers[job.mc].account(job.inputs.shape[0])
             packet = make_packet(
-                src=mc,
-                dst=pe,
-                payloads=payloads,
+                src=job.mc,
+                dst=job.pe,
+                payloads=list(encoded.payloads),
                 width=self.config.link_width,
                 metadata={
                     "kind": kind,
-                    "task_id": task.task_id,
-                    "chunk_index": chunk.chunk_index,
-                    "cache_key": key,
+                    "task_id": job.task_id,
+                    "chunk_index": job.chunk_index,
+                    "cache_key": job.cache_key,
                 },
             )
             release += delay
             pending.push(release, packet)
-            # The cached weight block is bit-identical to this chunk's
-            # own words (same filter, same per-layer scale), so the
-            # reference uses the chunk's words in both paths.
-            reference += _mac(
-                input_words, weight_words, bias_word, in_fmt, w_fmt
+        return records
+
+    def _encode_jobs(self, jobs: list[_ChunkJob]) -> None:
+        """Run the configured codec over the collected chunk jobs.
+
+        The batch path groups jobs by pair count (a layer's chunks all
+        share one width; ragged tail chunks form their own group) and
+        encodes each group in one :meth:`TaskCodec.encode_batch` /
+        :meth:`TaskCodec.encode_inputs_only_batch` call.  The scalar
+        oracle encodes chunk by chunk exactly as the pre-batch
+        simulator did.
+        """
+        if not jobs:
+            return
+        # Every MC's unit shares the config's method and effective fill
+        # (the baseline's row-major override included).
+        unit = self.orderers[jobs[0].mc]
+        if self.config.codec == "scalar":
+            for job in jobs:
+                if job.input_only:
+                    job.encoded = self.codec.encode_inputs_only(
+                        job.inputs.tolist(),
+                        self.config.ordering,
+                        self.config.fill_order,
+                    )
+                else:
+                    job.encoded = self.codec.encode(
+                        job.inputs.tolist(),
+                        job.weights.tolist(),
+                        job.bias,
+                        unit.method,
+                        unit.fill,
+                    )
+            return
+        full: dict[int, list[_ChunkJob]] = {}
+        inputs_only: dict[int, list[_ChunkJob]] = {}
+        for job in jobs:
+            group = inputs_only if job.input_only else full
+            group.setdefault(job.inputs.shape[0], []).append(job)
+        for group_jobs in full.values():
+            encoded = self.codec.encode_batch(
+                np.stack([job.inputs for job in group_jobs]),
+                np.stack([job.weights for job in group_jobs]),
+                [job.bias for job in group_jobs],
+                unit.method,
+                unit.fill,
             )
-        record.reference = reference
-        return record
+            for job, enc in zip(group_jobs, encoded):
+                job.encoded = enc
+        for group_jobs in inputs_only.values():
+            encoded = self.codec.encode_inputs_only_batch(
+                np.stack([job.inputs for job in group_jobs]),
+                self.config.ordering,
+                self.config.fill_order,
+            )
+            for job, enc in zip(group_jobs, encoded):
+                job.encoded = enc
 
     def _schedule_pending(self, pending: _PendingQueue) -> None:
         """Apply the MC injection-order policy to queued packets.
@@ -628,8 +742,8 @@ def _dtype(fmt: DataFormat) -> type:
 
 
 def _mac(
-    input_words: list[int],
-    weight_words: list[int],
+    input_words: list[int] | np.ndarray,
+    weight_words: list[int] | np.ndarray,
     bias_word: int,
     in_fmt: DataFormat,
     w_fmt: DataFormat,

@@ -6,6 +6,12 @@ from repro.bits.formats import (
     Float32Format,
     format_by_name,
 )
+from repro.bits.lanes import (
+    lane_fast_path,
+    pack_lane_matrix,
+    payloads_to_bytes,
+    unpack_lane_matrix,
+)
 from repro.bits.packing import (
     array_from_words,
     pack_words,
@@ -16,6 +22,7 @@ from repro.bits.popcount import popcount, popcount_array, popcount_swar
 from repro.bits.transitions import (
     per_bit_transitions,
     stream_transitions,
+    stream_transitions_bytes,
     transition_matrix,
     transitions_between,
 )
@@ -25,6 +32,10 @@ __all__ = [
     "Fixed8Format",
     "Float32Format",
     "format_by_name",
+    "lane_fast_path",
+    "pack_lane_matrix",
+    "payloads_to_bytes",
+    "unpack_lane_matrix",
     "array_from_words",
     "pack_words",
     "unpack_words",
@@ -34,6 +45,7 @@ __all__ = [
     "popcount_swar",
     "per_bit_transitions",
     "stream_transitions",
+    "stream_transitions_bytes",
     "transition_matrix",
     "transitions_between",
 ]

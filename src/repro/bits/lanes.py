@@ -1,0 +1,194 @@
+"""Vectorised fixed-width lane kernels for the batch data plane.
+
+The scalar codec path converts words one at a time (per-int
+``popcount``, per-word ``to_bytes``, per-lane shift/or); these kernels
+move whole ``(n_rows, n_lanes)`` word matrices between numpy storage
+and payload integers in a handful of C-level calls:
+
+* :func:`pack_lane_matrix` — one payload int per matrix row, lane 0 in
+  the low bits (the :func:`repro.bits.packing.pack_words` layout).
+* :func:`unpack_lane_matrix` — the inverse, payload ints back to a
+  word matrix.
+* :func:`payloads_to_bytes` — arbitrary-width payload ints to a
+  ``(n, word_bytes)`` uint8 wire-image matrix, the input of the
+  vectorised BT scorers in :mod:`repro.bits.transitions`.
+
+All kernels are bit-exact with the scalar converters; widths that the
+numpy fast path cannot express (non-byte-aligned, or lanes wider than
+64 bits) raise :class:`ValueError` so callers fall back to the scalar
+reference explicitly (see :func:`lane_fast_path`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "lane_fast_path",
+    "lane_dtype",
+    "check_lane_range",
+    "pack_lane_matrix",
+    "unpack_lane_matrix",
+    "payloads_to_bytes",
+]
+
+# Widths the numpy kernels express natively, mapped to the smallest
+# little-endian storage dtype that holds one lane.
+_NATIVE_DTYPES = {8: "<u1", 16: "<u2", 32: "<u4", 64: "<u8"}
+
+
+def lane_fast_path(width: int) -> bool:
+    """True when the numpy kernels support ``width``-bit lanes.
+
+    Byte-aligned lanes up to 64 bits take the vectorised path; anything
+    else (5-bit lanes, 128-bit lanes, ...) must use the scalar
+    :mod:`repro.bits.packing` reference.
+    """
+    return width in _NATIVE_DTYPES or (width % 8 == 0 and 0 < width < 64)
+
+
+def lane_dtype(width: int) -> np.dtype:
+    """Smallest little-endian unsigned dtype holding a ``width``-bit lane."""
+    for bits, dtype in _NATIVE_DTYPES.items():
+        if width <= bits:
+            return np.dtype(dtype)
+    raise ValueError(f"no numpy lane dtype for width {width}")
+
+
+def _lane_bytes(matrix: np.ndarray, width: int) -> np.ndarray:
+    """``(n_rows, n_lanes * width//8)`` little-endian byte image of rows."""
+    nbytes = width >> 3
+    n_rows, n_lanes = matrix.shape
+    if width in _NATIVE_DTYPES:
+        packed = np.ascontiguousarray(
+            matrix.astype(_NATIVE_DTYPES[width], copy=False)
+        )
+        return packed.view(np.uint8).reshape(n_rows, n_lanes * nbytes)
+    # Odd byte-multiple widths (24/40/48/56): widen to u8 and keep the
+    # low `nbytes` bytes of each lane.
+    wide = matrix.astype("<u8").view(np.uint8).reshape(n_rows, n_lanes, 8)
+    return np.ascontiguousarray(wide[:, :, :nbytes]).reshape(
+        n_rows, n_lanes * nbytes
+    )
+
+
+def check_lane_range(
+    matrix: np.ndarray, width: int, what: str = ""
+) -> None:
+    """Reject integer matrices carrying words beyond ``width`` bits.
+
+    The vectorised twin of the per-lane check in
+    :func:`repro.bits.packing.pack_words`; ``what`` labels the word
+    kind ("input", "weight", "bias") in error messages.
+    """
+    label = f"{what} word" if what else "word"
+    if matrix.dtype.kind not in "iu":
+        raise ValueError(
+            f"expected integer {what or 'lane'} words, got dtype "
+            f"{matrix.dtype}"
+        )
+    if matrix.size == 0:
+        return
+    if matrix.dtype.kind == "i" and int(matrix.min()) < 0:
+        raise ValueError(f"negative {label} does not fit in {width} bits")
+    if width < matrix.dtype.itemsize * 8:
+        top = int(np.asarray(matrix.max(), dtype=np.uint64))
+        if top >> width:
+            raise ValueError(
+                f"{label} {top:#x} does not fit in {width} bits"
+            )
+
+
+def pack_lane_matrix(matrix: np.ndarray, width: int) -> list[int]:
+    """Pack each row of a word matrix into one payload integer.
+
+    Bit-exact with calling :func:`repro.bits.packing.pack_words` on
+    every row: lane 0 occupies the least-significant ``width`` bits.
+
+    Args:
+        matrix: ``(n_rows, n_lanes)`` integer array, every word in
+            ``[0, 2**width)``.
+        width: per-lane bit width; must satisfy :func:`lane_fast_path`.
+
+    Returns:
+        ``n_rows`` payload ints.
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D lane matrix, got shape {arr.shape}")
+    if not lane_fast_path(width):
+        raise ValueError(
+            f"width {width} has no vectorised lane kernel; "
+            "use repro.bits.packing.pack_words"
+        )
+    check_lane_range(arr, width)
+    row_bytes = arr.shape[1] * (width >> 3)
+    if row_bytes == 0:
+        return [0] * arr.shape[0]
+    blob = _lane_bytes(arr, width).tobytes()
+    return [
+        int.from_bytes(blob[start : start + row_bytes], "little")
+        for start in range(0, len(blob), row_bytes)
+    ]
+
+
+def unpack_lane_matrix(
+    payloads: Sequence[int], width: int, count: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_lane_matrix`.
+
+    Args:
+        payloads: payload integers (bits above ``count`` lanes ignored,
+            matching :func:`repro.bits.packing.unpack_words`).
+        width: per-lane bit width; must satisfy :func:`lane_fast_path`.
+        count: lanes to extract per payload.
+
+    Returns:
+        ``(len(payloads), count)`` array in the smallest unsigned dtype
+        that holds ``width`` bits.
+    """
+    if not lane_fast_path(width):
+        raise ValueError(
+            f"width {width} has no vectorised lane kernel; "
+            "use repro.bits.packing.unpack_words"
+        )
+    nbytes = width >> 3
+    total = count * nbytes
+    mask = (1 << (count * width)) - 1
+    blob = b"".join(
+        (int(p) & mask).to_bytes(total, "little") for p in payloads
+    )
+    n = len(payloads)
+    if width in _NATIVE_DTYPES:
+        return np.frombuffer(blob, dtype=_NATIVE_DTYPES[width]).reshape(
+            n, count
+        )
+    lanes = np.frombuffer(blob, dtype=np.uint8).reshape(n, count, nbytes)
+    wide = np.zeros((n, count, 8), dtype=np.uint8)
+    wide[:, :, :nbytes] = lanes
+    return wide.reshape(n, count * 8).view("<u8").reshape(n, count)
+
+
+def payloads_to_bytes(
+    payloads: Sequence[int], word_bytes: int, byte_order: str = "little"
+) -> np.ndarray:
+    """Fixed-width wire images of arbitrary-precision payload ints.
+
+    One ``to_bytes`` per payload (payloads routinely exceed 64 bits, so
+    numpy cannot hold them directly); everything downstream — XOR,
+    popcount, argsort — then runs vectorised on the byte matrix.
+
+    Args:
+        payloads: non-negative ints, each below ``2**(8*word_bytes)``.
+        word_bytes: bytes per wire image.
+        byte_order: "little" (default) or "big" byte layout.
+
+    Returns:
+        ``(len(payloads), word_bytes)`` uint8 matrix.
+    """
+    blob = b"".join(int(p).to_bytes(word_bytes, byte_order) for p in payloads)
+    return np.frombuffer(blob, dtype=np.uint8).reshape(
+        len(payloads), word_bytes
+    )

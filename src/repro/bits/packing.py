@@ -12,6 +12,8 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.bits.lanes import lane_fast_path, unpack_lane_matrix
+
 __all__ = ["pack_words", "unpack_words", "words_from_array", "array_from_words"]
 
 
@@ -84,17 +86,13 @@ def unpack_words(payload: int, width: int, count: int) -> list[int]:
     """
     if payload < 0:
         raise ValueError("payload must be non-negative")
-    if width in (8, 16, 32, 64):
-        # One bytes conversion + numpy view instead of count shifts
-        # over the bignum; bits beyond `count` lanes are ignored, as in
-        # the generic path.
-        nbytes = width >> 3
-        total = count * nbytes
-        data = (payload & ((1 << (count * width)) - 1)).to_bytes(
-            total, "little"
-        )
-        dtype = {8: np.uint8, 16: "<u2", 32: "<u4", 64: "<u8"}[width]
-        return np.frombuffer(data, dtype=dtype).tolist()
+    if lane_fast_path(width):
+        # The shared lane-unpacking kernel: one bytes conversion + a
+        # numpy view instead of `count` shifts over the bignum; bits
+        # beyond `count` lanes are ignored, as in the generic path.
+        return unpack_lane_matrix([payload], width, count)[0].tolist()
+    # Scalar fallback for widths the kernel cannot express
+    # (non-byte-aligned, or lanes wider than 64 bits).
     mask = (1 << width) - 1
     return [(payload >> (lane * width)) & mask for lane in range(count)]
 

@@ -23,6 +23,7 @@ from repro.bits.popcount import POPCOUNT_LUT, popcount
 __all__ = [
     "transitions_between",
     "stream_transitions",
+    "stream_transitions_bytes",
     "transition_matrix",
     "per_bit_transitions",
 ]
@@ -49,6 +50,31 @@ def stream_transitions(payloads: Iterable[int]) -> int:
             total += popcount(prev ^ payload)
         prev = payload
     return total
+
+
+def stream_transitions_bytes(images: np.ndarray) -> int:
+    """Vectorised :func:`stream_transitions` over fixed-width wire images.
+
+    Args:
+        images: ``(n_flits, word_bytes)`` uint8 matrix, one row per
+            wire image in link order (see
+            :func:`repro.bits.lanes.payloads_to_bytes`).
+
+    Returns:
+        Total BTs between consecutive rows; the first row establishes
+        the link state without being charged, as in
+        :func:`stream_transitions`.
+    """
+    arr = np.asarray(images)
+    if arr.dtype != np.uint8 or arr.ndim != 2:
+        raise ValueError(
+            f"expected a 2-D uint8 wire-image matrix, got "
+            f"{arr.dtype} shape {arr.shape}"
+        )
+    if arr.shape[0] < 2:
+        return 0
+    xored = arr[:-1] ^ arr[1:]
+    return int(POPCOUNT_LUT[xored].sum(dtype=np.int64))
 
 
 def transition_matrix(words: np.ndarray) -> np.ndarray:

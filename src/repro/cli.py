@@ -221,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--core", default="event",
                        choices=("event", "stepped"),
                        help="network core to measure")
+    bench.add_argument("--codec", default="batch",
+                       choices=("batch", "scalar"),
+                       help="task codec to measure (bit-identical "
+                            "results; only wall time moves)")
     bench.add_argument("--workloads", default=None,
                        help="comma list of workloads (default: all)")
     bench.add_argument("--smoke", action="store_true",
@@ -598,6 +602,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             smoke=args.smoke,
             out_path=args.out,
             progress=print,
+            codec=args.codec,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc

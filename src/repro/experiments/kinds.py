@@ -443,12 +443,15 @@ class JobKind:
             )
         kwargs.update(point)
         if self.uses_seed and "seed" not in kwargs:
-            # The network core is an execution detail, not workload
-            # identity: a --cores cross-check must sample the *same*
-            # tasks/images on both cores, so it stays out of the
-            # derived seed (cache keys still separate per core via the
-            # config itself).
-            seed_kwargs = {k: v for k, v in kwargs.items() if k != "core"}
+            # The network core and task codec are execution details,
+            # not workload identity: a --cores cross-check (or a
+            # batch-vs-scalar codec axis) must sample the *same*
+            # tasks/images on every point, so both stay out of the
+            # derived seed (cache keys still separate per core/codec
+            # via the config itself).
+            seed_kwargs = {
+                k: v for k, v in kwargs.items() if k not in ("core", "codec")
+            }
             kwargs["seed"] = derive_seed(
                 spec.seed, model if self.uses_model else self.name,
                 seed_kwargs, *seed_salt,

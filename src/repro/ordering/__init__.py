@@ -1,5 +1,12 @@
 """The paper's contribution: '1'-bit count-based transmission ordering."""
 
+from repro.ordering.batch import (
+    BatchOrdered,
+    argsort_popcount,
+    deal_matrix,
+    order_batch,
+    undeal_matrix,
+)
 from repro.ordering.encodings import (
     EncodedLinkStream,
     bus_invert_decode,
@@ -35,6 +42,11 @@ from repro.ordering.strategies import (
 )
 
 __all__ = [
+    "BatchOrdered",
+    "argsort_popcount",
+    "deal_matrix",
+    "order_batch",
+    "undeal_matrix",
     "EncodedLinkStream",
     "bus_invert_decode",
     "bus_invert_encode",

@@ -1,0 +1,195 @@
+"""Vectorised batch ordering: whole layers of tasks at once.
+
+The scalar strategies in :mod:`repro.ordering.strategies` order one
+task's words with a Python sort; campaign sweeps order thousands of
+same-shaped tasks per layer, which is an embarrassingly array-parallel
+problem.  This module applies the paper's orderings to 2-D
+``(n_tasks, n_pairs)`` word matrices in a handful of numpy calls.
+
+Bit-identity with the scalar reference is a hard contract (the batch
+codec must reproduce the scalar codec's flits exactly):
+
+* :func:`argsort_popcount` uses ``np.argsort(kind="stable")`` over the
+  negated counts, which reproduces ``sorted(range(n), key=lambda i:
+  (-counts[i], i))`` exactly — a stable mergesort breaks popcount ties
+  by original position, the scalar sort's explicit tie-break.  Padding
+  zeros therefore sink below every real value in arrival order, and
+  the pinned-bias final slot (appended *after* ordering) is untouched,
+  matching :meth:`repro.accelerator.flitize.TaskCodec.encode`.
+* :func:`deal_matrix` expresses the column-major deal as a
+  reshape/transpose, exactly the stride-``n_rows`` slicing of
+  :func:`repro.ordering.strategies.deal_into_rows` for the uniform row
+  lengths the codec always produces.
+
+Equivalence across methods, fills, widths and ragged tails is pinned
+by ``tests/test_ordering_batch.py`` and the batch-codec property suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits.popcount import popcount_array
+from repro.ordering.strategies import FillOrder, OrderingMethod
+
+__all__ = [
+    "BatchOrdered",
+    "argsort_popcount",
+    "order_batch",
+    "deal_matrix",
+    "undeal_matrix",
+]
+
+
+@dataclass(frozen=True)
+class BatchOrdered:
+    """Result of ordering a batch of (input, weight) pair rows.
+
+    The batch counterpart of
+    :class:`repro.ordering.strategies.OrderedPairs`: row ``t`` of every
+    array describes task ``t``, with
+    ``inputs[t, i] == original_inputs[t, input_perm[t, i]]``.
+    """
+
+    inputs: np.ndarray
+    weights: np.ndarray
+    input_perm: np.ndarray
+    weight_perm: np.ndarray
+    paired: bool
+
+
+def argsort_popcount(
+    matrix: np.ndarray, descending: bool = True
+) -> np.ndarray:
+    """Per-row stable popcount argsort of an unsigned word matrix.
+
+    Row ``t`` of the result equals the ``perm`` returned by the scalar
+    :func:`repro.ordering.strategies.sort_by_popcount` on that row:
+    ``np.argsort(kind="stable")`` breaks equal-count ties by original
+    position, which is the scalar sort's ``(sign * count, i)`` key.
+
+    Args:
+        matrix: ``(n_rows, n_words)`` unsigned array.
+        descending: paper default; ``False`` gives the ascending
+            ablation variant.
+
+    Returns:
+        ``(n_rows, n_words)`` int64 permutation matrix.
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D word matrix, got shape {arr.shape}")
+    counts = popcount_array(arr).astype(np.int64)
+    if descending:
+        counts = -counts
+    return np.argsort(counts, axis=1, kind="stable")
+
+
+def order_batch(
+    method: OrderingMethod, inputs: np.ndarray, weights: np.ndarray
+) -> BatchOrdered:
+    """Apply an ordering method to a batch of padded pair rows.
+
+    The batch counterpart of
+    :func:`repro.ordering.strategies.apply_method`; rows are ordered
+    independently but in one numpy pass.
+    """
+    inputs = np.asarray(inputs)
+    weights = np.asarray(weights)
+    if inputs.shape != weights.shape or inputs.ndim != 2:
+        raise ValueError(
+            f"inputs {inputs.shape} and weights {weights.shape} must be "
+            "equal-shape 2-D matrices"
+        )
+    n_tasks, n_pairs = inputs.shape
+    if method is OrderingMethod.BASELINE:
+        identity = np.broadcast_to(
+            np.arange(n_pairs, dtype=np.int64), (n_tasks, n_pairs)
+        )
+        return BatchOrdered(
+            inputs=inputs,
+            weights=weights,
+            input_perm=identity,
+            weight_perm=identity,
+            paired=True,
+        )
+    if method is OrderingMethod.AFFILIATED:
+        perm = argsort_popcount(weights)
+        return BatchOrdered(
+            inputs=np.take_along_axis(inputs, perm, axis=1),
+            weights=np.take_along_axis(weights, perm, axis=1),
+            input_perm=perm,
+            weight_perm=perm,
+            paired=True,
+        )
+    if method is OrderingMethod.SEPARATED:
+        input_perm = argsort_popcount(inputs)
+        weight_perm = argsort_popcount(weights)
+        return BatchOrdered(
+            inputs=np.take_along_axis(inputs, input_perm, axis=1),
+            weights=np.take_along_axis(weights, weight_perm, axis=1),
+            input_perm=input_perm,
+            weight_perm=weight_perm,
+            paired=False,
+        )
+    raise ValueError(f"unhandled ordering method {method}")
+
+
+def deal_matrix(
+    matrix: np.ndarray,
+    n_rows: int,
+    fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL,
+) -> np.ndarray:
+    """Place each task's value sequence into ``n_rows`` flit rows.
+
+    The batch counterpart of
+    :func:`repro.ordering.strategies.deal_into_rows` for the uniform
+    geometry the codec produces (sequence length divisible by
+    ``n_rows``): the column-major deal — element ``k`` to row
+    ``k % n_rows``, lane ``k // n_rows`` — is exactly a
+    ``(lanes, n_rows)`` reshape followed by a transpose.
+
+    Args:
+        matrix: ``(n_tasks, seq_len)`` with ``seq_len % n_rows == 0``.
+        n_rows: flits per packet.
+        fill: deal (paper) or row-major ablation.
+
+    Returns:
+        ``(n_tasks, n_rows, seq_len // n_rows)`` array.
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+    n_tasks, seq_len = arr.shape
+    if n_rows <= 0:
+        raise ValueError(f"n_rows must be positive, got {n_rows}")
+    if seq_len % n_rows:
+        raise ValueError(
+            f"sequence length {seq_len} is not divisible by {n_rows} "
+            "rows; ragged layouts use the scalar deal_into_rows"
+        )
+    lanes = seq_len // n_rows
+    if fill is FillOrder.COLUMN_MAJOR_DEAL:
+        return arr.reshape(n_tasks, lanes, n_rows).transpose(0, 2, 1)
+    if fill is FillOrder.ROW_MAJOR:
+        return arr.reshape(n_tasks, n_rows, lanes)
+    raise ValueError(f"unhandled fill order {fill}")
+
+
+def undeal_matrix(
+    rows: np.ndarray, fill: FillOrder = FillOrder.COLUMN_MAJOR_DEAL
+) -> np.ndarray:
+    """Inverse of :func:`deal_matrix`: recover the flat sequences."""
+    arr = np.asarray(rows)
+    if arr.ndim != 3:
+        raise ValueError(
+            f"expected (n_tasks, n_rows, lanes), got shape {arr.shape}"
+        )
+    n_tasks, n_rows, lanes = arr.shape
+    if fill is FillOrder.COLUMN_MAJOR_DEAL:
+        return arr.transpose(0, 2, 1).reshape(n_tasks, n_rows * lanes)
+    if fill is FillOrder.ROW_MAJOR:
+        return arr.reshape(n_tasks, n_rows * lanes)
+    raise ValueError(f"unhandled fill order {fill}")

@@ -119,6 +119,13 @@ def sort_by_popcount(
 
     Returns:
         ``(sorted_words, perm)`` with ``sorted_words[i] == words[perm[i]]``.
+
+    This is the scalar reference; the batch data plane reproduces its
+    order — including the stable ``(sign * count, i)`` tie-break that
+    sinks padding zeros in arrival order — with one
+    ``np.argsort(kind="stable")`` call over a whole layer of tasks
+    (:func:`repro.ordering.batch.argsort_popcount`; equivalence is
+    pinned by ``tests/test_ordering_batch.py``).
     """
     counts = [popcount(int(w)) for w in words]
     sign = -1 if descending else 1

@@ -19,12 +19,20 @@ targets:
   through the network (verbatim and reordered), the hot path of
   ``repro sweep --kind replay``; capture happens in the factory,
   outside the timed window.
+* ``encode_throughput`` — the task codec alone: real LeNet/DarkNet
+  task shapes ordered, flitised, and BT-scored offline with no
+  network in the loop.  The regime the batch data plane targets; run
+  with ``--codec batch`` vs ``--codec scalar`` to compare the two
+  codec implementations (their BT totals must be identical — the
+  codecs are pinned bit-equal).
 
 Each workload runs to completion under the selected network core
-(``event`` or ``stepped`` — see :mod:`repro.noc.network`) and reports
-wall seconds, simulated cycles, *stepped* cycles (cycles the core
-actually executed; the difference is fast-forwarded idle time),
-flit hops, bit transitions, and derived throughput rates.
+(``event`` or ``stepped`` — see :mod:`repro.noc.network`) and task
+codec (``batch`` or ``scalar`` — see
+:mod:`repro.accelerator.flitize`), and reports wall seconds, simulated
+cycles, *stepped* cycles (cycles the core actually executed; the
+difference is fast-forwarded idle time), flit hops, bit transitions,
+and derived throughput rates.
 
 BENCH JSON schema (``schema`` = 1)::
 
@@ -32,6 +40,7 @@ BENCH JSON schema (``schema`` = 1)::
       "schema": 1,
       "tag": "eventcore",             # free-form label
       "core": "event",                # network core measured
+      "codec": "batch",               # task codec measured
       "smoke": false,                 # reduced grids for CI
       "python": "3.11.7",
       "platform": "Linux-...",
@@ -68,7 +77,9 @@ import sys
 import time
 from typing import Any, Callable
 
-from repro.accelerator.config import AcceleratorConfig
+import numpy as np
+
+from repro.accelerator.config import TASK_CODECS, AcceleratorConfig
 from repro.accelerator.simulator import AcceleratorSimulator
 from repro.dnn.models import ModelSpec
 from repro.noc.network import CORES, NoCConfig, network_core
@@ -134,7 +145,7 @@ def _run_model_points(
     return metrics
 
 
-def _fig12_paper_grid(smoke: bool) -> Callable[[], dict[str, int]]:
+def _fig12_paper_grid(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
     from repro.workloads.figures import (
         figure_lenet_image,
         figure_trained_lenet,
@@ -156,6 +167,7 @@ def _fig12_paper_grid(smoke: bool) -> Callable[[], dict[str, int]]:
                 ordering=OrderingMethod.from_name(ordering),
                 max_tasks_per_layer=tasks,
                 seed=2025,
+                codec=codec,
             ),
             model,
             image,
@@ -167,7 +179,7 @@ def _fig12_paper_grid(smoke: bool) -> Callable[[], dict[str, int]]:
     return lambda: _run_model_points(sims)
 
 
-def _fig12_mesh_sweep(smoke: bool) -> Callable[[], dict[str, int]]:
+def _fig12_mesh_sweep(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
     from repro.workloads.figures import (
         figure_lenet_image,
         figure_trained_lenet,
@@ -187,6 +199,7 @@ def _fig12_mesh_sweep(smoke: bool) -> Callable[[], dict[str, int]]:
                 ordering=OrderingMethod.SEPARATED,
                 max_tasks_per_layer=tasks,
                 seed=2025,
+                codec=codec,
             ),
             model,
             image,
@@ -196,7 +209,7 @@ def _fig12_mesh_sweep(smoke: bool) -> Callable[[], dict[str, int]]:
     return lambda: _run_model_points(sims)
 
 
-def _fig13_model_sweep(smoke: bool) -> Callable[[], dict[str, int]]:
+def _fig13_model_sweep(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
     from repro.workloads.figures import (
         figure_darknet_image,
         figure_darknet_model,
@@ -222,6 +235,7 @@ def _fig13_model_sweep(smoke: bool) -> Callable[[], dict[str, int]]:
                 ordering=OrderingMethod.from_name(ordering),
                 max_tasks_per_layer=tasks,
                 seed=2025,
+                codec=codec,
             ),
             model,
             image,
@@ -233,7 +247,104 @@ def _fig13_model_sweep(smoke: bool) -> Callable[[], dict[str, int]]:
     return lambda: _run_model_points(sims)
 
 
-def _synthetic_rates(smoke: bool) -> Callable[[], dict[str, int]]:
+def _encode_throughput(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
+    from repro.accelerator.tasks import split_task
+    from repro.bits.lanes import unpack_lane_matrix
+    from repro.bits.popcount import POPCOUNT_LUT
+    from repro.workloads.figures import (
+        figure_darknet_image,
+        figure_darknet_model,
+        figure_lenet_image,
+        figure_trained_lenet,
+    )
+
+    # Preparation (untimed): real LeNet/DarkNet task shapes converted
+    # to wire words and grouped by pair count — the batch codec's
+    # contract.  The simulator's own task extraction and per-layer
+    # quantisation build the groups so the bench encodes exactly what
+    # NoC runs would ship.
+    points = [("fixed8", figure_trained_lenet(), figure_lenet_image())]
+    if not smoke:
+        points.append(
+            ("float32", figure_trained_lenet(), figure_lenet_image())
+        )
+        points.append(
+            ("fixed8", figure_darknet_model(), figure_darknet_image())
+        )
+    tasks = 8 if smoke else 48
+    repeat = 1 if smoke else 4
+    groups: list[tuple] = []
+    for data_format, model, image in points:
+        sim = AcceleratorSimulator(
+            AcceleratorConfig(
+                data_format=data_format,
+                max_tasks_per_layer=tasks,
+                seed=2025,
+                codec=codec,
+            ),
+            model,
+            image,
+        )
+        for lt in sim.layer_tasks:
+            in_fmt, w_fmt = sim._formats[lt.layer_index]
+            by_pairs: dict[int, list] = {}
+            for task in lt.tasks:
+                for chunk in split_task(task, sim.config.chunk_pairs):
+                    by_pairs.setdefault(chunk.n_pairs, []).append(
+                        (
+                            in_fmt.encode(chunk.inputs),
+                            w_fmt.encode(chunk.weights),
+                            int(w_fmt.encode(np.array([chunk.bias]))[0]),
+                        )
+                    )
+            for items in by_pairs.values():
+                in_m = np.tile(np.stack([i for i, _, _ in items]), (repeat, 1))
+                w_m = np.tile(np.stack([w for _, w, _ in items]), (repeat, 1))
+                biases = [b for _, _, b in items] * repeat
+                groups.append((sim.codec, in_m, w_m, biases))
+    methods = tuple(OrderingMethod)
+
+    def run() -> dict[str, int]:
+        metrics = _zero_metrics()
+        for task_codec, in_m, w_m, biases in groups:
+            n_tasks = len(biases)
+            for method in methods:
+                if codec == "batch":
+                    encoded = task_codec.encode_batch(
+                        in_m, w_m, biases, method
+                    )
+                else:
+                    encoded = [
+                        task_codec.encode(
+                            in_m[t].tolist(),
+                            w_m[t].tolist(),
+                            biases[t],
+                            method,
+                        )
+                        for t in range(n_tasks)
+                    ]
+                # Offline BT scoring: transitions between consecutive
+                # flits of each task's packet, vectorised over the
+                # whole group.  Identical totals across codecs — the
+                # CI gate asserts batch == scalar here.
+                n_flits = encoded[0].n_data_flits
+                payloads = [p for e in encoded for p in e.payloads]
+                lanes = unpack_lane_matrix(
+                    payloads,
+                    task_codec.word_width,
+                    task_codec.values_per_flit,
+                ).reshape(n_tasks, n_flits, task_codec.values_per_flit)
+                xored = lanes[:, :-1] ^ lanes[:, 1:]
+                metrics["bit_transitions"] += int(
+                    POPCOUNT_LUT[xored.view(np.uint8)].sum(dtype=np.int64)
+                )
+                metrics["flit_hops"] += len(payloads)
+        return metrics
+
+    return run
+
+
+def _synthetic_rates(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
     # Fixed packet count across widening injection windows: the wide
     # windows are idle-dominated, which is where fast-forward pays.
     n_packets = 30 if smoke else 150
@@ -262,7 +373,7 @@ def _synthetic_rates(smoke: bool) -> Callable[[], dict[str, int]]:
     return run
 
 
-def _trace_replay(smoke: bool) -> Callable[[], dict[str, int]]:
+def _trace_replay(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
     from repro.noc.recorder import TraceRecorder
     from repro.workloads.traces import replay_through_network
 
@@ -297,13 +408,15 @@ def _trace_replay(smoke: bool) -> Callable[[], dict[str, int]]:
     return run
 
 
-# Each factory takes `smoke` and returns the timed runner; model and
-# image construction (including LeNet training) happens in the factory,
-# outside the timed window.
-WORKLOADS: dict[str, Callable[[bool], Callable[[], dict[str, int]]]] = {
+# Each factory takes (`smoke`, `codec`) and returns the timed runner;
+# model and image construction (including LeNet training) happens in
+# the factory, outside the timed window.  Network-only workloads
+# accept the codec for signature uniformity and ignore it.
+WORKLOADS: dict[str, Callable[[bool, str], Callable[[], dict[str, int]]]] = {
     "fig12_paper_grid": _fig12_paper_grid,
     "fig12_mesh_sweep": _fig12_mesh_sweep,
     "fig13_model_sweep": _fig13_model_sweep,
+    "encode_throughput": _encode_throughput,
     "synthetic_rates": _synthetic_rates,
     "trace_replay": _trace_replay,
 }
@@ -331,6 +444,7 @@ def run_bench(
     smoke: bool = False,
     out_path: str | pathlib.Path | None = None,
     progress: Callable[[str], None] | None = None,
+    codec: str = "batch",
 ) -> dict[str, Any]:
     """Time the selected workloads and write ``BENCH_<tag>.json``.
 
@@ -341,12 +455,19 @@ def run_bench(
         smoke: run the reduced CI grids.
         out_path: output file (None = ``BENCH_<tag>.json`` in the cwd).
         progress: optional per-workload status callback.
+        codec: task codec to measure ("batch" or "scalar"); the two
+            produce identical cycle/hop/BT numbers, only wall time
+            moves.
 
     Returns:
         The payload that was written.
     """
     if core not in CORES:
         raise ValueError(f"unknown network core {core!r}; use one of {CORES}")
+    if codec not in TASK_CODECS:
+        raise ValueError(
+            f"unknown task codec {codec!r}; use one of {TASK_CODECS}"
+        )
     names = list(WORKLOADS) if workloads is None else list(workloads)
     unknown = [n for n in names if n not in WORKLOADS]
     if unknown:
@@ -357,7 +478,7 @@ def run_bench(
     entries: list[dict[str, Any]] = []
     with network_core(core):
         for name in names:
-            runner = WORKLOADS[name](smoke)
+            runner = WORKLOADS[name](smoke, codec)
             start = time.perf_counter()
             metrics = runner()
             wall = time.perf_counter() - start
@@ -385,6 +506,7 @@ def run_bench(
         "schema": BENCH_SCHEMA,
         "tag": tag,
         "core": core,
+        "codec": codec,
         "smoke": smoke,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -408,9 +530,9 @@ def compare_bench(
     Compares per-workload and total wall seconds of ``fresh`` against
     ``baseline`` and reports every workload that got more than
     ``max_regression_pct`` percent slower.  The two payloads must
-    cover the same grids (same core, same smoke flag, same workload
-    set) — comparing apples to oranges is itself a failure, not a
-    silent pass.  Speedups and sub-threshold noise report nothing;
+    cover the same grids (same core, same codec, same smoke flag,
+    same workload set) — comparing apples to oranges is itself a
+    failure, not a silent pass.  Speedups and sub-threshold noise report nothing;
     ``min_delta_seconds`` is the absolute noise floor below which a
     percentage blip on a millisecond-scale workload is ignored (a
     10ms grid jittering to 13ms is timer noise, not a regression).
@@ -418,7 +540,7 @@ def compare_bench(
     Returns a list of violation descriptions (empty = within budget).
     """
     failures: list[str] = []
-    for key in ("schema", "core", "smoke"):
+    for key in ("schema", "core", "codec", "smoke"):
         if baseline.get(key) != fresh.get(key):
             failures.append(
                 f"payloads disagree on {key!r}: baseline "

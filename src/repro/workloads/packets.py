@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bits.lanes import lane_fast_path, pack_lane_matrix
 from repro.bits.popcount import popcount_array
 from repro.bits.transitions import transition_matrix
 
@@ -92,6 +93,8 @@ class PacketStream:
 
     def payload_ints(self) -> list[int]:
         """Per-flit payload integers (lane 0 in the low bits)."""
+        if lane_fast_path(self.word_width):
+            return pack_lane_matrix(self.flits, self.word_width)
         out = []
         for row in self.flits:
             payload = 0

@@ -1,0 +1,160 @@
+"""Tests for repro.bits.lanes (vectorised lane pack/unpack kernels).
+
+The kernels are the numpy fast path under the batch codec and
+``unpack_words``; every assertion here compares against the scalar
+:mod:`repro.bits.packing` reference, which is the bit-exact contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.lanes import (
+    lane_dtype,
+    lane_fast_path,
+    pack_lane_matrix,
+    payloads_to_bytes,
+    unpack_lane_matrix,
+)
+from repro.bits.packing import pack_words, unpack_words
+from repro.bits.transitions import stream_transitions, stream_transitions_bytes
+
+FAST_WIDTHS = (8, 16, 24, 32, 40, 48, 56, 64)
+
+
+class TestFastPath:
+    def test_byte_aligned_widths_up_to_64(self):
+        for width in FAST_WIDTHS:
+            assert lane_fast_path(width)
+
+    def test_unsupported_widths(self):
+        for width in (1, 5, 12, 33, 72, 128):
+            assert not lane_fast_path(width)
+
+    def test_lane_dtype_is_minimal(self):
+        assert lane_dtype(8) == np.uint8
+        assert lane_dtype(24) == np.uint32
+        assert lane_dtype(64) == np.uint64
+        with pytest.raises(ValueError):
+            lane_dtype(65)
+
+
+class TestPackLaneMatrix:
+    @pytest.mark.parametrize("width", FAST_WIDTHS)
+    def test_matches_scalar_pack_words(self, width):
+        rng = np.random.default_rng(width)
+        matrix = rng.integers(
+            0, 1 << min(width, 63), size=(9, 7), dtype=np.uint64
+        )
+        assert pack_lane_matrix(matrix, width) == [
+            pack_words(row.tolist(), width) for row in matrix
+        ]
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        for width in FAST_WIDTHS:
+            matrix = rng.integers(
+                0, 1 << min(width, 63), size=(5, 4), dtype=np.uint64
+            )
+            payloads = pack_lane_matrix(matrix, width)
+            back = unpack_lane_matrix(payloads, width, 4)
+            assert back.tolist() == matrix.tolist()
+
+    def test_rejects_out_of_range_words(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            pack_lane_matrix(np.array([[256]]), 8)
+        with pytest.raises(ValueError, match="does not fit"):
+            pack_lane_matrix(np.array([[-1]]), 8)
+
+    def test_rejects_unsupported_width(self):
+        with pytest.raises(ValueError, match="no vectorised lane kernel"):
+            pack_lane_matrix(np.zeros((1, 1), dtype=np.uint8), 12)
+
+    def test_rejects_non_integer_matrix(self):
+        with pytest.raises(ValueError, match="integer lane words"):
+            pack_lane_matrix(np.zeros((2, 2)), 8)
+
+    def test_empty_rows_pack_to_zero(self):
+        assert pack_lane_matrix(np.zeros((3, 0), dtype=np.uint8), 8) == [
+            0,
+            0,
+            0,
+        ]
+
+
+class TestUnpackLaneMatrix:
+    def test_ignores_bits_beyond_count(self):
+        payload = pack_words([1, 2, 3], 16)
+        assert unpack_lane_matrix([payload], 16, 2).tolist() == [[1, 2]]
+
+    @pytest.mark.parametrize("width", FAST_WIDTHS)
+    def test_matches_scalar_unpack_words(self, width):
+        rng = np.random.default_rng(width + 1)
+        rows = rng.integers(
+            0, 1 << min(width, 63), size=(6, 5), dtype=np.uint64
+        )
+        payloads = [pack_words(row.tolist(), width) for row in rows]
+        got = unpack_lane_matrix(payloads, width, 5)
+        for payload, row in zip(payloads, got):
+            assert row.tolist() == unpack_words(payload, width, 5)
+
+    def test_rejects_unsupported_width(self):
+        with pytest.raises(ValueError, match="no vectorised lane kernel"):
+            unpack_lane_matrix([0], 12, 1)
+
+
+class TestPayloadsToBytes:
+    @pytest.mark.parametrize("byte_order", ["little", "big"])
+    def test_round_trips_through_int_from_bytes(self, byte_order):
+        rng = np.random.default_rng(7)
+        payloads = [
+            int.from_bytes(rng.bytes(16), "little") for _ in range(20)
+        ]
+        matrix = payloads_to_bytes(payloads, 16, byte_order)
+        assert matrix.shape == (20, 16)
+        for payload, row in zip(payloads, matrix):
+            assert int.from_bytes(row.tobytes(), byte_order) == payload
+
+    def test_feeds_vectorised_stream_scorer(self):
+        rng = np.random.default_rng(11)
+        payloads = [
+            int.from_bytes(rng.bytes(64), "little") for _ in range(50)
+        ]
+        assert stream_transitions_bytes(
+            payloads_to_bytes(payloads, 64)
+        ) == stream_transitions(payloads)
+
+    def test_scorer_first_row_uncharged(self):
+        assert stream_transitions_bytes(payloads_to_bytes([255], 1)) == 0
+        assert stream_transitions_bytes(payloads_to_bytes([0, 255], 1)) == 8
+
+
+class TestKernelProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.sampled_from(FAST_WIDTHS),
+        st.integers(min_value=1, max_value=6),
+        st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=1,
+            max_size=24,
+        ),
+        st.data(),
+    )
+    def test_pack_unpack_equals_scalar(self, width, lanes, seeds, data):
+        n_rows = len(seeds)
+        matrix = np.array(
+            [
+                [(s + 31 * c) % (1 << min(width, 63)) for c in range(lanes)]
+                for s in seeds
+            ],
+            dtype=np.uint64,
+        )
+        payloads = pack_lane_matrix(matrix, width)
+        assert payloads == [pack_words(r.tolist(), width) for r in matrix]
+        back = unpack_lane_matrix(payloads, width, lanes)
+        assert back.tolist() == matrix.tolist()
+        assert back.shape == (n_rows, lanes)

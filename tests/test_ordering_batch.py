@@ -1,0 +1,180 @@
+"""Tests for repro.ordering.batch (vectorised batch ordering).
+
+The contract under test is bit-identity with the scalar strategies:
+``np.argsort(kind="stable")`` over negated counts must reproduce the
+scalar sort's ``(-count, i)`` tie-break *exactly* — including the
+padding-sink behaviour (zero-padded slots fall below every real value
+in arrival order) and the pinned-bias final slot, which is appended
+after ordering and must never move.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.flitize import TaskCodec
+from repro.ordering.batch import (
+    argsort_popcount,
+    deal_matrix,
+    order_batch,
+    undeal_matrix,
+)
+from repro.ordering.strategies import (
+    FillOrder,
+    OrderingMethod,
+    apply_method,
+    deal_into_rows,
+    sort_by_popcount,
+)
+
+
+class TestArgsortPopcount:
+    @pytest.mark.parametrize("descending", [True, False])
+    def test_reproduces_scalar_sort_exactly(self, descending):
+        rng = np.random.default_rng(0)
+        matrix = rng.integers(0, 256, size=(40, 31), dtype=np.uint8)
+        perms = argsort_popcount(matrix, descending=descending)
+        for row, perm in zip(matrix, perms):
+            sorted_words, ref_perm = sort_by_popcount(
+                row.tolist(), descending=descending
+            )
+            assert perm.tolist() == ref_perm
+            assert np.take(row, perm).tolist() == sorted_words
+
+    def test_stable_tie_break_is_arrival_order(self):
+        # 3, 5, 6 all have two '1' bits: equal counts keep positions.
+        matrix = np.array([[3, 5, 6, 0, 7]], dtype=np.uint8)
+        assert argsort_popcount(matrix)[0].tolist() == [4, 0, 1, 2, 3]
+
+    def test_padding_zeros_sink_in_arrival_order(self):
+        # Zero-padded tail slots must land below every real value and
+        # keep their relative order (the flitize padding contract).
+        matrix = np.array([[9, 0, 1, 0, 0]], dtype=np.uint8)
+        perm = argsort_popcount(matrix)[0].tolist()
+        assert perm == [0, 2, 1, 3, 4]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            argsort_popcount(np.zeros(4, dtype=np.uint8))
+
+
+class TestOrderBatch:
+    @pytest.mark.parametrize("method", list(OrderingMethod))
+    def test_matches_scalar_apply_method(self, method):
+        rng = np.random.default_rng(1)
+        inputs = rng.integers(0, 2**32, size=(15, 26), dtype=np.uint32)
+        weights = rng.integers(0, 2**32, size=(15, 26), dtype=np.uint32)
+        batch = order_batch(method, inputs, weights)
+        for t in range(15):
+            ref = apply_method(
+                method, inputs[t].tolist(), weights[t].tolist()
+            )
+            assert batch.inputs[t].tolist() == list(ref.inputs)
+            assert batch.weights[t].tolist() == list(ref.weights)
+            assert batch.input_perm[t].tolist() == list(ref.input_perm)
+            assert batch.weight_perm[t].tolist() == list(ref.weight_perm)
+            assert batch.paired == ref.paired
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal-shape"):
+            order_batch(
+                OrderingMethod.AFFILIATED,
+                np.zeros((2, 3), dtype=np.uint8),
+                np.zeros((2, 4), dtype=np.uint8),
+            )
+
+
+class TestDealMatrix:
+    @pytest.mark.parametrize("fill", list(FillOrder))
+    def test_matches_scalar_deal(self, fill):
+        rng = np.random.default_rng(2)
+        matrix = rng.integers(0, 256, size=(6, 24), dtype=np.uint8)
+        rows = deal_matrix(matrix, 4, fill)
+        for t in range(6):
+            assert rows[t].tolist() == deal_into_rows(
+                matrix[t].tolist(), 4, fill
+            )
+
+    @pytest.mark.parametrize("fill", list(FillOrder))
+    def test_undeal_inverts(self, fill):
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 256, size=(5, 18), dtype=np.uint8)
+        assert undeal_matrix(
+            deal_matrix(matrix, 3, fill), fill
+        ).tolist() == matrix.tolist()
+
+    def test_rejects_ragged_layout(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            deal_matrix(np.zeros((2, 7), dtype=np.uint8), 3)
+
+    def test_rejects_bad_row_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            deal_matrix(np.zeros((2, 4), dtype=np.uint8), 0)
+
+
+class TestPinnedBiasAndPaddingThroughCodec:
+    """The flitize-level consequences of the stable batch sort."""
+
+    def test_bias_rides_final_slot_under_batch_ordering(self):
+        # Bias word 0xFF has the highest possible popcount; if it were
+        # sorted it would lead the sequence.  It must stay in the last
+        # flit's last weight lane under both codecs.
+        codec = TaskCodec(values_per_flit=4, word_width=8)
+        inputs, weights, bias = [1, 2, 3], [4, 8, 16], 0xFF
+        for method in OrderingMethod:
+            (batch,) = codec.encode_batch(
+                np.array([inputs], dtype=np.uint8),
+                np.array([weights], dtype=np.uint8),
+                [bias],
+                method,
+            )
+            scalar = codec.encode(inputs, weights, bias, method)
+            assert batch == scalar
+            last_lanes = codec.decode(batch)
+            assert last_lanes.bias == bias
+
+    def test_padding_zeros_align_across_flits(self):
+        # 3 real pairs in a 2-flit packet (h=2, 4 slots): the O1 sort
+        # sinks the padded zero below real values identically in both
+        # codecs, including the permutation metadata.
+        codec = TaskCodec(values_per_flit=4, word_width=8)
+        inputs, weights = [7, 1, 2], [3, 12, 48]
+        (batch,) = codec.encode_batch(
+            np.array([inputs], dtype=np.uint8),
+            np.array([weights], dtype=np.uint8),
+            [0],
+            OrderingMethod.AFFILIATED,
+        )
+        scalar = codec.encode(inputs, weights, 0, OrderingMethod.AFFILIATED)
+        assert batch == scalar
+        assert batch.weight_perm == scalar.weight_perm
+
+
+class TestOrderingProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.sampled_from(list(OrderingMethod)),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_batch_equals_scalar_on_random_grids(
+        self, method, n_pairs, n_tasks, seed
+    ):
+        rng = np.random.default_rng(seed)
+        inputs = rng.integers(
+            0, 2**16, size=(n_tasks, n_pairs), dtype=np.uint16
+        )
+        weights = rng.integers(
+            0, 2**16, size=(n_tasks, n_pairs), dtype=np.uint16
+        )
+        batch = order_batch(method, inputs, weights)
+        for t in range(n_tasks):
+            ref = apply_method(
+                method, inputs[t].tolist(), weights[t].tolist()
+            )
+            assert batch.inputs[t].tolist() == list(ref.inputs)
+            assert batch.weight_perm[t].tolist() == list(ref.weight_perm)

@@ -192,9 +192,12 @@ class TestCacheKeyInvariants:
         invalidates — bump deliberately, not accidentally.
         """
         cache = ResultCache("/nonexistent", version_tag="vtest")
+        # Bumped deliberately in PR 5: AcceleratorConfig grew the
+        # `codec` field (batch/scalar task codec), which changes every
+        # config's canonical dict and therefore every cache key.
         assert cache.key_for(_tiny_accel_job()) == (
-            "55465ac4b389c8a1888cad322eb026f3"
-            "973ea3fbc4b48184cd91d63d7b30b235"
+            "3c449aec2a56881112f529ecb46c662b"
+            "23f26dbefa741ff6b26bc90f587f00f0"
         )
 
     @given(st.integers(min_value=0, max_value=2**32 - 1))

@@ -42,6 +42,32 @@ def traced_network() -> tuple[Network, TrafficTrace]:
     return net, net.trace_collector.finish(64)
 
 
+class TestStreamScoring:
+    """The per-link BT scorer's vectorised narrow-link fast path."""
+
+    def test_narrow_link_matches_scalar_loop(self):
+        from repro.bits.transitions import stream_transitions
+
+        rng = np.random.default_rng(0)
+        payloads = tuple(
+            int(x) for x in rng.integers(0, 2**64, 200, dtype=np.uint64)
+        )
+        trace = TrafficTrace(link_width=64, links={"L": payloads})
+        assert trace.per_link_transitions()["L"] == stream_transitions(
+            payloads
+        )
+
+    def test_header_bits_beyond_link_width_fall_back(self):
+        # include_header_bits records wire images wider than the link;
+        # the uint64 fast path must fall back, not overflow.
+        payloads = (2**64 + 1, 3, 2**70)
+        trace = TrafficTrace(link_width=64, links={"L": payloads})
+        assert trace.per_link_transitions()["L"] == (
+            (payloads[0] ^ payloads[1]).bit_count()
+            + (payloads[1] ^ payloads[2]).bit_count()
+        )
+
+
 class TestCapture:
     def test_trace_matches_live_recorders(self):
         net, trace = traced_network()
