@@ -34,6 +34,8 @@ from repro.accelerator.tasks import (
     split_task,
 )
 from repro.bits.formats import DataFormat, Float32Format
+from repro.bits.lanes import lane_fast_path
+from repro.obs.metrics import active_registry
 from repro.dnn.models import ModelSpec
 from repro.dnn.quantize import tensor_format
 from repro.noc.flit import Packet, make_packet
@@ -91,6 +93,16 @@ class RunResult:
         per_link: link-name -> accumulated BTs on that link (the
             Fig. 8 per-recorder breakdown; feeds the campaign engine's
             per-link pivots).
+        steps_executed: cycles the network actually stepped (on the
+            event core ``steps_executed <= total_cycles`` because idle
+            cycles are fast-forwarded over).
+        idle_cycles_skipped: idle cycles the event core jumped without
+            stepping (0 on the stepped reference core).
+        metrics: flat observability counter snapshot (``event.*``,
+            ``router.*``, ``codec.*`` families — see
+            :mod:`repro.obs.metrics`).  Deterministic simulation facts,
+            filled unconditionally: identical whether or not a metrics
+            registry is enabled and however many sweep workers ran.
     """
 
     config: AcceleratorConfig
@@ -103,6 +115,9 @@ class RunResult:
     mean_packet_latency: float
     ordering_latency_cycles: int
     per_link: dict[str, int] = field(default_factory=dict)
+    steps_executed: int = 0
+    idle_cycles_skipped: int = 0
+    metrics: dict[str, int] = field(default_factory=dict)
 
     @property
     def all_verified(self) -> bool:
@@ -132,6 +147,9 @@ class RunResult:
             "mean_packet_latency": self.mean_packet_latency,
             "ordering_latency_cycles": self.ordering_latency_cycles,
             "per_link": dict(self.per_link),
+            "steps_executed": self.steps_executed,
+            "idle_cycles_skipped": self.idle_cycles_skipped,
+            "metrics": dict(self.metrics),
         }
 
     @classmethod
@@ -143,6 +161,11 @@ class RunResult:
         ]
         # Records persisted before per-link recording default to empty.
         kwargs.setdefault("per_link", {})
+        # Records persisted before the observability layer default to
+        # "nothing measured".
+        kwargs.setdefault("steps_executed", 0)
+        kwargs.setdefault("idle_cycles_skipped", 0)
+        kwargs.setdefault("metrics", {})
         return cls(**kwargs)
 
 
@@ -276,6 +299,13 @@ class AcceleratorSimulator:
         # The most recent run's network, exposed for the perf harness
         # (steps_executed vs stats.cycles — the fast-forward invariant).
         self.last_network: Network | None = None
+        # Codec observability: chunks encoded per path.  fallback
+        # counts batch-API chunks that degraded to the per-row scalar
+        # reference because the lane width has no numpy fast path.
+        self.codec_batch_groups = 0
+        self.codec_batch_chunks = 0
+        self.codec_scalar_chunks = 0
+        self.codec_fallback_chunks = 0
 
     def _build_formats(self) -> dict[int, tuple[DataFormat, DataFormat]]:
         """Per-layer (input, weight) wire formats."""
@@ -499,6 +529,14 @@ class AcceleratorSimulator:
             ):
                 verified += 1
         stats = network.stats
+        metrics = network.metrics_snapshot()
+        metrics["codec.batch_groups"] = self.codec_batch_groups
+        metrics["codec.batch_chunks"] = self.codec_batch_chunks
+        metrics["codec.scalar_chunks"] = self.codec_scalar_chunks
+        metrics["codec.fallback_chunks"] = self.codec_fallback_chunks
+        registry = active_registry()
+        if registry is not None:
+            registry.merge(metrics)
         return RunResult(
             config=self.config,
             total_bit_transitions=stats.total_bit_transitions,
@@ -510,6 +548,9 @@ class AcceleratorSimulator:
             mean_packet_latency=stats.mean_latency,
             ordering_latency_cycles=total_ordering_latency,
             per_link=network.ledger.per_link(),
+            steps_executed=network.steps_executed,
+            idle_cycles_skipped=network.idle_cycles_skipped,
+            metrics=metrics,
         )
 
     def _encode_tasks(
@@ -634,6 +675,7 @@ class AcceleratorSimulator:
         # (the baseline's row-major override included).
         unit = self.orderers[jobs[0].mc]
         if self.config.codec == "scalar":
+            self.codec_scalar_chunks += len(jobs)
             for job in jobs:
                 if job.input_only:
                     job.encoded = self.codec.encode_inputs_only(
@@ -655,6 +697,12 @@ class AcceleratorSimulator:
         for job in jobs:
             group = inputs_only if job.input_only else full
             group.setdefault(job.inputs.shape[0], []).append(job)
+        self.codec_batch_groups += len(full) + len(inputs_only)
+        self.codec_batch_chunks += len(jobs)
+        if not lane_fast_path(self.codec.word_width):
+            # encode_batch degrades to the per-row scalar reference for
+            # exotic lane widths; surface how many chunks took that hit.
+            self.codec_fallback_chunks += len(jobs)
         for group_jobs in full.values():
             encoded = self.codec.encode_batch(
                 np.stack([job.inputs for job in group_jobs]),

@@ -67,8 +67,14 @@ def _lane_bytes(matrix: np.ndarray, width: int) -> np.ndarray:
         )
         return packed.view(np.uint8).reshape(n_rows, n_lanes * nbytes)
     # Odd byte-multiple widths (24/40/48/56): widen to u8 and keep the
-    # low `nbytes` bytes of each lane.
-    wide = matrix.astype("<u8").view(np.uint8).reshape(n_rows, n_lanes, 8)
+    # low `nbytes` bytes of each lane.  astype preserves memory order,
+    # so force C order — a Fortran-ordered input (e.g. a transposed
+    # fill) cannot be reinterpreted bytewise along its last axis.
+    wide = (
+        matrix.astype("<u8", order="C")
+        .view(np.uint8)
+        .reshape(n_rows, n_lanes, 8)
+    )
     return np.ascontiguousarray(wide[:, :, :nbytes]).reshape(
         n_rows, n_lanes * nbytes
     )

@@ -19,6 +19,12 @@ Subcommands::
                        BENCH_<tag>.json snapshot (--core event|stepped;
                        --compare gates wall-time regressions against a
                        previous snapshot)
+    repro trace      — analyse recorded wire-image traces:
+                       `stats` (one-screen summary), `heat` (per-link
+                       BT heat by cycle window), `diff` (where two
+                       traces disagree; exit 1 on divergence), and
+                       `bisect` (log2 window bisection down to the
+                       first diverging cycle window and link)
 
 Every subcommand accepts ``--seed``: when given, all randomness (model
 init, sample images, task sampling, traffic schedules) derives from it
@@ -62,6 +68,14 @@ from repro.hardware.linkpower import (
 from repro.hardware.synthesis import format_table2, model_table2, paper_table2
 from repro.noc.network import NoCConfig
 from repro.noc.recorder import TraceRecorder
+from repro.obs import (
+    DEFAULT_WINDOW,
+    bisect_divergence,
+    bt_by_owner,
+    link_heat,
+    trace_diff,
+    trace_stats,
+)
 from repro.noc.traffic import (
     SyntheticTrafficConfig,
     TrafficPattern,
@@ -69,6 +83,7 @@ from repro.noc.traffic import (
 )
 from repro.ordering.strategies import OrderingMethod
 from repro.workloads.packets import build_packets, measure_stream
+from repro.workloads.traces import TrafficTrace
 from repro.workloads.streams import (
     random_weights,
     trained_lenet_weights,
@@ -211,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default campaigns/<name>.jsonl)")
     sweep.add_argument("--csv", default=None,
                        help="also export the store as CSV")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print a live telemetry line per completed "
+                            "job (done/failed/cached counts and ETA) "
+                            "as results stream back from the pool")
+    sweep.add_argument("--metrics", action="store_true",
+                       help="print the campaign-wide metrics aggregate "
+                            "(event/router/codec/cache/runner counter "
+                            "families) after the report")
 
     bench = sub.add_parser(
         "bench", parents=[seeded],
@@ -260,6 +283,65 @@ def build_parser() -> argparse.ArgumentParser:
                              "per-layer / per-link BT tables")
     report.add_argument("--csv", default=None,
                         help="also export the store as CSV")
+
+    trace = sub.add_parser(
+        "trace", parents=[seeded],
+        help="analyse recorded wire-image traces",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    t_stats = trace_sub.add_parser(
+        "stats", help="one-screen trace summary"
+    )
+    t_stats.add_argument("trace", help="trace file (*.trace.gz)")
+    t_stats.add_argument("--per-link", action="store_true",
+                         help="also print the per-link BT table")
+
+    t_heat = trace_sub.add_parser(
+        "heat", help="per-link BT heat bucketed by cycle window"
+    )
+    t_heat.add_argument("trace", help="trace file (*.trace.gz)")
+    t_heat.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        help=f"cycle-window width "
+                             f"(default {DEFAULT_WINDOW})")
+    t_heat.add_argument("--top", type=int, default=10,
+                        help="hottest (link, window) cells to show "
+                             "(default 10)")
+    t_heat.add_argument("--owners", action="store_true",
+                        help="also attribute BTs to owning packets "
+                             "(needs a TraceRecorder capture)")
+
+    t_diff = trace_sub.add_parser(
+        "diff", help="where two traces' per-window BT heat disagrees "
+                     "(exit 1 on divergence)"
+    )
+    t_diff.add_argument("trace_a", help="baseline trace file")
+    t_diff.add_argument("trace_b", help="candidate trace file")
+    t_diff.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        help=f"cycle-window width "
+                             f"(default {DEFAULT_WINDOW})")
+    t_diff.add_argument("--top", type=int, default=10,
+                        help="diverging links to list (default 10)")
+
+    t_bisect = trace_sub.add_parser(
+        "bisect", help="log2-bisect the first diverging cycle window "
+                       "(exit 1 on divergence)"
+    )
+    t_bisect.add_argument("trace_a", help="baseline trace file")
+    t_bisect.add_argument("trace_b", help="candidate trace file")
+    t_bisect.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                          help=f"cycle-window width "
+                               f"(default {DEFAULT_WINDOW})")
+    t_bisect.add_argument("--probe", default="offline",
+                          choices=("offline", "replay"),
+                          help="prefix probe: offline slice+rescore "
+                               "(works on any timed capture) or "
+                               "windowed replay through a fresh "
+                               "network (needs replayable traces)")
+    t_bisect.add_argument("--core", default=None,
+                          choices=("event", "stepped"),
+                          help="[replay probe] network core to replay "
+                               "through")
     return parser
 
 
@@ -568,6 +650,19 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     )
 
 
+def _telemetry_line(sample: dict) -> str:
+    """Render one live `repro sweep --progress` sample."""
+    eta = sample.get("eta_seconds")
+    eta_text = f", eta {eta:.1f}s" if eta is not None else ""
+    status = "" if sample.get("status") == "ok" else " ERROR"
+    return (
+        f"  [{sample['done']}/{sample['total']}] "
+        f"{sample.get('job_id', '?')}{status} "
+        f"({sample['running']} running, {sample['cached']} cached, "
+        f"{sample['failed']} failed{eta_text})"
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _sweep_spec_from_args(args)
     try:
@@ -579,10 +674,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     store = ResultStore(store_path)
     runner = CampaignRunner(cache=cache, store=store, workers=args.workers)
     print(f"campaign {spec.name!r}: {spec.n_points} points -> {store_path}")
-    result = runner.run(spec, progress=print)
+    telemetry = (
+        (lambda sample: print(_telemetry_line(sample), flush=True))
+        if args.progress else None
+    )
+    result = runner.run(spec, progress=print, telemetry=telemetry)
     print(result.summary())
     print()
     print(campaign_report(result.records))
+    if args.metrics:
+        print()
+        print("campaign metrics:")
+        for name in sorted(result.metrics):
+            print(f"  {name} = {result.metrics[name]}")
     if args.csv:
         rows = store.to_csv(args.csv)
         print(f"\nwrote {rows} rows to {args.csv}")
@@ -659,17 +763,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"no records in {args.store}", file=sys.stderr)
         return 1
     # Failed (or malformed) jobs never block reporting the points that
-    # did finish — they are skipped, loudly.
+    # did finish — one summary line, not one warning per record.
     skipped = skipped_records(records)
-    for record, reason in skipped:
-        print(
-            f"warning: skipping {record.get('job_id', '?')}: {reason}",
-            file=sys.stderr,
-        )
     if skipped:
+        first_record, first_reason = skipped[0]
         print(
             f"warning: skipped {len(skipped)} of {len(records)} "
-            f"record(s); reporting the rest",
+            f"record(s) (first: {first_record.get('job_id', '?')}: "
+            f"{first_reason}); reporting the rest",
             file=sys.stderr,
         )
     print(campaign_report(records, args.pivot))
@@ -677,6 +778,95 @@ def _cmd_report(args: argparse.Namespace) -> int:
         rows = store.to_csv(args.csv)
         print(f"\nwrote {rows} rows to {args.csv}")
     return 0
+
+
+def _load_trace(path: str) -> TrafficTrace:
+    try:
+        return TrafficTrace.load(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"bad trace file {path!r}: {exc}") from exc
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    stats = trace_stats(_load_trace(args.trace))
+    for line in stats.lines():
+        print(line)
+    if args.per_link:
+        print()
+        print("per-link BTs:")
+        for name in sorted(stats.per_link):
+            print(f"  {name}: {stats.per_link[name]}")
+    return 0
+
+
+def _cmd_trace_heat(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    try:
+        heat = link_heat(trace, args.window)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    window_totals = heat.window_totals()
+    print(
+        f"{heat.n_windows} window(s) of {heat.window} cycle(s); "
+        f"{sum(window_totals)} BTs total, "
+        f"peak window {int(np.argmax(window_totals))} "
+        f"({max(window_totals)} BTs)"
+    )
+    print(f"hottest cells (top {args.top}):")
+    for name, w, bts in heat.hottest(args.top):
+        print(
+            f"  {name} window {w} (cycles "
+            f"[{w * heat.window}, {(w + 1) * heat.window})): {bts} BTs"
+        )
+    if args.owners:
+        try:
+            owners = bt_by_owner(trace)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(f"BTs by owning packet (top {args.top}):")
+        ranked = sorted(owners.items(), key=lambda kv: (-kv[1], kv[0]))
+        for pid, bts in ranked[:args.top]:
+            label = "unknown owner" if pid < 0 else f"packet {pid}"
+            print(f"  {label}: {bts} BTs")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    a = _load_trace(args.trace_a)
+    b = _load_trace(args.trace_b)
+    try:
+        diff = trace_diff(a, b, args.window)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    for line in diff.lines(args.top):
+        print(line)
+    return 0 if diff.is_empty else 1
+
+
+def _cmd_trace_bisect(args: argparse.Namespace) -> int:
+    a = _load_trace(args.trace_a)
+    b = _load_trace(args.trace_b)
+    try:
+        result = bisect_divergence(
+            a, b, window=args.window, probe=args.probe, core=args.core
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    for line in result.lines():
+        print(line)
+    return 1 if result.diverged else 0
+
+
+_TRACE_COMMANDS = {
+    "stats": _cmd_trace_stats,
+    "heat": _cmd_trace_heat,
+    "diff": _cmd_trace_diff,
+    "bisect": _cmd_trace_bisect,
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    return _TRACE_COMMANDS[args.trace_command](args)
 
 
 _COMMANDS = {
@@ -688,6 +878,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "trace": _cmd_trace,
 }
 
 

@@ -53,6 +53,7 @@ from repro.dnn.datasets import synthetic_digits, synthetic_shapes
 from repro.dnn.models import ModelSpec, build_model
 from repro.experiments.hashing import derive_seed
 from repro.noc.network import NoCConfig
+from repro.obs.metrics import merge_metrics
 from repro.noc.traffic import (
     SyntheticTrafficConfig,
     TrafficPattern,
@@ -569,6 +570,9 @@ class BatchJobKind(JobKind):
         # float-summary API, and records/cache keys must carry exact
         # ints (float conversion rounds sums beyond 2**53).
         total_bt = sum(r.total_bit_transitions for r in results)
+        metrics: dict[str, Any] = {}
+        for r in results:
+            merge_metrics(metrics, r.metrics)
         return {
             "total_bit_transitions": total_bt,
             "total_cycles": sum(r.total_cycles for r in results),
@@ -584,6 +588,11 @@ class BatchJobKind(JobKind):
             ),
             "n_images": len(results),
             "per_link": per_link,
+            "steps_executed": sum(r.steps_executed for r in results),
+            "idle_cycles_skipped": sum(
+                r.idle_cycles_skipped for r in results
+            ),
+            "metrics": metrics,
             "images": fanout,
         }
 
@@ -672,6 +681,9 @@ class SyntheticJobKind(JobKind):
             "flits_injected": stats.flits_injected,
             "mean_packet_latency": stats.mean_latency,
             "per_link": network.ledger.per_link(),
+            "steps_executed": network.steps_executed,
+            "idle_cycles_skipped": network.idle_cycles_skipped,
+            "metrics": network.metrics_snapshot(),
         }
 
     def job_label(self, job: "JobSpec") -> str:
@@ -863,6 +875,9 @@ class ReplayJobKind(JobKind):
                 "packets_delivered": stats.packets_delivered,
                 "mean_packet_latency": stats.mean_latency,
                 "per_link": transmit_links,
+                "steps_executed": net.steps_executed,
+                "idle_cycles_skipped": net.idle_cycles_skipped,
+                "metrics": net.metrics_snapshot(),
                 "cores": cores,
                 "cores_agree": True if len(cores) == 2 else None,
                 "matches_recorded": (

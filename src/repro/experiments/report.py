@@ -33,6 +33,7 @@ __all__ = [
     "link_pivot",
     "reduction_series",
     "fig12_report",
+    "effort_block",
     "campaign_report",
 ]
 
@@ -466,6 +467,41 @@ def _replay_blocks(records: list[Record], pivot_name: str) -> list[str]:
     return blocks
 
 
+def effort_block(records: Iterable[Record]) -> str | None:
+    """Aggregate cycle-loop effort over records that measured it.
+
+    Surfaces ``steps_executed`` / ``idle_cycles_skipped`` (recorded in
+    results since the observability layer) as one summary block; None
+    when no record carries the counters, so stores written by older
+    versions render byte-identically.
+    """
+    steps = skipped = cycles = 0
+    seen = False
+    for record in records:
+        result = record.get("result") or {}
+        record_steps = result.get("steps_executed") or 0
+        record_skipped = result.get("idle_cycles_skipped") or 0
+        if not record_steps and not record_skipped:
+            continue
+        seen = True
+        steps += int(record_steps)
+        skipped += int(record_skipped)
+        cycles += int(result.get("total_cycles") or 0)
+    if not seen:
+        return None
+    lines = [
+        "Event-core effort",
+        f"  steps executed      : {steps}",
+        f"  idle cycles skipped : {skipped}",
+    ]
+    if cycles:
+        lines.append(
+            f"  simulated cycles    : {cycles} "
+            f"({100.0 * skipped / cycles:.1f}% fast-forwarded)"
+        )
+    return "\n".join(lines)
+
+
 def _report_family(record: Record) -> str:
     """Which block family renders a record.
 
@@ -514,4 +550,7 @@ def campaign_report(
         blocks.extend(_replay_blocks(replay, pivot_name))
     if not blocks:
         return "(no successful records)"
+    effort = effort_block(records)
+    if effort is not None:
+        blocks.append(effort)
     return "\n\n".join(blocks)

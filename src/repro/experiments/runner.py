@@ -29,6 +29,11 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.kinds import job_kind
 from repro.experiments.spec import JobSpec, SweepSpec
 from repro.experiments.store import ResultStore
+from repro.obs.metrics import (
+    active_registry,
+    merge_metrics,
+    metrics_suspended,
+)
 
 __all__ = ["execute_job", "CampaignResult", "CampaignRunner"]
 
@@ -86,6 +91,10 @@ class CampaignResult:
         errors: jobs that failed (status="error").
         elapsed_seconds: wall-clock time of the run.
         workers: pool size used for the misses.
+        metrics: campaign-wide observability aggregate — every
+            record's ``result["metrics"]`` merged (``.peak`` names by
+            max, the rest summed) plus the runner's own ``cache.*`` /
+            ``runner.*`` counters.
     """
 
     name: str
@@ -95,6 +104,7 @@ class CampaignResult:
     errors: int = 0
     elapsed_seconds: float = 0.0
     workers: int = 1
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_jobs(self) -> int:
@@ -147,11 +157,19 @@ class CampaignRunner:
         self,
         sweep: SweepSpec | list[JobSpec],
         progress: Callable[[str], None] | None = None,
+        telemetry: Callable[[dict[str, Any]], None] | None = None,
     ) -> CampaignResult:
         """Execute every job of a sweep; returns the campaign result.
 
         Records come back in grid order regardless of which points hit
-        the cache or which worker finished first.
+        the cache or which worker finished first.  ``telemetry``, if
+        given, receives one sample dict per *freshly executed* job as
+        its result streams back from the pool (keys: ``job_id``,
+        ``status``, ``done``, ``total``, ``cached``, ``failed``,
+        ``running``, ``elapsed_seconds``, ``eta_seconds``) — the live
+        feed behind ``repro sweep --progress``.  ``progress`` keeps its
+        historical meaning: one formatted line per record, in grid
+        order, after execution finishes.
         """
         if isinstance(sweep, SweepSpec):
             name = sweep.name
@@ -170,7 +188,34 @@ class CampaignRunner:
             else:
                 todo.append((index, job))
 
-        fresh = self._execute([job for _, job in todo])
+        n_fresh = len(todo)
+        done = failed = 0
+
+        def on_result(record: dict[str, Any]) -> None:
+            nonlocal done, failed
+            done += 1
+            if record.get("status") == "error":
+                failed += 1
+            if telemetry is None:
+                return
+            elapsed = time.perf_counter() - started
+            telemetry(
+                {
+                    "job_id": record.get("job_id"),
+                    "status": record.get("status"),
+                    "done": done,
+                    "total": n_fresh,
+                    "cached": len(cached),
+                    "failed": failed,
+                    "running": min(self.workers, n_fresh - done),
+                    "elapsed_seconds": elapsed,
+                    "eta_seconds": (
+                        elapsed / done * (n_fresh - done) if done else None
+                    ),
+                }
+            )
+
+        fresh = self._execute([job for _, job in todo], on_result)
 
         out = CampaignResult(
             name=name,
@@ -193,20 +238,69 @@ class CampaignRunner:
             if progress is not None:
                 progress(_progress_line(record))
         out.elapsed_seconds = time.perf_counter() - started
+        out.metrics = self._aggregate_metrics(out)
+        registry = active_registry()
+        if registry is not None:
+            registry.merge(out.metrics)
         if self.store is not None:
             self.store.extend(out.records)
         return out
 
+    def _aggregate_metrics(self, out: CampaignResult) -> dict[str, Any]:
+        """Campaign-wide metrics: record snapshots + runner counters.
+
+        Cached records contribute too — their stored metrics describe
+        the same deterministic simulations, so a fully-cached campaign
+        reports the same simulator counter families as a cold one.
+        """
+        metrics: dict[str, Any] = {}
+        for record in out.records:
+            result = record.get("result") or {}
+            snapshot = result.get("metrics")
+            if snapshot:
+                merge_metrics(metrics, snapshot)
+        merge_metrics(
+            metrics,
+            {
+                "cache.hits": out.hits,
+                "cache.misses": out.misses,
+                "cache.errors": out.errors,
+                "runner.jobs": out.n_jobs,
+                "runner.workers.peak": min(self.workers, out.misses),
+            },
+        )
+        return metrics
+
     def _execute(
-        self, jobs: list[JobSpec]
+        self,
+        jobs: list[JobSpec],
+        on_result: Callable[[dict[str, Any]], None] | None = None,
     ) -> list[dict[str, Any]]:
         payloads = [job.to_dict() for job in jobs]
         if not payloads:
             return []
+        results: list[dict[str, Any]] = []
         if self.workers == 1 or len(payloads) == 1:
-            return [execute_job(p) for p in payloads]
+            # Suspend any active registry around in-process execution:
+            # the runner's single post-run aggregation is the one
+            # publication path, matching pool workers (whose processes
+            # never see the parent's registry).
+            with metrics_suspended():
+                for payload in payloads:
+                    record = execute_job(payload)
+                    results.append(record)
+                    if on_result is not None:
+                        on_result(record)
+            return results
         with multiprocessing.Pool(processes=self.workers) as pool:
-            return pool.map(execute_job, payloads, chunksize=1)
+            # imap preserves submission order while letting results
+            # stream back as they complete — the telemetry feed sees
+            # jobs finish without waiting for the whole grid.
+            for record in pool.imap(execute_job, payloads, chunksize=1):
+                results.append(record)
+                if on_result is not None:
+                    on_result(record)
+        return results
 
 
 def _progress_line(record: dict[str, Any]) -> str:

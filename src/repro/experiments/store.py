@@ -32,6 +32,8 @@ _CSV_RESULT_FIELDS = (
     "packets_delivered",
     "recorded_bit_transitions",
     "cores_agree",
+    "steps_executed",
+    "idle_cycles_skipped",
 )
 _CSV_CONFIG_FIELDS = (
     "width",

@@ -261,6 +261,17 @@ class Network:
         #: ``steps_executed <= stats.cycles`` because idle cycles are
         #: fast-forwarded over rather than stepped.
         self.steps_executed = 0
+        # Observability counters (plain ints; see metrics_snapshot()).
+        # idle_cycles_skipped/fast_forwards track the event core's idle
+        # jumps; heap_pushes/heap_pops count multi-cycle-link arrival
+        # heap traffic (zero at the default link latency of 1, where
+        # the same-cycle list bypasses the heap — queue_commits counts
+        # those commits instead).
+        self.idle_cycles_skipped = 0
+        self.fast_forwards = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.queue_commits = 0
         self._in_flight: dict[int, Packet] = {}
         # Arrivals are (due, seq, node, in_port, vc_idx, flit) tuples in
         # both cores; the event core keeps them heap-ordered, the
@@ -410,6 +421,7 @@ class Network:
             if self._link_latency == 1:
                 self._same_cycle_arrivals.append((neighbor, flat, flit))
                 return
+            self.heap_pushes += 1
             heappush(
                 self._arrivals,
                 (
@@ -542,6 +554,7 @@ class Network:
                     self._pending_nis.discard(node)
         same_cycle = self._same_cycle_arrivals
         if same_cycle:
+            self.queue_commits += len(same_cycle)
             for node, flat, flit in same_cycle:
                 routers[node]._accept_flat(flat, flit)
                 active.add(node)
@@ -549,6 +562,7 @@ class Network:
         arrivals = self._arrivals
         while arrivals and arrivals[0][0] <= cycle:
             _, _, node, flat, flit = heappop(arrivals)
+            self.heap_pops += 1
             routers[node]._accept_flat(flat, flit)
             active.add(node)
         if self._ejections:
@@ -651,8 +665,38 @@ class Network:
         nothing but the cycle counter.
         """
         if target > self.cycle:
+            self.idle_cycles_skipped += target - self.cycle
+            self.fast_forwards += 1
             self.cycle = target
             self.stats.cycles = target
+
+    # -- observability -----------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, int]:
+        """Flat counter snapshot of the network's observability state.
+
+        Families: ``event.*`` (cycle-loop core counters, deterministic
+        simulation facts regardless of which core ran) and ``router.*``
+        (aggregated over the mesh; ``.peak`` names merge by max, the
+        rest by sum — see :mod:`repro.obs.metrics`).
+        """
+        arb_conflicts = vc_grants = peak = 0
+        for router in self.routers:
+            arb_conflicts += router.arb_conflicts
+            vc_grants += router.vc_grants
+            if router.peak_occupancy > peak:
+                peak = router.peak_occupancy
+        return {
+            "event.steps_executed": self.steps_executed,
+            "event.idle_cycles_skipped": self.idle_cycles_skipped,
+            "event.fast_forwards": self.fast_forwards,
+            "event.heap_pushes": self.heap_pushes,
+            "event.heap_pops": self.heap_pops,
+            "event.queue_commits": self.queue_commits,
+            "router.arb_conflicts": arb_conflicts,
+            "router.vc_grants": vc_grants,
+            "router.buffer_occupancy.peak": peak,
+        }
 
     # -- drivers -----------------------------------------------------------
 

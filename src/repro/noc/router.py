@@ -130,6 +130,15 @@ class Router:
             [vc_depth] * n_vcs for _ in range(_N_PORTS - 1)
         ]
         self.buffered_flits = 0
+        # Observability counters.  Plain ints bumped on paths both
+        # cycle-loop cores share (or at behaviourally identical points
+        # of their divergent paths), so the counts are core-invariant:
+        #   peak_occupancy - high-water mark of buffered flits,
+        #   vc_grants     - downstream VC allocations granted,
+        #   arb_conflicts - losing requesters in switch arbitration.
+        self.peak_occupancy = 0
+        self.vc_grants = 0
+        self.arb_conflicts = 0
 
     # -- lazy state materialisation ------------------------------------
 
@@ -200,6 +209,7 @@ class Router:
                 in_port, vc_idx = Port(req // self.n_vcs), req % self.n_vcs
                 self.inputs[in_port][vc_idx].out_vc = 0
                 self._needs_alloc.discard(req)
+            self.vc_grants += len(requesters)
             return
         holders = self.out_holder[out_port]
         free = [v for v in range(self.n_vcs) if holders[v] is None]
@@ -220,6 +230,7 @@ class Router:
             state.out_vc = out_vc
             holders[out_vc] = (in_port, vc_idx)
             self._needs_alloc.discard(winner)
+            self.vc_grants += 1
 
     def switch_traversal(self, network: "Network") -> None:
         """Phase 2: switch allocation and link traversal."""
@@ -244,14 +255,16 @@ class Router:
         n_requesters = _N_PORTS * self.n_vcs
         for out_port, requesters in requests.items():
             flags = [False] * n_requesters
-            any_request = False
+            n_contenders = 0
             for req in requesters:
                 if Port(req // self.n_vcs) in consumed_inports:
                     continue
                 flags[req] = True
-                any_request = True
-            if not any_request:
+                n_contenders += 1
+            if not n_contenders:
                 continue
+            if n_contenders > 1:
+                self.arb_conflicts += n_contenders - 1
             winner = self._sw_arbiters[out_port].pick(flags)
             if winner is None:
                 continue
@@ -298,6 +311,7 @@ class Router:
                 if out_port is _LOCAL:
                     state.out_vc = 0
                     needs.discard(flat)
+                    self.vc_grants += 1
                 else:
                     self._grant_vcs_fast(out_port, [flat])
             out_vc = state.out_vc
@@ -334,6 +348,7 @@ class Router:
                     for flat in reqs:
                         slots[flat].out_vc = 0
                         needs.discard(flat)
+                    self.vc_grants += len(reqs)
                 else:
                     self._grant_vcs_fast(out_port, reqs)
         if not occupied:
@@ -362,6 +377,8 @@ class Router:
                 reqs = [f for f in reqs if slot_port[f] not in consumed]
                 if not reqs:
                     continue
+            if len(reqs) > 1:
+                self.arb_conflicts += len(reqs) - 1
             winner = self._sw_arbiters[out_port].pick_indices(reqs)
             self._traverse(network, winner, out_port)
             in_port = slot_port[winner]
@@ -391,6 +408,7 @@ class Router:
                 self._slot_vc[winner],
             )
             needs.discard(winner)
+            self.vc_grants += 1
 
     def _traverse(
         self, network: "Network", flat: int, out_port: Port
@@ -446,6 +464,8 @@ class Router:
             )
         state.fifo.append(flit)
         self.buffered_flits += 1
+        if self.buffered_flits > self.peak_occupancy:
+            self.peak_occupancy = self.buffered_flits
         self._occupied.add(flat)
         if state.out_vc is None:
             self._needs_alloc.add(flat)

@@ -44,6 +44,13 @@ BENCH JSON schema (``schema`` = 1)::
       "smoke": false,                 # reduced grids for CI
       "python": "3.11.7",
       "platform": "Linux-...",
+      "meta": {                       # provenance (audit trail)
+        "git_commit": "abc123...",    # null outside a git checkout
+        "python": "3.11.7",
+        "numpy": "1.26.4",
+        "platform": "Linux-...",
+        "machine": "x86_64"
+      },
       "workloads": [
         {
           "name": "fig12_mesh_sweep",
@@ -73,6 +80,7 @@ import json
 import pathlib
 import platform
 import resource
+import subprocess
 import sys
 import time
 from typing import Any, Callable
@@ -93,6 +101,7 @@ from repro.ordering.strategies import OrderingMethod
 __all__ = [
     "BENCH_SCHEMA",
     "WORKLOADS",
+    "bench_meta",
     "run_bench",
     "check_invariants",
     "compare_bench",
@@ -437,6 +446,37 @@ def _rates(entry: dict[str, Any]) -> None:
     )
 
 
+def bench_meta() -> dict[str, Any]:
+    """Run metadata stamped into BENCH payloads.
+
+    Makes the checked-in perf trajectory auditable: which commit,
+    interpreter, numpy and machine produced a snapshot.  Best-effort —
+    outside a git checkout ``git_commit`` is None, never an error.
+    Identity comparisons in :func:`compare_bench` ignore the ``meta``
+    key entirely, so pre-meta baselines stay comparable.
+    """
+    git_commit: str | None = None
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+        if proc.returncode == 0:
+            git_commit = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return {
+        "git_commit": git_commit,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
 def run_bench(
     tag: str,
     core: str = "event",
@@ -510,6 +550,7 @@ def run_bench(
         "smoke": smoke,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "meta": bench_meta(),
         "workloads": entries,
         "totals": totals,
         "peak_rss_bytes": peak_rss,
@@ -598,6 +639,20 @@ def compare_bench(
                 f"{old_wall:.2f}s (+{100.0 * (new_wall / old_wall - 1):.0f}%"
                 f", limit +{max_regression_pct:.0f}%)"
             )
+    if failures:
+        # On regression, surface each payload's provenance so "which
+        # commit / machine produced the baseline?" never needs a dig
+        # through git history.  Meta-less (pre-meta) payloads add
+        # nothing.
+        for label, payload in (("baseline", baseline), ("fresh", fresh)):
+            meta = payload.get("meta")
+            if isinstance(meta, dict) and meta:
+                described = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(meta.items())
+                    if value is not None
+                )
+                failures.append(f"note: {label} meta: {described}")
     return failures
 
 

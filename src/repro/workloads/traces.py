@@ -68,9 +68,11 @@ __all__ = [
     "PacketEvent",
     "TrafficTrace",
     "replay_through_network",
+    "replay_window",
     "reencode_transitions",
     "reencode_per_link",
     "trace_digest",
+    "trace_slice",
 ]
 
 #: Default on-disk format version written by :meth:`TrafficTrace.save`.
@@ -612,6 +614,121 @@ def replay_through_network(
             )
         )
     return drive_schedule(network, events, max_cycles=max_cycles)
+
+
+def trace_slice(
+    trace: TrafficTrace, start: int, stop: int
+) -> TrafficTrace:
+    """Restrict a trace to the half-open cycle window ``[start, stop)``.
+
+    Per-link hops keep only traversals whose recorded cycle falls in
+    the window (VCs and packet ids are sliced in lockstep when
+    present), and the packet schedule keeps only injections inside the
+    window — so a sliced full-fidelity trace stays replayable via
+    :func:`replay_window`.  Traversal cycles are non-decreasing per
+    link, so a slice preserves each link's hop order and a prefix
+    slice (``start == 0``) yields exact BT prefix sums.
+
+    Requires per-hop cycles for every link with traffic (any
+    :class:`TraceCollector` / :class:`TraceRecorder` capture has
+    them; hand-built traces without timing cannot be sliced).
+    """
+    if start < 0 or stop < start:
+        raise ValueError(
+            f"bad cycle window [{start}, {stop}): need 0 <= start <= stop"
+        )
+    missing = [
+        name
+        for name, payloads in trace.links.items()
+        if payloads and len(trace.cycles.get(name, ())) != len(payloads)
+    ]
+    if missing:
+        raise ValueError(
+            "trace carries no per-hop cycles for links "
+            f"{sorted(missing)}; cannot slice by cycle window"
+        )
+    links: dict[str, tuple[int, ...]] = {}
+    cycles: dict[str, tuple[int, ...]] = {}
+    vcs: dict[str, tuple[int, ...]] = {}
+    packet_ids: dict[str, tuple[int, ...]] = {}
+    for name, payloads in trace.links.items():
+        link_cycles = trace.cycles.get(name, ())
+        keep = [
+            i
+            for i, cycle in enumerate(link_cycles)
+            if start <= cycle < stop
+        ]
+        links[name] = tuple(payloads[i] for i in keep)
+        cycles[name] = tuple(link_cycles[i] for i in keep)
+        link_vcs = trace.vcs.get(name)
+        if link_vcs is not None:
+            vcs[name] = tuple(link_vcs[i] for i in keep)
+        link_pids = trace.packet_ids.get(name)
+        if link_pids is not None:
+            packet_ids[name] = tuple(link_pids[i] for i in keep)
+    return dataclasses.replace(
+        trace,
+        links=links,
+        cycles=cycles,
+        vcs=vcs,
+        packet_ids=packet_ids,
+        packets=tuple(
+            ev for ev in trace.packets if start <= ev.cycle < stop
+        ),
+    )
+
+
+def replay_window(
+    trace: TrafficTrace,
+    start: int,
+    stop: int,
+    core: str | None = None,
+    ordering: str = "none",
+    overrides: dict[str, Any] | None = None,
+    max_cycles: int = 500_000,
+) -> "Network":
+    """Replay only the packets injected in cycles ``[start, stop)``.
+
+    A windowed :func:`replay_through_network`: the mesh is rebuilt
+    from the trace's recorded NoC config and the schedule is filtered
+    to the window before injection (injection cycles keep their
+    recorded absolute values, and the network drains fully past
+    ``stop``).  Replaying ``[0, span)`` therefore reproduces the
+    whole-trace replay exactly — the bisection probes in
+    :func:`repro.obs.diff.bisect_divergence` rely on the prefix form.
+    """
+    if start < 0 or stop < start:
+        raise ValueError(
+            f"bad cycle window [{start}, {stop}): need 0 <= start <= stop"
+        )
+    if not trace.packets:
+        raise ValueError(
+            "trace has no packet injection events; record with "
+            "repro.noc.recorder.TraceRecorder to enable replay"
+        )
+    window_packets = tuple(
+        ev for ev in trace.packets if start <= ev.cycle < stop
+    )
+    if not window_packets:
+        # An idle window: rebuild the empty mesh so callers still get
+        # a Network with a zeroed ledger rather than a special case.
+        from repro.noc.network import Network, NoCConfig
+
+        if trace.noc is None:
+            raise ValueError(
+                "trace records no NoC config; cannot rebuild the mesh"
+            )
+        noc_kwargs = dict(trace.noc)
+        if overrides:
+            noc_kwargs.update(overrides)
+        return Network(NoCConfig.from_dict(noc_kwargs), core=core)
+    return replay_through_network(
+        dataclasses.replace(trace, packets=window_packets),
+        core=core,
+        ordering=ordering,
+        overrides=overrides,
+        max_cycles=max_cycles,
+    )
 
 
 def reencode_transitions(trace: TrafficTrace, coding: str) -> int:

@@ -476,12 +476,135 @@ class TestReportSkipsFailedJobs:
         captured = capsys.readouterr()
         assert "Absolute BTs (fixed8)" in captured.out
         assert "2x2 MC1" in captured.out
-        assert "skipping bad: SimulationTimeout: boom" in captured.err
-        assert "skipping hollow" in captured.err
+        # One summary line, not one warning per skipped record.
         assert "skipped 2 of 3 record(s)" in captured.err
+        assert "first: bad: SimulationTimeout: boom" in captured.err
+        assert captured.err.count("warning:") == 1
 
     def test_report_pivots_survive_failed_jobs(self, tmp_path, capsys):
         store = self.write_store(tmp_path)
         for pivot_name in ("mesh", "model", "layer", "link"):
             assert main(["report", "--store", store,
                          "--pivot", pivot_name]) == 0
+
+
+class TestSweepProgressAndMetrics:
+    SWEEP = [
+        "sweep",
+        "--meshes", "2x2:1",
+        "--orderings", "O0,O2",
+        "--tasks", "1",
+        "--workers", "1",
+        "--no-cache",
+    ]
+
+    def test_progress_streams_telemetry_lines(self, tmp_path, capsys):
+        argv = [
+            *self.SWEEP,
+            "--store", str(tmp_path / "runs.jsonl"),
+            "--progress",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out
+        assert "[2/2]" in out
+        assert "0 failed" in out
+        assert "eta" in out  # the second sample carries an ETA
+
+    def test_metrics_flag_prints_counter_families(self, tmp_path, capsys):
+        argv = [
+            *self.SWEEP,
+            "--store", str(tmp_path / "runs.jsonl"),
+            "--metrics",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "campaign metrics:" in out
+        for name in (
+            "event.steps_executed",
+            "router.vc_grants",
+            "codec.batch_chunks",
+            "cache.misses",
+            "runner.jobs",
+        ):
+            assert name in out, name
+
+
+class TestTraceCli:
+    GOLDEN = "tests/data/golden_lenet_fixed8_O0.trace.gz"
+
+    def test_stats_prints_pinned_headlines(self, capsys):
+        assert main(["trace", "stats", self.GOLDEN]) == 0
+        out = capsys.readouterr().out
+        assert "total BTs         : 37510" in out
+        assert "flit hops         : 870" in out
+        assert "packets           : 74 (replayable)" in out
+        assert "hottest link      : R6.EAST (9344 BTs)" in out
+
+    def test_stats_per_link_table(self, capsys):
+        assert main(["trace", "stats", self.GOLDEN, "--per-link"]) == 0
+        out = capsys.readouterr().out
+        assert "R6.EAST: 9344" in out
+        assert "R0.LOCAL: 781" in out
+
+    def test_heat_reports_hottest_cells(self, capsys):
+        assert main(
+            ["trace", "heat", self.GOLDEN, "--window", "64", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "5 window(s) of 64 cycle(s); 37510 BTs total" in out
+        assert "R6.EAST window" in out
+
+    def test_heat_owner_attribution(self, capsys):
+        assert main(["trace", "heat", self.GOLDEN, "--owners"]) == 0
+        out = capsys.readouterr().out
+        assert "BTs by owning packet" in out
+        assert "packet " in out
+
+    def test_self_diff_is_empty_and_exits_zero(self, capsys):
+        assert main(["trace", "diff", self.GOLDEN, self.GOLDEN]) == 0
+        out = capsys.readouterr().out
+        assert "traces are identical" in out
+
+    def test_diff_against_reordered_exits_one(self, tmp_path, capsys):
+        from repro.workloads.traces import TrafficTrace
+
+        reordered = tmp_path / "reordered.trace.gz"
+        TrafficTrace.load(self.GOLDEN).reordered("popcount_desc").save(
+            reordered
+        )
+        assert main(
+            ["trace", "diff", self.GOLDEN, str(reordered)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "diverging link(s)" in out
+        assert "first divergence: link R0.LOCAL, window 0" in out
+
+    def test_bisect_localises_reordered_divergence(
+        self, tmp_path, capsys
+    ):
+        from repro.workloads.traces import TrafficTrace
+
+        reordered = tmp_path / "reordered.trace.gz"
+        TrafficTrace.load(self.GOLDEN).reordered("popcount_desc").save(
+            reordered
+        )
+        assert main(
+            ["trace", "bisect", self.GOLDEN, str(reordered)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "first diverging window: 0 (cycles [0, 64))" in out
+        assert "R6.EAST" in out
+        assert "offline probe(s)" in out
+
+    def test_bisect_self_exits_zero(self, capsys):
+        assert main(["trace", "bisect", self.GOLDEN, self.GOLDEN]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_missing_trace_file_is_clean_error(self):
+        with pytest.raises(SystemExit, match="bad trace file"):
+            main(["trace", "stats", "nope.trace.gz"])
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])

@@ -242,3 +242,59 @@ class TestParallelDeterminism:
         CampaignRunner(cache=cache, workers=1).run(spec)
         replay = CampaignRunner(cache=cache, workers=4).run(spec)
         assert (replay.hits, replay.misses) == (4, 0)
+
+
+class TestTelemetry:
+    """The live per-job feed behind `repro sweep --progress`."""
+
+    def collect(self, tmp_path, workers=1, cache=None):
+        samples = []
+        runner = CampaignRunner(cache=cache, workers=workers)
+        out = runner.run(
+            small_spec(), telemetry=samples.append
+        )
+        return out, samples
+
+    def test_one_sample_per_fresh_job(self, tmp_path):
+        out, samples = self.collect(tmp_path)
+        assert len(samples) == out.misses == 4
+        assert [s["done"] for s in samples] == [1, 2, 3, 4]
+        assert all(s["total"] == 4 for s in samples)
+        assert all(s["failed"] == 0 for s in samples)
+        assert samples[-1]["running"] == 0
+
+    def test_sample_schema(self, tmp_path):
+        _, samples = self.collect(tmp_path)
+        expected_keys = {
+            "job_id", "status", "done", "total", "cached", "failed",
+            "running", "elapsed_seconds", "eta_seconds",
+        }
+        for sample in samples:
+            assert set(sample) == expected_keys
+            assert sample["status"] == "ok"
+            assert sample["elapsed_seconds"] >= 0.0
+        # The first sample has no rate estimate basis beyond itself;
+        # later ones extrapolate the remaining work.
+        assert samples[0]["eta_seconds"] is not None
+        assert samples[-1]["eta_seconds"] == 0.0
+
+    def test_pool_path_streams_samples_too(self, tmp_path):
+        out, samples = self.collect(tmp_path, workers=2)
+        assert not out.errors
+        assert len(samples) == 4
+        assert [s["done"] for s in samples] == [1, 2, 3, 4]
+
+    def test_cached_jobs_emit_no_samples(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        CampaignRunner(cache=cache).run(small_spec())
+        _, samples = self.collect(tmp_path, cache=cache)
+        assert samples == []
+
+    def test_failed_jobs_are_counted(self, flaky_kind, tmp_path):
+        samples = []
+        out = CampaignRunner().run(
+            [flaky_job()], telemetry=samples.append
+        )
+        assert out.errors == 1
+        assert samples[-1]["failed"] == 1
+        assert samples[-1]["status"] == "error"

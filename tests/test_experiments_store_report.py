@@ -439,3 +439,61 @@ class TestKindAwareCsv:
         assert rows["s"]["width"] == "4"
         assert rows["s"]["packets_delivered"] == "50"
         assert rows["s"]["total_bit_transitions"] == "9"
+
+
+class TestEffortBlock:
+    def test_old_records_render_no_block(self):
+        from repro.experiments.report import campaign_report, effort_block
+
+        records = [make_record(), make_record(job_id="j2", ordering="O2")]
+        assert effort_block(records) is None
+        assert "Event-core effort" not in campaign_report(records)
+
+    def test_counters_aggregate_across_records(self):
+        from repro.experiments.report import effort_block
+
+        a = make_record()
+        a["result"]["steps_executed"] = 60
+        a["result"]["idle_cycles_skipped"] = 40
+        b = make_record(job_id="j2", ordering="O2")
+        b["result"]["steps_executed"] = 30
+        b["result"]["idle_cycles_skipped"] = 70
+        block = effort_block([a, b])
+        assert block is not None
+        assert "steps executed      : 90" in block
+        assert "idle cycles skipped : 110" in block
+        assert "simulated cycles    : 200 (55.0% fast-forwarded)" in block
+
+    def test_campaign_report_appends_the_block(self):
+        from repro.experiments.report import campaign_report
+
+        record = make_record()
+        record["result"]["steps_executed"] = 10
+        record["result"]["idle_cycles_skipped"] = 90
+        text = campaign_report([record])
+        assert "Event-core effort" in text
+        assert "90.0% fast-forwarded" in text
+
+    def test_failed_records_are_ignored(self):
+        from repro.experiments.report import effort_block
+
+        assert effort_block([make_record(status="error")]) is None
+
+
+class TestCsvEffortColumns:
+    def test_new_columns_present_and_none_safe(self, tmp_path):
+        from repro.experiments.store import ResultStore
+
+        new = make_record()
+        new["result"]["steps_executed"] = 42
+        new["result"]["idle_cycles_skipped"] = 58
+        old = make_record(job_id="j2", ordering="O2")  # pre-obs record
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.extend([new, old])
+        assert store.to_csv(tmp_path / "out.csv") == 2
+        text = (tmp_path / "out.csv").read_text()
+        header, row_new, row_old = text.strip().split("\n")
+        assert "steps_executed" in header
+        assert "idle_cycles_skipped" in header
+        assert row_new.endswith("42,58")
+        assert row_old.endswith(",,")

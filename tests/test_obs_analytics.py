@@ -1,0 +1,228 @@
+"""Trace analytics: heat, attribution, burstiness, stats.
+
+The golden fixture (``tests/data/golden_lenet_fixed8_O0.trace.gz``)
+pins the heavy assertions tolerance-free: bucketed heat must re-sum to
+the exact pinned per-link BT table, and owner attribution must account
+for every transition.  Hand-computed micro-traces pin the bucketing
+arithmetic itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.bits.transitions import stream_transitions
+from repro.obs.analytics import (
+    DEFAULT_WINDOW,
+    bt_by_owner,
+    burstiness,
+    hop_transitions,
+    link_heat,
+    link_utilisation,
+    trace_span,
+    trace_stats,
+)
+from repro.workloads.traces import PacketEvent, TrafficTrace
+
+GOLDEN_TRACE = (
+    pathlib.Path(__file__).parent
+    / "data"
+    / "golden_lenet_fixed8_O0.trace.gz"
+)
+GOLDEN_TRACE_TOTAL_BT = 37510
+GOLDEN_TRACE_FLIT_HOPS = 870
+GOLDEN_TRACE_PACKETS = 74
+GOLDEN_TRACE_SPAN = 294
+
+
+@pytest.fixture(scope="module")
+def golden() -> TrafficTrace:
+    return TrafficTrace.load(GOLDEN_TRACE)
+
+
+def micro_trace() -> TrafficTrace:
+    """2-bit link, three hops at cycles 0/5/9.
+
+    Hop 1 (cycle 5): 0b11 -> 0b01, 1 transition.
+    Hop 2 (cycle 9): 0b01 -> 0b01, 0 transitions.
+    """
+    return TrafficTrace(
+        link_width=2,
+        links={"R0.EAST": (0b11, 0b01, 0b01), "R1.EAST": ()},
+        cycles={"R0.EAST": (0, 5, 9), "R1.EAST": ()},
+        packet_ids={"R0.EAST": (7, 7, 8), "R1.EAST": ()},
+    )
+
+
+class TestHopTransitions:
+    def test_matches_scalar_scorer_narrow(self):
+        rng = np.random.default_rng(3)
+        payloads = tuple(
+            int(x) for x in rng.integers(0, 2**64, 150, dtype=np.uint64)
+        )
+        bts = hop_transitions(payloads, 64)
+        assert len(bts) == len(payloads) - 1
+        assert int(bts.sum()) == stream_transitions(payloads)
+
+    def test_matches_scalar_scorer_wide(self):
+        rng = np.random.default_rng(4)
+        payloads = tuple(
+            int(a) << 64 | int(b)
+            for a, b in zip(
+                rng.integers(0, 2**64, 40, dtype=np.uint64),
+                rng.integers(0, 2**64, 40, dtype=np.uint64),
+            )
+        )
+        bts = hop_transitions(payloads, 128)
+        assert int(bts.sum()) == stream_transitions(payloads)
+
+    def test_header_bits_beyond_link_width_fall_back(self):
+        # Wire images can carry header bits above the nominal width;
+        # the <u8 fast path overflows and the byte-exact path takes
+        # over without changing the count.
+        payloads = (2**70 | 0b1, 2**70 | 0b10)
+        bts = hop_transitions(payloads, 64)
+        assert int(bts.sum()) == stream_transitions(payloads)
+
+    def test_fewer_than_two_hops_is_empty(self):
+        assert hop_transitions((), 64).size == 0
+        assert hop_transitions((42,), 64).size == 0
+
+
+class TestTraceSpan:
+    def test_empty_trace_spans_zero(self):
+        assert trace_span(TrafficTrace(link_width=8, links={})) == 0
+
+    def test_span_is_one_past_last_cycle(self):
+        assert trace_span(micro_trace()) == 10
+
+    def test_packet_injections_extend_span(self):
+        trace = TrafficTrace(
+            link_width=8,
+            links={},
+            packets=(
+                PacketEvent(cycle=25, src=0, dst=1, payloads=(1,)),
+            ),
+        )
+        assert trace_span(trace) == 26
+
+    def test_golden_span(self, golden):
+        assert trace_span(golden) == GOLDEN_TRACE_SPAN
+
+
+class TestLinkHeat:
+    def test_micro_trace_buckets_exact(self):
+        heat = link_heat(micro_trace(), window=4)
+        assert heat.n_windows == 3
+        assert heat.heat["R0.EAST"] == (0, 1, 0)
+        assert heat.flits["R0.EAST"] == (1, 1, 1)
+        assert heat.heat["R1.EAST"] == (0, 0, 0)
+        assert heat.window_totals() == (0, 1, 0)
+        assert heat.hottest() == [("R0.EAST", 1, 1)]
+
+    def test_golden_heat_resums_to_pinned_table(self, golden):
+        heat = link_heat(golden)
+        assert heat.totals() == golden.per_link_transitions()
+        assert sum(heat.window_totals()) == GOLDEN_TRACE_TOTAL_BT
+        assert heat.n_windows == -(-GOLDEN_TRACE_SPAN // DEFAULT_WINDOW)
+
+    def test_window_width_never_changes_totals(self, golden):
+        for window in (1, 7, 64, 1024):
+            heat = link_heat(golden, window)
+            assert sum(heat.window_totals()) == GOLDEN_TRACE_TOTAL_BT
+
+    def test_rejects_bad_window(self, golden):
+        with pytest.raises(ValueError, match="window must be >= 1"):
+            link_heat(golden, 0)
+
+    def test_rejects_untimed_trace(self):
+        untimed = TrafficTrace(link_width=8, links={"L": (1, 2, 3)})
+        with pytest.raises(ValueError, match="no per-hop cycles"):
+            link_heat(untimed)
+
+
+class TestBtByOwner:
+    def test_micro_trace_attribution(self):
+        # Hop 1 (1 BT) belongs to packet 7; hop 2 (0 BTs) to packet 8.
+        assert bt_by_owner(micro_trace()) == {7: 1}
+
+    def test_golden_attribution_accounts_for_every_bt(self, golden):
+        owners = bt_by_owner(golden)
+        assert sum(owners.values()) == GOLDEN_TRACE_TOTAL_BT
+        assert all(pid >= 0 for pid in owners)
+        assert len(owners) <= GOLDEN_TRACE_PACKETS
+
+    def test_rejects_traces_without_packet_ids(self):
+        anonymous = TrafficTrace(
+            link_width=8,
+            links={"L": (1, 2)},
+            cycles={"L": (0, 1)},
+        )
+        with pytest.raises(ValueError, match="no per-hop packet ids"):
+            bt_by_owner(anonymous)
+
+
+class TestBurstinessAndUtilisation:
+    def test_uniform_traffic_has_zero_burstiness(self):
+        trace = TrafficTrace(
+            link_width=8,
+            links={"L": tuple(range(8))},
+            cycles={"L": tuple(range(8))},
+        )
+        assert burstiness(trace, window=1)["L"] == 0.0
+
+    def test_bursty_traffic_is_positive(self):
+        trace = TrafficTrace(
+            link_width=8,
+            links={"L": (1, 2, 3, 4)},
+            cycles={"L": (0, 0, 0, 9)},
+        )
+        assert burstiness(trace, window=1)["L"] > 0.0
+
+    def test_idle_link_reports_zero(self):
+        trace = TrafficTrace(
+            link_width=8, links={"L": ()}, cycles={"L": ()}
+        )
+        assert burstiness(trace)["L"] == 0.0
+
+    def test_utilisation_is_hops_over_span(self):
+        util = link_utilisation(micro_trace())
+        assert util["R0.EAST"] == pytest.approx(3 / 10)
+        assert util["R1.EAST"] == 0.0
+
+    def test_empty_trace_utilisation_is_zero(self):
+        trace = TrafficTrace(link_width=8, links={"L": ()})
+        assert link_utilisation(trace) == {"L": 0.0}
+
+
+class TestTraceStats:
+    def test_golden_summary_pins(self, golden):
+        stats = trace_stats(golden)
+        assert stats.total_bts == GOLDEN_TRACE_TOTAL_BT
+        assert stats.flit_hops == GOLDEN_TRACE_FLIT_HOPS
+        assert stats.packets == GOLDEN_TRACE_PACKETS
+        assert stats.span_cycles == GOLDEN_TRACE_SPAN
+        assert stats.replayable
+        assert stats.links == 25
+        assert stats.active_links == 25
+        assert stats.peak_link == "R6.EAST"
+        assert stats.peak_link_bts == 9344
+        assert stats.per_link == golden.per_link_transitions()
+
+    def test_lines_render_the_headlines(self, golden):
+        text = "\n".join(trace_stats(golden).lines())
+        assert f"total BTs         : {GOLDEN_TRACE_TOTAL_BT}" in text
+        assert "(replayable)" in text
+        assert "hottest link      : R6.EAST (9344 BTs)" in text
+
+    def test_micro_trace_stats(self):
+        stats = trace_stats(micro_trace())
+        assert stats.total_bts == 1
+        assert stats.flit_hops == 3
+        assert stats.active_links == 1
+        assert stats.links == 2
+        assert not stats.replayable
+        assert stats.peak_link == "R0.EAST"

@@ -103,3 +103,41 @@ class TestCompareBench:
         bad_totals["totals"] = {}
         failures = compare_bench(bad_totals, payload({"a": 1.0}))
         assert any("totals" in f for f in failures)
+
+
+class TestBenchMeta:
+    def test_meta_keys_and_values(self):
+        from repro.perf import bench_meta
+
+        meta = bench_meta()
+        assert set(meta) == {
+            "git_commit", "python", "numpy", "platform", "machine",
+        }
+        assert meta["python"].count(".") == 2
+        assert meta["numpy"]
+        # This repo is a git checkout, so the commit hash resolves.
+        assert meta["git_commit"] is None or len(meta["git_commit"]) == 40
+
+    def test_regressions_carry_provenance_notes(self):
+        base = payload({"w": 1.0})
+        base["meta"] = {"git_commit": "abc123", "python": "3.11.7"}
+        slow = payload({"w": 2.0})
+        slow["meta"] = {"git_commit": "def456", "python": None}
+        failures = compare_bench(base, slow)
+        notes = [f for f in failures if f.startswith("note:")]
+        assert len(notes) == 2
+        assert "note: baseline meta: git_commit=abc123, python=3.11.7" in notes
+        # None values (e.g. no git checkout) are left out of the note.
+        assert "note: fresh meta: git_commit=def456" in notes
+
+    def test_meta_never_triggers_or_notes_clean_compares(self):
+        base = payload({"w": 1.0})
+        base["meta"] = {"git_commit": "abc123"}
+        fresh = payload({"w": 1.0})
+        fresh["meta"] = {"git_commit": "def456"}
+        assert compare_bench(base, fresh) == []
+
+    def test_meta_less_payloads_fail_without_notes(self):
+        failures = compare_bench(payload({"w": 1.0}), payload({"w": 2.0}))
+        assert failures
+        assert not any(f.startswith("note:") for f in failures)
