@@ -348,53 +348,167 @@ class TaskCodec:
             )
         return encoded
 
+    @staticmethod
+    def _geometry_groups(
+        encoded: Sequence[EncodedTask],
+    ) -> dict[tuple[int, int, FillOrder], list[int]]:
+        """Batch indices grouped by shared flit geometry.
+
+        Groups preserve first-seen order and each group's index list is
+        ascending, so grouped passes reassemble results in input order.
+        """
+        groups: dict[tuple[int, int, FillOrder], list[int]] = {}
+        for i, task in enumerate(encoded):
+            key = (task.n_pairs, task.n_data_flits, task.fill)
+            groups.setdefault(key, []).append(i)
+        return groups
+
+    def _unpack_group(
+        self, group: Sequence[EncodedTask], n_flits: int, fill: FillOrder
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One lane-unpack + un-deal pass over a same-geometry group.
+
+        Returns the ``(n_tasks, n_flits * h)`` transmitted-order input
+        and weight sequences (final weight slot carries the bias).
+        """
+        h = self.pairs_per_flit
+        lanes = unpack_lane_matrix(
+            [p for task in group for p in task.payloads[:n_flits]],
+            self.word_width,
+            self.values_per_flit,
+        ).reshape(len(group), n_flits, self.values_per_flit)
+        return (
+            undeal_matrix(lanes[:, :, :h], fill),
+            undeal_matrix(lanes[:, :, h:], fill),
+        )
+
+    def _perm_matrix(
+        self, group: Sequence, attr: str, n_padded: int
+    ) -> np.ndarray:
+        """Stack a group's permutations, validating each is one.
+
+        The batch twin of :meth:`DecodedTask.original_pairs`' None
+        check: a malformed permutation must raise, not silently
+        scatter words to wrong positions.
+        """
+        try:
+            perm = np.asarray(
+                [getattr(task, attr) for task in group], dtype=np.int64
+            )
+        except ValueError:
+            raise ValueError("invalid permutation metadata") from None
+        if perm.ndim != 2 or perm.shape != (len(group), n_padded):
+            raise ValueError("invalid permutation metadata")
+        expected = np.broadcast_to(
+            np.arange(n_padded, dtype=np.int64), perm.shape
+        )
+        if not np.array_equal(np.sort(perm, axis=1), expected):
+            raise ValueError("invalid permutation metadata")
+        return perm
+
     def decode_batch(
         self, encoded: Sequence[EncodedTask]
     ) -> list[DecodedTask]:
         """Batch inverse of :meth:`encode_batch` (see :meth:`decode`).
 
-        All tasks must share one flit geometry and fill order — the
-        shape :meth:`encode_batch` produces.  Bit-identical to calling
-        :meth:`decode` on every task.
+        Tasks are grouped by flit geometry — (pair count, data flit
+        count, fill order) — with one vectorised lane-unpack per
+        group, so mixed-geometry batches (a layer's ragged tail, or a
+        whole arrival stream) decode without de-vectorising the
+        uniform majority; only groups on an exotic lane width fall
+        back to the scalar reference.  Bit-identical to calling
+        :meth:`decode` on every task, in input order.
         """
         if not encoded:
             return []
-        first = encoded[0]
-        n_pairs, n_flits, fill = first.n_pairs, first.n_data_flits, first.fill
-        for task in encoded:
-            if (
-                task.n_pairs != n_pairs
-                or task.n_data_flits != n_flits
-                or task.fill is not fill
-            ):
-                raise ValueError(
-                    "decode_batch needs a uniform batch; got mixed "
-                    "pair counts, flit counts, or fill orders"
-                )
-        if self.data_flit_count(n_pairs) != n_flits:
-            raise ValueError("inconsistent flit count metadata")
-        if not lane_fast_path(self.word_width):
-            return [self.decode(task) for task in encoded]
-        h = self.pairs_per_flit
-        lanes = unpack_lane_matrix(
-            [p for task in encoded for p in task.payloads[:n_flits]],
-            self.word_width,
-            self.values_per_flit,
-        ).reshape(len(encoded), n_flits, self.values_per_flit)
-        seq_inputs = undeal_matrix(lanes[:, :, :h], fill)
-        seq_weights = undeal_matrix(lanes[:, :, h:], fill)
-        return [
-            DecodedTask(
-                inputs=tuple(seq_inputs[t, :-1].tolist()),
-                weights=tuple(seq_weights[t, :-1].tolist()),
-                bias=int(seq_weights[t, -1]),
-                n_pairs=n_pairs,
-                method=task.method,
-                input_perm=task.input_perm,
-                weight_perm=task.weight_perm,
+        out: list[DecodedTask | None] = [None] * len(encoded)
+        fast = lane_fast_path(self.word_width)
+        for (n_pairs, n_flits, fill), idxs in self._geometry_groups(
+            encoded
+        ).items():
+            if self.data_flit_count(n_pairs) != n_flits:
+                raise ValueError("inconsistent flit count metadata")
+            group = [encoded[i] for i in idxs]
+            if not fast or len(group) == 1:
+                for i, task in zip(idxs, group):
+                    out[i] = self.decode(task)
+                continue
+            seq_inputs, seq_weights = self._unpack_group(
+                group, n_flits, fill
             )
-            for t, task in enumerate(encoded)
-        ]
+            for t, (i, task) in enumerate(zip(idxs, group)):
+                out[i] = DecodedTask(
+                    inputs=tuple(seq_inputs[t, :-1].tolist()),
+                    weights=tuple(seq_weights[t, :-1].tolist()),
+                    bias=int(seq_weights[t, -1]),
+                    n_pairs=n_pairs,
+                    method=task.method,
+                    input_perm=task.input_perm,
+                    weight_perm=task.weight_perm,
+                )
+        return out  # type: ignore[return-value]
+
+    def decode_batch_words(
+        self, encoded: Sequence[EncodedTask]
+    ) -> list[tuple[Sequence[int], Sequence[int], int]]:
+        """Decode a batch straight to original-order word rows.
+
+        The arrival-plane fast path: per geometry group, one
+        vectorised lane-unpack + un-deal (as :meth:`decode_batch`)
+        followed by a vectorised permutation inversion
+        (``original[perm[i]] = transmitted[i]``), skipping the
+        per-task :class:`DecodedTask` / :meth:`original_pairs`
+        round trip entirely.
+
+        Returns, per task in input order, ``(input_words,
+        weight_words, bias)`` — the real pairs in *original* task
+        order with padding stripped, exactly
+        ``decode(task).original_pairs()`` unzipped.  Rows are numpy
+        lane-dtype arrays on the vectorised path and plain lists on
+        the scalar fallback; consumers index / iterate either.
+        """
+        if not encoded:
+            return []
+        out: list[tuple[Sequence[int], Sequence[int], int] | None]
+        out = [None] * len(encoded)
+        fast = lane_fast_path(self.word_width)
+        for (n_pairs, n_flits, fill), idxs in self._geometry_groups(
+            encoded
+        ).items():
+            if self.data_flit_count(n_pairs) != n_flits:
+                raise ValueError("inconsistent flit count metadata")
+            group = [encoded[i] for i in idxs]
+            if not fast or len(group) == 1:
+                for i, task in zip(idxs, group):
+                    decoded = self.decode(task)
+                    pairs = decoded.original_pairs()
+                    out[i] = (
+                        [p[0] for p in pairs],
+                        [p[1] for p in pairs],
+                        decoded.bias,
+                    )
+                continue
+            seq_inputs, seq_weights = self._unpack_group(
+                group, n_flits, fill
+            )
+            sent_inputs = seq_inputs[:, :-1]
+            sent_weights = seq_weights[:, :-1]
+            n_padded = sent_inputs.shape[1]
+            input_perm = self._perm_matrix(group, "input_perm", n_padded)
+            weight_perm = self._perm_matrix(group, "weight_perm", n_padded)
+            orig_inputs = np.zeros_like(sent_inputs)
+            np.put_along_axis(orig_inputs, input_perm, sent_inputs, axis=1)
+            orig_weights = np.zeros_like(sent_weights)
+            np.put_along_axis(
+                orig_weights, weight_perm, sent_weights, axis=1
+            )
+            for t, i in enumerate(idxs):
+                out[i] = (
+                    orig_inputs[t, :n_pairs],
+                    orig_weights[t, :n_pairs],
+                    int(seq_weights[t, -1]),
+                )
+        return out  # type: ignore[return-value]
 
     def _index_flits(
         self, weight_perm: tuple[int, ...], input_perm: tuple[int, ...]
@@ -545,6 +659,44 @@ class TaskCodec:
         if any(v is None for v in original):
             raise ValueError("invalid permutation metadata")
         return original[: encoded.n_values]  # type: ignore[return-value]
+
+    def decode_inputs_only_batch(
+        self, encoded: Sequence[EncodedInputs]
+    ) -> list[Sequence[int]]:
+        """Batch counterpart of :meth:`decode_inputs_only`.
+
+        Groups by (value count, flit count, fill order) — one
+        vectorised lane-unpack, un-deal, and permutation inversion
+        per group — and matches the scalar method element-for-element
+        in input order.  Rows are numpy lane-dtype arrays on the
+        vectorised path and plain lists on the scalar fallback.
+        """
+        if not encoded:
+            return []
+        out: list[Sequence[int] | None] = [None] * len(encoded)
+        fast = lane_fast_path(self.word_width)
+        groups: dict[tuple[int, int, FillOrder], list[int]] = {}
+        for i, task in enumerate(encoded):
+            key = (task.n_values, task.n_data_flits, task.fill)
+            groups.setdefault(key, []).append(i)
+        for (n_values, n_flits, fill), idxs in groups.items():
+            group = [encoded[i] for i in idxs]
+            if not fast or len(group) == 1:
+                for i, task in zip(idxs, group):
+                    out[i] = self.decode_inputs_only(task)
+                continue
+            lanes = unpack_lane_matrix(
+                [p for task in group for p in task.payloads[:n_flits]],
+                self.word_width,
+                self.values_per_flit,
+            ).reshape(len(group), n_flits, self.values_per_flit)
+            seq = undeal_matrix(lanes, fill)
+            perm = self._perm_matrix(group, "input_perm", seq.shape[1])
+            original = np.zeros_like(seq)
+            np.put_along_axis(original, perm, seq, axis=1)
+            for t, i in enumerate(idxs):
+                out[i] = original[t, :n_values]
+        return out  # type: ignore[return-value]
 
     # -- decoding ----------------------------------------------------------
 

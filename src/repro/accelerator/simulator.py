@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
@@ -228,6 +229,13 @@ class _TaskRecord:
     encoded: dict[int, EncodedTask | EncodedInputs] = field(
         default_factory=dict
     )
+    # Arrival-plane fast path: original-order words recovered from the
+    # encoded payloads in layer-batched decode passes at encode time
+    # (decode is a pure function of the encoded object, so pre-decoding
+    # is bit-identical to decoding at arrival).  Keyed by chunk index:
+    # full chunks map to (input_words, weight_words, bias), input-only
+    # chunks to the input word row.  Consumed (popped) by ``pe_sink``.
+    decoded: dict[int, object] = field(default_factory=dict)
     partials: dict[int, float] = field(default_factory=dict)
     computed: float | None = None
     response_received: bool = False
@@ -254,6 +262,9 @@ class _ChunkJob:
     bias: int
     input_only: bool
     encoded: EncodedTask | EncodedInputs | None = None
+    # Filled by the batch codec's grouped decode pass (None under the
+    # scalar oracle, which decodes per packet at arrival).
+    decoded: object | None = None
 
 
 class AcceleratorSimulator:
@@ -306,6 +317,10 @@ class AcceleratorSimulator:
         self.codec_batch_chunks = 0
         self.codec_scalar_chunks = 0
         self.codec_fallback_chunks = 0
+        # Arrival-plane observability: chunks whose words came from a
+        # grouped decode pass vs per-packet scalar decode at the sink.
+        self.codec_decode_batch_chunks = 0
+        self.codec_decode_scalar_chunks = 0
 
     def _build_formats(self) -> dict[int, tuple[DataFormat, DataFormat]]:
         """Per-layer (input, weight) wire formats."""
@@ -357,14 +372,14 @@ class AcceleratorSimulator:
                 counters["outstanding"] -= 1
         # Weight-stationary state: per-PE decoded weight blocks and
         # input-only chunks that arrived before their weights.
-        pe_cache: dict[int, dict[tuple, tuple[list[int], int]]] = {}
-        parked: dict[tuple[int, tuple], list[tuple[_TaskRecord, int, list[int]]]] = {}
+        pe_cache: dict[int, dict[tuple, tuple[Sequence[int], int]]] = {}
+        parked: dict[tuple[int, tuple], list[tuple[_TaskRecord, int, Sequence[int]]]] = {}
 
         def finish_chunk(
             record: _TaskRecord,
             chunk_index: int,
-            input_words: list[int],
-            weight_words: list[int],
+            input_words: Sequence[int] | np.ndarray,
+            weight_words: Sequence[int] | np.ndarray,
             bias_word: int,
             cycle: int,
         ) -> None:
@@ -404,33 +419,48 @@ class AcceleratorSimulator:
             record: _TaskRecord = records[meta["task_id"]]
             chunk_index = meta["chunk_index"]
             key = meta.get("cache_key")
+            pre = record.decoded.pop(chunk_index, None)
             if kind == "task":
-                encoded = record.encoded[chunk_index]
-                assert isinstance(encoded, EncodedTask)
-                decoded = self.codec.decode(encoded)
-                pairs = decoded.original_pairs()
-                input_words = [p[0] for p in pairs]
-                weight_words = [p[1] for p in pairs]
+                if pre is not None:
+                    # Arrival-plane fast path: the words were recovered
+                    # from this chunk's payload bits in a layer-batched
+                    # decode pass (see _encode_jobs).
+                    input_words, weight_words, bias_word = pre
+                    self.codec_decode_batch_chunks += 1
+                else:
+                    encoded = record.encoded[chunk_index]
+                    assert isinstance(encoded, EncodedTask)
+                    decoded = self.codec.decode(encoded)
+                    pairs = decoded.original_pairs()
+                    input_words = [p[0] for p in pairs]
+                    weight_words = [p[1] for p in pairs]
+                    bias_word = decoded.bias
+                    self.codec_decode_scalar_chunks += 1
                 finish_chunk(
                     record,
                     chunk_index,
                     input_words,
                     weight_words,
-                    decoded.bias,
+                    bias_word,
                     cycle,
                 )
                 if self.config.weight_cache and key is not None:
                     cache = pe_cache.setdefault(packet.dst, {})
-                    cache[key] = (weight_words, decoded.bias)
+                    cache[key] = (weight_words, bias_word)
                     for rec, ci, inputs in parked.pop((packet.dst, key), []):
                         finish_chunk(
-                            rec, ci, inputs, weight_words, decoded.bias, cycle
+                            rec, ci, inputs, weight_words, bias_word, cycle
                         )
                 return
             # Input-only chunk: needs the cached weight block.
-            encoded_in = record.encoded[chunk_index]
-            assert isinstance(encoded_in, EncodedInputs)
-            input_words = self.codec.decode_inputs_only(encoded_in)
+            if pre is not None:
+                input_words = pre
+                self.codec_decode_batch_chunks += 1
+            else:
+                encoded_in = record.encoded[chunk_index]
+                assert isinstance(encoded_in, EncodedInputs)
+                input_words = self.codec.decode_inputs_only(encoded_in)
+                self.codec_decode_scalar_chunks += 1
             cached = pe_cache.get(packet.dst, {}).get(key)
             if cached is None:
                 parked.setdefault((packet.dst, key), []).append(
@@ -534,6 +564,10 @@ class AcceleratorSimulator:
         metrics["codec.batch_chunks"] = self.codec_batch_chunks
         metrics["codec.scalar_chunks"] = self.codec_scalar_chunks
         metrics["codec.fallback_chunks"] = self.codec_fallback_chunks
+        metrics["codec.decode_batch_chunks"] = self.codec_decode_batch_chunks
+        metrics["codec.decode_scalar_chunks"] = (
+            self.codec_decode_scalar_chunks
+        )
         registry = active_registry()
         if registry is not None:
             registry.merge(metrics)
@@ -637,6 +671,8 @@ class AcceleratorSimulator:
             encoded = job.encoded
             assert encoded is not None
             job.record.encoded[job.chunk_index] = encoded
+            if job.decoded is not None:
+                job.record.decoded[job.chunk_index] = job.decoded
             if job.input_only:
                 kind = "task_inputs"
                 delay = 0
@@ -711,16 +747,24 @@ class AcceleratorSimulator:
                 unit.method,
                 unit.fill,
             )
-            for job, enc in zip(group_jobs, encoded):
+            # Arrival plane: recover each chunk's original-order words
+            # from the transmitted payload bits in one grouped decode
+            # pass.  Decode is pure in the encoded object, so this is
+            # bit-identical to the scalar oracle's decode-at-arrival.
+            decoded = self.codec.decode_batch_words(encoded)
+            for job, enc, dec in zip(group_jobs, encoded, decoded):
                 job.encoded = enc
+                job.decoded = dec
         for group_jobs in inputs_only.values():
             encoded = self.codec.encode_inputs_only_batch(
                 np.stack([job.inputs for job in group_jobs]),
                 self.config.ordering,
                 self.config.fill_order,
             )
-            for job, enc in zip(group_jobs, encoded):
+            decoded_rows = self.codec.decode_inputs_only_batch(encoded)
+            for job, enc, row in zip(group_jobs, encoded, decoded_rows):
                 job.encoded = enc
+                job.decoded = row
 
     def _schedule_pending(self, pending: _PendingQueue) -> None:
         """Apply the MC injection-order policy to queued packets.

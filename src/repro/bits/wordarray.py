@@ -1,0 +1,162 @@
+"""Numpy-backed immutable word sequences behind a tuple-facing API.
+
+:class:`~repro.workloads.traces.TrafficTrace` historically stored each
+link's wire images (and cycles / VCs / packet ids) as tuples of Python
+ints, so every offline scoring pass — BT recomputation, heat
+bucketing, reordering, slicing — paid an ``np.fromiter`` conversion
+per call.  :class:`WordArray` keeps the values in a single numpy array
+(uint64 for wire images, int64 for timing metadata) while looking and
+comparing exactly like the tuple it replaced: indexing yields Python
+ints, iteration yields Python ints, and ``==`` against tuples, lists
+or other WordArrays is element-wise.
+
+Wire images are allowed to exceed 64 bits (``include_header_bits``
+folds a side-band header above the payload, and synthetic traces use
+arbitrary link widths), so construction degrades to an
+arbitrary-precision tuple backing whenever any value overflows the
+storage dtype; :attr:`WordArray.array` is ``None`` on that path and
+array-native consumers fall back to their scalar loops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["WordArray", "as_int64_array"]
+
+
+class WordArray(Sequence):
+    """Immutable integer sequence backed by a numpy array when possible.
+
+    Args:
+        values: any sized iterable of ints (or a numpy integer array,
+            adopted without a copy when the dtype already matches).
+        dtype: storage dtype to attempt (default uint64 — wire
+            images); pass ``np.int64`` for signed metadata such as
+            packet ids, where ``-1`` marks an unknown owner.
+
+    Values outside the dtype's range switch the whole sequence to an
+    arbitrary-precision tuple backing (``array is None``) — the
+    >64-bit-link fallback.
+    """
+
+    __slots__ = ("_array", "_tuple", "_dtype")
+
+    def __init__(
+        self, values: Any, dtype: np.dtype | type = np.uint64
+    ) -> None:
+        self._dtype = np.dtype(dtype)
+        self._tuple: tuple[int, ...] | None = None
+        if isinstance(values, WordArray):
+            # Re-wrapping is free and idempotent (dataclasses.replace
+            # re-runs __post_init__ on already-normalised fields).
+            self._array = values._array
+            self._tuple = values._tuple
+            if values._array is not None:
+                self._dtype = values._array.dtype
+            return
+        if isinstance(values, np.ndarray):
+            if values.ndim != 1:
+                raise ValueError(
+                    f"expected a 1-D word array, got shape {values.shape}"
+                )
+            if values.dtype.kind not in "iu":
+                raise ValueError(
+                    f"expected an integer word array, got {values.dtype}"
+                )
+            self._array = np.ascontiguousarray(
+                values.astype(self._dtype, copy=False)
+            )
+            return
+        if not hasattr(values, "__len__"):
+            values = tuple(values)
+        try:
+            self._array = np.fromiter(
+                values, dtype=self._dtype, count=len(values)
+            )
+        except (OverflowError, ValueError, TypeError):
+            # Arbitrary-precision fallback: at least one value does
+            # not fit the storage dtype (e.g. a >64-bit wire image).
+            self._array = None
+            self._tuple = tuple(int(v) for v in values)
+
+    # -- backing access ---------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray | None:
+        """The numpy backing, or ``None`` on the tuple fallback path."""
+        return self._array
+
+    def to_tuple(self) -> tuple[int, ...]:
+        """The values as a tuple of Python ints."""
+        if self._tuple is not None:
+            return self._tuple
+        return tuple(self._array.tolist())
+
+    def take(self, indices: Any) -> "WordArray":
+        """Select ``indices`` (array, list, or mask indices) in order."""
+        if self._array is not None:
+            return WordArray(self._array[indices], self._dtype)
+        picked = tuple(self._tuple[int(i)] for i in indices)
+        return WordArray(picked, self._dtype)
+
+    # -- sequence protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._array is not None:
+            return int(self._array.shape[0])
+        return len(self._tuple)
+
+    def __getitem__(self, index: Any) -> Any:
+        if isinstance(index, slice):
+            if self._array is not None:
+                return WordArray(self._array[index], self._dtype)
+            return WordArray(self._tuple[index], self._dtype)
+        if self._array is not None:
+            return int(self._array[index])
+        return self._tuple[index]
+
+    def __iter__(self) -> Iterator[int]:
+        if self._array is not None:
+            return iter(self._array.tolist())
+        return iter(self._tuple)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, WordArray):
+            if self._array is not None and other._array is not None:
+                return self._array.shape == other._array.shape and bool(
+                    np.array_equal(self._array, other._array)
+                )
+            return self.to_tuple() == other.to_tuple()
+        if isinstance(other, (tuple, list)):
+            return self.to_tuple() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.to_tuple())
+
+    def __repr__(self) -> str:
+        values = self.to_tuple()
+        if len(values) > 8:
+            head = ", ".join(str(v) for v in values[:8])
+            return f"WordArray(({head}, ... {len(values)} values))"
+        return f"WordArray({values!r})"
+
+
+def as_int64_array(seq: Any) -> np.ndarray:
+    """Int64 numpy view of any int sequence, array-backed when possible.
+
+    The zero-copy bridge for analytics consumers: a
+    :class:`WordArray`'s backing (cycles, VCs, packet ids are stored
+    int64 already) is returned directly; plain tuples and fallback
+    sequences pay one conversion.
+    """
+    arr = getattr(seq, "array", None)
+    if arr is not None:
+        if arr.dtype == np.int64:
+            return arr
+        return arr.astype(np.int64, copy=False)
+    return np.asarray(tuple(seq), dtype=np.int64)

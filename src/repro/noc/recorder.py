@@ -202,12 +202,14 @@ class TraceRecorder:
             link_width, noc = config, None
         else:
             link_width, noc = config.link_width, config.to_dict()
+        # Lists go straight to TrafficTrace.__post_init__, which wraps
+        # each column in an array-backed WordArray — no tuple detour.
         return TrafficTrace(
             link_width=link_width,
-            links={k: tuple(v) for k, v in self._links.items()},
-            cycles={k: tuple(v) for k, v in self._cycles.items()},
-            vcs={k: tuple(v) for k, v in self._vcs.items()},
-            packet_ids={k: tuple(v) for k, v in self._packet_ids.items()},
+            links=dict(self._links),
+            cycles=dict(self._cycles),
+            vcs=dict(self._vcs),
+            packet_ids=dict(self._packet_ids),
             packets=tuple(
                 PacketEvent(cycle=c, src=s, dst=d, payloads=p)
                 for c, s, d, p in self._sends

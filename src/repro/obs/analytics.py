@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.bits.lanes import payloads_to_bytes
 from repro.bits.popcount import POPCOUNT_LUT
+from repro.bits.wordarray import as_int64_array
 from repro.workloads.traces import TrafficTrace
 
 __all__ = [
@@ -53,16 +54,18 @@ def hop_transitions(
     n = len(payloads)
     if n < 2:
         return np.zeros(0, dtype=np.int64)
-    if link_width <= 64:
+    arr = getattr(payloads, "array", None)
+    if arr is None and link_width <= 64:
         try:
             arr = np.fromiter(payloads, dtype="<u8", count=n)
         except (OverflowError, ValueError):
             arr = None
-        else:
-            mat = arr.view(np.uint8).reshape(-1, 8)
-            return POPCOUNT_LUT[mat[1:] ^ mat[:-1]].sum(
-                axis=1, dtype=np.int64
-            )
+    if arr is not None:
+        arr = np.ascontiguousarray(arr.astype("<u8", copy=False))
+        mat = arr.view(np.uint8).reshape(-1, 8)
+        return POPCOUNT_LUT[mat[1:] ^ mat[:-1]].sum(
+            axis=1, dtype=np.int64
+        )
     # Wide or header-carrying images: pack at the exact byte width.
     word_bytes = max(
         1, (max(int(p).bit_length() for p in payloads) + 7) // 8
@@ -80,8 +83,12 @@ def trace_span(trace: TrafficTrace) -> int:
     """
     last = -1
     for cycles in trace.cycles.values():
-        if cycles:
-            last = max(last, max(cycles))
+        if len(cycles):
+            arr = getattr(cycles, "array", None)
+            if arr is not None:
+                last = max(last, int(arr.max()))
+            else:
+                last = max(last, max(cycles))
     for event in trace.packets:
         if event.cycle > last:
             last = event.cycle
@@ -159,7 +166,7 @@ def link_heat(
     heat: Dict[str, Tuple[int, ...]] = {}
     flits: Dict[str, Tuple[int, ...]] = {}
     for name, payloads in trace.links.items():
-        cycles = np.asarray(trace.cycles.get(name, ()), dtype=np.int64)
+        cycles = as_int64_array(trace.cycles.get(name, ()))
         buckets = np.zeros(n_windows, dtype=np.int64)
         counts = np.zeros(n_windows, dtype=np.int64)
         if cycles.size:
@@ -199,7 +206,7 @@ def bt_by_owner(trace: TrafficTrace) -> Dict[int, int]:
         if len(payloads) < 2:
             continue
         bts = hop_transitions(payloads, trace.link_width)
-        owners = np.asarray(trace.packet_ids[name], dtype=np.int64)[1:]
+        owners = as_int64_array(trace.packet_ids[name])[1:]
         for pid in np.unique(owners):
             total = int(bts[owners == pid].sum())
             if total:

@@ -242,11 +242,30 @@ def _offline_prefix(trace: TrafficTrace, stop: int) -> Dict[str, int]:
 def _replay_prefix(
     trace: TrafficTrace, stop: int, core: Optional[str], max_cycles: int
 ) -> Dict[str, int]:
-    """Per-link BT ledger of replaying injections in ``[0, stop)``."""
-    network = replay_window(trace, 0, stop, core=core, max_cycles=max_cycles)
+    """Per-link BT totals of replaying injections in ``[0, stop)``.
+
+    Edge-safe: the replay drains fully past ``stop``, so scoring the
+    drained ledger directly would charge hops the offline prefix slice
+    excludes (and miss in-flight traffic an earlier injection carried
+    into the window — :func:`trace_slice` filters hops and injections
+    independently).  Instead the replayed traffic is re-captured with
+    a :class:`~repro.noc.recorder.TraceRecorder` and scored through
+    the *same* hop-cycle slice as the offline probe, so both probe
+    modes agree at window boundaries.
+    """
+    from repro.noc.recorder import TraceRecorder
+
+    recorder = TraceRecorder()
+    network = replay_window(
+        trace, 0, stop, core=core, max_cycles=max_cycles,
+        trace_collector=recorder,
+    )
+    replayed = recorder.finish(network.config)
     return {
         name: bts
-        for name, bts in network.ledger.per_link().items()
+        for name, bts in trace_slice(
+            replayed, 0, stop
+        ).per_link_transitions().items()
         if bts
     }
 

@@ -25,6 +25,13 @@ targets:
   with ``--codec batch`` vs ``--codec scalar`` to compare the two
   codec implementations (their BT totals must be identical — the
   codecs are pinned bit-equal).
+* ``decode_throughput`` — the arrival plane alone: the same real task
+  shapes pre-encoded once (untimed), then decoded back to
+  original-order words — grouped ``decode_batch_words`` passes under
+  ``--codec batch``, per-packet ``decode`` + ``original_pairs`` under
+  ``--codec scalar``.  The reported ``bit_transitions`` is a popcount
+  checksum of the recovered words, identical across codecs by the
+  bit-equality contract (the CI gate asserts it).
 
 Each workload runs to completion under the selected network core
 (``event`` or ``stepped`` — see :mod:`repro.noc.network`) and task
@@ -353,6 +360,108 @@ def _encode_throughput(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
     return run
 
 
+def _decode_throughput(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
+    from repro.accelerator.tasks import split_task
+    from repro.bits.popcount import POPCOUNT_LUT
+    from repro.workloads.figures import (
+        figure_darknet_image,
+        figure_darknet_model,
+        figure_lenet_image,
+        figure_trained_lenet,
+    )
+
+    # Preparation (untimed): the same real task shapes as
+    # encode_throughput, encoded once up front.  encode_batch is
+    # pinned bit-identical to the scalar encoder, so both codecs
+    # decode exactly the same payload bits — only the decode
+    # implementation under test differs.
+    points = [("fixed8", figure_trained_lenet(), figure_lenet_image())]
+    if not smoke:
+        points.append(
+            ("float32", figure_trained_lenet(), figure_lenet_image())
+        )
+        points.append(
+            ("fixed8", figure_darknet_model(), figure_darknet_image())
+        )
+    tasks = 8 if smoke else 48
+    repeat = 1 if smoke else 4
+    groups: list[tuple] = []
+    for data_format, model, image in points:
+        sim = AcceleratorSimulator(
+            AcceleratorConfig(
+                data_format=data_format,
+                max_tasks_per_layer=tasks,
+                seed=2025,
+                codec=codec,
+            ),
+            model,
+            image,
+        )
+        for lt in sim.layer_tasks:
+            in_fmt, w_fmt = sim._formats[lt.layer_index]
+            by_pairs: dict[int, list] = {}
+            for task in lt.tasks:
+                for chunk in split_task(task, sim.config.chunk_pairs):
+                    by_pairs.setdefault(chunk.n_pairs, []).append(
+                        (
+                            in_fmt.encode(chunk.inputs),
+                            w_fmt.encode(chunk.weights),
+                            int(w_fmt.encode(np.array([chunk.bias]))[0]),
+                        )
+                    )
+            for items in by_pairs.values():
+                in_m = np.tile(np.stack([i for i, _, _ in items]), (repeat, 1))
+                w_m = np.tile(np.stack([w for _, w, _ in items]), (repeat, 1))
+                biases = [b for _, _, b in items] * repeat
+                for method in OrderingMethod:
+                    groups.append(
+                        (
+                            sim.codec,
+                            sim.codec.encode_batch(
+                                in_m, w_m, biases, method
+                            ),
+                        )
+                    )
+
+    def run() -> dict[str, int]:
+        metrics = _zero_metrics()
+        for task_codec, encoded in groups:
+            # The popcount checksum of the recovered original-order
+            # words stands in for BTs: identical across codecs, so the
+            # CI equality gate pins decode correctness, not just speed.
+            if codec == "batch":
+                rows = task_codec.decode_batch_words(encoded)
+                in_m = np.stack([row[0] for row in rows])
+                w_m = np.stack([row[1] for row in rows])
+                checksum = int(
+                    POPCOUNT_LUT[
+                        np.ascontiguousarray(in_m).view(np.uint8)
+                    ].sum(dtype=np.int64)
+                ) + int(
+                    POPCOUNT_LUT[
+                        np.ascontiguousarray(w_m).view(np.uint8)
+                    ].sum(dtype=np.int64)
+                )
+                checksum += sum(
+                    int(row[2]).bit_count() for row in rows
+                )
+            else:
+                checksum = 0
+                for e in encoded:
+                    decoded = task_codec.decode(e)
+                    for a, w in decoded.original_pairs():
+                        checksum += int(a).bit_count()
+                        checksum += int(w).bit_count()
+                    checksum += int(decoded.bias).bit_count()
+            metrics["bit_transitions"] += checksum
+            metrics["flit_hops"] += sum(
+                len(e.payloads) for e in encoded
+            )
+        return metrics
+
+    return run
+
+
 def _synthetic_rates(smoke: bool, codec: str) -> Callable[[], dict[str, int]]:
     # Fixed packet count across widening injection windows: the wide
     # windows are idle-dominated, which is where fast-forward pays.
@@ -426,6 +535,7 @@ WORKLOADS: dict[str, Callable[[bool, str], Callable[[], dict[str, int]]]] = {
     "fig12_mesh_sweep": _fig12_mesh_sweep,
     "fig13_model_sweep": _fig13_model_sweep,
     "encode_throughput": _encode_throughput,
+    "decode_throughput": _decode_throughput,
     "synthetic_rates": _synthetic_rates,
     "trace_replay": _trace_replay,
 }

@@ -33,6 +33,19 @@ granularity (:meth:`TrafficTrace.reordered`), re-encoding with the
 related-work link codings (bus invert / delta) without re-running the
 simulator, and — for full-fidelity traces — cycle-accurate replay
 through either network core (:func:`replay_through_network`).
+
+Storage
+-------
+
+Per-link columns are numpy-backed: wire images live in uint64 arrays
+and cycles / VCs / packet ids in int64 arrays, wrapped in
+:class:`repro.bits.wordarray.WordArray` so the tuple-facing API
+(indexing, iteration, ``==`` against plain tuples) is unchanged while
+``_stream_bts``, :meth:`TrafficTrace.reordered`,
+:func:`trace_slice` and the :mod:`repro.obs` analytics stack operate
+on the arrays directly.  Wire images wider than 64 bits (synthetic
+link widths, header-carrying captures) fall back per column to an
+arbitrary-precision tuple backing and the scalar scoring loops.
 """
 
 from __future__ import annotations
@@ -52,6 +65,7 @@ import numpy as np
 
 from repro.bits.popcount import popcount_array
 from repro.bits.transitions import stream_transitions, stream_transitions_bytes
+from repro.bits.wordarray import WordArray, as_int64_array
 from repro.ordering.encodings import (
     bus_invert_encode,
     delta_encode,
@@ -116,11 +130,16 @@ class TraceCollector:
         self._cycles.setdefault(link_name, []).append(cycle)
 
     def finish(self, link_width: int) -> "TrafficTrace":
-        """Freeze the collected data into a trace."""
+        """Freeze the collected data into a trace.
+
+        The raw per-link lists go straight into the trace, whose
+        ``__post_init__`` packs each into its numpy column in one
+        pass — no intermediate tuples.
+        """
         return TrafficTrace(
             link_width=link_width,
-            links={k: tuple(v) for k, v in self._links.items()},
-            cycles={k: tuple(v) for k, v in self._cycles.items()},
+            links=dict(self._links),
+            cycles=dict(self._cycles),
         )
 
 
@@ -155,15 +174,46 @@ class TrafficTrace:
             captures only) — what :func:`replay_through_network`
             re-injects.
         noc: the recorded NoC config dict, if captured.
+
+    Construction normalises every per-link column into a
+    :class:`~repro.bits.wordarray.WordArray` (uint64 for wire images,
+    int64 for cycles / VCs / packet ids), so plain tuples, lists, or
+    already-wrapped columns are all accepted and compare equal through
+    the tuple-facing API.  Wire images beyond 64 bits keep an
+    arbitrary-precision tuple backing per column.
     """
 
     link_width: int
-    links: dict[str, tuple[int, ...]]
-    cycles: dict[str, tuple[int, ...]] = field(default_factory=dict)
-    vcs: dict[str, tuple[int, ...]] = field(default_factory=dict)
-    packet_ids: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    links: dict[str, "WordArray | tuple[int, ...]"]
+    cycles: dict[str, "WordArray | tuple[int, ...]"] = field(
+        default_factory=dict
+    )
+    vcs: dict[str, "WordArray | tuple[int, ...]"] = field(
+        default_factory=dict
+    )
+    packet_ids: dict[str, "WordArray | tuple[int, ...]"] = field(
+        default_factory=dict
+    )
     packets: tuple[PacketEvent, ...] = ()
     noc: dict[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        # Idempotent column normalisation (dataclasses.replace re-runs
+        # this on mixed already-wrapped / freshly-built dicts).
+        object.__setattr__(
+            self,
+            "links",
+            {k: WordArray(v, np.uint64) for k, v in self.links.items()},
+        )
+        for name in ("cycles", "vcs", "packet_ids"):
+            object.__setattr__(
+                self,
+                name,
+                {
+                    k: WordArray(v, np.int64)
+                    for k, v in getattr(self, name).items()
+                },
+            )
 
     def total_transitions(self) -> int:
         """Exact BT recomputation (matches the live Fig. 8 recorders)."""
@@ -220,27 +270,31 @@ class TrafficTrace:
                 f"{sorted(missing)}; record with TraceRecorder to "
                 "re-apply orderings"
             )
-        new_links: dict[str, tuple[int, ...]] = {}
+        new_links: dict[str, WordArray] = {}
         for name, payloads in self.links.items():
-            pids = np.asarray(self.packet_ids[name], dtype=np.int64)
+            pids = as_int64_array(self.packet_ids[name])
             n = len(payloads)
             if n < 2:
-                new_links[name] = tuple(payloads)
+                new_links[name] = payloads
                 continue
             # One vectorised pass per link: runs of equal packet ids
             # become a run index, and a stable lexsort by (run,
             # -popcount) reproduces the per-run descending '1'-count
             # sort with arrival-order tie-breaks.
-            counts = np.fromiter(
-                (p.bit_count() for p in payloads),
-                dtype=np.int64,
-                count=n,
-            )
+            arr = getattr(payloads, "array", None)
+            if arr is not None:
+                counts = popcount_array(arr).astype(np.int64)
+            else:
+                counts = np.fromiter(
+                    (p.bit_count() for p in payloads),
+                    dtype=np.int64,
+                    count=n,
+                )
             runs = np.empty(n, dtype=np.int64)
             runs[0] = 0
             np.cumsum(pids[1:] != pids[:-1], out=runs[1:])
             order = np.lexsort((-counts, runs))
-            new_links[name] = tuple(payloads[i] for i in order)
+            new_links[name] = payloads.take(order)
         return dataclasses.replace(self, links=new_links, packets=())
 
     # -- persistence -----------------------------------------------------
@@ -297,6 +351,13 @@ class TrafficTrace:
             # written into the envelope — never guessed by readers.
             widest = self.link_width
             for payloads in self.links.values():
+                arr = getattr(payloads, "array", None)
+                if arr is not None:
+                    if arr.size:
+                        top = int(arr.max()).bit_length()
+                        if top > widest:
+                            widest = top
+                    continue
                 for p in payloads:
                     if p.bit_length() > widest:
                         widest = p.bit_length()
@@ -449,7 +510,9 @@ class TrafficTrace:
                     cycle=int(cycle),
                     src=int(src),
                     dst=int(dst),
-                    payloads=_unpack_words(packed, word_bytes, byte_order),
+                    payloads=_unpack_words(
+                        packed, word_bytes, byte_order
+                    ).to_tuple(),
                 )
                 for cycle, src, dst, packed in doc.get("packets", [])
             ),
@@ -457,21 +520,31 @@ class TrafficTrace:
         )
 
 
-def _stream_bts(payloads: tuple[int, ...], link_width: int) -> int:
+def _stream_bts(payloads: Any, link_width: int) -> int:
     """Per-link BT count, vectorised where the payloads allow it.
 
-    Links up to 64 bits wide score through the byte-matrix kernel
-    (~2.4x over the scalar loop); wider links keep the scalar
+    Array-backed columns (any :class:`TrafficTrace` whose wire images
+    fit 64 bits) go straight through the byte-matrix kernel with no
+    per-call conversion; plain tuples up to 64 bits pay one
+    ``np.fromiter``.  Wider images — >64-bit links, or captures whose
+    recorded header bits overflow uint64 — keep the scalar
     arbitrary-precision loop, which beats converting each bignum to
-    bytes first.  Wire images can exceed ``link_width`` when header
-    bits are recorded, so an overflowing payload falls back cleanly.
+    bytes first.
     """
-    if link_width <= 64 and len(payloads) > 1:
+    n = len(payloads)
+    if n < 2:
+        return 0
+    arr = getattr(payloads, "array", None)
+    if arr is None and link_width <= 64:
         try:
-            arr = np.fromiter(payloads, dtype="<u8", count=len(payloads))
+            arr = np.fromiter(payloads, dtype="<u8", count=n)
         except (OverflowError, ValueError):
-            return stream_transitions(payloads)
-        return stream_transitions_bytes(arr.view(np.uint8).reshape(-1, 8))
+            arr = None
+    if arr is not None:
+        images = np.ascontiguousarray(arr.astype("<u8", copy=False))
+        return stream_transitions_bytes(
+            images.view(np.uint8).reshape(-1, 8)
+        )
     return stream_transitions(payloads)
 
 
@@ -481,13 +554,20 @@ def _word_bytes(link_width: int) -> int:
 
 
 def _pack_words(
-    payloads: tuple[int, ...], word_bytes: int, byte_order: str
+    payloads: Any, word_bytes: int, byte_order: str
 ) -> str:
-    """Fixed-width word array -> base64 text."""
-    if word_bytes <= 8 and payloads:
+    """Fixed-width word array -> base64 text.
+
+    Accepts array-backed :class:`~repro.bits.wordarray.WordArray`
+    columns (used directly, no conversion) as well as plain tuples.
+    """
+    arr = getattr(payloads, "array", None)
+    if word_bytes <= 8 and len(payloads) and arr is None:
         # Words that fit a numpy lane: one array pass instead of a
         # per-word to_bytes loop (the hot path for narrow-link traces).
         arr = np.fromiter(payloads, dtype="<u8", count=len(payloads))
+    if word_bytes <= 8 and arr is not None and len(payloads):
+        arr = np.ascontiguousarray(arr.astype("<u8", copy=False))
         if word_bytes < 8 and int(arr.max()) >> (8 * word_bytes):
             # Same loud failure the per-word to_bytes loop raised —
             # never silently truncate a payload's high bytes.
@@ -507,8 +587,15 @@ def _pack_words(
 
 def _unpack_words(
     packed: str, word_bytes: int, byte_order: str
-) -> tuple[int, ...]:
-    """Inverse of :func:`_pack_words`; rejects torn word arrays."""
+) -> WordArray:
+    """Inverse of :func:`_pack_words`; rejects torn word arrays.
+
+    Returns a :class:`~repro.bits.wordarray.WordArray`: on the ≤8-byte
+    fast path the decoded uint64 array becomes the column's backing
+    directly (no tuple materialisation); wider words (256/512-bit
+    links) keep the arbitrary-precision from_bytes loop and the tuple
+    fallback backing.
+    """
     blob = base64.b64decode(packed.encode("ascii"), validate=True)
     if len(blob) % word_bytes:
         raise ValueError(
@@ -524,10 +611,14 @@ def _unpack_words(
             lanes = lanes[:, ::-1]
         wide = np.zeros((lanes.shape[0], 8), dtype=np.uint8)
         wide[:, :word_bytes] = lanes
-        return tuple(wide.reshape(-1).view("<u8").tolist())
-    return tuple(
-        int.from_bytes(blob[i : i + word_bytes], byte_order)
-        for i in range(0, len(blob), word_bytes)
+        return WordArray(
+            wide.reshape(-1).view("<u8").astype(np.uint64, copy=False)
+        )
+    return WordArray(
+        tuple(
+            int.from_bytes(blob[i : i + word_bytes], byte_order)
+            for i in range(0, len(blob), word_bytes)
+        )
     )
 
 
@@ -553,6 +644,7 @@ def replay_through_network(
     ordering: str = "none",
     overrides: dict[str, Any] | None = None,
     max_cycles: int = 500_000,
+    trace_collector: Any = None,
 ) -> "Network":
     """Re-inject a recorded trace's traffic through a fresh network.
 
@@ -575,6 +667,11 @@ def replay_through_network(
         overrides: NoC config fields to override at replay time
             (e.g. ``{"link_latency": 2}`` for timing what-ifs).
         max_cycles: drain budget.
+        trace_collector: optional collector / recorder attached to the
+            replay network before driving, so the replayed traffic can
+            itself be re-captured (the edge-safe replay probe in
+            :func:`repro.obs.diff.bisect_divergence` scores a
+            re-capture instead of the drained ledger).
 
     Returns:
         The drained :class:`Network` (stats + ledger readable).
@@ -602,6 +699,7 @@ def replay_through_network(
         noc_kwargs.update(overrides)
     noc = NoCConfig.from_dict(noc_kwargs)
     network = Network(noc, core=core)
+    network.trace_collector = trace_collector
     events = []
     for event in trace.packets:
         payloads = list(event.payloads)
@@ -629,6 +727,18 @@ def trace_slice(
     link, so a slice preserves each link's hop order and a prefix
     slice (``start == 0``) yields exact BT prefix sums.
 
+    Window-edge semantics (pinned): hops and injections are filtered
+    *independently* by their own cycles.  A packet injected before
+    ``start`` contributes the hops it made inside the window but not
+    its injection event, and a packet injected inside the window
+    whose hops spill past ``stop`` keeps its injection but loses the
+    spilled hops.  Replaying a slice's schedule therefore does **not**
+    reproduce the slice's hop record at the window edges; probes that
+    mix live replay with offline slice scoring must re-capture and
+    slice the replayed traffic (see
+    :func:`repro.obs.diff.bisect_divergence`'s edge-safe replay
+    probe) rather than compare a drained ledger against a slice.
+
     Requires per-hop cycles for every link with traffic (any
     :class:`TraceCollector` / :class:`TraceRecorder` capture has
     them; hand-built traces without timing cannot be sliced).
@@ -647,25 +757,27 @@ def trace_slice(
             "trace carries no per-hop cycles for links "
             f"{sorted(missing)}; cannot slice by cycle window"
         )
-    links: dict[str, tuple[int, ...]] = {}
-    cycles: dict[str, tuple[int, ...]] = {}
-    vcs: dict[str, tuple[int, ...]] = {}
-    packet_ids: dict[str, tuple[int, ...]] = {}
+    links: dict[str, WordArray] = {}
+    cycles: dict[str, WordArray] = {}
+    vcs: dict[str, WordArray] = {}
+    packet_ids: dict[str, WordArray] = {}
+    empty = np.zeros(0, dtype=np.int64)
     for name, payloads in trace.links.items():
-        link_cycles = trace.cycles.get(name, ())
-        keep = [
-            i
-            for i, cycle in enumerate(link_cycles)
-            if start <= cycle < stop
-        ]
-        links[name] = tuple(payloads[i] for i in keep)
-        cycles[name] = tuple(link_cycles[i] for i in keep)
+        link_cycles = trace.cycles.get(name)
+        if link_cycles is None or not len(link_cycles):
+            keep = empty
+            link_cycles = WordArray(empty)
+        else:
+            carr = as_int64_array(link_cycles)
+            keep = np.flatnonzero((carr >= start) & (carr < stop))
+        links[name] = WordArray(payloads, np.uint64).take(keep)
+        cycles[name] = WordArray(link_cycles, np.int64).take(keep)
         link_vcs = trace.vcs.get(name)
         if link_vcs is not None:
-            vcs[name] = tuple(link_vcs[i] for i in keep)
+            vcs[name] = WordArray(link_vcs, np.int64).take(keep)
         link_pids = trace.packet_ids.get(name)
         if link_pids is not None:
-            packet_ids[name] = tuple(link_pids[i] for i in keep)
+            packet_ids[name] = WordArray(link_pids, np.int64).take(keep)
     return dataclasses.replace(
         trace,
         links=links,
@@ -686,6 +798,7 @@ def replay_window(
     ordering: str = "none",
     overrides: dict[str, Any] | None = None,
     max_cycles: int = 500_000,
+    trace_collector: Any = None,
 ) -> "Network":
     """Replay only the packets injected in cycles ``[start, stop)``.
 
@@ -721,13 +834,16 @@ def replay_window(
         noc_kwargs = dict(trace.noc)
         if overrides:
             noc_kwargs.update(overrides)
-        return Network(NoCConfig.from_dict(noc_kwargs), core=core)
+        network = Network(NoCConfig.from_dict(noc_kwargs), core=core)
+        network.trace_collector = trace_collector
+        return network
     return replay_through_network(
         dataclasses.replace(trace, packets=window_packets),
         core=core,
         ordering=ordering,
         overrides=overrides,
         max_cycles=max_cycles,
+        trace_collector=trace_collector,
     )
 
 

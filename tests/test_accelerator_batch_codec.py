@@ -196,20 +196,107 @@ class TestDecodeBatch:
             )
             assert d.bias == biases[t]
 
-    def test_rejects_mixed_geometry(self):
+    def test_mixed_geometry_decodes_per_group(self):
+        # A layer's ragged tail (or a whole arrival stream) mixes
+        # geometries; decode must group, not raise or de-vectorise.
         codec = TaskCodec(values_per_flit=16, word_width=8)
         rng = np.random.default_rng(17)
         a, aw, ab = _random_batch(rng, 8, 2, 25)
         b, bw, bb = _random_batch(rng, 8, 2, 7)
         mixed = codec.encode_batch(
             a, aw, ab, OrderingMethod.BASELINE
-        ) + codec.encode_batch(b, bw, bb, OrderingMethod.BASELINE)
-        with pytest.raises(ValueError, match="uniform batch"):
-            codec.decode_batch(mixed)
+        ) + codec.encode_batch(b, bw, bb, OrderingMethod.SEPARATED)
+        # Interleave the geometries so group index lists are non-trivial.
+        mixed = [mixed[0], mixed[2], mixed[1], mixed[3]]
+        decoded = codec.decode_batch(mixed)
+        assert decoded == [codec.decode(e) for e in mixed]
 
     def test_empty_batch(self):
         codec = TaskCodec(values_per_flit=16, word_width=8)
         assert codec.decode_batch([]) == []
+        assert codec.decode_batch_words([]) == []
+        assert codec.decode_inputs_only_batch([]) == []
+
+    def test_rejects_inconsistent_flit_metadata(self):
+        import dataclasses
+
+        codec = TaskCodec(values_per_flit=16, word_width=8)
+        rng = np.random.default_rng(23)
+        inputs, weights, biases = _random_batch(rng, 8, 2, 25)
+        encoded = codec.encode_batch(
+            inputs, weights, biases, OrderingMethod.BASELINE
+        )
+        bad = [dataclasses.replace(encoded[0], n_data_flits=7), encoded[1]]
+        with pytest.raises(ValueError, match="inconsistent flit count"):
+            codec.decode_batch(bad)
+        with pytest.raises(ValueError, match="inconsistent flit count"):
+            codec.decode_batch_words(bad)
+
+    def test_decode_batch_words_rejects_bad_permutation(self):
+        import dataclasses
+
+        codec = TaskCodec(values_per_flit=16, word_width=8)
+        rng = np.random.default_rng(29)
+        inputs, weights, biases = _random_batch(rng, 8, 3, 25)
+        encoded = codec.encode_batch(
+            inputs, weights, biases, OrderingMethod.SEPARATED
+        )
+        perm = list(encoded[0].input_perm)
+        perm[0] = perm[1]  # duplicate: not a permutation
+        bad = [dataclasses.replace(encoded[0], input_perm=tuple(perm))]
+        bad += encoded[1:]
+        with pytest.raises(ValueError, match="invalid permutation"):
+            codec.decode_batch_words(bad)
+
+
+class TestDecodeBatchWords:
+    """The arrival-plane decode: original-order words, no DecodedTask."""
+
+    @pytest.mark.parametrize("width", [8, 32, 12])
+    @pytest.mark.parametrize("method", list(OrderingMethod))
+    def test_matches_original_pairs(self, width, method):
+        per_flit = 4 if width == 12 else 16
+        codec = TaskCodec(values_per_flit=per_flit, word_width=width)
+        rng = np.random.default_rng(width + 1)
+        batches = [
+            _random_batch(rng, width, 4, n_pairs)
+            for n_pairs in (25, 7, 25, 1)
+        ]
+        encoded = [
+            e
+            for inputs, weights, biases in batches
+            for e in codec.encode_batch(inputs, weights, biases, method)
+        ]
+        rows = codec.decode_batch_words(encoded)
+        assert len(rows) == len(encoded)
+        for e, (iw, ww, bias) in zip(encoded, rows):
+            decoded = codec.decode(e)
+            pairs = decoded.original_pairs()
+            assert [int(v) for v in iw] == [p[0] for p in pairs]
+            assert [int(v) for v in ww] == [p[1] for p in pairs]
+            assert bias == decoded.bias
+
+
+class TestDecodeInputsOnlyBatch:
+    @pytest.mark.parametrize("width", [8, 32, 12])
+    @pytest.mark.parametrize("method", list(OrderingMethod))
+    def test_matches_scalar(self, width, method):
+        per_flit = 4 if width == 12 else 16
+        codec = TaskCodec(values_per_flit=per_flit, word_width=width)
+        rng = np.random.default_rng(width + 3)
+        lim = 1 << min(width, 63)
+        encoded = []
+        for n_values in (25, 9, 25, 2):
+            matrix = rng.integers(
+                0, lim, size=(3, n_values), dtype=np.uint64
+            )
+            encoded.extend(
+                codec.encode_inputs_only_batch(matrix, method)
+            )
+        rows = codec.decode_inputs_only_batch(encoded)
+        assert len(rows) == len(encoded)
+        for e, row in zip(encoded, rows):
+            assert [int(v) for v in row] == codec.decode_inputs_only(e)
 
 
 class TestEncodeInputsOnlyBatch:
@@ -257,6 +344,51 @@ class TestCodecProperties:
             assert d.original_pairs() == list(
                 zip(inputs[t].tolist(), weights[t].tolist())
             )
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.sampled_from([8, 16, 32, 64, 12]),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=30),  # n_pairs
+                st.integers(min_value=1, max_value=3),  # n_tasks
+                st.sampled_from(list(OrderingMethod)),
+                st.sampled_from(list(FillOrder)),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_mixed_geometry_decode_equals_scalar(
+        self, width, shapes, seed
+    ):
+        """Grouped decode across widths x fills x ragged tails x
+        mixed-geometry batches: every path must match the scalar
+        reference element-for-element, in input order."""
+        codec = TaskCodec(values_per_flit=4, word_width=width)
+        rng = np.random.default_rng(seed)
+        encoded = []
+        for n_pairs, n_tasks, method, fill in shapes:
+            inputs, weights, biases = _random_batch(
+                rng, width, n_tasks, n_pairs
+            )
+            encoded.extend(
+                codec.encode_batch(inputs, weights, biases, method, fill)
+            )
+        order = rng.permutation(len(encoded))
+        encoded = [encoded[i] for i in order]
+
+        decoded = codec.decode_batch(encoded)
+        assert decoded == [codec.decode(e) for e in encoded]
+
+        rows = codec.decode_batch_words(encoded)
+        for e, (iw, ww, bias) in zip(encoded, rows):
+            ref = codec.decode(e)
+            pairs = ref.original_pairs()
+            assert [int(v) for v in iw] == [p[0] for p in pairs]
+            assert [int(v) for v in ww] == [p[1] for p in pairs]
+            assert bias == ref.bias
 
 
 def _run_config(codec_name: str, **overrides):
@@ -327,6 +459,15 @@ class TestSimulatorCodecEquivalence:
                 for name, value in payload["metrics"].items()
                 if not name.startswith("codec.")
             }
+            # The batch codec must actually take the arrival-plane fast
+            # path (grouped decode at encode time); the scalar oracle
+            # must decode every chunk per packet at the sink.
+            decode_batch = run.metrics["codec.decode_batch_chunks"]
+            decode_scalar = run.metrics["codec.decode_scalar_chunks"]
+            if codec_name == "batch":
+                assert decode_batch > 0 and decode_scalar == 0
+            else:
+                assert decode_batch == 0 and decode_scalar > 0
             results[codec_name] = payload
         assert results["batch"] == results["scalar"]
 

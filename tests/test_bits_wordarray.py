@@ -1,0 +1,167 @@
+"""WordArray: numpy-backed immutable word sequences (tuple-facing).
+
+The trace storage contract: array-backed columns must look exactly
+like the tuples they replaced (indexing, iteration, equality,
+hashing), degrade to an arbitrary-precision tuple backing on >64-bit
+values, and expose their numpy backing for array-native consumers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.wordarray import WordArray, as_int64_array
+
+
+class TestConstruction:
+    def test_from_list_is_array_backed(self):
+        wa = WordArray([1, 2, 3])
+        assert wa.array is not None
+        assert wa.array.dtype == np.uint64
+        assert wa.to_tuple() == (1, 2, 3)
+
+    def test_from_ndarray_adopts_without_copy(self):
+        arr = np.array([5, 6], dtype=np.uint64)
+        wa = WordArray(arr)
+        assert wa.array is arr
+
+    def test_from_ndarray_casts_other_int_dtypes(self):
+        wa = WordArray(np.array([1, 2], dtype=np.int32))
+        assert wa.array.dtype == np.uint64
+        assert wa.to_tuple() == (1, 2)
+
+    def test_rejects_non_integer_ndarray(self):
+        with pytest.raises(ValueError, match="integer word array"):
+            WordArray(np.array([1.5, 2.5]))
+
+    def test_rejects_2d_ndarray(self):
+        with pytest.raises(ValueError, match="1-D"):
+            WordArray(np.zeros((2, 2), dtype=np.uint64))
+
+    def test_rewrap_is_idempotent_and_shares_backing(self):
+        wa = WordArray([1, 2, 3])
+        again = WordArray(wa, np.uint64)
+        assert again.array is wa.array
+        assert again == wa
+
+    def test_int64_dtype_for_signed_metadata(self):
+        wa = WordArray([-1, 0, 7], np.int64)
+        assert wa.array.dtype == np.int64
+        assert wa.to_tuple() == (-1, 0, 7)
+
+    def test_wide_values_fall_back_to_tuple(self):
+        wide = (1 << 96, 3)
+        wa = WordArray(wide)
+        assert wa.array is None
+        assert wa.to_tuple() == wide
+        assert list(wa) == list(wide)
+
+    def test_negative_value_falls_back_under_uint64(self):
+        wa = WordArray([-1, 2])
+        assert wa.array is None
+        assert wa.to_tuple() == (-1, 2)
+
+    def test_empty(self):
+        wa = WordArray(())
+        assert len(wa) == 0
+        assert wa.array is not None and wa.array.size == 0
+        assert wa.to_tuple() == ()
+
+    def test_generator_input(self):
+        wa = WordArray(iter([4, 5]))
+        assert wa.to_tuple() == (4, 5)
+
+
+class TestSequenceProtocol:
+    def test_getitem_returns_python_ints(self):
+        wa = WordArray([9, 8, 7])
+        assert wa[0] == 9 and isinstance(wa[0], int)
+        assert wa[-1] == 7
+        assert (9).bit_count() == wa[0].bit_count()
+
+    def test_slice_returns_wordarray(self):
+        wa = WordArray([1, 2, 3, 4])
+        sl = wa[1:3]
+        assert isinstance(sl, WordArray)
+        assert sl.to_tuple() == (2, 3)
+
+    def test_iter_yields_python_ints(self):
+        wa = WordArray([3, 1])
+        values = list(wa)
+        assert values == [3, 1]
+        assert all(isinstance(v, int) for v in values)
+
+    def test_equality_with_tuples_lists_and_wordarrays(self):
+        wa = WordArray([1, 2])
+        assert wa == (1, 2)
+        assert wa == [1, 2]
+        assert (1, 2) == wa.to_tuple()
+        assert wa == WordArray((1, 2))
+        assert wa != (1, 3)
+        assert wa != (1, 2, 3)
+        # Mixed backings still compare by value.
+        assert WordArray((1 << 96,)) == WordArray((1 << 96,))
+        assert wa != WordArray((1 << 96, 2))
+
+    def test_hash_matches_tuple(self):
+        wa = WordArray([1, 2])
+        assert hash(wa) == hash((1, 2))
+        assert {wa: "x"}[(1, 2)] == "x"
+
+    def test_take_preserves_order_and_backing(self):
+        wa = WordArray([10, 20, 30, 40])
+        picked = wa.take(np.array([2, 0]))
+        assert picked.to_tuple() == (30, 10)
+        assert picked.array is not None
+        wide = WordArray((1 << 96, 5, 6))
+        assert wide.take([1, 2]).to_tuple() == (5, 6)
+
+    def test_repr_truncates(self):
+        short = repr(WordArray([1, 2]))
+        assert "1, 2" in short
+        long = repr(WordArray(range(20)))
+        assert "20 values" in long
+
+
+class TestAsInt64Array:
+    def test_passthrough_for_int64_backing(self):
+        wa = WordArray([1, 2], np.int64)
+        assert as_int64_array(wa) is wa.array
+
+    def test_casts_uint64_backing(self):
+        wa = WordArray([1, 2])
+        out = as_int64_array(wa)
+        assert out.dtype == np.int64
+        assert out.tolist() == [1, 2]
+
+    def test_plain_tuple(self):
+        out = as_int64_array((3, 4))
+        assert out.dtype == np.int64
+        assert out.tolist() == [3, 4]
+
+
+class TestProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**80),
+            max_size=12,
+        )
+    )
+    def test_behaves_like_the_tuple_it_wraps(self, values):
+        wa = WordArray(values)
+        ref = tuple(values)
+        assert len(wa) == len(ref)
+        assert wa.to_tuple() == ref
+        assert tuple(wa) == ref
+        assert wa == ref
+        for i in range(len(ref)):
+            assert wa[i] == ref[i]
+        assert wa[1:].to_tuple() == ref[1:]
+        if any(v > 2**64 - 1 for v in values):
+            assert wa.array is None
+        else:
+            assert wa.array is not None

@@ -315,3 +315,78 @@ class TestSyntheticBisect:
         narrow = dataclasses.replace(golden, link_width=8)
         with pytest.raises(ValueError, match="different link widths"):
             trace_diff(golden, narrow)
+
+
+# -- window-edge semantics (pinned) -----------------------------------
+
+
+class TestReplayProbeEdgeSafety:
+    """Regression tests for the pinned window-edge semantics.
+
+    ``trace_slice`` filters hops and injections *independently* by
+    their own cycles, so a prefix window cuts in-flight packets: a
+    packet injected before ``stop`` keeps its injection event but
+    loses every hop at or past ``stop``.  Replaying such a window
+    drains those packets fully, which means scoring the drained ledger
+    directly would charge hops the offline slice excludes.  The replay
+    probe is therefore required to re-capture the replayed traffic and
+    score it through the same hop-cycle slice — these tests pin that
+    both probe modes agree exactly at every window edge.
+    """
+
+    @pytest.mark.parametrize("stop", [64, 128, 192, 200, 256])
+    def test_replay_prefix_matches_offline_prefix(self, golden, stop):
+        # Every stop here cuts at least one packet's flight mid-route
+        # (the golden run keeps traffic in flight through cycle ~290),
+        # which is exactly where a drained-ledger probe diverges.
+        from repro.obs.diff import _offline_prefix, _replay_prefix
+
+        assert _replay_prefix(golden, stop, None, 500_000) == (
+            _offline_prefix(golden, stop)
+        )
+
+    def test_drained_ledger_overcounts_at_a_cutting_stop(self, golden):
+        # Counter-pin: the re-capture + re-slice in the replay probe is
+        # load-bearing.  The raw drained ledger of the same window
+        # carries strictly more BTs than the offline prefix on the
+        # links whose packets were cut mid-flight.
+        from repro.obs.diff import _offline_prefix
+
+        stop = 128
+        drained = {
+            name: bts
+            for name, bts in replay_window(
+                golden, 0, stop
+            ).ledger.per_link().items()
+            if bts
+        }
+        offline = _offline_prefix(golden, stop)
+        assert drained != offline
+        assert all(
+            drained.get(name, 0) >= bts for name, bts in offline.items()
+        )
+
+    def test_probe_modes_agree_on_a_recaptured_mutation(self, golden):
+        # End-to-end agreement: perturb one packet, replay + re-capture
+        # so hops and injections stay consistent, then require both
+        # probe modes to localise the same first window and links.
+        from repro.noc.recorder import TraceRecorder
+
+        packets = list(golden.packets)
+        last = max(range(len(packets)), key=lambda i: packets[i].cycle)
+        event = packets[last]
+        packets[last] = dataclasses.replace(
+            event, payloads=tuple(p ^ 0b11 for p in event.payloads)
+        )
+        schedule = dataclasses.replace(golden, packets=tuple(packets))
+        recorder = TraceRecorder()
+        net = replay_through_network(
+            schedule, trace_collector=recorder
+        )
+        recaptured = recorder.finish(net.config)
+
+        offline = bisect_divergence(golden, recaptured, probe="offline")
+        replay = bisect_divergence(golden, recaptured, probe="replay")
+        assert offline.diverged and replay.diverged
+        assert replay.first_window == offline.first_window
+        assert replay.links == offline.links

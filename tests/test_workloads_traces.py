@@ -84,6 +84,35 @@ class TestCapture:
             assert list(cycles) == sorted(cycles)
             assert len(cycles) == len(trace.links[name])
 
+    def test_columns_are_array_backed(self):
+        # <=64-bit captures must land on WordArray's numpy path so
+        # offline scoring never re-converts per call.
+        import numpy as np
+
+        from repro.bits.wordarray import WordArray
+
+        _, trace = traced_network()
+        for name, payloads in trace.links.items():
+            assert isinstance(payloads, WordArray)
+            assert payloads.array is not None
+            assert payloads.array.dtype == np.uint64
+            cycles = trace.cycles[name]
+            assert isinstance(cycles, WordArray)
+            assert cycles.array is not None
+            assert cycles.array.dtype == np.int64
+
+    def test_wide_links_fall_back_to_tuple_backing(self):
+        trace = TrafficTrace(
+            link_width=96, links={"L": (1 << 80, 5)}, cycles={"L": (0, 1)}
+        )
+        assert trace.links["L"].array is None
+        assert trace.links["L"] == (1 << 80, 5)
+        # Cycles still fit int64 and stay array-backed.
+        assert trace.cycles["L"].array is not None
+        assert trace.per_link_transitions()["L"] == (
+            (1 << 80) ^ 5
+        ).bit_count()
+
 
 class TestPersistence:
     def test_save_load_round_trip(self, tmp_path):
