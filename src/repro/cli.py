@@ -11,10 +11,14 @@ Subcommands::
                        (--trace records a replayable wire-image trace)
     repro sweep      — run a declarative campaign grid (cached, parallel;
                        --kind model|batch|synthetic|replay picks the
-                       workload, --cores adds a network-core axis)
+                       workload, --cores adds a network-core axis;
+                       --job-timeout/--max-retries harden execution,
+                       Ctrl-C checkpoints the campaign journal and
+                       --resume <campaign-id> picks it back up)
     repro report     — re-render campaign tables from a result store
                        (--pivot mesh|model|layer|link; failed jobs are
-                       skipped with a warning)
+                       skipped with a warning; --failures lists them
+                       with error class / attempts / quarantine)
     repro bench      — time the perf-benchmark workloads and write a
                        BENCH_<tag>.json snapshot (--core event|stepped;
                        --compare gates wall-time regressions against a
@@ -51,15 +55,17 @@ from repro.analysis.summary import reduction_rate
 from repro.dnn.datasets import synthetic_digits, synthetic_shapes
 from repro.dnn.models import build_model
 from repro.experiments.cache import ResultCache
+from repro.experiments.faults import FaultPlan
 from repro.experiments.kinds import JOB_KINDS
 from repro.experiments.report import (
     REPORT_PIVOTS,
     campaign_report,
+    failures_report,
     skipped_records,
 )
 from repro.experiments.runner import CampaignRunner
-from repro.experiments.spec import SweepSpec, derive_seed
-from repro.experiments.store import ResultStore
+from repro.experiments.spec import SweepSpec, campaign_id, derive_seed
+from repro.experiments.store import CampaignJournal, ResultStore
 from repro.hardware.linkpower import (
     BANERJEE_ENERGY_PJ,
     PAPER_ENERGY_PJ,
@@ -217,6 +223,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "offline and the differential 'both')")
     sweep.add_argument("--workers", type=int, default=2,
                        help="worker processes (1 = inline)")
+    sweep.add_argument("--job-timeout", type=float, default=None,
+                       help="per-attempt wall-clock budget in seconds; "
+                            "a job past it is killed and recorded as a "
+                            "JobTimeout failure (default: no limit)")
+    sweep.add_argument("--max-retries", type=int, default=2,
+                       help="retries per job for transient-class "
+                            "failures (timeouts, worker crashes, I/O "
+                            "blips), with seeded exponential backoff; "
+                            "deterministic errors never retry "
+                            "(default 2)")
+    sweep.add_argument("--resume", default=None, metavar="CAMPAIGN_ID",
+                       help="resume an interrupted campaign from its "
+                            "journal: journaled-complete jobs are "
+                            "served back, only the rest execute (the "
+                            "id is printed by the original run and by "
+                            "the Ctrl-C checkpoint message)")
+    sweep.add_argument("--fault-plan", default=None,
+                       help="JSON fault-injection plan for chaos "
+                            "testing (see repro.experiments.faults."
+                            "FaultPlan; faults fire inside the real "
+                            "worker processes)")
     sweep.add_argument("--cache-dir", default=".repro-cache",
                        help="content-addressed result cache directory")
     sweep.add_argument("--no-cache", action="store_true",
@@ -283,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "per-layer / per-link BT tables")
     report.add_argument("--csv", default=None,
                         help="also export the store as CSV")
+    report.add_argument("--failures", action="store_true",
+                        help="list failed jobs instead of the tables: "
+                             "error class, attempts, quarantine flag, "
+                             "and per-class totals")
 
     trace = sub.add_parser(
         "trace", parents=[seeded],
@@ -663,6 +694,16 @@ def _telemetry_line(sample: dict) -> str:
     )
 
 
+def _load_fault_plan(path: str) -> FaultPlan:
+    import json
+
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+        return FaultPlan.from_dict(data)
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        raise SystemExit(f"bad fault plan {path!r}: {exc}") from exc
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _sweep_spec_from_args(args)
     try:
@@ -672,14 +713,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     store_path = args.store or f"campaigns/{spec.name}.jsonl"
     store = ResultStore(store_path)
-    runner = CampaignRunner(cache=cache, store=store, workers=args.workers)
+    cid = campaign_id(spec)
+    journal = CampaignJournal(
+        pathlib.Path(store_path).parent / f"{cid}.journal"
+    )
+    if args.resume is not None:
+        # The id pins the exact grid: resuming under an edited spec
+        # would silently skip points, so a mismatch aborts instead.
+        if args.resume != cid:
+            raise SystemExit(
+                f"--resume {args.resume} does not match this sweep's "
+                f"campaign id {cid}; re-run the original command (the "
+                f"grid, seed, and name must be identical)"
+            )
+        if not journal.exists():
+            raise SystemExit(
+                f"nothing to resume: no journal at {journal.path}"
+            )
+    elif journal.path.exists():
+        # A fresh (non-resume) run of the same grid starts a fresh
+        # journal; stale progress must not leak in uninvited.
+        journal.path.unlink()
+    fault_plan = (
+        _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    )
+    runner = CampaignRunner(
+        cache=cache,
+        store=store,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+        backoff_seed=spec.seed,
+        fault_plan=fault_plan,
+        journal=journal,
+    )
     print(f"campaign {spec.name!r}: {spec.n_points} points -> {store_path}")
+    print(f"campaign id: {cid} (journal: {journal.path})")
     telemetry = (
         (lambda sample: print(_telemetry_line(sample), flush=True))
         if args.progress else None
     )
-    result = runner.run(spec, progress=print, telemetry=telemetry)
+    try:
+        result = runner.run(spec, progress=print, telemetry=telemetry)
+    except KeyboardInterrupt:
+        # Interrupted outside supervised execution (cache consult,
+        # journal replay): completed jobs are already journaled.
+        print(
+            f"\ninterrupted; completed jobs are journaled — resume "
+            f"with: repro sweep ... --resume {cid}"
+        )
+        return 130
     print(result.summary())
+    if result.failures or result.interrupted:
+        report = result.failure_report()
+        print(
+            f"failures: {report['failed']} job(s) "
+            f"({', '.join(f'{n} {cls}' for cls, n in sorted(report['by_class'].items())) or 'none'})"
+            + (
+                f", {len(report['quarantined'])} quarantined"
+                if report["quarantined"] else ""
+            )
+        )
     print()
     print(campaign_report(result.records))
     if args.metrics:
@@ -690,6 +784,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         rows = store.to_csv(args.csv)
         print(f"\nwrote {rows} rows to {args.csv}")
+    if result.interrupted:
+        print(
+            f"\ninterrupted: {len(result.ok_records())} of "
+            f"{result.n_jobs + len(result.remaining)} job(s) done, "
+            f"{len(result.remaining)} remaining — resume with: "
+            f"repro sweep ... --resume {cid}"
+        )
+        return 130
     return 1 if result.errors else 0
 
 
@@ -762,6 +864,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not records:
         print(f"no records in {args.store}", file=sys.stderr)
         return 1
+    if args.failures:
+        print(failures_report(records))
+        return 0
     # Failed (or malformed) jobs never block reporting the points that
     # did finish — one summary line, not one warning per record.
     skipped = skipped_records(records)

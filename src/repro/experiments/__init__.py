@@ -9,11 +9,17 @@ Turns one-off simulations into declarative, cached, parallel campaigns:
 * :mod:`repro.experiments.spec` — :class:`SweepSpec` grids expand into
   deterministic :class:`JobSpec` lists with derived per-job seeds.
 * :mod:`repro.experiments.cache` — content-addressed result cache keyed
-  by job identity + code-version tag.
-* :mod:`repro.experiments.runner` — :class:`CampaignRunner` worker-pool
-  execution with per-job failure capture, dispatching through the
-  registry.
-* :mod:`repro.experiments.store` — append-only JSONL store + CSV export.
+  by job identity + code-version tag, with verify-on-read digests and
+  corrupt-entry quarantine.
+* :mod:`repro.experiments.runner` — :class:`CampaignRunner` supervised
+  execution with per-job failure capture, wall-clock timeouts, seeded
+  retry/backoff, poison-job quarantine, and journal-backed resume,
+  dispatching through the registry.
+* :mod:`repro.experiments.faults` — deterministic fault injection
+  (:class:`FaultPlan`) and error classification for chaos testing the
+  real multiprocessing path.
+* :mod:`repro.experiments.store` — append-only JSONL store + CSV export
+  plus the crash-safe :class:`CampaignJournal` behind ``--resume``.
 * :mod:`repro.experiments.report` — Fig. 12/13-style grids plus
   per-layer and per-link aggregations from persisted records, no
   re-simulation.
@@ -24,6 +30,13 @@ from the store.
 """
 
 from repro.experiments.cache import ResultCache, code_version_tag
+from repro.experiments.faults import (
+    FaultAction,
+    FaultPlan,
+    TransientFaultError,
+    backoff_seconds,
+    classify_error,
+)
 from repro.experiments.hashing import canonical_json, derive_seed
 from repro.experiments.kinds import (
     JOB_KINDS,
@@ -35,6 +48,7 @@ from repro.experiments.kinds import (
 )
 from repro.experiments.report import (
     campaign_report,
+    failures_report,
     fig12_report,
     layer_pivot,
     link_pivot,
@@ -42,12 +56,15 @@ from repro.experiments.report import (
     reduction_series,
 )
 from repro.experiments.runner import CampaignResult, CampaignRunner
-from repro.experiments.spec import JobSpec, SweepSpec
-from repro.experiments.store import ResultStore
+from repro.experiments.spec import JobSpec, SweepSpec, campaign_id
+from repro.experiments.store import CampaignJournal, ResultStore
 
 __all__ = [
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
+    "FaultAction",
+    "FaultPlan",
     "JOB_KINDS",
     "JobKind",
     "JobSpec",
@@ -56,10 +73,15 @@ __all__ = [
     "ResultStore",
     "SweepSpec",
     "SyntheticJobConfig",
+    "TransientFaultError",
+    "backoff_seconds",
+    "campaign_id",
     "campaign_report",
     "canonical_json",
+    "classify_error",
     "code_version_tag",
     "derive_seed",
+    "failures_report",
     "fig12_report",
     "job_kind",
     "layer_pivot",

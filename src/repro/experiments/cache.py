@@ -9,8 +9,11 @@ the report layer invalidates nothing.
 
 Entries are JSON files under ``<root>/<key[:2]>/<key>.json``, written
 atomically (temp file + rename) so a killed worker never leaves a
-half-written entry behind.  Unreadable or corrupted entries are treated
-as misses and deleted on access.
+half-written entry behind.  Every entry is an envelope carrying the
+SHA-256 of its canonical record body, verified on every read: a
+corrupted entry — torn write, disk fault, bit flip inside otherwise
+valid JSON — is quarantined (moved aside under ``<root>/quarantine/``
+for inspection, never silently served) and the point re-simulates.
 """
 
 from __future__ import annotations
@@ -100,34 +103,68 @@ class ResultCache:
 
     # -- access ----------------------------------------------------------
 
+    @staticmethod
+    def _record_digest(record: dict[str, Any]) -> str:
+        return hashlib.sha256(canonical_json(record).encode()).hexdigest()
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry aside (never served, kept for autopsy).
+
+        The ``.corrupt`` suffix keeps quarantined files out of the
+        ``*/*.json`` globs ``__len__``/``clear`` walk.
+        """
+        self.corrupt_dropped += 1
+        target = self.root / "quarantine" / (path.name + ".corrupt")
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            path.unlink(missing_ok=True)
+
     def get(self, key: str) -> dict[str, Any] | None:
-        """The cached record, or None on miss / corrupted entry."""
+        """The cached record, or None on miss / corrupted entry.
+
+        Verify-on-read: the envelope's digest is recomputed over the
+        record body every time, so corruption that keeps the JSON
+        parseable still quarantines instead of serving wrong results.
+        Pre-envelope (legacy) entries are accepted as-is.
+        """
         path = self._path(key)
         try:
-            text = path.read_text()
+            raw = path.read_bytes()
         except (FileNotFoundError, OSError):
             return None
         try:
-            record = json.loads(text)
-            if not isinstance(record, dict):
+            # json.loads on bytes: invalid UTF-8 raises a ValueError
+            # subclass too, so binary garbage lands in quarantine.
+            doc = json.loads(raw)
+            if not isinstance(doc, dict):
                 raise ValueError("cache entry is not an object")
         except ValueError:
-            # Corrupted entry (truncated write, disk fault, manual
-            # edit): drop it so the point re-simulates cleanly.
-            self.corrupt_dropped += 1
-            path.unlink(missing_ok=True)
+            # Unparseable entry (truncated write, disk fault, manual
+            # edit): quarantine so the point re-simulates cleanly.
+            self._quarantine(path)
             return None
-        return record
+        if "sha256" in doc and "record" in doc:
+            record = doc["record"]
+            if not isinstance(record, dict) or self._record_digest(
+                record
+            ) != doc["sha256"]:
+                self._quarantine(path)
+                return None
+            return record
+        return doc
 
     def get_job(self, job: JobSpec) -> dict[str, Any] | None:
         return self.get(self.key_for(job))
 
     def put(self, key: str, record: dict[str, Any]) -> None:
-        """Atomically persist a record under its key."""
+        """Atomically persist a record (digest envelope) under its key."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"sha256": self._record_digest(record), "record": record}
         tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record, sort_keys=True))
+        tmp.write_text(json.dumps(doc, sort_keys=True))
         tmp.replace(path)
 
     def put_job(self, job: JobSpec, record: dict[str, Any]) -> None:

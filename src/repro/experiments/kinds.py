@@ -359,6 +359,10 @@ class JobKind:
     # (total_bit_transitions, data_format in config, ...), "synthetic"
     # the NoC-stats schema.
     report_family = "accelerator"
+    # Exception type names (beyond the runner's built-in transient set)
+    # whose failures the retry machinery should treat as retryable for
+    # this kind.  Deterministic simulation bugs stay permanent.
+    transient_errors: tuple[str, ...] = ()
     # Expansion parameters: which mesh pseudo-axis fields apply,
     # whether the kind carries a DNN model (and its workload seeds),
     # and whether its config takes a derived per-point seed at all.
@@ -727,6 +731,9 @@ class ReplayJobKind(JobKind):
     mesh_keys = ()
     uses_model = False
     uses_seed = False
+    # Trace files live on (possibly shared/remote) filesystems: a read
+    # failure is environmental, not a property of the job — retry it.
+    transient_errors = ("OSError", "PermissionError", "FileNotFoundError")
 
     def config_from_dict(self, data: dict[str, Any]) -> Any:
         return ReplayJobConfig.from_dict(data)

@@ -35,6 +35,7 @@ __all__ = [
     "fig12_report",
     "effort_block",
     "campaign_report",
+    "failures_report",
 ]
 
 Record = dict[str, Any]
@@ -499,6 +500,46 @@ def effort_block(records: Iterable[Record]) -> str | None:
             f"  simulated cycles    : {cycles} "
             f"({100.0 * skipped / cycles:.1f}% fast-forwarded)"
         )
+    return "\n".join(lines)
+
+
+def failures_report(records: Iterable[Record]) -> str:
+    """Render the failure view for ``repro report --failures``.
+
+    One line per job whose *latest* record failed (a point that failed
+    once but succeeded on a re-run is healthy and not listed), with its
+    error class, attempt count, and quarantine flag, plus per-class
+    totals.  Records written before the resilience layer carry no
+    class/attempt annotations and render as ``permanent`` / 1 attempt.
+    """
+    latest: dict[str, Record] = {}
+    for record in records:
+        job = record.get("job_id")
+        if job:
+            latest[job] = record
+    failed = [
+        r for r in latest.values() if r.get("status") != "ok"
+    ]
+    if not failed:
+        return f"(no failed jobs across {len(latest)} job(s))"
+    by_class: dict[str, int] = {}
+    lines = [f"Failed jobs ({len(failed)} of {len(latest)}):"]
+    for record in failed:
+        error_class = str(record.get("error_class", "permanent"))
+        by_class[error_class] = by_class.get(error_class, 0) + 1
+        attempts = record.get("attempts", 1)
+        flags = [error_class, f"{attempts} attempt(s)"]
+        if record.get("quarantined"):
+            flags.append("QUARANTINED")
+        lines.append(
+            f"  {record.get('job_id', '?')} "
+            f"[{record.get('kind', 'model')}] "
+            f"({', '.join(flags)}): {record.get('error', '?')}"
+        )
+    lines.append("")
+    lines.append("By class:")
+    for error_class in sorted(by_class):
+        lines.append(f"  {error_class:<14}: {by_class[error_class]}")
     return "\n".join(lines)
 
 

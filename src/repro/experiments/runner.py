@@ -1,34 +1,73 @@
-"""Campaign execution: worker pool, cache consultation, failure capture.
+"""Campaign execution: fault-tolerant worker pool, cache, journal.
 
 The :class:`CampaignRunner` takes a sweep (or an explicit job list),
 serves every already-simulated point from the
-:class:`~repro.experiments.cache.ResultCache`, and executes the misses
-across a ``multiprocessing`` pool.  Execution dispatches through the
+:class:`~repro.experiments.cache.ResultCache` (and, on resume, from
+the :class:`~repro.experiments.store.CampaignJournal`), and executes
+the misses across worker processes.  Execution dispatches through the
 job-kind registry (:mod:`repro.experiments.kinds`), so model, batch,
-and synthetic jobs — and any kind registered later — share one
+synthetic, and replay jobs — and any kind registered later — share one
 runner.  Job records are fully deterministic (no timestamps, no host
 state), so a sweep executed with one worker is byte-identical to the
-same sweep executed with eight — the property the cache and the
-regression tests rely on.
+same sweep executed with eight — the property the cache, the journal,
+and the chaos regression tests rely on.
 
-A job that raises is captured as a ``status="error"`` record with the
-traceback; it does not poison the pool, is *not* cached (so the point
-retries on the next run), and still lands in the result store for
-inspection.
+Resilience model
+----------------
+
+Fresh jobs run under a supervisor that owns one child process per
+in-flight job (``workers`` slots), collecting results asynchronously:
+
+* **Timeouts** — a job past ``job_timeout`` wall-clock seconds is
+  killed and captured as a ``JobTimeout`` failure; the hung worker
+  never blocks the rest of the campaign.
+* **Worker crashes** — a child that dies without returning a result
+  (``os._exit``, SIGKILL, OOM) is captured as a ``WorkerCrash``
+  failure; the supervisor just launches the next job.
+* **Retry with backoff** — failures classified transient
+  (:func:`~repro.experiments.faults.classify_error`; timeouts and
+  crashes included) are retried up to ``max_retries`` times after a
+  seeded exponential backoff.  Deterministic failures are permanent
+  and fail fast.
+* **Quarantine** — a job that exhausts its retries on transient-class
+  failures is quarantined: recorded as failed, listed in the failure
+  report, never allowed to take the campaign down.
+* **Graceful degradation** — a campaign always completes (or
+  checkpoints on SIGINT) with partial results plus a structured
+  :meth:`CampaignResult.failure_report`; ``run`` does not raise for
+  job failures of any class.
+
+A failed job is captured as a ``status="error"`` record with its
+error class and attempt count; it is *not* cached (so the point
+retries on the next run) and still lands in the result store for
+inspection.  Injected faults (:mod:`repro.experiments.faults`) ride
+the job payload into the worker, so every one of these features is
+tested against the real multiprocessing path it defends.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import os
+import signal
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable
 
 from repro.experiments.cache import ResultCache
+from repro.experiments.faults import (
+    FaultPlan,
+    apply_fault_actions,
+    backoff_seconds,
+    classify_error,
+)
 from repro.experiments.kinds import job_kind
 from repro.experiments.spec import JobSpec, SweepSpec
-from repro.experiments.store import ResultStore
+from repro.experiments.store import CampaignJournal, ResultStore
 from repro.obs.metrics import (
     active_registry,
     merge_metrics,
@@ -39,14 +78,21 @@ __all__ = ["execute_job", "CampaignResult", "CampaignRunner"]
 
 
 def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
-    """Run one serialized job; never raises.
+    """Run one serialized job; never raises (though it may be killed).
 
     Module-level (not a method) so worker processes can import it, and
     dict-in/dict-out so every transport — inline call, fork, spawn —
-    carries the same picklable payload.
+    carries the same picklable payload.  A ``"_fault"`` key smuggles
+    injected :mod:`~repro.experiments.faults` actions into the worker;
+    they fire between payload decode and kind dispatch, inside the
+    exception net (except for kills, which bypass it by design).
     """
+    payload = dict(payload)
+    fault_actions = payload.pop("_fault", None)
     try:
         job = JobSpec.from_dict(payload)
+        if fault_actions:
+            apply_fault_actions(fault_actions)
         result = job_kind(job.kind).execute(job)
         return {
             "job_id": job.job_id,
@@ -80,17 +126,84 @@ def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
         }
 
 
+def _worker_main(conn, payload: dict[str, Any]) -> None:
+    """Child-process entry: run the job, pipe the record back, exit.
+
+    SIGINT is ignored in workers — a Ctrl-C belongs to the supervisor,
+    which checkpoints the journal and kills children deliberately
+    instead of letting the process group race to die.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    record = execute_job(payload)
+    try:
+        conn.send(record)
+        conn.close()
+    except Exception:  # pragma: no cover - parent died mid-send
+        os._exit(1)
+
+
+@dataclass
+class _Task:
+    """One (job, attempt) dispatch the supervisor tracks."""
+
+    index: int
+    job_id: str
+    kind: str
+    payload: dict[str, Any]
+    attempt: int = 1
+
+
+def _failure_record(
+    task: _Task, error: str, error_class: str
+) -> dict[str, Any]:
+    """Synthetic error record for failures with no worker to report
+    them (timeouts, crashes) — same shape as execute_job's."""
+    payload = task.payload
+    return {
+        "job_id": task.job_id,
+        "kind": payload.get("kind", "model"),
+        "model": payload.get("model", "?"),
+        "model_seed": payload.get("model_seed"),
+        "image_seed": payload.get("image_seed"),
+        "n_images": payload.get("n_images"),
+        "config": payload.get("config", {}),
+        "status": "error",
+        "result": None,
+        "error": error,
+        "error_class": error_class,
+    }
+
+
+def _kind_transients(kind_name: str) -> tuple[str, ...]:
+    """The kind's extra retryable error types ('' registry-safe)."""
+    try:
+        return job_kind(kind_name).transient_errors
+    except Exception:
+        return ()
+
+
 @dataclass
 class CampaignResult:
     """Outcome of one campaign run.
 
     Attributes:
         name: campaign name.
-        records: one record per job, in grid order.
+        records: one record per completed job, in grid order (on an
+            interrupted run, jobs never dispatched have no record).
         hits / misses: cache accounting for this run.
-        errors: jobs that failed (status="error").
+        errors: jobs whose final record failed (status="error").
         elapsed_seconds: wall-clock time of the run.
         workers: pool size used for the misses.
+        resumed: jobs served from the campaign journal (a `--resume`).
+        retries: re-dispatches after transient-class failures.
+        timeouts: attempts killed for exceeding the job timeout.
+        worker_crashes: attempts whose worker died without a result.
+        quarantined: job_ids that exhausted retries on transient-class
+            failures (the poison jobs).
+        interrupted: True when SIGINT checkpointed the run early.
+        remaining: job_ids never run (interrupted before dispatch).
+        failures: structured per-failure dicts (job_id, label, error,
+            error_class, attempts, quarantined).
         metrics: campaign-wide observability aggregate — every
             record's ``result["metrics"]`` merged (``.peak`` names by
             max, the rest summed) plus the runner's own ``cache.*`` /
@@ -104,6 +217,14 @@ class CampaignResult:
     errors: int = 0
     elapsed_seconds: float = 0.0
     workers: int = 1
+    resumed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    quarantined: list[str] = field(default_factory=list)
+    interrupted: bool = False
+    remaining: list[str] = field(default_factory=list)
+    failures: list[dict[str, Any]] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -122,23 +243,278 @@ class CampaignResult:
 
     def summary(self) -> str:
         """The printed cache-hit summary line."""
-        return (
+        line = (
             f"campaign {self.name!r}: {self.n_jobs} jobs, "
             f"{self.hits} cache hits / {self.misses} simulated "
             f"({100.0 * self.hit_rate:.1f}% hit rate), "
             f"{self.errors} errors, {self.workers} workers, "
             f"{self.elapsed_seconds:.2f}s"
         )
+        extras = []
+        if self.resumed:
+            extras.append(f"{self.resumed} resumed")
+        if self.retries:
+            extras.append(f"{self.retries} retries")
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timeouts")
+        if self.worker_crashes:
+            extras.append(f"{self.worker_crashes} worker crashes")
+        if self.quarantined:
+            extras.append(f"{len(self.quarantined)} quarantined")
+        if extras:
+            line += f" [{', '.join(extras)}]"
+        if self.interrupted:
+            line += (
+                f" — INTERRUPTED with {len(self.remaining)} job(s) left"
+            )
+        return line
+
+    def failure_report(self) -> dict[str, Any]:
+        """Structured account of everything that went wrong (or not).
+
+        Always well-formed — an all-green campaign reports zero counts
+        — so report plumbing and the journal ``end``/``checkpoint``
+        entries can carry it unconditionally.
+        """
+        by_class: dict[str, int] = {}
+        for failure in self.failures:
+            cls = failure.get("error_class", "permanent")
+            by_class[cls] = by_class.get(cls, 0) + 1
+        return {
+            "campaign": self.name,
+            "completed": len(self.ok_records()),
+            "failed": len(self.failures),
+            "by_class": by_class,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "quarantined": list(self.quarantined),
+            "interrupted": self.interrupted,
+            "remaining": list(self.remaining),
+            "failures": list(self.failures),
+        }
+
+
+class _Supervisor:
+    """Async result collection over one-child-per-in-flight-job.
+
+    Replaces ``multiprocessing.Pool``: a pool cannot kill a hung task,
+    and a worker that hard-dies strands its AsyncResult forever.  With
+    one (daemonic) child per dispatch the supervisor can enforce
+    wall-clock deadlines with ``terminate``/``kill``, observe crash
+    exit codes directly, and keep scheduling while failed attempts sit
+    out their backoff.  Children are forked per job; at
+    simulation-scale job costs the fork overhead is noise (see the
+    bench regression gate).
+    """
+
+    def __init__(self, runner: "CampaignRunner") -> None:
+        self.runner = runner
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_crashes = 0
+        self.quarantined: list[str] = []
+        self.interrupted = False
+
+    def run(
+        self,
+        tasks: list[_Task],
+        on_final: Callable[[int, dict[str, Any], int], None],
+    ) -> dict[int, dict[str, Any]]:
+        """Run every task to a final record; returns index -> record.
+
+        ``on_final(index, record, attempts)`` fires once per job as its
+        outcome settles (ok, or error after retries), in completion
+        order.  On KeyboardInterrupt the in-flight children are killed
+        and the partial result map is returned with ``interrupted``
+        set.
+        """
+        runner = self.runner
+        ctx = multiprocessing.get_context()
+        results: dict[int, dict[str, Any]] = {}
+        pending: deque[_Task] = deque(tasks)
+        waiting: list[tuple[float, int, _Task]] = []  # backoff heap
+        running: dict[Any, tuple[_Task, Any, float | None]] = {}
+        seq = 0
+
+        def finalize(task: _Task, record: dict[str, Any]) -> None:
+            results[task.index] = record
+            on_final(task.index, record, task.attempt)
+
+        def settle(task: _Task, record: dict[str, Any]) -> None:
+            nonlocal seq
+            if record.get("status") == "ok":
+                finalize(task, record)
+                return
+            error_class = record.get("error_class") or classify_error(
+                record.get("error"), _kind_transients(task.kind)
+            )
+            if (
+                error_class != "permanent"
+                and task.attempt <= runner.max_retries
+            ):
+                self.retries += 1
+                delay = backoff_seconds(
+                    runner.backoff_seed,
+                    task.job_id,
+                    task.attempt,
+                    runner.backoff_base,
+                    runner.backoff_cap,
+                )
+                seq += 1
+                heapq.heappush(
+                    waiting,
+                    (
+                        time.monotonic() + delay,
+                        seq,
+                        _Task(
+                            task.index,
+                            task.job_id,
+                            task.kind,
+                            task.payload,
+                            task.attempt + 1,
+                        ),
+                    ),
+                )
+                return
+            record = dict(record)
+            record["error_class"] = error_class
+            record["attempts"] = task.attempt
+            record["quarantined"] = error_class != "permanent"
+            if record["quarantined"]:
+                self.quarantined.append(task.job_id)
+            finalize(task, record)
+
+        try:
+            while pending or waiting or running:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    pending.appendleft(heapq.heappop(waiting)[2])
+                while pending and len(running) < runner.workers:
+                    self._launch(ctx, pending.popleft(), running)
+                if not running:
+                    # Everything is sitting out a backoff window.
+                    time.sleep(
+                        max(0.0, waiting[0][0] - time.monotonic())
+                    )
+                    continue
+                ready = mp_connection.wait(
+                    list(running), self._next_wake(running, waiting)
+                )
+                for conn in ready:
+                    task, proc, _ = running.pop(conn)
+                    settle(task, self._collect(conn, proc, task))
+                self._reap_timeouts(running, settle)
+        except KeyboardInterrupt:
+            self.interrupted = True
+            for conn, (task, proc, _) in list(running.items()):
+                self._kill(proc)
+                conn.close()
+        return results
+
+    # -- internals -------------------------------------------------------
+
+    def _launch(self, ctx, task: _Task, running: dict) -> None:
+        payload = task.payload
+        plan: FaultPlan | None = self.runner.fault_plan
+        if plan is not None:
+            actions = plan.actions_for(
+                task.job_id, task.index, task.attempt
+            )
+            if actions:
+                payload = dict(payload)
+                payload["_fault"] = [a.to_dict() for a in actions]
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main, args=(child_conn, payload), daemon=True
+        )
+        proc.start()
+        child_conn.close()  # keep one write end, so EOF means death
+        deadline = (
+            None
+            if self.runner.job_timeout is None
+            else time.monotonic() + self.runner.job_timeout
+        )
+        running[parent_conn] = (task, proc, deadline)
+
+    @staticmethod
+    def _next_wake(running: dict, waiting: list) -> float | None:
+        marks = [d for _, _, d in running.values() if d is not None]
+        if waiting:
+            marks.append(waiting[0][0])
+        if not marks:
+            return None
+        return max(0.0, min(marks) - time.monotonic())
+
+    def _collect(self, conn, proc, task: _Task) -> dict[str, Any]:
+        record = None
+        try:
+            record = conn.recv()
+        except (EOFError, OSError):
+            record = None
+        finally:
+            conn.close()
+        proc.join(timeout=5.0)
+        if isinstance(record, dict):
+            return record
+        self.worker_crashes += 1
+        return _failure_record(
+            task,
+            f"WorkerCrash: worker exited with code {proc.exitcode} "
+            f"before returning a result (attempt {task.attempt})",
+            "worker_crash",
+        )
+
+    def _reap_timeouts(self, running: dict, settle) -> None:
+        now = time.monotonic()
+        expired = [
+            conn
+            for conn, (_, _, deadline) in running.items()
+            if deadline is not None and now >= deadline
+        ]
+        for conn in expired:
+            task, proc, _ = running.pop(conn)
+            self._kill(proc)
+            conn.close()
+            self.timeouts += 1
+            settle(
+                task,
+                _failure_record(
+                    task,
+                    f"JobTimeout: exceeded the "
+                    f"{self.runner.job_timeout:g}s wall-clock budget "
+                    f"(attempt {task.attempt})",
+                    "timeout",
+                ),
+            )
+
+    @staticmethod
+    def _kill(proc) -> None:
+        proc.terminate()
+        proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - SIGTERM blocked
+            proc.kill()
+            proc.join(timeout=5.0)
 
 
 class CampaignRunner:
-    """Executes campaigns against a cache, store, and worker pool.
+    """Executes campaigns against a cache, store, journal, and workers.
 
     Attributes:
         cache: result cache, or None to always simulate.
         store: JSONL store every record is appended to, or None.
-        workers: pool size; 1 executes inline (no subprocesses),
-            which keeps single-core runs and pytest sessions cheap.
+        workers: concurrent in-flight jobs; 1 executes inline (no
+            subprocesses) unless a timeout or fault plan forces the
+            supervised path.
+        job_timeout: per-attempt wall-clock budget in seconds; None
+            disables (requires the supervised path to enforce).
+        max_retries: transient-failure retries per job (0 = fail on
+            first error, the historical behaviour).
+        backoff_base / backoff_cap / backoff_seed: seeded exponential
+            backoff shape (see :func:`~repro.experiments.faults.
+            backoff_seconds`).
+        fault_plan: deterministic fault injection for chaos testing.
+        journal: campaign journal for crash-safe resume, or None.
     """
 
     def __init__(
@@ -146,12 +522,30 @@ class CampaignRunner:
         cache: ResultCache | None = None,
         store: ResultStore | None = None,
         workers: int = 1,
+        job_timeout: float | None = None,
+        max_retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        backoff_seed: int = 0,
+        fault_plan: FaultPlan | None = None,
+        journal: CampaignJournal | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.cache = cache
         self.store = store
         self.workers = workers
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_seed = backoff_seed
+        self.fault_plan = fault_plan
+        self.journal = journal
 
     def run(
         self,
@@ -164,24 +558,53 @@ class CampaignRunner:
         Records come back in grid order regardless of which points hit
         the cache or which worker finished first.  ``telemetry``, if
         given, receives one sample dict per *freshly executed* job as
-        its result streams back from the pool (keys: ``job_id``,
-        ``status``, ``done``, ``total``, ``cached``, ``failed``,
-        ``running``, ``elapsed_seconds``, ``eta_seconds``) — the live
-        feed behind ``repro sweep --progress``.  ``progress`` keeps its
-        historical meaning: one formatted line per record, in grid
-        order, after execution finishes.
+        its final outcome settles (keys: ``job_id``, ``status``,
+        ``done``, ``total``, ``cached``, ``failed``, ``running``,
+        ``elapsed_seconds``, ``eta_seconds``) — the live feed behind
+        ``repro sweep --progress``.  ``progress`` keeps its historical
+        meaning: one formatted line per record, in grid order, after
+        execution finishes.
+
+        Job failures of any class never raise: the campaign completes
+        with partial results and a structured
+        :meth:`CampaignResult.failure_report`.  A KeyboardInterrupt
+        checkpoints the journal and returns the partial result with
+        ``interrupted`` set instead of propagating.
         """
-        if isinstance(sweep, SweepSpec):
-            name = sweep.name
-            jobs = sweep.expand()
+        spec = sweep if isinstance(sweep, SweepSpec) else None
+        if spec is not None:
+            name = spec.name
+            jobs = spec.expand()
         else:
             name = "jobs"
             jobs = list(sweep)
         started = time.perf_counter()
+        corrupt_before = self.cache.corrupt_dropped if self.cache else 0
 
+        journal_done: dict[str, dict[str, Any]] = {}
+        if self.journal is not None:
+            if self.journal.exists():
+                self.journal.recover()
+                journal_done = self.journal.completed()
+                self.journal.append({"event": "resume"})
+            else:
+                from repro.experiments.spec import campaign_id
+
+                self.journal.start(
+                    campaign_id(spec) if spec is not None else name,
+                    name,
+                    spec.to_dict() if spec is not None else None,
+                    str(self.store.path) if self.store else None,
+                )
+
+        resumed: dict[int, dict[str, Any]] = {}
         cached: dict[int, dict[str, Any]] = {}
         todo: list[tuple[int, JobSpec]] = []
         for index, job in enumerate(jobs):
+            journaled = journal_done.get(job.job_id)
+            if journaled is not None:
+                resumed[index] = journaled
+                continue
             record = self.cache.get_job(job) if self.cache else None
             if record is not None:
                 cached[index] = record
@@ -189,13 +612,20 @@ class CampaignRunner:
                 todo.append((index, job))
 
         n_fresh = len(todo)
+        n_served = len(cached) + len(resumed)
         done = failed = 0
 
-        def on_result(record: dict[str, Any]) -> None:
+        def on_result(record: dict[str, Any], attempts: int = 1) -> None:
             nonlocal done, failed
             done += 1
             if record.get("status") == "error":
                 failed += 1
+            elif self.journal is not None:
+                # Journal completions the moment they happen — the
+                # crash-safety contract — in their final store form.
+                self.journal.record_job(
+                    {**record, "cached": False, "campaign": name}
+                )
             if telemetry is None:
                 return
             elapsed = time.perf_counter() - started
@@ -205,7 +635,7 @@ class CampaignRunner:
                     "status": record.get("status"),
                     "done": done,
                     "total": n_fresh,
-                    "cached": len(cached),
+                    "cached": n_served,
                     "failed": failed,
                     "running": min(self.workers, n_fresh - done),
                     "elapsed_seconds": elapsed,
@@ -215,38 +645,70 @@ class CampaignRunner:
                 }
             )
 
-        fresh = self._execute([job for _, job in todo], on_result)
-
         out = CampaignResult(
             name=name,
             hits=len(cached),
             misses=len(todo),
             workers=self.workers,
+            resumed=len(resumed),
         )
-        by_index = dict(cached)
-        for (index, job), record in zip(todo, fresh):
+        fresh = self._execute(todo, on_result, out)
+
+        by_index: dict[int, dict[str, Any]] = dict(cached)
+        by_index.update(fresh)
+        job_by_index = {index: job for index, job in todo}
+        for index, record in fresh.items():
             if self.cache is not None and record.get("status") == "ok":
-                self.cache.put_job(job, record)
+                self.cache.put_job(job_by_index[index], record)
+        for index, record in resumed.items():
             by_index[index] = record
         for index in range(len(jobs)):
+            if index not in by_index:
+                out.remaining.append(jobs[index].job_id)
+                continue
             record = dict(by_index[index])
             record["cached"] = index in cached
             record["campaign"] = name
-            if record.get("status") == "error" and index not in cached:
+            if index in resumed:
+                record["resumed"] = True
+            if record.get("status") == "error" and index in fresh:
                 out.errors += 1
+                out.failures.append(
+                    {
+                        "job_id": record.get("job_id"),
+                        "kind": record.get("kind", "model"),
+                        "label": jobs[index].label(),
+                        "error": record.get("error"),
+                        "error_class": record.get(
+                            "error_class", "permanent"
+                        ),
+                        "attempts": record.get("attempts", 1),
+                        "quarantined": record.get("quarantined", False),
+                    }
+                )
             out.records.append(record)
             if progress is not None:
                 progress(_progress_line(record))
         out.elapsed_seconds = time.perf_counter() - started
-        out.metrics = self._aggregate_metrics(out)
+        corrupt_delta = (
+            self.cache.corrupt_dropped - corrupt_before if self.cache else 0
+        )
+        out.metrics = self._aggregate_metrics(out, corrupt_delta)
         registry = active_registry()
         if registry is not None:
             registry.merge(out.metrics)
         if self.store is not None:
             self.store.extend(out.records)
+        if self.journal is not None:
+            event = "checkpoint" if out.interrupted else "end"
+            self.journal.append(
+                {"event": event, "report": out.failure_report()}
+            )
         return out
 
-    def _aggregate_metrics(self, out: CampaignResult) -> dict[str, Any]:
+    def _aggregate_metrics(
+        self, out: CampaignResult, cache_corrupt: int = 0
+    ) -> dict[str, Any]:
         """Campaign-wide metrics: record snapshots + runner counters.
 
         Cached records contribute too — their stored metrics describe
@@ -265,48 +727,117 @@ class CampaignRunner:
                 "cache.hits": out.hits,
                 "cache.misses": out.misses,
                 "cache.errors": out.errors,
+                "cache.corrupt_entries": cache_corrupt,
                 "runner.jobs": out.n_jobs,
                 "runner.workers.peak": min(self.workers, out.misses),
+                "runner.resumed": out.resumed,
+                "runner.retries": out.retries,
+                "runner.timeouts": out.timeouts,
+                "runner.worker_crashes": out.worker_crashes,
+                "runner.quarantined": len(out.quarantined),
             },
         )
         return metrics
 
     def _execute(
         self,
-        jobs: list[JobSpec],
-        on_result: Callable[[dict[str, Any]], None] | None = None,
-    ) -> list[dict[str, Any]]:
-        payloads = [job.to_dict() for job in jobs]
-        if not payloads:
-            return []
-        results: list[dict[str, Any]] = []
-        if self.workers == 1 or len(payloads) == 1:
-            # Suspend any active registry around in-process execution:
-            # the runner's single post-run aggregation is the one
-            # publication path, matching pool workers (whose processes
-            # never see the parent's registry).
-            with metrics_suspended():
-                for payload in payloads:
-                    record = execute_job(payload)
-                    results.append(record)
-                    if on_result is not None:
-                        on_result(record)
+        todo: list[tuple[int, JobSpec]],
+        on_result: Callable[[dict[str, Any], int], None],
+        out: CampaignResult,
+    ) -> dict[int, dict[str, Any]]:
+        """Execute the cache misses; returns index -> final record."""
+        if not todo:
+            return {}
+        tasks = [
+            _Task(index, job.job_id, job.kind, job.to_dict())
+            for index, job in todo
+        ]
+        supervised = (
+            self.workers > 1
+            or self.job_timeout is not None
+            or self.fault_plan is not None
+        )
+        if supervised:
+            supervisor = _Supervisor(self)
+            results = supervisor.run(
+                tasks,
+                lambda index, record, attempts: on_result(
+                    record, attempts
+                ),
+            )
+            out.retries = supervisor.retries
+            out.timeouts = supervisor.timeouts
+            out.worker_crashes = supervisor.worker_crashes
+            out.quarantined = supervisor.quarantined
+            out.interrupted = supervisor.interrupted
             return results
-        with multiprocessing.Pool(processes=self.workers) as pool:
-            # imap preserves submission order while letting results
-            # stream back as they complete — the telemetry feed sees
-            # jobs finish without waiting for the whole grid.
-            for record in pool.imap(execute_job, payloads, chunksize=1):
-                results.append(record)
-                if on_result is not None:
-                    on_result(record)
+        return self._execute_inline(tasks, on_result, out)
+
+    def _execute_inline(
+        self,
+        tasks: list[_Task],
+        on_result: Callable[[dict[str, Any], int], None],
+        out: CampaignResult,
+    ) -> dict[int, dict[str, Any]]:
+        """Single-process path: no subprocesses, so no kill/hang
+        defence — but the same retry/backoff/classification policy.
+
+        Suspends any active registry around in-process execution: the
+        runner's single post-run aggregation is the one publication
+        path, matching supervised workers (whose processes never
+        publish into the parent's registry).
+        """
+        results: dict[int, dict[str, Any]] = {}
+        try:
+            with metrics_suspended():
+                for task in tasks:
+                    while True:
+                        record = execute_job(task.payload)
+                        if record.get("status") == "ok":
+                            break
+                        error_class = classify_error(
+                            record.get("error"),
+                            _kind_transients(task.kind),
+                        )
+                        if (
+                            error_class == "permanent"
+                            or task.attempt > self.max_retries
+                        ):
+                            record = dict(record)
+                            record["error_class"] = error_class
+                            record["attempts"] = task.attempt
+                            record["quarantined"] = (
+                                error_class != "permanent"
+                            )
+                            if record["quarantined"]:
+                                out.quarantined.append(task.job_id)
+                            break
+                        out.retries += 1
+                        time.sleep(
+                            backoff_seconds(
+                                self.backoff_seed,
+                                task.job_id,
+                                task.attempt,
+                                self.backoff_base,
+                                self.backoff_cap,
+                            )
+                        )
+                        task.attempt += 1
+                    results[task.index] = record
+                    on_result(record, task.attempt)
+        except KeyboardInterrupt:
+            out.interrupted = True
         return results
 
 
 def _progress_line(record: dict[str, Any]) -> str:
     handler = job_kind(record.get("kind", "model"))
     label = handler.record_label(record)
-    origin = "cache" if record.get("cached") else "sim"
+    origin = (
+        "journal"
+        if record.get("resumed")
+        else "cache" if record.get("cached") else "sim"
+    )
     if record.get("status") != "ok":
         return f"  {label}: ERROR ({record.get('error')})"
     return f"  {label} [{origin}]: {handler.result_summary(record['result'])}"

@@ -30,6 +30,7 @@ from repro.experiments.kinds import (
 
 __all__ = [
     "MODEL_NAMES",
+    "campaign_id",
     "canonical_json",
     "derive_seed",
     "JobSpec",
@@ -187,3 +188,17 @@ class SweepSpec:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SweepSpec":
         return cls(**data)
+
+
+def campaign_id(spec: SweepSpec) -> str:
+    """Stable campaign identifier: name plus a short spec digest.
+
+    Hashes the full spec dict, so the same grid always journals under
+    the same id (``repro sweep --resume <id>``) while any grid edit —
+    new axis value, different seed — starts a fresh journal instead of
+    silently resuming a different campaign's.
+    """
+    digest = hashlib.sha256(
+        canonical_json(spec.to_dict()).encode()
+    ).hexdigest()
+    return f"{spec.name}-{digest[:8]}"

@@ -17,6 +17,15 @@ Metric names are flat dotted strings; the *family* is the prefix before
 the first dot (``event.heap_pushes`` belongs to family ``event``).
 When merging snapshots, names ending in ``.peak`` combine by ``max``;
 everything else sums.
+
+Resilience families published by the campaign runner per run:
+``runner.retries`` / ``runner.timeouts`` / ``runner.worker_crashes`` /
+``runner.quarantined`` / ``runner.resumed`` count the fault-tolerance
+machinery's interventions, and ``cache.corrupt_entries`` counts cache
+entries that failed their verify-on-read digest and were quarantined
+for re-simulation.  All are plain sums (zero on a healthy run), so a
+chaos sweep's metrics dump shows exactly how much turbulence the
+campaign absorbed.
 """
 
 from __future__ import annotations

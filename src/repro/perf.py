@@ -95,6 +95,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.accelerator.config import TASK_CODECS, AcceleratorConfig
+from repro.ioutil import atomic_write_text
 from repro.accelerator.simulator import AcceleratorSimulator
 from repro.dnn.models import ModelSpec
 from repro.noc.network import CORES, NoCConfig, network_core
@@ -666,7 +667,9 @@ def run_bench(
         "peak_rss_bytes": peak_rss,
     }
     path = pathlib.Path(out_path) if out_path else default_bench_path(tag)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    # Atomic temp-then-rename: a crash mid-write must not clobber the
+    # previous snapshot a later --compare would gate against.
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
     return payload
 
 

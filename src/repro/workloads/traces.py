@@ -64,6 +64,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.bits.popcount import popcount_array
+from repro.ioutil import atomic_write_bytes
 from repro.bits.transitions import stream_transitions, stream_transitions_bytes
 from repro.bits.wordarray import WordArray, as_int64_array
 from repro.ordering.encodings import (
@@ -404,7 +405,9 @@ class TrafficTrace:
             # Fixed mtime keeps the bytes content-addressable: the same
             # trace always hashes to the same digest.
             raw = gzip.compress(raw, mtime=0)
-        pathlib.Path(path).write_bytes(raw)
+        # Atomic temp-then-rename: a kill mid-save never leaves a torn
+        # (and gzip-unreadable) trace where a good one used to be.
+        atomic_write_bytes(pathlib.Path(path), raw)
 
     @classmethod
     def load(cls, path: str | pathlib.Path) -> "TrafficTrace":

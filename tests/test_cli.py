@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.store import ResultStore
 
 
 class TestParser:
@@ -528,6 +529,139 @@ class TestSweepProgressAndMetrics:
             "runner.jobs",
         ):
             assert name in out, name
+
+
+class TestSweepResilience:
+    """CLI plumbing of the fault-tolerant runner: --fault-plan,
+    --job-timeout/--max-retries, --resume, and report --failures."""
+
+    SWEEP = [
+        "sweep",
+        "--meshes", "2x2:1",
+        "--orderings", "O0,O2",
+        "--tasks", "1",
+        "--workers", "2",
+        "--no-cache",
+    ]
+
+    def _plan(self, tmp_path, actions) -> str:
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"actions": actions}))
+        return str(path)
+
+    def _campaign_id(self, out: str) -> str:
+        for line in out.splitlines():
+            if line.startswith("campaign id: "):
+                return line.split()[2]
+        raise AssertionError(f"no campaign id line in:\n{out}")
+
+    def test_kill_fault_fails_structured_not_raised(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "runs.jsonl")
+        argv = [
+            *self.SWEEP,
+            "--store", store,
+            "--max-retries", "0",
+            "--fault-plan",
+            self._plan(tmp_path, {"0": [{"kind": "kill"}]}),
+            "--metrics",
+        ]
+        assert main(argv) == 1  # failed, but gracefully
+        out = capsys.readouterr().out
+        assert "1 worker crashes" in out
+        assert "1 quarantined" in out
+        assert "failures: 1 job(s) (1 worker_crash)" in out
+        assert "runner.worker_crashes = 1" in out
+        assert "cache.corrupt_entries = 0" in out
+
+        assert main(["report", "--store", store, "--failures"]) == 0
+        failures = capsys.readouterr().out
+        assert "Failed jobs (1 of 2):" in failures
+        assert "worker_crash" in failures
+        assert "QUARANTINED" in failures
+
+    def test_transient_fault_retries_to_fault_free_rows(
+        self, tmp_path, capsys
+    ):
+        clean_store = tmp_path / "clean.jsonl"
+        argv = [*self.SWEEP, "--store", str(clean_store)]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        chaos_store = tmp_path / "chaos.jsonl"
+        argv = [
+            *self.SWEEP,
+            "--store", str(chaos_store),
+            "--fault-plan",
+            self._plan(tmp_path, {"1": [{"kind": "transient"}]}),
+        ]
+        assert main(argv) == 0
+        assert "1 retries" in capsys.readouterr().out
+
+        def rows(path):
+            drop = ("cached", "resumed", "campaign")
+            return [
+                {k: v for k, v in json.loads(line).items()
+                 if k not in drop}
+                for line in path.read_text().splitlines()
+            ]
+
+        assert rows(chaos_store) == rows(clean_store)
+
+    def test_resume_completes_after_exhausted_retries(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "runs.jsonl")
+        base = [*self.SWEEP, "--store", store]
+        kill_all_attempts = {
+            "0": [{"kind": "kill", "attempt": n} for n in (1, 2, 3)]
+        }
+        assert main([
+            *base,
+            "--fault-plan", self._plan(tmp_path, kill_all_attempts),
+        ]) == 1
+        out = capsys.readouterr().out
+        cid = self._campaign_id(out)
+        assert "1 quarantined" in out
+
+        # Same grid + --resume: the journaled job is served back and
+        # only the quarantined one re-executes (faults lifted).
+        assert main([*base, "--resume", cid]) == 0
+        resumed = capsys.readouterr().out
+        assert "1 resumed" in resumed
+        assert "0 errors" in resumed
+        latest = ResultStore(store).latest_by_job()
+        assert len(latest) == 2
+        assert all(r["status"] == "ok" for r in latest.values())
+
+    def test_resume_id_mismatch_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not match"):
+            main([
+                *self.SWEEP,
+                "--store", str(tmp_path / "r.jsonl"),
+                "--resume", "other-12345678",
+            ])
+
+    def test_resume_without_journal_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "r.jsonl")
+        argv = [*self.SWEEP, "--store", store]
+        assert main(argv) == 0
+        cid = self._campaign_id(capsys.readouterr().out)
+        # A completed (non-resumed) rerun starts a fresh journal; but
+        # resuming with no journal on disk must fail loudly.
+        (tmp_path / f"{cid}.journal").unlink()
+        with pytest.raises(SystemExit, match="nothing to resume"):
+            main([*argv, "--resume", cid])
+
+    def test_report_failures_on_healthy_store(self, tmp_path, capsys):
+        store = str(tmp_path / "runs.jsonl")
+        assert main([*self.SWEEP, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", store, "--failures"]) == 0
+        assert "no failed jobs" in capsys.readouterr().out
 
 
 class TestTraceCli:

@@ -1,0 +1,46 @@
+"""Atomic write helpers: all-or-nothing file replacement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioutil import atomic_open, atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicOpen:
+    def test_success_replaces_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_open(target) as fh:
+            fh.write("new")
+        assert target.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failure_keeps_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_open(target) as fh:
+                fh.write("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "precious"
+        assert list(tmp_path.iterdir()) == [target]  # temp cleaned up
+
+    def test_target_absent_until_complete(self, tmp_path):
+        target = tmp_path / "fresh.txt"
+        with atomic_open(target) as fh:
+            fh.write("body")
+            assert not target.exists()
+        assert target.read_text() == "body"
+
+    def test_rejects_non_write_modes(self, tmp_path):
+        for mode in ("r", "a", "r+", "w+"):
+            with pytest.raises(ValueError, match="write-only"):
+                with atomic_open(tmp_path / "x", mode):
+                    pass
+
+    def test_binary_and_text_helpers(self, tmp_path):
+        atomic_write_text(tmp_path / "t.txt", "text")
+        atomic_write_bytes(tmp_path / "b.bin", b"\x00\xff")
+        assert (tmp_path / "t.txt").read_text() == "text"
+        assert (tmp_path / "b.bin").read_bytes() == b"\x00\xff"
