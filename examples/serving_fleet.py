@@ -1,0 +1,79 @@
+"""Multi-tenant serving: BT reduction vs p99 latency under interference.
+
+The paper evaluates data-transmission ordering with one model owning
+the whole mesh.  This example asks the serving question instead: when a
+LeNet tenant shares the mesh with a synthetic background tenant, does
+ordering still buy its bit-transition reduction, and what happens to
+tail latency as the background arrival rate climbs?
+
+For each interference level (background requests/cycle) the fleet runs
+once per ordering method on identical arrivals, then prints the
+fleet-wide BT reduction vs O0 next to per-tenant p99 latency.
+
+Usage::
+
+    python examples/serving_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro.serving import ServingConfig, TenantSpec, run_serving
+
+INTERFERENCE = (0.005, 0.02, 0.08)
+ORDERINGS = ("O0", "O1", "O2")
+
+
+def run_fleet(rate: float, ordering: str):
+    # Denser background arrivals get proportionally more requests, so
+    # higher interference means more traffic in flight, not just the
+    # same two bursts packed closer together.
+    config = ServingConfig(
+        tenants=(
+            TenantSpec(name="lenet", workload="model", model="lenet"),
+            TenantSpec(
+                name="uniform",
+                rate=rate,
+                n_requests=max(2, int(rate * 500)),
+            ),
+        ),
+        ordering=ordering,
+        n_requests=2,
+        max_tasks_per_layer=2,
+        seed=7,
+    )
+    return run_serving(config)
+
+
+def main() -> None:
+    print("LeNet + uniform background on one 4x4 mesh")
+    print(
+        f"{'bg rate':>8} {'ordering':>8} {'total BTs':>10} "
+        f"{'vs O0':>7} {'p99 pkt':>8} {'lenet p99 req':>14} "
+        f"{'bg p99 req':>11}"
+    )
+    for rate in INTERFERENCE:
+        baseline = None
+        for ordering in ORDERINGS:
+            result = run_fleet(rate, ordering)
+            total = result.total_bit_transitions
+            if baseline is None:
+                baseline = total
+            reduction = 100.0 * (baseline - total) / baseline
+            by_name = {t.name: t.to_dict() for t in result.tenants}
+            print(
+                f"{rate:>8.3f} {ordering:>8} {total:>10d} "
+                f"{reduction:>6.2f}% "
+                f"{result.latency_percentile(99):>8.1f} "
+                f"{by_name['lenet']['p99_request_latency']:>14.1f} "
+                f"{by_name['uniform']['p99_request_latency']:>11.1f}"
+            )
+    print(
+        "\nOrdering keeps saving the same absolute BTs on the model "
+        "tenant's\ntraffic, but unordered background traffic dilutes "
+        "the fleet-wide\npercentage and drags p99 latency up with the "
+        "arrival rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

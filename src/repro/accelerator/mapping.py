@@ -19,7 +19,12 @@ from dataclasses import dataclass
 
 from repro.noc.topology import manhattan_distance, node_id
 
-__all__ = ["Placement", "make_placement"]
+__all__ = [
+    "Placement",
+    "make_placement",
+    "partition_mesh",
+    "placement_for_nodes",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,102 @@ def make_placement(width: int, height: int, n_mcs: int) -> Placement:
             key=lambda mc: (manhattan_distance(pe, mc, width), mc),
         )
         serving[pe] = best
+    return Placement(
+        width=width,
+        height=height,
+        mc_nodes=mc_nodes,
+        pe_nodes=pe_nodes,
+        serving_mc=serving,
+    )
+
+
+def partition_mesh(
+    width: int, height: int, shares: list[int], policy: str = "interleaved"
+) -> list[tuple[int, ...]]:
+    """Split the mesh's nodes into per-tenant partitions.
+
+    Args:
+        width / height: mesh dimensions.
+        shares: positive integer weight per tenant; partition sizes are
+            proportional to the weights.
+        policy: "interleaved" stripes node ids across tenants in
+            weighted round-robin (tenants share every mesh region, so
+            their traffic contends on the same links — the
+            interference-study default), "blocks" hands each tenant a
+            contiguous node-id range (spatial isolation baseline).
+
+    Returns:
+        One node-id tuple per tenant, disjoint, covering all nodes.
+    """
+    if not shares or any(s <= 0 for s in shares):
+        raise ValueError("shares must be a non-empty list of positive ints")
+    n_nodes = width * height
+    if len(shares) > n_nodes:
+        raise ValueError("more tenants than mesh nodes")
+    parts: list[list[int]] = [[] for _ in shares]
+    if policy == "interleaved":
+        order = [i for i, s in enumerate(shares) for _ in range(s)]
+        for node in range(n_nodes):
+            parts[order[node % len(order)]].append(node)
+    elif policy == "blocks":
+        total = sum(shares)
+        start = 0
+        bound = 0.0
+        for i, s in enumerate(shares):
+            bound += s * n_nodes / total
+            remaining = len(shares) - i - 1
+            end = n_nodes if remaining == 0 else int(round(bound))
+            end = max(end, start + 1)  # every tenant gets >= 1 node
+            # ... but never so many that a later tenant gets none.
+            end = min(end, n_nodes - remaining)
+            parts[i] = list(range(start, end))
+            start = end
+    else:
+        raise ValueError(f"unknown partition policy {policy!r}")
+    if any(not p for p in parts):
+        raise ValueError("partitioning left a tenant without nodes")
+    return [tuple(p) for p in parts]
+
+
+def placement_for_nodes(
+    width: int, height: int, n_mcs: int, nodes: tuple[int, ...]
+) -> Placement:
+    """A :func:`make_placement`-style placement restricted to ``nodes``.
+
+    MCs are chosen by matching each ideal edge position from the
+    full-mesh layout to the nearest unused partition node (Manhattan
+    distance, ties to the lower node id); the remaining partition nodes
+    host PEs.  Handing the full node set reproduces
+    :func:`make_placement` exactly, which is what lets a single-tenant
+    serving run conform bit-exactly to a whole-mesh model job.
+    """
+    node_set = set(nodes)
+    if len(node_set) != len(nodes):
+        raise ValueError("partition nodes must be unique")
+    if not node_set:
+        raise ValueError("partition must contain at least one node")
+    if any(n < 0 or n >= width * height for n in node_set):
+        raise ValueError("partition node out of mesh range")
+    if n_mcs >= len(node_set):
+        raise ValueError("MCs cannot occupy every partition node")
+    ideals = _edge_positions(width, height, n_mcs)
+    mc_list: list[int] = []
+    for ideal in ideals:
+        best = min(
+            (n for n in node_set if n not in mc_list),
+            key=lambda n: (manhattan_distance(n, ideal, width), n),
+        )
+        mc_list.append(best)
+    mc_nodes = tuple(sorted(mc_list))
+    pe_nodes = tuple(
+        n for n in sorted(node_set) if n not in set(mc_nodes)
+    )
+    serving: dict[int, int] = {}
+    for pe in pe_nodes:
+        serving[pe] = min(
+            mc_nodes,
+            key=lambda mc: (manhattan_distance(pe, mc, width), mc),
+        )
     return Placement(
         width=width,
         height=height,

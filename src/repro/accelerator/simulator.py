@@ -275,12 +275,24 @@ class AcceleratorSimulator:
         config: AcceleratorConfig,
         model: ModelSpec,
         sample_image: np.ndarray,
+        placement: Placement | None = None,
     ) -> None:
         self.config = config
         self.model = model
-        self.placement: Placement = make_placement(
-            config.width, config.height, config.n_mcs
-        )
+        if placement is None:
+            placement = make_placement(
+                config.width, config.height, config.n_mcs
+            )
+        elif (placement.width, placement.height) != (
+            config.width,
+            config.height,
+        ):
+            raise ValueError(
+                "placement mesh "
+                f"{placement.width}x{placement.height} does not match "
+                f"config mesh {config.width}x{config.height}"
+            )
+        self.placement: Placement = placement
         self.layer_tasks: list[LayerTasks] = extract_tasks(
             model,
             sample_image,

@@ -192,8 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="[model/batch] comma list of ordering "
                             "methods (default O0,O1,O2)")
     sweep.add_argument("--tasks", type=int, default=None,
-                       help="[model/batch] sampled tasks per layer "
-                            "(default 16)")
+                       help="[model/batch/serving] sampled tasks per "
+                            "layer (default 16; serving default 4)")
     sweep.add_argument("--images", type=int, default=None,
                        help="[batch] images per job (default 4)")
     sweep.add_argument("--patterns", default=None,
@@ -204,13 +204,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "(random, zero, counter; default random)")
     sweep.add_argument("--packets", type=int, default=None,
                        help="[synthetic] packets injected per job "
-                            "(default 150)")
+                            "(default 150); [serving] packets per "
+                            "synthetic request (default 8)")
     sweep.add_argument("--window", type=int, default=None,
                        help="[synthetic] injection window in cycles "
                             "(default 200)")
     sweep.add_argument("--link-width", type=int, default=None,
-                       help="[synthetic] link width in bits "
-                            "(default 128)")
+                       help="[synthetic/serving] link width in bits "
+                            "(default 128 / the fleet data format's "
+                            "paper width)")
+    sweep.add_argument("--tenants", default=None,
+                       help="[serving] comma list of tenant mixes in "
+                            "the compact grammar, e.g. "
+                            "'lenet+uniform@0.05,lenet+lenet' "
+                            "(default lenet+uniform)")
+    sweep.add_argument("--rates", default=None,
+                       help="[serving] comma list of background "
+                            "arrival rates in requests/cycle for "
+                            "synthetic tenants without an explicit "
+                            "@rate (default 0.01)")
+    sweep.add_argument("--requests", type=int, default=None,
+                       help="[serving] requests per tenant "
+                            "(default 2)")
     sweep.add_argument("--traces", default=None,
                        help="[replay] comma list of recorded trace "
                             "files (the 'trace' axis)")
@@ -525,8 +540,8 @@ def _split_csv(text: str) -> list[str]:
 
 # Sweep grid flags that only make sense for some job kinds.  --cores
 # applies everywhere: the network core is a config field of every kind
-# (--orderings is shared too: O0/O1/O2 for the accelerator kinds,
-# none/popcount_desc for replay).
+# (--orderings is shared too: O0/O1/O2 for the accelerator and serving
+# kinds, none/popcount_desc for replay).
 _KIND_FLAGS = {
     "model": ("model", "formats", "orderings", "tasks", "cores"),
     "batch": ("model", "formats", "orderings", "tasks", "images",
@@ -534,6 +549,8 @@ _KIND_FLAGS = {
     "synthetic": ("patterns", "payloads", "packets", "window",
                   "link_width", "cores"),
     "replay": ("traces", "orderings", "codings", "cores"),
+    "serving": ("tenants", "rates", "requests", "orderings", "packets",
+                "tasks", "link_width", "cores"),
 }
 
 
@@ -628,6 +645,35 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
             axes["coding"] = codings
         return SweepSpec(
             name=args.name, kind="replay", base=base, axes=axes,
+            seed=seed,
+        )
+    if kind == "serving":
+        axes = {
+            "mesh": meshes or ["4x4:2"],
+            "tenants": _split_csv(args.tenants or "lenet+uniform"),
+            "ordering": _split_csv(args.orderings or "O0,O1,O2"),
+        }
+        if cores:
+            axes["core"] = cores
+        base: dict = {}
+        try:
+            rates = [float(r) for r in _split_csv(args.rates or "0.01")]
+        except ValueError as exc:
+            raise SystemExit(f"bad --rates value: {exc}") from exc
+        if len(rates) == 1:
+            base["background_rate"] = rates[0]
+        else:
+            axes["background_rate"] = rates
+        if args.requests is not None:
+            base["n_requests"] = args.requests
+        if args.packets is not None:
+            base["packets_per_request"] = args.packets
+        if args.tasks is not None:
+            base["max_tasks_per_layer"] = args.tasks
+        if args.link_width is not None:
+            base["link_width"] = args.link_width
+        return SweepSpec(
+            name=args.name, kind="serving", base=base, axes=axes,
             seed=seed,
         )
     if kind == "synthetic":

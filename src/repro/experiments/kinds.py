@@ -24,6 +24,10 @@ Three kinds ship built in:
   re-applied at replay time; ``core="both"`` is the differential mode
   that runs the event and stepped cores on identical traffic and
   fails the job on any per-link BT divergence.
+* ``"serving"`` — a multi-tenant serving fleet
+  (:mod:`repro.serving`): co-resident tenants on partitioned meshes
+  with open-loop arrivals, admission/batching policies, per-tenant BT
+  attribution and tail-latency percentiles.
 
 ``register_job_kind`` accepts further kinds; ``SweepSpec`` and
 ``CampaignRunner`` dispatch purely through the registry, so a new
@@ -47,8 +51,10 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.config import AcceleratorConfig, link_width_for
 from repro.accelerator.simulator import run_batch_on_noc, run_model_on_noc
+from repro.serving.fleet import ServingConfig, TenantSpec, parse_tenant_mix
+from repro.serving.scenario import run_serving
 from repro.dnn.datasets import synthetic_digits, synthetic_shapes
 from repro.dnn.models import ModelSpec, build_model
 from repro.experiments.hashing import derive_seed
@@ -79,6 +85,7 @@ __all__ = [
     "JobKind",
     "SyntheticJobConfig",
     "ReplayJobConfig",
+    "ServingJobConfig",
     "job_kind",
     "parse_mesh_axis",
     "register_job_kind",
@@ -924,6 +931,212 @@ class ReplayJobKind(JobKind):
         return f"{total:>10d} BTs ({mode}{delta}){agree}"
 
 
+@dataclass(frozen=True)
+class ServingJobConfig:
+    """Config of one serving-fleet point: the fleet + the shared NoC.
+
+    Attributes:
+        serving: tenants, arrival processes, and policies
+            (:class:`repro.serving.fleet.ServingConfig`).
+        noc: the mesh every tenant shares.
+    """
+
+    serving: ServingConfig
+    noc: NoCConfig
+
+    def label(self) -> str:
+        """Short point label, e.g. "4x4 serving lenet+uniform O0"."""
+        mix = "+".join(t.name for t in self.serving.tenants)
+        return (
+            f"{self.noc.width}x{self.noc.height} serving {mix} "
+            f"{self.serving.ordering}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict; exact inverse of :meth:`from_dict`."""
+        return {"serving": self.serving.to_dict(), "noc": self.noc.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServingJobConfig":
+        unknown = set(data) - {"serving", "noc"}
+        if unknown:
+            raise ValueError(
+                f"unknown ServingJobConfig keys: {sorted(unknown)}"
+            )
+        return cls(
+            serving=ServingConfig.from_dict(data["serving"]),
+            noc=NoCConfig.from_dict(data["noc"]),
+        )
+
+    @classmethod
+    def from_flat(cls, kwargs: dict[str, Any]) -> "ServingJobConfig":
+        """Build from a flat sweep-point mapping.
+
+        Sweep axes address serving and NoC fields by their plain names
+        (disjoint sets).  ``tenants`` accepts the compact mix grammar
+        ("lenet+uniform", see
+        :func:`repro.serving.fleet.parse_tenant_mix`) or a list of
+        tenant dicts.  ``link_width`` defaults to the fleet data
+        format's paper link width.
+        """
+        serving_fields = {f.name for f in fields(ServingConfig)}
+        noc_fields = {f.name for f in fields(NoCConfig)}
+        serving_kw: dict[str, Any] = {}
+        noc_kw: dict[str, Any] = {}
+        unknown: list[str] = []
+        for key, value in kwargs.items():
+            if key in serving_fields:
+                serving_kw[key] = value
+            elif key in noc_fields:
+                noc_kw[key] = value
+            else:
+                unknown.append(key)
+        if unknown:
+            raise ValueError(
+                f"unknown serving config fields {sorted(unknown)}; "
+                f"serving fields: {sorted(serving_fields)}, "
+                f"noc fields: {sorted(noc_fields)}"
+            )
+        tenants = serving_kw.get("tenants")
+        if isinstance(tenants, str):
+            serving_kw["tenants"] = parse_tenant_mix(tenants)
+        elif isinstance(tenants, (list, tuple)):
+            serving_kw["tenants"] = tuple(
+                t if isinstance(t, TenantSpec) else TenantSpec.from_dict(t)
+                for t in tenants
+            )
+        if "inter_arrivals" in serving_kw:
+            serving_kw["inter_arrivals"] = tuple(
+                int(g) for g in serving_kw["inter_arrivals"]
+            )
+        if "link_width" not in noc_kw:
+            data_format = serving_kw.get(
+                "data_format",
+                _spec_default(ServingConfig(), "data_format"),
+            )
+            noc_kw["link_width"] = link_width_for(data_format)
+        return cls(
+            serving=ServingConfig(**serving_kw),
+            noc=NoCConfig(**noc_kw),
+        )
+
+
+class ServingJobKind(JobKind):
+    """Multi-tenant serving fleet (:func:`repro.serving.run_serving`).
+
+    Sweepable along tenant mix, arrival rates, ordering strategy, and
+    mesh shape; results carry fleet-wide *and* per-tenant tail-latency
+    percentiles next to the per-tenant BT attribution, rendered by the
+    report's ``--pivot tenant`` grids.
+    """
+
+    name = "serving"
+    report_family = "serving"
+    # The mesh pseudo-axis maps "4x4:2" onto the shared NoC shape and
+    # the per-model-tenant MC count; the derived per-point seed drives
+    # arrivals and synthetic payloads.
+    mesh_keys = ("width", "height", "n_mcs")
+    uses_model = False
+
+    def config_from_dict(self, data: dict[str, Any]) -> Any:
+        return ServingJobConfig.from_dict(data)
+
+    def validate_job(self, job: "JobSpec") -> None:
+        if job.model is not None:
+            raise ValueError(
+                "serving jobs carry no top-level DNN model; tenants "
+                "name their models in the fleet config"
+            )
+        if not isinstance(job.config, ServingJobConfig):
+            raise ValueError(
+                f"kind 'serving' needs a ServingJobConfig, "
+                f"got {type(job.config).__name__}"
+            )
+        for name in ("model_seed", "image_seed", "n_images"):
+            if getattr(job, name) != _spec_default(job, name):
+                raise ValueError(
+                    "serving jobs take no model_seed/image_seed/"
+                    "n_images; set workload seeds in the serving config"
+                )
+
+    def validate_spec(self, spec: "SweepSpec") -> None:
+        for name in ("model", "model_seed", "image_seed", "n_images"):
+            if getattr(spec, name) != _spec_default(spec, name):
+                raise ValueError(
+                    f"serving sweeps take no {name}; "
+                    "set workload fields in base/axes instead"
+                )
+
+    def key_payload(self, job: "JobSpec") -> dict[str, Any]:
+        return {
+            "kind": self.name,
+            "max_cycles_per_layer": job.max_cycles_per_layer,
+            "config": job.config.to_dict(),
+        }
+
+    def _build_point_config(self, kwargs: dict[str, Any]) -> Any:
+        return ServingJobConfig.from_flat(kwargs)
+
+    def execute(self, job: "JobSpec") -> dict[str, Any]:
+        result = run_serving(
+            job.config.serving,
+            job.config.noc,
+            max_cycles=job.max_cycles_per_layer,
+        )
+        tenants = [t.to_dict() for t in result.tenants]
+        return {
+            "total_bit_transitions": result.total_bit_transitions,
+            "total_cycles": result.total_cycles,
+            "flit_hops": result.flit_hops,
+            "packets_injected": result.packets_injected,
+            "packets_delivered": result.packets_delivered,
+            "flits_injected": result.flits_injected,
+            "mean_packet_latency": result.mean_packet_latency,
+            "p50_packet_latency": result.latency_percentile(50),
+            "p95_packet_latency": result.latency_percentile(95),
+            "p99_packet_latency": result.latency_percentile(99),
+            "requests_arrived": sum(t["requests_arrived"] for t in tenants),
+            "requests_admitted": sum(
+                t["requests_admitted"] for t in tenants
+            ),
+            "requests_rejected": sum(
+                t["requests_rejected"] for t in tenants
+            ),
+            "requests_completed": sum(
+                t["requests_completed"] for t in tenants
+            ),
+            "tenants": tenants,
+            "per_link": result.per_link,
+            "steps_executed": result.steps_executed,
+            "idle_cycles_skipped": result.idle_cycles_skipped,
+            "metrics": result.metrics,
+        }
+
+    def job_label(self, job: "JobSpec") -> str:
+        return f"serving {job.config.label()}"
+
+    def record_label(self, record: dict[str, Any]) -> str:
+        config = record.get("config", {})
+        serving = config.get("serving", {})
+        noc = config.get("noc", {})
+        mix = "+".join(
+            t.get("name", "?") for t in serving.get("tenants", [])
+        )
+        return (
+            f"serving {noc.get('width', '?')}x{noc.get('height', '?')} "
+            f"{mix or '?'} {serving.get('ordering', '?')} "
+            f"bg{serving.get('background_rate', '?')}"
+        )
+
+    def result_summary(self, result: dict[str, Any]) -> str:
+        return (
+            f"{result['total_bit_transitions']:>10d} BTs "
+            f"(p99 latency {result['p99_packet_latency']:.1f}, "
+            f"{result['requests_completed']}/{result['requests_arrived']} "
+            f"requests)"
+        )
+
+
 JOB_KINDS: dict[str, JobKind] = {}
 
 
@@ -946,6 +1159,7 @@ register_job_kind(JobKind())
 register_job_kind(BatchJobKind())
 register_job_kind(SyntheticJobKind())
 register_job_kind(ReplayJobKind())
+register_job_kind(ServingJobKind())
 
 
 def job_kind(name: str) -> JobKind:

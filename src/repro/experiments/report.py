@@ -40,7 +40,7 @@ __all__ = [
 
 Record = dict[str, Any]
 
-REPORT_PIVOTS = ("mesh", "model", "layer", "link")
+REPORT_PIVOTS = ("mesh", "model", "layer", "link", "tenant")
 
 
 def ok_records(records: Iterable[Record]) -> list[Record]:
@@ -316,6 +316,8 @@ def _per_format_blocks(
 def _accel_blocks(records: list[Record], pivot_name: str) -> list[str]:
     """Report blocks for the accelerator kinds (model / batch)."""
     col_key = _core_aware_col_key(ok_records(records))
+    if pivot_name == "tenant":
+        return ["(model/batch records have no tenant pivot)"]
     if pivot_name == "model":
         return [fig12_report(records, row_key=model_row_key)]
     if pivot_name == "layer":
@@ -336,25 +338,23 @@ def _accel_blocks(records: list[Record], pivot_name: str) -> list[str]:
     return [fig12_report(records)]
 
 
-def _synthetic_row_key_for(
+def _folded_row_key(
     records: list[Record],
+    flat: Callable[[Record], dict[str, Any]],
+    col_key: Callable[[Record], str],
+    skip: tuple[str, ...],
 ) -> Callable[[Record], str]:
     """Row key covering every config field the record set varies.
 
-    The base row is the mesh shape and the column is the pattern; any
-    other traffic/NoC field that differs between records sharing a
-    (mesh, pattern) cell — payload, n_packets, link_width, a swept
-    seed, ... — is folded into the row label so pivot() never
-    silently overwrites one point with another.
+    The base row is the mesh shape; any flat config field outside
+    ``skip`` that differs between records sharing a (mesh, column)
+    cell — payload, n_packets, link_width, a swept seed, ... — is
+    folded into the row label so pivot() never silently overwrites one
+    point with another.
     """
-
-    def flat(record: Record) -> dict[str, Any]:
-        config = record["config"]
-        return {**config.get("traffic", {}), **config.get("noc", {})}
-
     cells: dict[tuple[str, str], list[dict[str, Any]]] = {}
     for record in records:
-        key = (mesh_row_key(record), ordering_col_key(record))
+        key = (mesh_row_key(record), col_key(record))
         cells.setdefault(key, []).append(flat(record))
     # The per-point seed is usually *derived* from the other fields,
     # so it varies with them and would pollute every label; fold it
@@ -362,7 +362,7 @@ def _synthetic_row_key_for(
     folded: set[str] = set()
     for group in cells.values():
         for field in group[0]:
-            if field in ("pattern", "width", "height", "seed"):
+            if field in skip or field == "seed":
                 continue
             if len({repr(g.get(field)) for g in group}) > 1:
                 folded.add(field)
@@ -392,6 +392,20 @@ def _synthetic_row_key_for(
     return row_key
 
 
+def _synthetic_row_key_for(
+    records: list[Record],
+) -> Callable[[Record], str]:
+    """Folding row key over the traffic + NoC flat fields."""
+
+    def flat(record: Record) -> dict[str, Any]:
+        config = record["config"]
+        return {**config.get("traffic", {}), **config.get("noc", {})}
+
+    return _folded_row_key(
+        records, flat, ordering_col_key, ("pattern", "width", "height")
+    )
+
+
 def _synthetic_blocks(records: list[Record], pivot_name: str) -> list[str]:
     """Report blocks for synthetic-traffic records."""
     if pivot_name == "link":
@@ -404,6 +418,8 @@ def _synthetic_blocks(records: list[Record], pivot_name: str) -> list[str]:
         return ["(synthetic records have no per-layer data)"]
     if pivot_name == "model":
         return ["(synthetic records have no model pivot)"]
+    if pivot_name == "tenant":
+        return ["(synthetic records have no tenant pivot)"]
     row_key = _synthetic_row_key_for(records)
     blocks = [
         format_series(
@@ -449,6 +465,8 @@ def _replay_blocks(records: list[Record], pivot_name: str) -> list[str]:
         return ["(replay records have no per-layer data)"]
     if pivot_name == "model":
         return ["(replay records have no model pivot)"]
+    if pivot_name == "tenant":
+        return ["(replay records have no tenant pivot)"]
     if pivot_name == "link":
         series = link_pivot(records, col_key=_replay_col_key)
         if not series:
@@ -465,6 +483,137 @@ def _replay_blocks(records: list[Record], pivot_name: str) -> list[str]:
         blocks.append(
             format_series(reductions, "Replay reductions vs none, %")
         )
+    return blocks
+
+
+def _serving_flat(record: Record) -> dict[str, Any]:
+    """Flat serving+NoC field view; tenants collapse to the mix."""
+    config = record.get("config", {})
+    serving = dict(config.get("serving", {}))
+    tenants = serving.pop("tenants", [])
+    serving["tenants"] = "+".join(str(t.get("name", "?")) for t in tenants)
+    return {**serving, **config.get("noc", {})}
+
+
+def _serving_col_key_for(
+    records: list[Record],
+) -> Callable[[Record], str]:
+    """Serving column key: the fleet ordering, core-suffixed when the
+    record set spans several cycle-loop cores (mirrors
+    :func:`_core_aware_col_key` for the nested serving config)."""
+    cores = {
+        r.get("config", {}).get("noc", {}).get("core") for r in records
+    }
+
+    def col_key(record: Record) -> str:
+        config = record.get("config", {})
+        col = str(config.get("serving", {}).get("ordering", "?"))
+        if len(cores) > 1:
+            core = config.get("noc", {}).get("core") or "default"
+            col = f"{col}@{core}"
+        return col
+
+    return col_key
+
+
+#: Per-tenant metric columns of the ``--pivot tenant`` grids.
+_TENANT_METRICS = (
+    ("p50 req", "p50_request_latency"),
+    ("p99 req", "p99_request_latency"),
+    ("p99 pkt", "p99_packet_latency"),
+    ("BTs", "bit_transitions"),
+    ("completed", "requests_completed"),
+    ("rejected", "requests_rejected"),
+)
+
+
+def _serving_blocks(records: list[Record], pivot_name: str) -> list[str]:
+    """Report blocks for serving-fleet records."""
+    if pivot_name == "layer":
+        return ["(serving records have no per-layer data)"]
+    if pivot_name == "model":
+        return [
+            "(serving records have no model pivot; use --pivot tenant)"
+        ]
+    col_key = _serving_col_key_for(records)
+    # Ordering is the column, so it never folds into default rows.
+    row_key = _folded_row_key(
+        records,
+        _serving_flat,
+        col_key,
+        ("ordering", "width", "height", "core"),
+    )
+    if pivot_name == "link":
+        multiple = len({row_key(r) for r in records}) > 1
+        series: dict[str, dict[str, float]] = {}
+        for record in records:
+            prefix = f"{row_key(record)} " if multiple else ""
+            col = col_key(record)
+            per_link = (record.get("result") or {}).get("per_link", {})
+            for link_name, bts in per_link.items():
+                row = series.setdefault(f"{prefix}{link_name}", {})
+                row[col] = row.get(col, 0.0) + float(bts)
+        if not series:
+            return ["(no per-link data in records)"]
+        return [format_series(series, "Serving per-link BTs")]
+    if pivot_name == "tenant":
+        # Context rows fold *everything* varied (including ordering)
+        # since the columns are metrics, not orderings.
+        context_key = _folded_row_key(
+            records,
+            _serving_flat,
+            lambda record: "tenants",
+            ("width", "height", "core"),
+        )
+        multiple = len({context_key(r) for r in records}) > 1
+        table: dict[str, dict[str, float]] = {}
+        bt_series: dict[str, dict[str, float]] = {}
+        for record in records:
+            prefix = f"{context_key(record)} " if multiple else ""
+            bt_prefix = f"{row_key(record)} " if multiple else ""
+            col = col_key(record)
+            for tenant in (record.get("result") or {}).get("tenants", []):
+                name = tenant.get("name", "?")
+                table[f"{prefix}{name}"] = {
+                    label: float(tenant.get(field, 0))
+                    for label, field in _TENANT_METRICS
+                }
+                bt_row = bt_series.setdefault(f"{bt_prefix}{name}", {})
+                bt_row[col] = float(tenant.get("bit_transitions", 0))
+        if not table:
+            return ["(no per-tenant data in records)"]
+        blocks = [
+            format_series(table, "Per-tenant serving stats"),
+            format_series(bt_series, "Per-tenant BTs"),
+        ]
+        reductions = reduction_series(bt_series)
+        if reductions:
+            blocks.append(
+                format_series(
+                    reductions, "Per-tenant BT reductions vs O0, %"
+                )
+            )
+        return blocks
+    series = pivot(records, row_key=row_key, col_key=col_key)
+    if not series:
+        return ["(no successful serving records)"]
+    blocks = [format_series(series, "Serving fleet BTs")]
+    reductions = reduction_series(series)
+    if reductions:
+        blocks.append(
+            format_series(reductions, "Serving BT reductions vs O0, %")
+        )
+    blocks.append(
+        format_series(
+            pivot(
+                records,
+                row_key=row_key,
+                col_key=col_key,
+                value=lambda r: float(r["result"]["p99_packet_latency"]),
+            ),
+            "Serving p99 packet latency (cycles)",
+        )
+    )
     return blocks
 
 
@@ -578,6 +727,7 @@ def campaign_report(
     accel = [r for r in records if _report_family(r) == "accelerator"]
     synth = [r for r in records if _report_family(r) == "synthetic"]
     replay = [r for r in records if _report_family(r) == "replay"]
+    serving = [r for r in records if _report_family(r) == "serving"]
     blocks: list[str] = []
     accel_kinds = sorted({record_kind(r) for r in accel})
     for kind_name in accel_kinds:
@@ -589,6 +739,8 @@ def campaign_report(
         blocks.extend(_synthetic_blocks(synth, pivot_name))
     if replay:
         blocks.extend(_replay_blocks(replay, pivot_name))
+    if serving:
+        blocks.extend(_serving_blocks(serving, pivot_name))
     if not blocks:
         return "(no successful records)"
     effort = effort_block(records)

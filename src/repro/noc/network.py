@@ -48,7 +48,7 @@ import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from heapq import heappop, heappush
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from repro.noc.flit import Flit, Packet
 from repro.noc.interface import NetworkInterface
@@ -62,6 +62,7 @@ _LOCAL = Port.LOCAL
 __all__ = [
     "NoCConfig",
     "NoCStats",
+    "percentile",
     "Network",
     "SimulationTimeout",
     "CORES",
@@ -180,6 +181,27 @@ class NoCConfig:
         return cls(**data)
 
 
+def percentile(values: Sequence[int | float], p: float) -> float:
+    """The ``p``-th percentile of ``values`` (linear interpolation).
+
+    Matches ``numpy.percentile``'s default method so serving reports
+    can be property-tested against it, without making the core network
+    module depend on numpy.  Returns 0.0 for an empty sequence.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * p / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo]) + (float(ordered[hi]) - float(ordered[lo])) * frac
+
+
 @dataclass
 class NoCStats:
     """Aggregated simulation statistics.
@@ -206,6 +228,22 @@ class NoCStats:
         if not self.packet_latencies:
             return 0.0
         return sum(self.packet_latencies) / len(self.packet_latencies)
+
+    def latency_percentile(self, p: float) -> float:
+        """``p``-th percentile of delivered-packet latency in cycles."""
+        return percentile(self.packet_latencies, p)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
 
     @property
     def transitions_per_flit_hop(self) -> float:

@@ -86,16 +86,28 @@ def router_heatmap(network: Network, metric: str = "transitions") -> np.ndarray:
     return grid
 
 
+_BAR_WIDTH = 9
+
+
+def _bar(value: int, peak: int) -> str:
+    """Fixed-width bar cell: "-" for zero, >=1 "#" for any nonzero.
+
+    Every cell is padded to ``_BAR_WIDTH`` so columns stay aligned, and
+    small nonzero values are floored to one "#" instead of rounding to
+    an empty string that reads like a missing cell.
+    """
+    if not value:
+        return "-".ljust(_BAR_WIDTH)
+    hashes = max(1, round(_BAR_WIDTH * value / peak))
+    return ("#" * hashes).ljust(_BAR_WIDTH)
+
+
 def render_heatmap(grid: np.ndarray, title: str) -> str:
     """Render a router-grid metric as an aligned text block."""
     lines = [title]
     peak = max(1, int(grid.max()))
     for row in grid:
         cells = " ".join(f"{int(v):>10d}" for v in row)
-        bars = " ".join(
-            "#" * max(0, round(9 * int(v) / peak)) + "." * 0
-            if v else "-"
-            for v in row
-        )
-        lines.append(cells + "    | " + bars)
+        bars = " ".join(_bar(int(v), peak) for v in row)
+        lines.append(cells + "    | " + bars.rstrip())
     return "\n".join(lines)

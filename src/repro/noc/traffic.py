@@ -29,6 +29,8 @@ __all__ = [
     "SyntheticTrafficConfig",
     "destination_for",
     "generate_traffic",
+    "poisson_arrivals",
+    "trace_arrivals",
     "drive_schedule",
     "drive_synthetic",
     "run_synthetic",
@@ -139,10 +141,12 @@ def _payload_words(
         return 0
     if kind == "counter":
         return counter & ((1 << link_width) - 1)
-    # random: draw link_width bits from 64-bit chunks
+    # random: draw link_width bits from full 64-bit chunks (an
+    # exclusive high of 2**63 here once left bit 63 of every chunk
+    # permanently zero, skewing random-payload BT numbers low).
     payload = 0
     for shift in range(0, link_width, 64):
-        payload |= int(rng.integers(0, 2**63)) << shift
+        payload |= int(rng.integers(0, 2**64, dtype=np.uint64)) << shift
     return payload & ((1 << link_width) - 1)
 
 
@@ -162,14 +166,58 @@ def generate_traffic(
             rng,
             config.hotspot_node,
         )
+        # Stride must cover the packet length or counter payloads
+        # collide across packets; clamped at 16 so golden traffic with
+        # <=16 flits keeps its pinned byte-identical payload sequence.
+        stride = max(16, config.flits_per_packet)
         payloads = [
-            _payload_words(config.payload, noc.link_width, rng, i * 16 + f)
+            _payload_words(
+                config.payload, noc.link_width, rng, i * stride + f
+            )
             for f in range(config.flits_per_packet)
         ]
         cycle = int(rng.integers(0, config.injection_window))
         events.append((cycle, make_packet(src, dst, payloads, noc.link_width)))
     events.sort(key=lambda e: e[0])
     yield from events
+
+
+def poisson_arrivals(
+    rate: float, n: int, rng: np.random.Generator
+) -> list[int]:
+    """``n`` open-loop arrival cycles with exponential inter-arrivals.
+
+    Gaps are drawn from Exp(1/rate) and rounded to whole cycles with a
+    floor of one, so arrivals are strictly increasing and the process
+    stays well defined at high rates.  Pre-generating the schedule
+    (rather than sampling inside the simulation loop) keeps arrivals
+    identical across the event and stepped NoC cores.  ``rate <= 0``
+    or ``n <= 0`` yields no arrivals.
+    """
+    if rate <= 0 or n <= 0:
+        return []
+    cycle = 0
+    arrivals = []
+    for _ in range(n):
+        cycle += max(1, int(round(rng.exponential(1.0 / rate))))
+        arrivals.append(cycle)
+    return arrivals
+
+
+def trace_arrivals(inter_arrivals: list[int], n: int) -> list[int]:
+    """``n`` arrival cycles from a recorded inter-arrival gap trace.
+
+    The gap list is cycled if shorter than ``n`` (standard trace-replay
+    semantics).  Gaps are clamped to at least one cycle.
+    """
+    if n <= 0 or not inter_arrivals:
+        return []
+    cycle = 0
+    arrivals = []
+    for i in range(n):
+        cycle += max(1, int(inter_arrivals[i % len(inter_arrivals)]))
+        arrivals.append(cycle)
+    return arrivals
 
 
 def drive_schedule(

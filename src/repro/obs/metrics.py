@@ -26,6 +26,15 @@ entries that failed their verify-on-read digest and were quarantined
 for re-simulation.  All are plain sums (zero on a healthy run), so a
 chaos sweep's metrics dump shows exactly how much turbulence the
 campaign absorbed.
+
+Serving fleets (:func:`repro.serving.run_serving`) publish the
+``serving`` family per run: ``serving.tenants`` and the request
+funnel ``serving.requests_arrived`` / ``serving.requests_admitted`` /
+``serving.requests_rejected`` / ``serving.requests_completed``, plus
+``serving.packets_injected`` and ``serving.batch_delay_cycles`` (total
+cycles requests sat in batching windows).  Like the simulator counters
+these ride inside the deterministic result payload, so a campaign's
+``--metrics`` aggregate sums them across every fleet in the sweep.
 """
 
 from __future__ import annotations

@@ -1,0 +1,39 @@
+"""Multi-tenant serving-fleet scenarios on one NoC mesh.
+
+The source paper gives each model the whole mesh; this package models
+the serving question it never asks — several tenants co-resident on
+one mesh (per-tenant PE partitions from
+:func:`repro.accelerator.mapping.partition_mesh`), open-loop request
+arrivals, admission control and batching, and per-tenant tail-latency
+accounting next to the per-tenant BT split.
+
+:mod:`repro.serving.fleet` holds the declarative configuration
+(:class:`TenantSpec` / :class:`ServingConfig` and the ``lenet+uniform``
+tenant-mix grammar); :mod:`repro.serving.scenario` executes a fleet
+(:func:`run_serving`).  The ``serving`` campaign job kind in
+:mod:`repro.experiments.kinds` is a thin wrapper over these.
+"""
+
+from repro.serving.fleet import (
+    ARRIVAL_KINDS,
+    PARTITION_POLICIES,
+    SERVING_MODELS,
+    SERVING_PATTERNS,
+    ServingConfig,
+    TenantSpec,
+    parse_tenant_mix,
+)
+from repro.serving.scenario import ServingResult, TenantStats, run_serving
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "PARTITION_POLICIES",
+    "SERVING_MODELS",
+    "SERVING_PATTERNS",
+    "ServingConfig",
+    "ServingResult",
+    "TenantSpec",
+    "TenantStats",
+    "parse_tenant_mix",
+    "run_serving",
+]

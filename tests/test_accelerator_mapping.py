@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.accelerator.mapping import make_placement
+from repro.accelerator.mapping import (
+    make_placement,
+    partition_mesh,
+    placement_for_nodes,
+)
 from repro.noc.topology import coordinates
 
 
@@ -65,3 +69,72 @@ class TestMakePlacement:
 
     def test_deterministic(self):
         assert make_placement(8, 8, 4) == make_placement(8, 8, 4)
+
+
+class TestPartitionMesh:
+    def test_interleaved_covers_disjoint(self):
+        parts = partition_mesh(4, 4, [1, 1])
+        all_nodes = sorted(n for p in parts for n in p)
+        assert all_nodes == list(range(16))
+        assert set(parts[0]).isdisjoint(parts[1])
+        # Equal shares stripe even/odd node ids.
+        assert parts[0] == tuple(range(0, 16, 2))
+        assert parts[1] == tuple(range(1, 16, 2))
+
+    def test_interleaved_weighted(self):
+        parts = partition_mesh(4, 4, [3, 1])
+        assert len(parts[0]) == 12
+        assert len(parts[1]) == 4
+
+    def test_blocks_contiguous(self):
+        parts = partition_mesh(4, 4, [1, 1], policy="blocks")
+        assert parts[0] == tuple(range(0, 8))
+        assert parts[1] == tuple(range(8, 16))
+
+    def test_blocks_every_tenant_nonempty(self):
+        parts = partition_mesh(2, 2, [100, 1], policy="blocks")
+        assert all(parts)
+        assert sorted(n for p in parts for n in p) == [0, 1, 2, 3]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            partition_mesh(4, 4, [])
+        with pytest.raises(ValueError):
+            partition_mesh(4, 4, [1, 0])
+        with pytest.raises(ValueError):
+            partition_mesh(2, 2, [1] * 5)
+        with pytest.raises(ValueError):
+            partition_mesh(4, 4, [1], policy="diagonal")
+
+
+class TestPlacementForNodes:
+    def test_full_mesh_reproduces_make_placement(self):
+        # The bit-exact serving conformance hinges on this: a tenant
+        # owning every node gets the whole-mesh placement verbatim.
+        for width, height, n_mcs in ((4, 4, 2), (8, 8, 4), (8, 8, 8)):
+            full = make_placement(width, height, n_mcs)
+            part = placement_for_nodes(
+                width, height, n_mcs, tuple(range(width * height))
+            )
+            assert part == full
+
+    def test_restricted_partition_valid(self):
+        nodes = partition_mesh(4, 4, [1, 1])[0]
+        placement = placement_for_nodes(4, 4, 2, nodes)
+        assert set(placement.mc_nodes) <= set(nodes)
+        assert set(placement.pe_nodes) <= set(nodes)
+        assert set(placement.mc_nodes).isdisjoint(placement.pe_nodes)
+        assert set(placement.serving_mc) == set(placement.pe_nodes)
+        assert set(placement.serving_mc.values()) <= set(
+            placement.mc_nodes
+        )
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            placement_for_nodes(4, 4, 1, (0, 0, 1))
+        with pytest.raises(ValueError):
+            placement_for_nodes(4, 4, 1, ())
+        with pytest.raises(ValueError):
+            placement_for_nodes(4, 4, 1, (99,))
+        with pytest.raises(ValueError):
+            placement_for_nodes(4, 4, 2, (3, 7))

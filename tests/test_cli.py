@@ -742,3 +742,78 @@ class TestTraceCli:
     def test_trace_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["trace"])
+
+
+class TestServingCLI:
+    def serving_argv(self, tmp_path, **extra):
+        argv = [
+            "sweep", "--kind", "serving",
+            "--tenants", "uniform+hotspot",
+            "--requests", "2",
+            "--packets", "2",
+            "--orderings", "O0",
+            "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--store", str(tmp_path / "svc.jsonl"),
+        ]
+        for flag, value in extra.items():
+            argv += [f"--{flag}", str(value)]
+        return argv
+
+    def test_serving_sweep_and_tenant_report(self, tmp_path, capsys):
+        store = str(tmp_path / "svc.jsonl")
+        assert main(self.serving_argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Serving fleet BTs" in out
+        assert "requests" in out
+
+        assert main(["report", "--store", store,
+                     "--pivot", "tenant"]) == 0
+        report = capsys.readouterr().out
+        assert "Per-tenant serving stats" in report
+        assert "uniform" in report and "hotspot" in report
+
+    def test_serving_rate_axis(self, tmp_path, capsys):
+        assert main(
+            self.serving_argv(tmp_path, rates="0.01,0.05")
+        ) == 0
+        out = capsys.readouterr().out
+        assert "background_rate=0.01" in out
+        assert "background_rate=0.05" in out
+
+    def test_serving_sweep_deterministic(self, tmp_path, capsys):
+        assert main(self.serving_argv(tmp_path)) == 0
+        first = capsys.readouterr().out
+        # Fresh cache, same seed: identical tables.
+        assert main(
+            [a if a != str(tmp_path / "cache") else str(tmp_path / "c2")
+             for a in self.serving_argv(tmp_path)]
+        ) == 0
+        second = capsys.readouterr().out
+
+        def clean(text):
+            # Drop provenance/timing lines: campaign id and wall time
+            # vary run to run, the simulated tables must not.
+            return "\n".join(
+                line for line in text.splitlines()
+                if not line.startswith("campaign")
+            )
+
+        assert clean(first) == clean(second)
+
+    def test_serving_flags_rejected_elsewhere(self):
+        with pytest.raises(SystemExit, match="--tenants does not apply"):
+            main(["sweep", "--tenants", "uniform", "--workers", "1"])
+        with pytest.raises(SystemExit, match="--rates does not apply"):
+            main(["sweep", "--kind", "synthetic", "--rates", "0.1",
+                  "--workers", "1"])
+
+    def test_synthetic_flags_rejected_for_serving(self):
+        with pytest.raises(SystemExit, match="--patterns does not apply"):
+            main(["sweep", "--kind", "serving", "--patterns", "uniform",
+                  "--workers", "1"])
+
+    def test_bad_rates_is_clean_error(self):
+        with pytest.raises(SystemExit, match="bad --rates"):
+            main(["sweep", "--kind", "serving", "--rates", "fast",
+                  "--workers", "1"])

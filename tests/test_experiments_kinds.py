@@ -597,3 +597,155 @@ class TestReplayInjectionLinkComparability:
         assert not any(
             name.startswith("NI") for name in event["per_link"]
         )
+
+
+def tiny_serving(**overrides):
+    from repro.experiments.kinds import ServingJobConfig
+    from repro.serving import ServingConfig, parse_tenant_mix
+
+    serving = dict(
+        tenants=parse_tenant_mix("uniform+hotspot"),
+        background_rate=0.05,
+        n_requests=2,
+        packets_per_request=2,
+        flits_per_packet=2,
+        seed=3,
+    )
+    serving.update(overrides)
+    return ServingJobConfig(
+        serving=ServingConfig(**serving),
+        noc=NoCConfig(width=4, height=4, link_width=128),
+    )
+
+
+class TestServingJobConfig:
+    def test_round_trip(self):
+        from repro.experiments.kinds import ServingJobConfig
+
+        config = tiny_serving()
+        assert ServingJobConfig.from_dict(config.to_dict()) == config
+
+    def test_from_flat_splits_disjoint_namespaces(self):
+        from repro.experiments.kinds import ServingJobConfig
+
+        config = ServingJobConfig.from_flat(
+            {"tenants": "lenet+uniform", "background_rate": 0.02,
+             "width": 4, "height": 4, "core": "event"}
+        )
+        assert [t.name for t in config.serving.tenants] == [
+            "lenet", "uniform"
+        ]
+        assert config.serving.background_rate == 0.02
+        assert config.noc.core == "event"
+
+    def test_from_flat_link_width_follows_data_format(self):
+        from repro.experiments.kinds import ServingJobConfig
+
+        fixed = ServingJobConfig.from_flat({"tenants": "uniform"})
+        wide = ServingJobConfig.from_flat(
+            {"tenants": "uniform", "data_format": "float32"}
+        )
+        assert fixed.noc.link_width == 128
+        assert wide.noc.link_width == 512
+
+    def test_from_flat_rejects_unknown_fields(self):
+        from repro.experiments.kinds import ServingJobConfig
+
+        with pytest.raises(ValueError, match="unknown serving config"):
+            ServingJobConfig.from_flat({"tenancy": "lenet"})
+
+    def test_label(self):
+        assert tiny_serving().label() == "4x4 serving uniform+hotspot O0"
+
+
+class TestServingKind:
+    def test_validate_rejects_model_fields(self):
+        config = tiny_serving()
+        with pytest.raises(ValueError, match="no top-level DNN model"):
+            JobSpec(kind="serving", model="lenet", config=config)
+        with pytest.raises(ValueError, match="model_seed"):
+            JobSpec(kind="serving", config=config, model_seed=9)
+        with pytest.raises(ValueError, match="ServingJobConfig"):
+            JobSpec(kind="serving", config=tiny_accel())
+
+    def test_spec_rejects_workload_fields(self):
+        with pytest.raises(ValueError, match="serving sweeps take no"):
+            SweepSpec(
+                name="s", kind="serving", model="darknet",
+                axes={"tenants": ["uniform"]},
+            )
+        with pytest.raises(ValueError, match="serving sweeps take no"):
+            SweepSpec(
+                name="s", kind="serving", image_seed=99,
+                axes={"tenants": ["uniform"]},
+            )
+
+    def test_sweep_expansion_and_derived_seeds(self):
+        spec = SweepSpec(
+            name="s",
+            kind="serving",
+            base={"n_requests": 1, "packets_per_request": 2,
+                  "flits_per_packet": 2},
+            axes={
+                "mesh": ["4x4:2"],
+                "tenants": ["uniform", "uniform+hotspot"],
+                "background_rate": [0.01, 0.05],
+            },
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 4
+        seeds = {job.config.serving.seed for job in jobs}
+        assert len(seeds) == 4  # every point gets its own derived seed
+        assert all(job.config.noc.width == 4 for job in jobs)
+        assert all(job.config.serving.n_mcs == 2 for job in jobs)
+        assert len({job.job_id for job in jobs}) == 4
+
+    def test_execute_record(self):
+        job = JobSpec(kind="serving", config=tiny_serving())
+        result = job_kind("serving").execute(job)
+        assert result["requests_arrived"] == 4
+        assert result["requests_completed"] == 4
+        assert len(result["tenants"]) == 2
+        assert (
+            sum(t["bit_transitions"] for t in result["tenants"])
+            == result["total_bit_transitions"]
+        )
+        assert result["p99_packet_latency"] >= result["p50_packet_latency"]
+        assert result["metrics"]["serving.tenants"] == 2
+
+    def test_labels_and_summary(self):
+        kind = job_kind("serving")
+        job = JobSpec(kind="serving", config=tiny_serving())
+        assert kind.job_label(job) == (
+            "serving 4x4 serving uniform+hotspot O0"
+        )
+        record = {"config": tiny_serving().to_dict()}
+        assert kind.record_label(record) == (
+            "serving 4x4 uniform+hotspot O0 bg0.05"
+        )
+        summary = kind.result_summary(kind.execute(job))
+        assert "BTs" in summary and "p99 latency" in summary
+        assert "4/4 requests" in summary
+
+    def test_serving_campaign_caches(self, tmp_path):
+        spec = SweepSpec(
+            name="svc",
+            kind="serving",
+            base={"n_requests": 1, "packets_per_request": 2,
+                  "flits_per_packet": 2},
+            axes={"mesh": ["4x4:2"], "tenants": ["uniform"],
+                  "ordering": ["O0"]},
+        )
+        from repro.experiments.cache import ResultCache
+
+        runner = CampaignRunner(
+            cache=ResultCache(tmp_path / "cache"), workers=1
+        )
+        first = runner.run(spec)
+        second = runner.run(spec)
+        assert first.records[0]["cached"] is False
+        assert second.records[0]["cached"] is True
+        assert (
+            first.records[0]["result"]["total_bit_transitions"]
+            == second.records[0]["result"]["total_bit_transitions"]
+        )

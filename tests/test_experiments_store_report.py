@@ -497,3 +497,134 @@ class TestCsvEffortColumns:
         assert "idle_cycles_skipped" in header
         assert row_new.endswith("42,58")
         assert row_old.endswith(",,")
+
+
+def make_serving_record(job_id="v1", ordering="O0", bg=0.01, bt=2000,
+                        core=None, tenants=None, per_link=None):
+    tenant_rows = tenants or [
+        {"name": "lenet", "workload": "model", "n_nodes": 8,
+         "requests_arrived": 2, "requests_admitted": 2,
+         "requests_rejected": 0, "requests_completed": 2,
+         "packets_injected": 40, "bit_transitions": bt - 500,
+         "flit_hops": 100, "mean_request_latency": 150.0,
+         "p50_request_latency": 150.0, "p95_request_latency": 160.0,
+         "p99_request_latency": 160.0, "mean_packet_latency": 5.0,
+         "p50_packet_latency": 5.0, "p95_packet_latency": 9.0,
+         "p99_packet_latency": 9.0},
+        {"name": "uniform", "workload": "synthetic", "n_nodes": 8,
+         "requests_arrived": 2, "requests_admitted": 2,
+         "requests_rejected": 0, "requests_completed": 2,
+         "packets_injected": 16, "bit_transitions": 500,
+         "flit_hops": 40, "mean_request_latency": 20.0,
+         "p50_request_latency": 20.0, "p95_request_latency": 25.0,
+         "p99_request_latency": 25.0, "mean_packet_latency": 6.0,
+         "p50_packet_latency": 6.0, "p95_packet_latency": 11.0,
+         "p99_packet_latency": 11.0},
+    ]
+    noc = {"width": 4, "height": 4, "link_width": 128}
+    if core is not None:
+        noc["core"] = core
+    return {
+        "job_id": job_id,
+        "campaign": "t",
+        "kind": "serving",
+        "model": None,
+        "cached": False,
+        "config": {
+            "serving": {
+                "tenants": [{"name": t["name"]} for t in tenant_rows],
+                "ordering": ordering,
+                "background_rate": bg,
+                "seed": 7,
+            },
+            "noc": noc,
+        },
+        "status": "ok",
+        "result": {
+            "total_bit_transitions": bt,
+            "total_cycles": 400,
+            "flit_hops": 140,
+            "packets_injected": 56,
+            "packets_delivered": 56,
+            "flits_injected": 224,
+            "mean_packet_latency": 5.5,
+            "p50_packet_latency": 5.0,
+            "p95_packet_latency": 10.0,
+            "p99_packet_latency": 12.0,
+            "requests_arrived": 4,
+            "requests_admitted": 4,
+            "requests_rejected": 0,
+            "requests_completed": 4,
+            "tenants": tenant_rows,
+            "per_link": per_link or {"R0.EAST": bt},
+        },
+        "error": None,
+    }
+
+
+class TestServingPivots:
+    def records(self):
+        return [
+            make_serving_record("a", ordering="O0", bt=2000),
+            make_serving_record("b", ordering="O2", bt=1200),
+        ]
+
+    def test_default_pivot_grids(self):
+        text = campaign_report(self.records())
+        assert "Serving fleet BTs" in text
+        assert "Serving BT reductions vs O0, %" in text
+        assert "Serving p99 packet latency (cycles)" in text
+        assert "O2" in text
+
+    def test_reduction_value(self):
+        from repro.experiments.report import _serving_blocks
+
+        text = "\n".join(_serving_blocks(self.records(), "mesh"))
+        assert "40.00" in text  # (2000 - 1200) / 2000
+
+    def test_tenant_pivot(self):
+        text = campaign_report(self.records(), pivot_name="tenant")
+        assert "Per-tenant serving stats" in text
+        assert "Per-tenant BTs" in text
+        assert "Per-tenant BT reductions vs O0, %" in text
+        assert "lenet" in text and "uniform" in text
+        assert "p99 req" in text
+
+    def test_link_pivot(self):
+        text = campaign_report(self.records(), pivot_name="link")
+        assert "Serving per-link BTs" in text
+        assert "R0.EAST" in text
+
+    def test_model_and_layer_pivots_are_explicit(self):
+        text = campaign_report(self.records(), pivot_name="model")
+        assert "no model pivot" in text
+        text = campaign_report(self.records(), pivot_name="layer")
+        assert "no per-layer data" in text
+
+    def test_varied_rate_gets_own_rows(self):
+        records = self.records() + [
+            make_serving_record("c", ordering="O0", bg=0.08, bt=3000),
+            make_serving_record("d", ordering="O2", bg=0.08, bt=2600),
+        ]
+        text = campaign_report(records)
+        assert "background_rate=0.01" in text
+        assert "background_rate=0.08" in text
+
+    def test_core_columns_split(self):
+        records = [
+            make_serving_record("a", ordering="O0", core="event"),
+            make_serving_record("b", ordering="O0", core="stepped"),
+        ]
+        text = campaign_report(records)
+        assert "O0@event" in text
+        assert "O0@stepped" in text
+
+    def test_tenant_pivot_on_model_records_is_explicit(self):
+        text = campaign_report([make_record()], pivot_name="tenant")
+        assert "no tenant pivot" in text
+
+    def test_synthetic_tenant_pivot_is_explicit(self):
+        text = campaign_report(
+            [make_synthetic_record()], pivot_name="tenant"
+        )
+        assert "tenant" in text

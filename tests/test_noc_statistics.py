@@ -87,3 +87,28 @@ class TestHeatmap:
         text = render_heatmap(grid, "demo")
         assert "demo" in text
         assert "10" in text
+
+
+class TestHeatmapAlignment:
+    def test_zero_and_small_cells_fixed_width(self):
+        # Regression: zero cells once rendered as a bare "-" while
+        # nonzero cells rendered value-proportional hash runs, so bar
+        # columns drifted out of alignment row to row.
+        grid = np.array([[100, 0, 1], [0, 50, 100]])
+        text = render_heatmap(grid, "align")
+        bar_rows = [
+            line.split("| ", 1)[1]
+            for line in text.splitlines()
+            if "|" in line
+        ]
+        assert len(bar_rows) == 2
+        for row in bar_rows:
+            padded = row.ljust(3 * 9 + 2)
+            # Each bar cell occupies exactly _BAR_WIDTH columns.
+            cells = [padded[i * 10 : i * 10 + 9] for i in range(3)]
+            for cell in cells:
+                assert cell.strip("#- ") == ""
+        # A tiny nonzero cell still gets at least one hash, a zero
+        # cell renders as "-".
+        assert bar_rows[0].split()[2].startswith("#")
+        assert bar_rows[0].split()[1] == "-"

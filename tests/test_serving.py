@@ -1,0 +1,250 @@
+"""Tests for repro.serving (multi-tenant fleets and tail latency)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.network import NoCConfig, percentile
+from repro.noc.traffic import poisson_arrivals
+from repro.serving import (
+    ServingConfig,
+    TenantSpec,
+    parse_tenant_mix,
+    run_serving,
+)
+
+latency_lists = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(
+            min_value=0.0,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestPercentile:
+    @given(latency_lists, st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=200)
+    def test_matches_numpy(self, values, p):
+        """The pure-python helper is np.percentile (linear method)."""
+        ours = percentile(values, p)
+        ref = float(np.percentile(np.asarray(values, dtype=float), p))
+        assert ours == pytest.approx(ref, rel=1e-12, abs=1e-9)
+
+    @given(latency_lists)
+    def test_endpoints_are_min_max(self, values):
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+    def test_empty_and_bounds(self):
+        assert percentile([], 99) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestTenantMixGrammar:
+    def test_model_and_pattern_tokens(self):
+        tenants = parse_tenant_mix("lenet+uniform@0.05")
+        assert [t.name for t in tenants] == ["lenet", "uniform"]
+        assert tenants[0].workload == "model"
+        assert tenants[0].model == "lenet"
+        assert tenants[0].ordering is None
+        assert tenants[1].workload == "synthetic"
+        assert tenants[1].pattern == "uniform"
+        assert tenants[1].rate == 0.05
+
+    def test_model_ordering_modifier(self):
+        (tenant,) = parse_tenant_mix("lenet@O2")
+        assert tenant.ordering == "O2"
+
+    def test_duplicates_get_suffixed_names(self):
+        tenants = parse_tenant_mix("lenet+lenet+uniform")
+        assert [t.name for t in tenants] == ["lenet", "lenet#2", "uniform"]
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="unknown tenant"):
+            parse_tenant_mix("resnet")
+        with pytest.raises(ValueError, match="bad ordering"):
+            parse_tenant_mix("lenet@O9")
+        with pytest.raises(ValueError, match="bad rate"):
+            parse_tenant_mix("uniform@fast")
+        with pytest.raises(ValueError, match="empty tenant"):
+            parse_tenant_mix("lenet++uniform")
+
+
+class TestConfigs:
+    def test_round_trip(self):
+        config = ServingConfig(
+            tenants=parse_tenant_mix("lenet@O1+hotspot@0.02"),
+            partitioning="blocks",
+            ordering="O2",
+            background_rate=0.03,
+            max_outstanding=2,
+            batch_window=10,
+            seed=9,
+        )
+        assert ServingConfig.from_dict(config.to_dict()) == config
+
+    def test_tenant_round_trip(self):
+        spec = TenantSpec(
+            name="bg", rate=0.1, n_requests=7, max_outstanding=3
+        )
+        assert TenantSpec.from_dict(spec.to_dict()) == spec
+
+    def test_per_tenant_overrides_beat_fleet_defaults(self):
+        fleet = ServingConfig(
+            tenants=(
+                TenantSpec(name="a", rate=0.5, n_requests=9),
+                TenantSpec(name="b"),
+            ),
+            background_rate=0.01,
+            n_requests=3,
+        )
+        a, b = fleet.tenants
+        assert fleet.tenant_rate(a) == 0.5
+        assert fleet.tenant_requests(a) == 9
+        assert fleet.tenant_rate(b) == 0.01
+        assert fleet.tenant_requests(b) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ServingConfig(
+                tenants=(TenantSpec(name="x"), TenantSpec(name="x"))
+            )
+        with pytest.raises(ValueError):
+            ServingConfig(tenants=())
+        with pytest.raises(ValueError):
+            ServingConfig(partitioning="diagonal")
+        with pytest.raises(ValueError):
+            ServingConfig(arrival="trace")  # no gaps recorded
+        with pytest.raises(ValueError):
+            TenantSpec(name="bad", workload="fpga")
+
+
+def two_tenant_config(**overrides) -> ServingConfig:
+    kwargs = dict(
+        tenants=parse_tenant_mix("uniform+hotspot"),
+        background_rate=0.05,
+        n_requests=6,
+        packets_per_request=4,
+        flits_per_packet=2,
+        seed=11,
+    )
+    kwargs.update(overrides)
+    return ServingConfig(**kwargs)
+
+
+class TestRunServing:
+    def test_tenant_bt_attribution_sums_to_total(self):
+        result = run_serving(two_tenant_config())
+        assert result.total_bit_transitions > 0
+        assert (
+            sum(t.bit_transitions for t in result.tenants)
+            == result.total_bit_transitions
+        )
+        assert (
+            sum(t.flit_hops for t in result.tenants) == result.flit_hops
+        )
+
+    def test_all_requests_complete_without_caps(self):
+        result = run_serving(two_tenant_config())
+        for tenant in result.tenants:
+            assert tenant.requests_arrived == 6
+            assert tenant.requests_rejected == 0
+            assert tenant.requests_completed == 6
+            assert len(tenant.request_latencies) == 6
+
+    def test_cross_core_determinism(self):
+        """Arrivals and results are identical on both NoC cores."""
+        config = two_tenant_config()
+        results = {
+            core: run_serving(
+                config, NoCConfig(link_width=128, core=core)
+            )
+            for core in ("event", "stepped")
+        }
+        event, stepped = results["event"], results["stepped"]
+        assert (
+            event.total_bit_transitions == stepped.total_bit_transitions
+        )
+        assert event.per_link == stepped.per_link
+        assert event.packet_latencies == stepped.packet_latencies
+        assert [t.to_dict() for t in event.tenants] == [
+            t.to_dict() for t in stepped.tenants
+        ]
+
+    def test_arrivals_deterministic_per_seed(self):
+        a = poisson_arrivals(0.05, 20, np.random.default_rng([11, 0, 0]))
+        b = poisson_arrivals(0.05, 20, np.random.default_rng([11, 0, 0]))
+        assert a == b
+        first = run_serving(two_tenant_config())
+        second = run_serving(two_tenant_config())
+        assert first.total_bit_transitions == second.total_bit_transitions
+        assert first.packet_latencies == second.packet_latencies
+
+    def test_admission_cap_rejects(self):
+        # One outstanding burst at a time at a high arrival rate: some
+        # arrivals must bounce, and the funnel must balance.
+        result = run_serving(
+            two_tenant_config(background_rate=0.5, max_outstanding=1)
+        )
+        total_rejected = sum(t.requests_rejected for t in result.tenants)
+        assert total_rejected > 0
+        for tenant in result.tenants:
+            assert (
+                tenant.requests_arrived
+                == tenant.requests_admitted + tenant.requests_rejected
+            )
+            assert tenant.requests_completed == tenant.requests_admitted
+
+    def test_batch_window_delays_requests(self):
+        plain = run_serving(two_tenant_config())
+        batched = run_serving(two_tenant_config(batch_window=64))
+        assert batched.metrics["serving.batch_delay_cycles"] > 0
+        assert plain.metrics["serving.batch_delay_cycles"] == 0
+        # Arrival-to-completion latency absorbs the queueing delay.
+        assert max(
+            lat
+            for t in batched.tenants
+            for lat in t.request_latencies
+        ) > max(
+            lat for t in plain.tenants for lat in t.request_latencies
+        )
+
+    def test_partition_policies_both_complete(self):
+        for policy in ("interleaved", "blocks"):
+            result = run_serving(two_tenant_config(partitioning=policy))
+            nodes_a, nodes_b = (t.nodes for t in result.tenants)
+            assert set(nodes_a).isdisjoint(nodes_b)
+            assert all(
+                t.requests_completed == t.requests_arrived
+                for t in result.tenants
+            )
+
+    def test_serving_metrics_family(self):
+        result = run_serving(two_tenant_config())
+        assert result.metrics["serving.tenants"] == 2
+        assert result.metrics["serving.requests_arrived"] == 12
+        assert result.metrics["serving.requests_completed"] == 12
+        assert (
+            result.metrics["serving.packets_injected"]
+            == result.packets_injected
+        )
+
+    def test_rejects_injection_recorders(self):
+        with pytest.raises(ValueError, match="record_injection"):
+            run_serving(
+                two_tenant_config(),
+                NoCConfig(link_width=128, record_injection=True),
+            )
