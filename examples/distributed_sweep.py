@@ -1,0 +1,90 @@
+"""A sweep served to a small worker fleet — with one worker killed.
+
+Runs the whole distributed campaign stack in one process tree: a
+:class:`repro.service.SweepServer` owns the job queue, journal, and
+store; a fleet of worker *processes* attaches over the socket, claims
+jobs under time-bounded leases, and streams results back.  One worker
+is dealt a ``kill`` fault (``os._exit`` mid-job) to show the recovery
+path: its lease expires, the job returns to the queue, and a surviving
+worker steals it — the final records are identical to what a local
+``repro sweep`` of the same grid would produce.
+
+Usage::
+
+    python examples/distributed_sweep.py [--workers N] [--lease S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import tempfile
+
+from repro.experiments import campaign_report
+from repro.experiments.faults import FaultAction, FaultPlan
+from repro.experiments.spec import SweepSpec
+from repro.experiments.store import ResultStore
+from repro.service import SweepServer, run_worker
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--lease", type=float, default=2.0,
+                        help="lease seconds (short, so the killed "
+                        "worker's job is stolen quickly)")
+    args = parser.parse_args()
+
+    spec = SweepSpec(
+        name="distributed",
+        model="lenet",
+        base={"max_tasks_per_layer": 2},
+        axes={"mesh": ["2x2:1", "3x3:1"], "ordering": ["O0", "O2"]},
+    )
+    # Job 0's first attempt dies mid-execution; attempt 2 (on another
+    # worker, after the lease lapses) runs clean.
+    plan = FaultPlan({0: [FaultAction("kill", attempt=1)]})
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(f"{tmp}/distributed.jsonl")
+        server = SweepServer(
+            spec,
+            store=store,
+            lease_seconds=args.lease,
+            max_retries=2,
+            fault_plan=plan,
+        )
+        host, port = server.start()
+        print(f"serving {len(spec.expand())} jobs on {host}:{port}")
+
+        fleet = [
+            multiprocessing.Process(
+                target=run_worker,
+                args=(host, port),
+                kwargs={"name": f"worker-{i}"},
+            )
+            for i in range(args.workers)
+        ]
+        for proc in fleet:
+            proc.start()
+
+        result = server.wait()
+        server.linger()
+        server.close()
+        for proc in fleet:
+            proc.join(timeout=30.0)
+            state = proc.exitcode
+            print(f"  {proc.name}: exit {state}"
+                  + ("  <- killed by the fault plan" if state else ""))
+
+        print()
+        print(result.summary())
+        print(f"leases expired: "
+              f"{result.metrics['service.leases.expired']}, "
+              f"jobs stolen: {result.metrics['service.jobs.stolen']}")
+        print()
+        print(campaign_report(result.records))
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,17 @@ Subcommands::
                        workload, --cores adds a network-core axis;
                        --job-timeout/--max-retries harden execution,
                        Ctrl-C checkpoints the campaign journal and
-                       --resume <campaign-id> picks it back up)
+                       --resume <campaign-id> picks it back up;
+                       --server HOST:PORT works a served queue instead)
+    repro serve      — own a campaign as a job server: workers claim
+                       jobs under time-bounded leases with heartbeats,
+                       dead workers are stolen from, SIGINT/SIGTERM
+                       drains and checkpoints for --resume
+    repro work       — attach a worker to a running `repro serve`
+                       (--cache-dir shares a verified cache root with
+                       co-located workers; exit 3 when the server dies)
+    repro cache      — operate on a cache root: `verify` re-checks
+                       every digest envelope and quarantines corruption
     repro report     — re-render campaign tables from a result store
                        (--pivot mesh|model|layer|link; failed jobs are
                        skipped with a warning; --failures lists them
@@ -63,7 +73,11 @@ from repro.experiments.report import (
     failures_report,
     skipped_records,
 )
-from repro.experiments.runner import CampaignRunner
+from repro.experiments.runner import (
+    CampaignRunner,
+    SpecDriftError,
+    sigterm_as_interrupt,
+)
 from repro.experiments.spec import SweepSpec, campaign_id, derive_seed
 from repro.experiments.store import CampaignJournal, ResultStore
 from repro.hardware.linkpower import (
@@ -162,120 +176,201 @@ def build_parser() -> argparse.ArgumentParser:
                               "(replayable via `repro sweep --kind "
                               "replay`)")
 
-    sweep = sub.add_parser(
-        "sweep", parents=[seeded],
-        help="run a campaign grid through the cached parallel engine",
-    )
-    sweep.add_argument("--name", default="sweep", help="campaign name")
-    sweep.add_argument("--kind", default=None,
-                       choices=sorted(JOB_KINDS),
-                       help="job kind every grid point runs as "
-                            "(default model)")
-    sweep.add_argument("--spec", default=None,
-                       help="JSON SweepSpec file (overrides grid flags; "
-                            "--seed still overrides its campaign seed)")
+    # Grid flags shared by `sweep` and `serve` — both build the same
+    # SweepSpec from the same argument surface.
+    grid = argparse.ArgumentParser(add_help=False)
+    grid.add_argument("--name", default="sweep", help="campaign name")
+    grid.add_argument("--kind", default=None,
+                      choices=sorted(JOB_KINDS),
+                      help="job kind every grid point runs as "
+                           "(default model)")
+    grid.add_argument("--spec", default=None,
+                      help="JSON SweepSpec file (overrides grid flags; "
+                           "--seed still overrides its campaign seed)")
     # Kind-specific grid flags default to None so an explicitly-given
     # flag that doesn't apply to the chosen --kind can be rejected
     # instead of silently ignored (_check_kind_flags below).
-    sweep.add_argument("--model", default=None,
+    grid.add_argument("--model", default=None,
                        choices=("lenet", "darknet", "trained-lenet"),
                        help="[model/batch] workload model "
                             "(default lenet)")
-    sweep.add_argument("--meshes", default=None,
+    grid.add_argument("--meshes", default=None,
                        help="comma list of WxH:MCS mesh points "
                             "(default 4x4:2,8x8:4,8x8:8; synthetic "
                             "ignores the MCS part, default 4x4,8x8)")
-    sweep.add_argument("--formats", default=None,
+    grid.add_argument("--formats", default=None,
                        help="[model/batch] comma list of data formats "
                             "(default fixed8)")
-    sweep.add_argument("--orderings", default=None,
+    grid.add_argument("--orderings", default=None,
                        help="[model/batch] comma list of ordering "
                             "methods (default O0,O1,O2)")
-    sweep.add_argument("--tasks", type=int, default=None,
+    grid.add_argument("--tasks", type=int, default=None,
                        help="[model/batch/serving] sampled tasks per "
                             "layer (default 16; serving default 4)")
-    sweep.add_argument("--images", type=int, default=None,
+    grid.add_argument("--images", type=int, default=None,
                        help="[batch] images per job (default 4)")
-    sweep.add_argument("--patterns", default=None,
+    grid.add_argument("--patterns", default=None,
                        help="[synthetic] comma list of traffic patterns "
                             "(default all four)")
-    sweep.add_argument("--payloads", default=None,
+    grid.add_argument("--payloads", default=None,
                        help="[synthetic] comma list of payload kinds "
                             "(random, zero, counter; default random)")
-    sweep.add_argument("--packets", type=int, default=None,
+    grid.add_argument("--packets", type=int, default=None,
                        help="[synthetic] packets injected per job "
                             "(default 150); [serving] packets per "
                             "synthetic request (default 8)")
-    sweep.add_argument("--window", type=int, default=None,
+    grid.add_argument("--window", type=int, default=None,
                        help="[synthetic] injection window in cycles "
                             "(default 200)")
-    sweep.add_argument("--link-width", type=int, default=None,
+    grid.add_argument("--link-width", type=int, default=None,
                        help="[synthetic/serving] link width in bits "
                             "(default 128 / the fleet data format's "
                             "paper width)")
-    sweep.add_argument("--tenants", default=None,
+    grid.add_argument("--tenants", default=None,
                        help="[serving] comma list of tenant mixes in "
                             "the compact grammar, e.g. "
                             "'lenet+uniform@0.05,lenet+lenet' "
                             "(default lenet+uniform)")
-    sweep.add_argument("--rates", default=None,
+    grid.add_argument("--rates", default=None,
                        help="[serving] comma list of background "
                             "arrival rates in requests/cycle for "
                             "synthetic tenants without an explicit "
                             "@rate (default 0.01)")
-    sweep.add_argument("--requests", type=int, default=None,
+    grid.add_argument("--requests", type=int, default=None,
                        help="[serving] requests per tenant "
                             "(default 2)")
-    sweep.add_argument("--traces", default=None,
+    grid.add_argument("--traces", default=None,
                        help="[replay] comma list of recorded trace "
                             "files (the 'trace' axis)")
-    sweep.add_argument("--codings", default=None,
+    grid.add_argument("--codings", default=None,
                        help="[replay] comma list of link codings "
                             "(none, bus_invert, delta; default none)")
-    sweep.add_argument("--cores", default=None,
+    grid.add_argument("--cores", default=None,
                        help="network-core axis: comma list of cores "
                             "(event, stepped; replay also takes "
                             "offline and the differential 'both')")
+    # Campaign persistence/hardening flags shared by `sweep`/`serve`.
+    campaign = argparse.ArgumentParser(add_help=False)
+    campaign.add_argument("--max-retries", type=int, default=2,
+                          help="retries per job for transient-class "
+                               "failures (timeouts, worker crashes, "
+                               "I/O blips); deterministic errors never "
+                               "retry (default 2)")
+    campaign.add_argument("--resume", default=None,
+                          metavar="CAMPAIGN_ID",
+                          help="resume an interrupted campaign from "
+                               "its journal: journaled-complete jobs "
+                               "are served back, only the rest execute "
+                               "(the id is printed by the original run "
+                               "and by the checkpoint message)")
+    campaign.add_argument("--fault-plan", default=None,
+                          help="JSON fault-injection plan for chaos "
+                               "testing (see repro.experiments.faults."
+                               "FaultPlan; in-process faults fire "
+                               "inside the workers, network faults "
+                               "through the service socket)")
+    campaign.add_argument("--cache-dir", default=".repro-cache",
+                          help="content-addressed result cache "
+                               "directory")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="always simulate, never read or write "
+                               "cache")
+    campaign.add_argument("--store", default=None,
+                          help="JSONL result store "
+                               "(default campaigns/<name>.jsonl)")
+    campaign.add_argument("--csv", default=None,
+                          help="also export the store as CSV")
+    campaign.add_argument("--metrics", action="store_true",
+                          help="print the campaign-wide metrics "
+                               "aggregate (event/router/codec/cache/"
+                               "runner/service counter families) after "
+                               "the report")
+
+    sweep = sub.add_parser(
+        "sweep", parents=[seeded, grid, campaign],
+        help="run a campaign grid through the cached parallel engine",
+    )
     sweep.add_argument("--workers", type=int, default=2,
                        help="worker processes (1 = inline)")
     sweep.add_argument("--job-timeout", type=float, default=None,
                        help="per-attempt wall-clock budget in seconds; "
                             "a job past it is killed and recorded as a "
                             "JobTimeout failure (default: no limit)")
-    sweep.add_argument("--max-retries", type=int, default=2,
-                       help="retries per job for transient-class "
-                            "failures (timeouts, worker crashes, I/O "
-                            "blips), with seeded exponential backoff; "
-                            "deterministic errors never retry "
-                            "(default 2)")
-    sweep.add_argument("--resume", default=None, metavar="CAMPAIGN_ID",
-                       help="resume an interrupted campaign from its "
-                            "journal: journaled-complete jobs are "
-                            "served back, only the rest execute (the "
-                            "id is printed by the original run and by "
-                            "the Ctrl-C checkpoint message)")
-    sweep.add_argument("--fault-plan", default=None,
-                       help="JSON fault-injection plan for chaos "
-                            "testing (see repro.experiments.faults."
-                            "FaultPlan; faults fire inside the real "
-                            "worker processes)")
-    sweep.add_argument("--cache-dir", default=".repro-cache",
-                       help="content-addressed result cache directory")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="always simulate, never read or write cache")
-    sweep.add_argument("--store", default=None,
-                       help="JSONL result store "
-                            "(default campaigns/<name>.jsonl)")
-    sweep.add_argument("--csv", default=None,
-                       help="also export the store as CSV")
     sweep.add_argument("--progress", action="store_true",
                        help="print a live telemetry line per completed "
                             "job (done/failed/cached counts and ETA) "
                             "as results stream back from the pool")
-    sweep.add_argument("--metrics", action="store_true",
-                       help="print the campaign-wide metrics aggregate "
-                            "(event/router/codec/cache/runner counter "
-                            "families) after the report")
+    sweep.add_argument("--server", default=None, metavar="HOST:PORT",
+                       help="run this sweep against a running `repro "
+                            "serve` instead of the local engine: work "
+                            "the served queue as one worker, then "
+                            "print the campaign report from the "
+                            "server's drain (the spec must derive the "
+                            "served campaign id; --workers/"
+                            "--job-timeout are the server's business "
+                            "and ignored here)")
+
+    serve = sub.add_parser(
+        "serve", parents=[seeded, grid, campaign],
+        help="own a campaign as a job server: `repro work` processes "
+             "claim jobs under time-bounded leases and stream results "
+             "back; SIGINT/SIGTERM drains and checkpoints for --resume",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default loopback)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to bind (default 0 = ephemeral; the "
+                            "bound port is printed)")
+    serve.add_argument("--lease", type=float, default=30.0,
+                       help="lease seconds per claimed job: a worker "
+                            "silent past this returns the job to the "
+                            "queue (default 30)")
+    serve.add_argument("--heartbeat", type=float, default=None,
+                       help="heartbeat interval advertised to workers "
+                            "(default lease/3)")
+
+    work = sub.add_parser(
+        "work",
+        help="attach a worker to a running `repro serve`: claim jobs, "
+             "heartbeat the lease, stream results back until the "
+             "server drains (exit 0) or is lost (exit 3)",
+    )
+    work.add_argument("--connect", required=True, metavar="HOST:PORT",
+                      help="server address printed by `repro serve`")
+    work.add_argument("--name", default=None,
+                      help="worker identity (default worker-<pid>)")
+    work.add_argument("--cache-dir", default=None,
+                      help="shared cache root: serve repeat keys from "
+                           "disk and claim keys before computing so "
+                           "co-located workers don't duplicate work "
+                           "(default: no cache)")
+    work.add_argument("--expect-campaign", default=None,
+                      metavar="CAMPAIGN_ID",
+                      help="refuse to work for any other campaign "
+                           "(spec-drift guard over the wire)")
+    work.add_argument("--reconnect-attempts", type=int, default=10,
+                      help="redials before declaring the server dead "
+                           "(default 10, exponential backoff)")
+    work.add_argument("--reconnect-backoff", type=float, default=0.25,
+                      help="base reconnect backoff seconds (default "
+                           "0.25, doubling per attempt, capped at 5)")
+
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="operate on a result cache root",
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command",
+                                         required=True)
+    c_verify = cache_sub.add_parser(
+        "verify",
+        help="re-check every entry's digest envelope; corrupt entries "
+             "are quarantined and listed (exit 1 when any are found)",
+    )
+    c_verify.add_argument("--cache-dir", default=".repro-cache",
+                          help="cache root to sweep")
+    c_verify.add_argument("--no-quarantine", action="store_true",
+                          help="report corrupt entries but leave them "
+                               "in place")
 
     bench = sub.add_parser(
         "bench", parents=[seeded],
@@ -750,12 +845,10 @@ def _load_fault_plan(path: str) -> FaultPlan:
         raise SystemExit(f"bad fault plan {path!r}: {exc}") from exc
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    spec = _sweep_spec_from_args(args)
-    try:
-        spec.expand()  # surface grid mistakes before any simulation
-    except ValueError as exc:
-        raise SystemExit(f"bad sweep grid: {exc}") from exc
+def _campaign_setup(
+    args: argparse.Namespace, spec: SweepSpec
+) -> tuple[ResultCache | None, ResultStore, str, str, CampaignJournal]:
+    """The cache/store/journal plumbing `sweep` and `serve` share."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     store_path = args.store or f"campaigns/{spec.name}.jsonl"
     store = ResultStore(store_path)
@@ -780,35 +873,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # A fresh (non-resume) run of the same grid starts a fresh
         # journal; stale progress must not leak in uninvited.
         journal.path.unlink()
-    fault_plan = (
-        _load_fault_plan(args.fault_plan) if args.fault_plan else None
-    )
-    runner = CampaignRunner(
-        cache=cache,
-        store=store,
-        workers=args.workers,
-        job_timeout=args.job_timeout,
-        max_retries=args.max_retries,
-        backoff_seed=spec.seed,
-        fault_plan=fault_plan,
-        journal=journal,
-    )
-    print(f"campaign {spec.name!r}: {spec.n_points} points -> {store_path}")
-    print(f"campaign id: {cid} (journal: {journal.path})")
-    telemetry = (
-        (lambda sample: print(_telemetry_line(sample), flush=True))
-        if args.progress else None
-    )
-    try:
-        result = runner.run(spec, progress=print, telemetry=telemetry)
-    except KeyboardInterrupt:
-        # Interrupted outside supervised execution (cache consult,
-        # journal replay): completed jobs are already journaled.
-        print(
-            f"\ninterrupted; completed jobs are journaled — resume "
-            f"with: repro sweep ... --resume {cid}"
-        )
-        return 130
+    return cache, store, store_path, cid, journal
+
+
+def _print_campaign_outcome(
+    result, args: argparse.Namespace, store: ResultStore, resume_hint: str
+) -> int:
+    """Shared `sweep`/`serve` result rendering; returns the exit code."""
     print(result.summary())
     if result.failures or result.interrupted:
         report = result.failure_report()
@@ -835,10 +906,236 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"\ninterrupted: {len(result.ok_records())} of "
             f"{result.n_jobs + len(result.remaining)} job(s) done, "
             f"{len(result.remaining)} remaining — resume with: "
-            f"repro sweep ... --resume {cid}"
+            f"{resume_hint}"
         )
         return 130
     return 1 if result.errors else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_args(args)
+    try:
+        spec.expand()  # surface grid mistakes before any simulation
+    except ValueError as exc:
+        raise SystemExit(f"bad sweep grid: {exc}") from exc
+    if args.server:
+        return _sweep_via_server(args, spec)
+    cache, store, store_path, cid, journal = _campaign_setup(args, spec)
+    fault_plan = (
+        _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    )
+    runner = CampaignRunner(
+        cache=cache,
+        store=store,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+        backoff_seed=spec.seed,
+        fault_plan=fault_plan,
+        journal=journal,
+    )
+    print(f"campaign {spec.name!r}: {spec.n_points} points -> {store_path}")
+    print(f"campaign id: {cid} (journal: {journal.path})")
+    telemetry = (
+        (lambda sample: print(_telemetry_line(sample), flush=True))
+        if args.progress else None
+    )
+    try:
+        result = runner.run(spec, progress=print, telemetry=telemetry)
+    except SpecDriftError as exc:
+        raise SystemExit(str(exc)) from exc
+    except KeyboardInterrupt:
+        # Interrupted outside supervised execution (cache consult,
+        # journal replay): completed jobs are already journaled.
+        print(
+            f"\ninterrupted; completed jobs are journaled — resume "
+            f"with: repro sweep ... --resume {cid}"
+        )
+        return 130
+    return _print_campaign_outcome(
+        result, args, store, f"repro sweep ... --resume {cid}"
+    )
+
+
+def _parse_hostport(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError as exc:
+        raise SystemExit(
+            f"bad server address {text!r}; use HOST:PORT"
+        ) from exc
+
+
+def _sweep_via_server(args: argparse.Namespace, spec: SweepSpec) -> int:
+    """`repro sweep --server`: work a served queue, report its drain."""
+    from repro.service import SweepWorker
+
+    if args.resume is not None or args.fault_plan is not None:
+        raise SystemExit(
+            "--resume/--fault-plan belong to the serve side; pass them "
+            "to `repro serve`"
+        )
+    host, port = _parse_hostport(args.server)
+    cid = campaign_id(spec)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(f"campaign id: {cid}; working against {host}:{port}")
+    worker = SweepWorker(
+        host, port, cache=cache, campaign_id=cid, report=True
+    )
+    summary = worker.run()
+    if summary.get("rejected"):
+        print(
+            f"rejected by server: {summary['rejected']}",
+            file=sys.stderr,
+        )
+        return 2
+    if summary.get("server_lost"):
+        print(
+            f"server lost: {summary.get('error')}\nif it was "
+            f"interrupted, its journal checkpoint resumes it: "
+            f"repro serve ... --resume {cid}",
+            file=sys.stderr,
+        )
+        return 3
+    print(
+        f"drained ({summary.get('reason')}): "
+        f"{summary.get('jobs_done', 0)} job(s) executed here, "
+        f"{summary.get('cache_hits', 0)} shared-cache hits"
+    )
+    if summary.get("summary"):
+        print(summary["summary"])
+    records = summary.get("records") or []
+    if records:
+        print()
+        print(campaign_report(records))
+    if summary.get("interrupted"):
+        print(
+            f"\nserver was draining; resume it with: "
+            f"repro serve ... --resume {cid}"
+        )
+        return 130
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SweepServer
+
+    spec = _sweep_spec_from_args(args)
+    try:
+        spec.expand()
+    except ValueError as exc:
+        raise SystemExit(f"bad sweep grid: {exc}") from exc
+    cache, store, store_path, cid, journal = _campaign_setup(args, spec)
+    fault_plan = (
+        _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    )
+    server = SweepServer(
+        spec,
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        store=store,
+        journal=journal,
+        lease_seconds=args.lease,
+        heartbeat_seconds=args.heartbeat,
+        max_retries=args.max_retries,
+        fault_plan=fault_plan,
+    )
+    try:
+        host, port = server.start()
+    except SpecDriftError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"campaign {spec.name!r}: {spec.n_points} points -> {store_path}")
+    print(f"campaign id: {cid} (journal: {journal.path})")
+    print(
+        f"serving on {host}:{port} "
+        f"(lease {server.lease_seconds:g}s, heartbeat "
+        f"{server.heartbeat_seconds:g}s) — attach workers with: "
+        f"repro work --connect {host}:{port}",
+        flush=True,
+    )
+    try:
+        with sigterm_as_interrupt():
+            while True:
+                result = server.wait(0.5)
+                if result is not None:
+                    break
+    except KeyboardInterrupt:
+        result = server.shutdown()
+        print(
+            f"\ndraining: journal checkpointed at {journal.path} — "
+            f"resume with: repro serve ... --resume {cid}"
+        )
+        server.linger()
+        server.close()
+        return 130
+    server.linger()
+    server.close()
+    return _print_campaign_outcome(
+        result, args, store, f"repro serve ... --resume {cid}"
+    )
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.service import SweepWorker
+
+    host, port = _parse_hostport(args.connect)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    worker = SweepWorker(
+        host,
+        port,
+        name=args.name,
+        cache=cache,
+        campaign_id=args.expect_campaign,
+        reconnect_attempts=args.reconnect_attempts,
+        reconnect_backoff=args.reconnect_backoff,
+    )
+    summary = worker.run()
+    if summary.get("rejected"):
+        print(
+            f"rejected by server: {summary['rejected']}",
+            file=sys.stderr,
+        )
+        return 2
+    if summary.get("server_lost"):
+        hint = (
+            f"; if it was interrupted, resume it with: "
+            f"repro serve ... --resume {summary['campaign_id']}"
+            if summary.get("campaign_id") else ""
+        )
+        print(
+            f"server lost: {summary.get('error')}{hint}",
+            file=sys.stderr,
+        )
+        return 3
+    print(
+        f"worker {summary['worker']} drained "
+        f"({summary.get('reason')}): {summary['jobs_done']} ok, "
+        f"{summary['jobs_failed']} failed, "
+        f"{summary['cache_hits']} shared-cache hits, "
+        f"{summary['reconnects']} reconnects"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    report = cache.verify(quarantine=not args.no_quarantine)
+    print(
+        f"cache {report['root']}: {report['checked']} entr"
+        f"{'y' if report['checked'] == 1 else 'ies'} checked, "
+        f"{report['ok']} ok, {report['legacy']} legacy, "
+        f"{len(report['corrupt'])} corrupt"
+    )
+    for rel in report["corrupt"]:
+        action = "left in place" if args.no_quarantine else "quarantined"
+        print(f"  corrupt: {rel} ({action})")
+    if report["quarantined"]:
+        print(f"quarantined entries ({len(report['quarantined'])}):")
+        for name in report["quarantined"]:
+            print(f"  {name}")
+    return 1 if report["corrupt"] else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1027,6 +1324,9 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "traffic": _cmd_traffic,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "work": _cmd_work,
+    "cache": _cmd_cache,
     "bench": _cmd_bench,
     "report": _cmd_report,
     "trace": _cmd_trace,

@@ -22,6 +22,8 @@ import hashlib
 import json
 import os
 import pathlib
+import threading
+import time
 from functools import lru_cache
 from typing import Any
 
@@ -158,12 +160,66 @@ class ResultCache:
     def get_job(self, job: JobSpec) -> dict[str, Any] | None:
         return self.get(self.key_for(job))
 
+    # -- cross-process claims --------------------------------------------
+
+    def _claim_path(self, key: str) -> pathlib.Path:
+        return self.root / "claims" / f"{key}.claim"
+
+    def claim(self, key: str, stale_seconds: float = 600.0) -> bool:
+        """Atomically claim ``key`` for computation; False if held.
+
+        The claim is an ``O_CREAT | O_EXCL`` file — the one filesystem
+        primitive that is atomic across processes (and NFS-safe enough
+        for a shared cache root) — holding the claimant's pid.  Claims
+        are advisory dedup, not locks: a worker that cannot claim may
+        still compute (the entry ``put`` stays atomic either way), it
+        just wastes work.  A claim older than ``stale_seconds`` is
+        presumed orphaned by a dead claimant and stolen.
+        """
+        path = self._claim_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                # Raced with a release: the claim is gone, try again.
+                return self.claim(key, stale_seconds)
+            if age < stale_seconds:
+                return False
+            # Stale claim: steal it.  os.replace keeps the steal
+            # atomic — two stealers race to rename, one wins.
+            tmp = path.with_name(path.name + f".steal.{os.getpid()}")
+            try:
+                tmp.write_text(str(os.getpid()))
+                os.replace(tmp, path)
+            except OSError:
+                return False
+            return True
+        with os.fdopen(fd, "w") as fh:
+            fh.write(str(os.getpid()))
+        return True
+
+    def release_claim(self, key: str) -> None:
+        """Drop a claim (done or failed); missing claims are fine."""
+        self._claim_path(key).unlink(missing_ok=True)
+
     def put(self, key: str, record: dict[str, Any]) -> None:
-        """Atomically persist a record (digest envelope) under its key."""
+        """Atomically persist a record (digest envelope) under its key.
+
+        The temp name carries pid *and* thread id: the sweep server's
+        connection handlers put entries concurrently from one process,
+        where a pid-only suffix would make two writers share (and
+        steal) the same temp file.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         doc = {"sha256": self._record_digest(record), "record": record}
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp = path.with_name(
+            path.name
+            + f".tmp.{os.getpid()}.{threading.get_ident()}"
+        )
         tmp.write_text(json.dumps(doc, sort_keys=True))
         tmp.replace(path)
 
@@ -172,6 +228,63 @@ class ResultCache:
 
     def contains(self, job: JobSpec) -> bool:
         return self._path(self.key_for(job)).is_file()
+
+    # -- integrity sweep -------------------------------------------------
+
+    def _entry_status(self, path: pathlib.Path) -> str:
+        """"ok", "legacy" (pre-envelope), or "corrupt" for one entry."""
+        try:
+            doc = json.loads(path.read_bytes())
+            if not isinstance(doc, dict):
+                raise ValueError("cache entry is not an object")
+        except (ValueError, OSError):
+            return "corrupt"
+        if "sha256" in doc and "record" in doc:
+            record = doc["record"]
+            if not isinstance(record, dict) or self._record_digest(
+                record
+            ) != doc["sha256"]:
+                return "corrupt"
+            return "ok"
+        return "legacy"
+
+    def verify(self, quarantine: bool = True) -> dict[str, Any]:
+        """Re-check every entry's digest envelope; returns a report.
+
+        The operational sweep behind ``repro cache verify`` — with the
+        cache root shared between workers, disk faults or torn copies
+        must surface before they cost a campaign wrong results.  The
+        report maps ``checked`` / ``ok`` / ``legacy`` counts plus the
+        relative paths found ``corrupt`` (quarantined in place unless
+        ``quarantine=False``) and everything already ``quarantined``.
+        """
+        report: dict[str, Any] = {
+            "root": str(self.root),
+            "checked": 0,
+            "ok": 0,
+            "legacy": 0,
+            "corrupt": [],
+        }
+        for path in sorted(self.root.glob("*/*.json")):
+            report["checked"] += 1
+            status = self._entry_status(path)
+            if status == "corrupt":
+                report["corrupt"].append(
+                    str(path.relative_to(self.root))
+                )
+                if quarantine:
+                    self._quarantine(path)
+            else:
+                report[status] += 1
+        report["quarantined"] = self.quarantined()
+        return report
+
+    def quarantined(self) -> list[str]:
+        """Names of entries previously moved aside as corrupt."""
+        quarantine = self.root / "quarantine"
+        if not quarantine.is_dir():
+            return []
+        return sorted(p.name for p in quarantine.glob("*.corrupt"))
 
     def __len__(self) -> int:
         if not self.root.is_dir():

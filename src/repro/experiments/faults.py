@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "TRANSIENT_ERROR_TYPES",
     "FaultAction",
     "FaultPlan",
@@ -54,6 +55,24 @@ __all__ = [
 
 #: In-worker fault kinds ``apply_fault_actions`` knows how to fire.
 FAULT_KINDS = ("transient", "hang", "kill")
+
+#: Network fault kinds, fired by a :class:`~repro.service.worker.
+#: SweepWorker` through the real service socket rather than inside the
+#: job body: "drop_connection" closes the socket without submitting the
+#: result (the lease, not the connection, re-queues the job),
+#: "heartbeat_stall" silences the heartbeat thread for ``hang_seconds``
+#: (expiring the lease while the job keeps computing — the late-result
+#: reconciliation path), "torn_frame" writes a half-written result
+#: frame then reconnects and submits properly, and "duplicate_result"
+#: submits the same result twice.  ``apply_fault_actions`` skips them:
+#: a network action that ends up in an in-process payload (inline
+#: ``repro sweep`` with a served fault plan) is a no-op by design.
+NETWORK_FAULT_KINDS = (
+    "drop_connection",
+    "heartbeat_stall",
+    "torn_frame",
+    "duplicate_result",
+)
 
 #: Exit code an injected kill dies with — distinctive in ``ps`` output
 #: and in the supervisor's WorkerCrash error strings.
@@ -73,11 +92,14 @@ class FaultAction:
             sleeps ``hang_seconds`` before the job body runs (tripping
             any job timeout), "kill" hard-exits the worker process via
             ``os._exit`` — no cleanup, no captured traceback, exactly
-            like an OOM kill or a segfault.
+            like an OOM kill or a segfault.  The
+            :data:`NETWORK_FAULT_KINDS` fire through the service
+            socket instead of inside the job (see there).
         attempt: 1-based attempt number the action fires on; other
             attempts of the same job run clean, which is how
             "fails once, succeeds on retry" scenarios are built.
-        hang_seconds: sleep duration for "hang".
+        hang_seconds: sleep duration for "hang"; doubles as the stall
+            duration for "heartbeat_stall".
     """
 
     kind: str
@@ -85,15 +107,20 @@ class FaultAction:
     hang_seconds: float = 30.0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in FAULT_KINDS + NETWORK_FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; "
-                f"use one of {FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; use one of "
+                f"{FAULT_KINDS + NETWORK_FAULT_KINDS}"
             )
         if self.attempt < 1:
             raise ValueError("fault attempt numbers are 1-based")
         if self.hang_seconds < 0:
             raise ValueError("hang_seconds must be >= 0")
+
+    @property
+    def is_network(self) -> bool:
+        """True for socket-path faults a worker fires, not the job."""
+        return self.kind in NETWORK_FAULT_KINDS
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -211,10 +238,13 @@ def apply_fault_actions(actions: Iterable[dict[str, Any]]) -> None:
     Called by ``execute_job`` between payload decode and kind dispatch.
     "hang" sleeps (then lets the job proceed — if no timeout reaps it,
     the result is still correct, just late); "transient" raises;
-    "kill" never returns.
+    "kill" never returns.  Network kinds are skipped: they belong to
+    the service socket layer, and a job body has no socket to fault.
     """
     for data in actions:
         action = FaultAction.from_dict(dict(data))
+        if action.is_network:
+            continue
         if action.kind == "hang":
             time.sleep(action.hang_seconds)
         elif action.kind == "transient":
@@ -244,6 +274,7 @@ TRANSIENT_ERROR_TYPES = frozenset(
         "BrokenPipeError",
         "EOFError",
         "InterruptedError",
+        "ProtocolError",
     }
 )
 

@@ -47,16 +47,18 @@ tested against the real multiprocessing path it defends.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import multiprocessing
 import os
 import signal
+import threading
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.faults import (
@@ -66,7 +68,7 @@ from repro.experiments.faults import (
     classify_error,
 )
 from repro.experiments.kinds import job_kind
-from repro.experiments.spec import JobSpec, SweepSpec
+from repro.experiments.spec import JobSpec, SweepSpec, campaign_id
 from repro.experiments.store import CampaignJournal, ResultStore
 from repro.obs.metrics import (
     active_registry,
@@ -74,7 +76,55 @@ from repro.obs.metrics import (
     metrics_suspended,
 )
 
-__all__ = ["execute_job", "CampaignResult", "CampaignRunner"]
+__all__ = [
+    "execute_job",
+    "CampaignResult",
+    "CampaignRunner",
+    "SpecDriftError",
+    "sigterm_as_interrupt",
+]
+
+
+class SpecDriftError(RuntimeError):
+    """A resume was attempted with a spec that no longer matches the
+    journaled campaign.
+
+    :func:`~repro.experiments.spec.campaign_id` hashes the full
+    canonical spec, so any drift — an edited grid, a changed seed, a
+    renamed campaign — changes the id.  Resuming anyway would silently
+    mix two different campaigns' results in one store; failing loudly
+    is the only safe behaviour.
+    """
+
+
+@contextlib.contextmanager
+def sigterm_as_interrupt() -> Iterator[None]:
+    """Route SIGTERM through the KeyboardInterrupt graceful path.
+
+    Container orchestrators and batch schedulers stop jobs with
+    SIGTERM; without this, a terminated campaign dies mid-write
+    instead of checkpointing its journal the way Ctrl-C does.  Only
+    the main thread may install signal handlers — elsewhere (a server
+    thread running a campaign) this is a no-op and the process-level
+    handler owns termination.  The previous handler is restored on
+    exit.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def execute_job(payload: dict[str, Any]) -> dict[str, Any]:
@@ -418,9 +468,16 @@ class _Supervisor:
         payload = task.payload
         plan: FaultPlan | None = self.runner.fault_plan
         if plan is not None:
-            actions = plan.actions_for(
-                task.job_id, task.index, task.attempt
-            )
+            # Network faults belong to the service socket layer; an
+            # in-process worker has no socket to fault, so only the
+            # in-worker kinds ride the payload.
+            actions = [
+                a
+                for a in plan.actions_for(
+                    task.job_id, task.index, task.attempt
+                )
+                if not a.is_network
+            ]
             if actions:
                 payload = dict(payload)
                 payload["_fault"] = [a.to_dict() for a in actions]
@@ -567,10 +624,23 @@ class CampaignRunner:
 
         Job failures of any class never raise: the campaign completes
         with partial results and a structured
-        :meth:`CampaignResult.failure_report`.  A KeyboardInterrupt
-        checkpoints the journal and returns the partial result with
-        ``interrupted`` set instead of propagating.
+        :meth:`CampaignResult.failure_report`.  A KeyboardInterrupt —
+        or a SIGTERM, routed through the same path when running on the
+        main thread — checkpoints the journal and returns the partial
+        result with ``interrupted`` set instead of propagating.
+
+        Raises :class:`SpecDriftError` when resuming against a journal
+        whose recorded campaign_id no longer matches the spec.
         """
+        with sigterm_as_interrupt():
+            return self._run(sweep, progress, telemetry)
+
+    def _run(
+        self,
+        sweep: SweepSpec | list[JobSpec],
+        progress: Callable[[str], None] | None = None,
+        telemetry: Callable[[dict[str, Any]], None] | None = None,
+    ) -> CampaignResult:
         spec = sweep if isinstance(sweep, SweepSpec) else None
         if spec is not None:
             name = spec.name
@@ -585,11 +655,11 @@ class CampaignRunner:
         if self.journal is not None:
             if self.journal.exists():
                 self.journal.recover()
+                if spec is not None:
+                    self._check_spec_drift(spec)
                 journal_done = self.journal.completed()
                 self.journal.append({"event": "resume"})
             else:
-                from repro.experiments.spec import campaign_id
-
                 self.journal.start(
                     campaign_id(spec) if spec is not None else name,
                     name,
@@ -705,6 +775,23 @@ class CampaignRunner:
                 {"event": event, "report": out.failure_report()}
             )
         return out
+
+    def _check_spec_drift(self, spec: SweepSpec) -> None:
+        """Refuse to resume a journal for a different campaign."""
+        assert self.journal is not None
+        entry = self.journal.start_entry() or {}
+        journaled = entry.get("campaign_id")
+        expected = campaign_id(spec)
+        if journaled is not None and journaled != expected:
+            raise SpecDriftError(
+                f"journal {self.journal.path} records campaign "
+                f"{journaled!r} ({entry.get('campaign')!r}), but this "
+                f"spec derives {expected!r} ({spec.name!r}); the grid, "
+                f"seed, or name has drifted since the journal was "
+                f"written — resume with the original spec, or start a "
+                f"fresh campaign (delete the journal or change "
+                f"--journal)"
+            )
 
     def _aggregate_metrics(
         self, out: CampaignResult, cache_corrupt: int = 0

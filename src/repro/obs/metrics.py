@@ -27,6 +27,19 @@ for re-simulation.  All are plain sums (zero on a healthy run), so a
 chaos sweep's metrics dump shows exactly how much turbulence the
 campaign absorbed.
 
+The sweep job server (:class:`repro.service.SweepServer`) publishes
+the ``service`` family once per served campaign:
+``service.leases.granted`` / ``service.leases.renewed`` /
+``service.leases.expired`` count the lease lifecycle,
+``service.jobs.stolen`` counts expired leases re-granted to a
+different worker (the dead-worker-recovery path),
+``service.heartbeats.missed`` counts expiries whose holder had gone
+silent for two beat intervals, and ``service.heartbeats`` /
+``service.reconnects`` / ``service.results.duplicate`` /
+``service.protocol.errors`` / ``service.workers.peak`` (a ``.peak``,
+merged by max) describe wire traffic.  A clean single-worker campaign
+shows only grants and heartbeats; everything else is turbulence.
+
 Serving fleets (:func:`repro.serving.run_serving`) publish the
 ``serving`` family per run: ``serving.tenants`` and the request
 funnel ``serving.requests_arrived`` / ``serving.requests_admitted`` /

@@ -1,0 +1,191 @@
+"""Length-prefixed JSON frame protocol for the sweep job service.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding a single object.  Both sides
+exchange whole frames only, so a receiver can always tell a cleanly
+closed connection (EOF on a frame boundary -> ``None``) from a torn
+one (EOF mid-header or mid-body -> :class:`ProtocolError`).  The
+distinction is load-bearing: the server treats a torn frame as a
+protocol error and drops the connection — the job's lease, not the
+connection, decides when the work is re-queued — while a clean close
+is just a worker going away.
+
+:class:`ProtocolError` subclasses :class:`ConnectionError` so the
+existing transient-error triage (:func:`repro.experiments.faults.
+classify_error`) and every ``except OSError`` net treat torn frames
+like any other network failure.
+
+:func:`torn_frame_bytes` is the chaos-test counterpart: the bytes of a
+deliberately half-written frame, driven through the real socket path
+by the ``torn_frame`` network fault.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameChannel",
+    "ProtocolError",
+    "connect",
+    "encode_frame",
+    "recv_frame",
+    "send_frame",
+    "torn_frame_bytes",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's body.  Campaign records are small (a few
+#: KiB); the cap exists so a corrupt or hostile header can't make the
+#: receiver allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ConnectionError):
+    """A malformed or torn frame on the service socket."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialize one message into header + JSON body bytes."""
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"messages must be dicts, got {type(message).__name__}"
+        )
+    body = json.dumps(message, sort_keys=True).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
+    """Send one whole frame (``sendall``, so no partial writes)."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on EOF before the first byte.
+
+    EOF *after* the first byte means the peer died mid-frame — a torn
+    frame — and raises :class:`ProtocolError`.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame "
+                f"({n - remaining} of {n} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Receive one message; None on a clean close at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header claims {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        message = json.loads(body)
+    except ValueError as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+def torn_frame_bytes(
+    message: dict[str, Any], fraction: float = 0.5
+) -> bytes:
+    """Header plus only part of the body — a half-written frame.
+
+    Writing these bytes and closing the socket reproduces a sender
+    dying mid-``sendall``; the receiver must fail with
+    :class:`ProtocolError`, never block forever or parse garbage.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    frame = encode_frame(message)
+    body_len = len(frame) - _HEADER.size
+    keep = _HEADER.size + max(0, int(body_len * fraction))
+    # Always truncate at least one byte so the frame really is torn.
+    return frame[: min(keep, len(frame) - 1)]
+
+
+class FrameChannel:
+    """A request/response client channel over one socket.
+
+    ``request`` holds an internal lock across the send *and* the
+    matching receive, so multiple threads (a worker's main loop and its
+    heartbeat thread) can share one connection without interleaving
+    replies.  The server side never needs this: it only ever replies
+    to the frame it just read.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._lock = threading.Lock()
+
+    def request(
+        self,
+        message: dict[str, Any],
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Send ``message`` and return the peer's reply frame.
+
+        A clean close while awaiting the reply raises
+        :class:`ProtocolError` — from a client's point of view a server
+        that hangs up mid-exchange is gone, not politely done.
+        """
+        with self._lock:
+            self.sock.settimeout(timeout)
+            send_frame(self.sock, message)
+            reply = recv_frame(self.sock)
+        if reply is None:
+            raise ProtocolError(
+                "connection closed while awaiting a reply"
+            )
+        return reply
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes (fault injection: torn frames)."""
+        with self._lock:
+            self.sock.sendall(data)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+def connect(
+    host: str, port: int, timeout: float = 5.0
+) -> FrameChannel:
+    """Open a :class:`FrameChannel` to a server."""
+    return FrameChannel(socket.create_connection((host, port), timeout))

@@ -817,3 +817,142 @@ class TestServingCLI:
         with pytest.raises(SystemExit, match="bad --rates"):
             main(["sweep", "--kind", "serving", "--rates", "fast",
                   "--workers", "1"])
+
+
+class TestServiceCLI:
+    """The distributed-sweep surface: serve/work plumbing, cache
+    verify, and the resume drift guard."""
+
+    def _tiny_spec(self):
+        from repro.experiments.spec import SweepSpec
+
+        return SweepSpec(
+            name="svc",
+            model="lenet",
+            base={"max_tasks_per_layer": 1},
+            axes={"mesh": ["2x2:1"], "ordering": ["O0"]},
+        )
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 0)
+        assert args.lease == 30.0
+        assert args.heartbeat is None
+
+    def test_work_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["work"])
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+    def test_work_against_api_server_drains(self, tmp_path, capsys):
+        from repro.service import SweepServer
+
+        server = SweepServer(self._tiny_spec())
+        host, port = server.start()
+        try:
+            code = main(["work", "--connect", f"{host}:{port}",
+                         "--name", "cli-w"])
+        finally:
+            server.close()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker cli-w drained (complete): 1 ok" in out
+        assert server.result is not None
+
+    def test_work_rejected_on_campaign_mismatch(self, capsys):
+        from repro.service import SweepServer
+
+        server = SweepServer(self._tiny_spec())
+        host, port = server.start()
+        try:
+            code = main(["work", "--connect", f"{host}:{port}",
+                         "--expect-campaign", "other-00000000"])
+        finally:
+            server.close()
+        assert code == 2
+        assert "campaign mismatch" in capsys.readouterr().err
+
+    def test_work_dead_server_exits_3_with_hint(self, capsys):
+        from repro.service import SweepServer
+
+        server = SweepServer(self._tiny_spec())
+        host, port = server.start()
+        server.close()
+        code = main(["work", "--connect", f"{host}:{port}",
+                     "--reconnect-attempts", "2",
+                     "--reconnect-backoff", "0.01",
+                     "--expect-campaign", server.campaign_id])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "server lost" in err
+        assert f"--resume {server.campaign_id}" in err
+
+    def test_cache_verify_clean_exits_0(self, tmp_path, capsys):
+        from repro.experiments.cache import ResultCache
+
+        root = tmp_path / "cache"
+        ResultCache(root).put(
+            "ab" * 32, {"job_id": "x", "status": "ok", "result": {}}
+        )
+        code = main(["cache", "verify", "--cache-dir", str(root)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 entry checked, 1 ok, 0 legacy, 0 corrupt" in out
+
+    def test_cache_verify_corrupt_exits_1_and_quarantines(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.cache import ResultCache
+
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        key = "cd" * 32
+        cache.put(key, {"job_id": "x", "status": "ok", "result": {}})
+        cache._path(key).write_text("garbage")
+        code = main(["cache", "verify", "--cache-dir", str(root)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert "(quarantined)" in out
+        assert "quarantined entries (1):" in out
+        assert not cache._path(key).exists()
+
+    def test_cache_verify_no_quarantine_leaves_entry(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.cache import ResultCache
+
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        key = "ef" * 32
+        cache.put(key, {"job_id": "x", "status": "ok", "result": {}})
+        cache._path(key).write_text("garbage")
+        code = main(["cache", "verify", "--cache-dir", str(root),
+                     "--no-quarantine"])
+        assert code == 1
+        assert "(left in place)" in capsys.readouterr().out
+        assert cache._path(key).exists()
+
+    def test_resume_with_drifted_journal_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        # A journal at the expected path whose start entry records a
+        # different campaign: the drift guard must abort, not mix.
+        store = tmp_path / "svc.jsonl"
+        sweep = ["sweep", "--name", "svc", "--meshes", "2x2:1",
+                 "--orderings", "O0", "--tasks", "1", "--workers", "1",
+                 "--no-cache", "--store", str(store)]
+        assert main(sweep) == 0
+        out = capsys.readouterr().out
+        cid = next(
+            line.split()[2] for line in out.splitlines()
+            if line.startswith("campaign id: ")
+        )
+        journal_path = tmp_path / f"{cid}.journal"
+        text = journal_path.read_text().replace(cid, "svc-00000000")
+        journal_path.write_text(text)
+        with pytest.raises(SystemExit, match="drifted"):
+            main(sweep + ["--resume", cid])

@@ -18,6 +18,7 @@ import pytest
 from repro.experiments.cache import ResultCache
 from repro.experiments.faults import (
     KILL_EXIT_CODE,
+    NETWORK_FAULT_KINDS,
     FaultAction,
     FaultPlan,
     TransientFaultError,
@@ -112,6 +113,40 @@ class TestFaultPlan:
             FaultAction("kill", attempt=0)
         with pytest.raises(ValueError, match="unknown FaultAction keys"):
             FaultAction.from_dict({"kind": "kill", "when": 2})
+
+
+class TestNetworkFaultKinds:
+    def test_network_kinds_accepted_and_flagged(self):
+        for kind in NETWORK_FAULT_KINDS:
+            action = FaultAction(kind)
+            assert action.is_network is True
+        assert FaultAction("kill").is_network is False
+        assert FaultAction("transient").is_network is False
+
+    def test_network_kinds_roundtrip(self):
+        plan = FaultPlan(
+            {0: [FaultAction("drop_connection"),
+                 FaultAction("heartbeat_stall", hang_seconds=3.0)]}
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        actions = clone.actions_for("j", 0, 1)
+        assert [a.kind for a in actions] == [
+            "drop_connection", "heartbeat_stall",
+        ]
+        assert actions[1].hang_seconds == 3.0
+
+    def test_apply_fault_actions_skips_network_kinds(self):
+        # Network faults fire on the wire, not inside the worker: a
+        # payload carrying only network actions must execute cleanly.
+        actions = [
+            FaultAction(kind).to_dict() for kind in NETWORK_FAULT_KINDS
+        ]
+        apply_fault_actions(actions)  # no exit, no raise, no sleep
+        # Mixed payloads still fire the in-process part.
+        with pytest.raises(TransientFaultError):
+            apply_fault_actions(
+                actions + [FaultAction("transient").to_dict()]
+            )
 
 
 class TestTriage:
@@ -359,6 +394,56 @@ class TestInterrupt:
         assert not clean.interrupted
         assert clean.errors == 0
         assert stripped(clean.records) == fault_free_records()
+
+    def test_sigterm_checkpoints_exactly_like_sigint(self, tmp_path):
+        # Orchestrators (CI cancel, systemd stop, k8s eviction) send
+        # SIGTERM, not SIGINT: the runner must checkpoint the same way.
+        spec = small_spec()
+        journal = CampaignJournal(tmp_path / "c.journal")
+        plan = FaultPlan(
+            {i: [FaultAction("hang", hang_seconds=60.0)] for i in range(4)}
+        )
+        runner = CampaignRunner(
+            workers=2, fault_plan=plan, journal=journal
+        )
+        timer = threading.Timer(
+            1.0, lambda: os.kill(os.getpid(), signal.SIGTERM)
+        )
+        timer.start()
+        try:
+            result = runner.run(spec)
+        finally:
+            timer.cancel()
+        assert result.interrupted
+        assert [e["event"] for e in journal.entries()][-1] == "checkpoint"
+        # The previous SIGTERM disposition is restored afterwards.
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+        clean = CampaignRunner(workers=2, journal=journal).run(spec)
+        assert not clean.interrupted
+        assert stripped(clean.records) == fault_free_records()
+
+
+class TestSpecDrift:
+    def test_resume_refuses_drifted_spec(self, tmp_path):
+        from repro.experiments.runner import SpecDriftError
+
+        journal = CampaignJournal(tmp_path / "c.journal")
+        CampaignRunner(workers=1, journal=journal).run(
+            small_spec(axes={"mesh": ["2x2:1"], "ordering": ["O0"]})
+        )
+        drifted = small_spec(
+            axes={"mesh": ["2x2:1"], "ordering": ["O2"]}
+        )
+        with pytest.raises(SpecDriftError, match="drifted"):
+            CampaignRunner(workers=1, journal=journal).run(drifted)
+
+    def test_same_spec_resumes_without_complaint(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "c.journal")
+        spec = small_spec(axes={"mesh": ["2x2:1"], "ordering": ["O0"]})
+        CampaignRunner(workers=1, journal=journal).run(spec)
+        again = CampaignRunner(workers=1, journal=journal).run(spec)
+        assert again.resumed == 1
 
 
 class TestCacheCorruption:

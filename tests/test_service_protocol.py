@@ -1,0 +1,202 @@
+"""Length-prefixed framing: round-trips, clean close vs torn frame.
+
+The load-bearing distinction under test: EOF at a frame boundary is
+None (a worker going away), EOF anywhere inside a frame is a
+ProtocolError (a peer dying mid-write) — and ProtocolError is a
+ConnectionError so the transient-error triage treats it like any
+other network failure.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.experiments.faults import classify_error
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    FrameChannel,
+    ProtocolError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+    torn_frame_bytes,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        message = {"type": "hello", "worker": "w1", "n": 3}
+        send_frame(a, message)
+        assert recv_frame(b) == message
+
+    def test_multiple_frames_preserve_boundaries(self, pair):
+        a, b = pair
+        send_frame(a, {"i": 1})
+        send_frame(a, {"i": 2})
+        assert recv_frame(b) == {"i": 1}
+        assert recv_frame(b) == {"i": 2}
+
+    def test_empty_object(self, pair):
+        a, b = pair
+        send_frame(a, {})
+        assert recv_frame(b) == {}
+
+    def test_clean_close_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_frame(b) is None
+
+    def test_close_after_whole_frame_is_clean(self, pair):
+        a, b = pair
+        send_frame(a, {"last": True})
+        a.close()
+        assert recv_frame(b) == {"last": True}
+        assert recv_frame(b) is None
+
+    def test_torn_header_raises(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")  # half a length header
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(b)
+
+    def test_torn_body_raises(self, pair):
+        a, b = pair
+        frame = encode_frame({"type": "result", "record": {"x": 1}})
+        a.sendall(frame[:-3])
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+
+    def test_header_without_body_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 10))
+        a.close()
+        with pytest.raises(ProtocolError, match="between header and body"):
+            recv_frame(b)
+
+    def test_oversize_header_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="cap"):
+            recv_frame(b)
+
+    def test_non_json_body_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 4) + b"{{{{")
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            recv_frame(b)
+
+    def test_non_object_body_rejected(self, pair):
+        a, b = pair
+        body = b"[1, 2]"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON object"):
+            recv_frame(b)
+
+    def test_encode_rejects_non_dict(self):
+        with pytest.raises(ProtocolError, match="must be dicts"):
+            encode_frame([1, 2])  # type: ignore[arg-type]
+
+    def test_protocol_error_is_transient_connection_error(self):
+        assert issubclass(ProtocolError, ConnectionError)
+        assert (
+            classify_error("ProtocolError: torn") == "transient"
+        )
+
+
+class TestTornFrameBytes:
+    def test_always_shorter_than_frame(self):
+        message = {"type": "result", "record": {"v": list(range(50))}}
+        whole = encode_frame(message)
+        for fraction in (0.0, 0.5, 0.99):
+            torn = torn_frame_bytes(message, fraction)
+            assert len(torn) < len(whole)
+            assert whole.startswith(torn)
+
+    def test_minimal_message_still_torn(self):
+        # Even a tiny body must lose at least one byte.
+        torn = torn_frame_bytes({})
+        assert len(torn) < len(encode_frame({}))
+
+    def test_receiver_fails_structured(self, pair):
+        a, b = pair
+        a.sendall(torn_frame_bytes({"type": "result", "record": {}}))
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            torn_frame_bytes({}, fraction=1.0)
+
+
+class TestFrameChannel:
+    def test_request_response(self, pair):
+        a, b = pair
+
+        def echo():
+            message = recv_frame(b)
+            send_frame(b, {"echo": message})
+
+        server = threading.Thread(target=echo)
+        server.start()
+        channel = FrameChannel(a)
+        reply = channel.request({"type": "ping"}, timeout=5.0)
+        server.join()
+        assert reply == {"echo": {"type": "ping"}}
+
+    def test_peer_hangup_mid_exchange_raises(self, pair):
+        a, b = pair
+        b.close()  # server gone before replying
+        channel = FrameChannel(a)
+        with pytest.raises(OSError):
+            channel.request({"type": "claim"}, timeout=1.0)
+
+    def test_concurrent_requests_never_interleave(self, pair):
+        # Two threads share one channel (a worker's main loop and its
+        # heartbeat thread); each must receive the reply to *its own*
+        # request.
+        a, b = pair
+
+        def echo_server():
+            while True:
+                message = recv_frame(b)
+                if message is None:
+                    return
+                send_frame(b, {"echo": message["n"]})
+
+        server = threading.Thread(target=echo_server, daemon=True)
+        server.start()
+        channel = FrameChannel(a)
+        mismatches = []
+
+        def client(n):
+            for _ in range(20):
+                reply = channel.request({"n": n}, timeout=5.0)
+                if reply["echo"] != n:
+                    mismatches.append((n, reply))
+
+        threads = [
+            threading.Thread(target=client, args=(n,)) for n in (1, 2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        channel.close()
+        server.join(timeout=5.0)
+        assert mismatches == []
